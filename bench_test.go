@@ -1,0 +1,404 @@
+// Package repro's root benchmark suite: one benchmark per experiment
+// table/figure (DESIGN.md §4), measuring the operation each experiment
+// times — not the harness around it. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The full tables (with quality columns and counter-based costs) come from
+// cmd/topnbench; these benchmarks give the wall-clock view and expose the
+// same comparisons to Go's benchmarking tooling.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/moa"
+	"repro/internal/optimizer"
+	"repro/internal/probtopn"
+	"repro/internal/rank"
+	"repro/internal/stopafter"
+	"repro/internal/storage"
+	"repro/internal/topk"
+	"repro/internal/vector"
+	"repro/internal/xrand"
+	"repro/internal/zipf"
+)
+
+// fixtures are built once and shared across benchmarks.
+type fixtures struct {
+	col     *collection.Collection
+	queries []collection.Query
+	engine  *core.Engine
+	fx      *index.Fragmented
+	planner *core.Planner
+	fusion  *core.Fusion
+	points  []vector.Vector
+}
+
+var (
+	fixOnce sync.Once
+	fixVal  *fixtures
+	fixErr  error
+)
+
+func getFixtures(b *testing.B) *fixtures {
+	b.Helper()
+	fixOnce.Do(func() {
+		col, err := collection.Generate(collection.Config{
+			NumDocs: 4000, VocabSize: 50000, MeanDocLen: 200, Seed: 101,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		queries, err := collection.GenerateQueries(col, collection.QueryConfig{
+			NumQueries: 20, MinTerms: 2, MaxTerms: 6, MaxDocFreqFrac: 0.02, Seed: 102,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fx, err := index.BuildFragmented(col, pool, 0.08)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		engine, err := core.NewEngine(fx, rank.NewBM25())
+		if err != nil {
+			fixErr = err
+			return
+		}
+		planner, err := core.NewPlanner(engine)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		data, err := vector.Generate(vector.Config{
+			NumObjects: fx.Stats.NumDocs, Dim: 12, NumClusters: 10, Seed: 103,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fusion, err := core.NewFusion(engine, data)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixVal = &fixtures{
+			col: col, queries: queries, engine: engine, fx: fx,
+			planner: planner, fusion: fusion,
+			points: []vector.Vector{data.Vecs[7], data.Vecs[1009]},
+		}
+	})
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return fixVal
+}
+
+// BenchmarkF1ZipfShape times the statistical substrate of Figure F1:
+// sampling the Zipf term distribution and fitting the exponent back.
+func BenchmarkF1ZipfShape(b *testing.B) {
+	d := zipf.MustNew(100000, 1.6, 2)
+	rng := xrand.New(1)
+	b.Run("sample", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.Sample(rng)
+		}
+	})
+	freqs := make([]int, 20000)
+	for i := range freqs {
+		freqs[i] = 1 + int(100000/float64(i+1))
+	}
+	b.Run("fit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := zipf.FitExponent(freqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// searchAll runs every workload query under the given options.
+func searchAll(b *testing.B, f *fixtures, opts core.Options) {
+	b.Helper()
+	for _, q := range f.queries {
+		if _, err := f.engine.Search(q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1FragmentSpeedup is Table E1+E2's wall-clock view: full
+// processing vs unsafe small-fragment-only processing.
+func BenchmarkE1FragmentSpeedup(b *testing.B) {
+	f := getFixtures(b)
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			searchAll(b, f, core.Options{N: 10, Mode: core.ModeFull})
+		}
+	})
+	b.Run("unsafe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			searchAll(b, f, core.Options{N: 10, Mode: core.ModeUnsafe})
+		}
+	})
+}
+
+// BenchmarkE3SafeSwitch is Table E3's wall-clock view: the safe strategy
+// at increasing switch thresholds.
+func BenchmarkE3SafeSwitch(b *testing.B) {
+	f := getFixtures(b)
+	for _, th := range []float64{0.2, 0.8} {
+		b.Run(bench.Table{}.ID+"th"+trim(th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				searchAll(b, f, core.Options{N: 10, Mode: core.ModeSafe, SwitchThreshold: th})
+			}
+		})
+	}
+}
+
+func trim(f float64) string {
+	if f == 0.2 {
+		return "0.2"
+	}
+	return "0.8"
+}
+
+// BenchmarkE4SparseIndex is Table E4's wall-clock view: streaming vs
+// probing the large fragment when the safe plan switches.
+func BenchmarkE4SparseIndex(b *testing.B) {
+	f := getFixtures(b)
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			searchAll(b, f, core.Options{N: 10, Mode: core.ModeSafe, SwitchThreshold: 2})
+		}
+	})
+	b.Run("probe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			searchAll(b, f, core.Options{N: 10, Mode: core.ModeSafe, SwitchThreshold: 2, ProbeLarge: true})
+		}
+	})
+}
+
+// BenchmarkE5InterObject is Table E5's wall-clock view: Example 1 naive vs
+// fully optimized at 100k elements.
+func BenchmarkE5InterObject(b *testing.B) {
+	reg := moa.NewRegistry()
+	opt := optimizer.New(reg)
+	xs := make([]int64, 100000)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	naive := moa.SelectB(moa.ProjectToBag(moa.Literal(moa.NewIntList(xs...))),
+		moa.Int(50000), moa.Int(51000))
+	optimized, _, err := opt.Optimize(naive)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, plan := range map[string]*moa.Expr{"naive": naive, "optimized": optimized} {
+		b.Run(name, func(b *testing.B) {
+			ev := moa.NewEvaluator(reg)
+			ev.CheckPhysical = false
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Eval(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6Fagin is Table E6's wall-clock view over clustered features.
+func BenchmarkE6Fagin(b *testing.B) {
+	data, err := vector.Generate(vector.Config{
+		NumObjects: 20000, Dim: 12, NumClusters: 15, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := []topk.Source{data.Source(data.Vecs[3]), data.Source(data.Vecs[999])}
+	algs := map[string]func([]topk.Source, topk.Agg, int) (topk.Result, error){
+		"naive": topk.Naive, "fa": topk.FA, "ta": topk.TA, "nra": topk.NRA,
+	}
+	for _, name := range []string{"naive", "fa", "ta", "nra"} {
+		alg := algs[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := alg(sources, topk.SumAgg(), 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7StopAfter is Table E7's wall-clock view at selectivity 0.5.
+func BenchmarkE7StopAfter(b *testing.B) {
+	rng := xrand.New(7)
+	table := make([]exec.Row, 100000)
+	for i := range table {
+		table[i] = exec.Row{ID: uint32(i), Score: rng.Float64(), Attr: rng.Float64()}
+	}
+	pred := func(r exec.Row) bool { return r.Attr < 0.5 }
+	b.Run("conservative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stopafter.Conservative(table, pred, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("aggressive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stopafter.Aggressive(table, pred, 10, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8ProbTopN is Table E8's wall-clock view.
+func BenchmarkE8ProbTopN(b *testing.B) {
+	rng := xrand.New(9)
+	table := make([]exec.Row, 100000)
+	scores := make([]float64, len(table))
+	for i := range table {
+		v := rng.ExpFloat64()
+		table[i] = exec.Row{ID: uint32(i), Score: v}
+		scores[i] = v
+	}
+	hist, err := cost.BuildHistogram(scores, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := probtopn.Reference(table, 50); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cutoff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := probtopn.TopN(table, 50, hist, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9CostModel times the planner's per-query plan pricing — the
+// overhead Step 3 adds to every query.
+func BenchmarkE9CostModel(b *testing.B) {
+	f := getFixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.planner.Plan(f.queries[i%len(f.queries)])
+	}
+}
+
+// BenchmarkE10Fusion is Table E10's wall-clock view: exhaustive vs TA
+// evaluation of an integrated text+feature query.
+func BenchmarkE10Fusion(b *testing.B) {
+	f := getFixtures(b)
+	fq := core.FusionQuery{
+		Text:    f.queries[0],
+		Points:  []vector.Vector{f.points[0]},
+		Weights: []float64{1, 1},
+	}
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.fusion.Search(fq, 10, core.AlgNaive, core.ModeFull); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.fusion.Search(fq, 10, core.AlgTA, core.ModeFull); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ta-unsafe-text", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.fusion.Search(fq, 10, core.AlgTA, core.ModeUnsafe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE11Progressive is Table E11's wall-clock view: exact vs relaxed
+// progressive fragment-chain processing.
+func BenchmarkE11Progressive(b *testing.B) {
+	f := getFixtures(b)
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mx, err := index.BuildMulti(f.col, pool, []float64{0.02, 0.05, 0.15, 0.4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := core.NewProgressive(mx, rank.NewBM25())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, eps := range map[string]float64{"exact": 0, "eps0.5": 0.5} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range f.queries {
+					if _, err := prog.Search(q, core.ProgressiveOptions{N: 10, Epsilon: eps}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12MaxScore is Table E12's wall-clock view: exhaustive full
+// evaluation vs exact MaxScore pruning on the unfragmented index.
+func BenchmarkE12MaxScore(b *testing.B) {
+	f := getFixtures(b)
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := index.Build(f.col, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms, err := core.NewMaxScore(idx, rank.NewBM25())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			searchAll(b, f, core.Options{N: 10, Mode: core.ModeFull})
+		}
+	})
+	b.Run("maxscore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range f.queries {
+				if _, err := ms.Search(q, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+// Command moaql is a small interactive shell over the Moa algebra: it
+// parses an expression in the paper's surface notation, shows the
+// unoptimized and optimized plans with the rewrite trace (which layer
+// fired which rule), the cost model's predictions, and the measured
+// evaluation work of both plans.
+//
+// Usage:
+//
+//	moaql 'select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)'
+//	moaql            # read expressions from stdin, one per line
+//
+// This is Example 1 of the paper made executable.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/moa"
+	"repro/internal/optimizer"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		run(strings.Join(os.Args[1:], " "))
+		return
+	}
+	fmt.Println("moaql: enter expressions, e.g. select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if line != "" {
+			run(line)
+		}
+		fmt.Print("> ")
+	}
+}
+
+func run(input string) {
+	reg := moa.NewRegistry()
+	expr, err := moa.Parse(input, reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parse error: %v\n", err)
+		return
+	}
+	typ, err := reg.TypeOf(expr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "type error: %v\n", err)
+		return
+	}
+	fmt.Printf("input plan : %s : %s\n", expr, typ)
+
+	opt := optimizer.New(reg)
+	optimized, traces, err := opt.Optimize(expr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optimizer error: %v\n", err)
+		return
+	}
+	fmt.Printf("optimized  : %s\n", optimized)
+	fmt.Print(optimizer.Explain(traces))
+
+	model := cost.NewMoaModel(reg)
+	for name, plan := range map[string]*moa.Expr{"input": expr, "optimized": optimized} {
+		est, err := model.Estimate(plan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cost error (%s): %v\n", name, err)
+			return
+		}
+		fmt.Printf("cost model %-9s: card=%.0f visits=%.0f comparisons=%.0f\n",
+			name, est.Card, est.Visits, est.Comparisons)
+	}
+
+	for name, plan := range map[string]*moa.Expr{"input": expr, "optimized": optimized} {
+		ev := moa.NewEvaluator(reg)
+		v, err := ev.Eval(plan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eval error (%s): %v\n", name, err)
+			return
+		}
+		fmt.Printf("measured %-11s: visits=%d comparisons=%d result=%s\n",
+			name, ev.Counters.ElementsVisited, ev.Counters.Comparisons, v)
+	}
+}

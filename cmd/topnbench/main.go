@@ -1,0 +1,80 @@
+// Command topnbench regenerates every table and figure of the
+// reproduction (DESIGN.md §4). Each experiment id maps to one runner in
+// internal/bench; "all" runs the whole suite in order.
+//
+// Usage:
+//
+//	topnbench [-exp all|F1|E1|E3|E4|E5|E6|E7|E8|E9|E10] [-scale small|full] [-seed N]
+//
+// Results print as aligned text tables with the paper's claim noted under
+// each; EXPERIMENTS.md records a full-scale run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+
+var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
+	"F1":  bench.RunF1,
+	"E1":  bench.RunE1E2,
+	"E2":  bench.RunE1E2, // E1 and E2 share a table (speed and quality columns)
+	"E3":  bench.RunE3,
+	"E4":  bench.RunE4,
+	"E5":  bench.RunE5,
+	"E6":  bench.RunE6,
+	"E7":  bench.RunE7,
+	"E8":  bench.RunE8,
+	"E9":  bench.RunE9,
+	"E10": bench.RunE10,
+	"E11": bench.RunE11,
+	"E12": bench.RunE12,
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (F1, E1..E10) or 'all'")
+	scaleFlag := flag.String("scale", "small", "workload scale: small or full")
+	seed := flag.Uint64("seed", 42, "deterministic workload seed")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = bench.ScaleSmall
+	case "full":
+		scale = bench.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "topnbench: unknown scale %q (want small or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	ids := order
+	if *exp != "all" {
+		id := strings.ToUpper(*exp)
+		if _, ok := runners[id]; !ok {
+			fmt.Fprintf(os.Stderr, "topnbench: unknown experiment %q (want one of %s)\n",
+				*exp, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		ids = []string{id}
+	}
+
+	fmt.Printf("topnbench: scale=%s seed=%d\n", scale, *seed)
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := runners[id](scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topnbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tbl.Render(os.Stdout)
+		fmt.Printf("  (%s in %s)\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

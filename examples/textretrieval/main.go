@@ -1,0 +1,108 @@
+// Text retrieval: a TREC-style evaluation run. A query workload is
+// executed under every strategy (full, unsafe, safe at two thresholds,
+// cost-based planner) and scored against the exhaustive ranking with the
+// standard IR metrics — the experiment design of [VH99] that produced the
+// paper's 60%-speedup / 30%-quality-drop numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/quality"
+	"repro/internal/rank"
+	"repro/internal/storage"
+)
+
+func main() {
+	col, err := collection.Generate(collection.Config{
+		NumDocs: 4000, VocabSize: 50000, MeanDocLen: 200, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fx, err := index.BuildFragmented(col, pool, 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's group ranked with Hiemstra's language model in mi:Ror.
+	engine, err := core.NewEngine(fx, rank.NewLM())
+	if err != nil {
+		log.Fatal(err)
+	}
+	planner, err := core.NewPlanner(engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := collection.GenerateQueries(col, collection.QueryConfig{
+		NumQueries: 30, MinTerms: 2, MaxTerms: 6, MaxDocFreqFrac: 0.02, Seed: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth: the exhaustive ranking.
+	truth := make([]quality.Qrels, len(queries))
+	for i, q := range queries {
+		res, err := engine.Search(q, core.Options{N: 10, Mode: core.ModeFull})
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth[i] = quality.NewQrels(res.Top)
+	}
+
+	type strategy struct {
+		name string
+		run  func(collection.Query) (core.Result, error)
+	}
+	strategies := []strategy{
+		{"full", func(q collection.Query) (core.Result, error) {
+			return engine.Search(q, core.Options{N: 10, Mode: core.ModeFull})
+		}},
+		{"unsafe", func(q collection.Query) (core.Result, error) {
+			return engine.Search(q, core.Options{N: 10, Mode: core.ModeUnsafe})
+		}},
+		{"safe(0.6)", func(q collection.Query) (core.Result, error) {
+			return engine.Search(q, core.Options{N: 10, Mode: core.ModeSafe, SwitchThreshold: 0.6})
+		}},
+		{"safe(0.9)", func(q collection.Query) (core.Result, error) {
+			return engine.Search(q, core.Options{N: 10, Mode: core.ModeSafe, SwitchThreshold: 0.9})
+		}},
+		{"planner", func(q collection.Query) (core.Result, error) {
+			res, _, err := planner.Run(q, 10)
+			return res, err
+		}},
+	}
+
+	fmt.Printf("%-10s %10s %8s %8s %8s\n", "strategy", "decodes", "P@10", "MAP", "switched")
+	for _, s := range strategies {
+		eval, err := quality.NewEvaluator(10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var decodes int64
+		switched := 0
+		for i, q := range queries {
+			fx.ResetCounters()
+			res, err := s.run(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			decodes += fx.Small.Counters().PostingsDecoded + fx.Large.Counters().PostingsDecoded
+			if res.Switched {
+				switched++
+			}
+			eval.Add(truth[i], res.Top)
+		}
+		sum := eval.Summary()
+		fmt.Printf("%-10s %10d %8.3f %8.3f %5d/%d\n",
+			s.name, decodes, sum.MeanPrecision, sum.MAP, switched, len(queries))
+	}
+}

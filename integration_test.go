@@ -1,0 +1,154 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/moa"
+	"repro/internal/optimizer"
+	"repro/internal/quality"
+	"repro/internal/rank"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// TestEndToEndPipeline drives the whole stack through the public API the
+// way the examples do: generate → fragment → search in all modes → plan →
+// fuse → verify cross-strategy consistency. It is the repository's
+// cross-module smoke test.
+func TestEndToEndPipeline(t *testing.T) {
+	col, err := collection.Generate(collection.Config{
+		NumDocs: 1200, VocabSize: 20000, MeanDocLen: 150, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := index.BuildFragmented(col, pool, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(fx, rank.NewLM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner, err := core.NewPlanner(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := collection.GenerateQueries(col, collection.QueryConfig{
+		NumQueries: 15, MinTerms: 2, MaxTerms: 5, MaxDocFreqFrac: 0.02, Seed: 78,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evalSafe, err := quality.NewEvaluator(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		full, err := engine.Search(q, core.Options{N: 10, Mode: core.ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unsafe, err := engine.Search(q, core.Options{N: 10, Mode: core.ModeUnsafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Unsafe results must be a subset behaviour: every unsafe result
+		// scores at most its full-mode counterpart position-wise score.
+		for i := range unsafe.Top {
+			if i < len(full.Top) && unsafe.Top[i].Score > full.Top[i].Score+1e-9 {
+				t.Fatalf("query %d: unsafe rank %d scores above full", q.ID, i)
+			}
+		}
+		safe, err := engine.Search(q, core.Options{N: 10, Mode: core.ModeSafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evalSafe.Add(quality.NewQrels(full.Top), safe.Top)
+
+		if _, _, err := planner.Run(q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := evalSafe.Summary(); s.MeanPrecision < 0.5 {
+		t.Errorf("safe strategy P@10 = %.3f over the workload; the pipeline lost too much quality", s.MeanPrecision)
+	}
+
+	// Fusion across the same corpus.
+	data, err := vector.Generate(vector.Config{NumObjects: fx.Stats.NumDocs, Dim: 8, Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusion, err := core.NewFusion(engine, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := core.FusionQuery{Text: queries[0], Points: []vector.Vector{data.Vecs[3]}}
+	naive, err := fusion.Search(fq, 5, core.AlgNaive, core.ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := fusion.Search(fq, 5, core.AlgTA, core.ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range naive.Top {
+		if ta.Top[i].DocID != naive.Top[i].DocID {
+			t.Fatal("fusion TA disagrees with exhaustive evaluation")
+		}
+	}
+}
+
+// TestExample1PublicAPI reproduces the paper's Example 1 through the
+// parser, optimizer and evaluator as an external user would.
+func TestExample1PublicAPI(t *testing.T) {
+	reg := moa.NewRegistry()
+	expr, err := moa.Parse("select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(reg)
+	optimized, traces, err := opt.Optimize(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) < 2 {
+		t.Fatalf("expected inter-object + intra-object rewrites, got %d", len(traces))
+	}
+	ev := moa.NewEvaluator(reg)
+	got, err := ev.Eval(optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !moa.Equal(got, moa.NewIntBag(2, 3, 4, 4)) {
+		t.Fatalf("Example 1 result = %s, want {2, 3, 4, 4}", got)
+	}
+}
+
+// TestHarnessSmoke runs the two headline experiments at small scale from
+// the root package, mirroring what cmd/topnbench does.
+func TestHarnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test skipped in -short mode")
+	}
+	for _, run := range []func(bench.Scale, uint64) (*bench.Table, error){
+		bench.RunF1, bench.RunE5,
+	} {
+		tbl, err := run(bench.ScaleSmall, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Fatal("empty harness table")
+		}
+	}
+}

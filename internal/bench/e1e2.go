@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/quality"
+	"repro/internal/rank"
+)
+
+// RunE1E2 regenerates the paper's central Step 1 measurement as one table:
+// a sweep over the small-fragment volume fraction, reporting the unsafe
+// strategy's cost reduction (E1, the paper: "speed up query processing
+// ... with at least 60%" at the ~5% point) and its quality loss (E2, the
+// paper: "answer quality dropped more than 30%").
+//
+// Cost is reported three ways: postings decoded (CPU), cold-cache page
+// reads (I/O), and wall-clock. The 100% row is the unfragmented baseline
+// the percentages are relative to.
+func RunE1E2(s Scale, seed uint64) (*Table, error) {
+	w, err := NewWorkload(s, seed)
+	if err != nil {
+		return nil, err
+	}
+	fracs := []float64{0.01, 0.02, 0.05, 0.10, 0.20, 1.0}
+	t := &Table{
+		ID:      "E1+E2",
+		Title:   "fragment volume sweep: unsafe cost vs answer quality",
+		Columns: []string{"fragment%", "decodes", "pageReads", "time", "speedup%", "P@10", "MAP", "qualityDrop%"},
+	}
+
+	// Baseline: the unfragmented cost and the ground-truth rankings.
+	// frac=1.0 puts every list in the small fragment, so unsafe == full.
+	baseEngine, baseFX, err := w.BuildEngine(1.0, rank.NewBM25())
+	if err != nil {
+		return nil, err
+	}
+	truth := make([]quality.Qrels, len(w.Queries))
+	var baseDecodes, basePages int64
+	var baseTime time.Duration
+	for i, q := range w.Queries {
+		baseFX.ResetCounters()
+		if err := w.Pool.DropAll(); err != nil {
+			return nil, err
+		}
+		w.Disk.ResetStats()
+		start := time.Now()
+		res, err := baseEngine.Search(q, core.Options{N: 10, Mode: core.ModeUnsafe})
+		if err != nil {
+			return nil, err
+		}
+		baseTime += time.Since(start)
+		baseDecodes += decoded(baseFX)
+		basePages += w.Disk.Stats().PhysicalReads
+		truth[i] = quality.NewQrels(res.Top)
+	}
+
+	for _, frac := range fracs {
+		if frac == 1.0 {
+			t.AddRow("100.0", baseDecodes, basePages, baseTime, 0.0, 1.0, 1.0, 0.0)
+			continue
+		}
+		engine, fx, err := w.BuildEngine(frac, rank.NewBM25())
+		if err != nil {
+			return nil, err
+		}
+		eval, err := quality.NewEvaluator(10)
+		if err != nil {
+			return nil, err
+		}
+		var decodes, pages int64
+		var elapsed time.Duration
+		for i, q := range w.Queries {
+			fx.ResetCounters()
+			if err := w.Pool.DropAll(); err != nil {
+				return nil, err
+			}
+			w.Disk.ResetStats()
+			start := time.Now()
+			res, err := engine.Search(q, core.Options{N: 10, Mode: core.ModeUnsafe})
+			if err != nil {
+				return nil, err
+			}
+			elapsed += time.Since(start)
+			decodes += decoded(fx)
+			pages += w.Disk.Stats().PhysicalReads
+			eval.Add(truth[i], res.Top)
+		}
+		sum := eval.Summary()
+		speedup := 100 * (1 - float64(decodes)/float64(baseDecodes))
+		t.AddRow(fmt.Sprintf("%.1f", 100*fx.SmallFraction()),
+			decodes, pages, elapsed, speedup, sum.MeanPrecision, sum.MAP,
+			100*(1-sum.MAP))
+	}
+	t.Notes = append(t.Notes,
+		"paper claim: at the ~5% fragment point, >=60% speedup with >30% quality drop (unsafe)")
+	return t, nil
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rank"
+)
+
+// RunE9 measures Step 3's cost model against reality: for every query, the
+// planner predicts the decode cost of the three plan alternatives; the
+// harness then executes all three and reports the mean relative error and
+// — the number that matters for plan choice — how often the predicted
+// pairwise ordering matches the measured one.
+func RunE9(s Scale, seed uint64) (*Table, error) {
+	w, err := NewWorkload(s, seed)
+	if err != nil {
+		return nil, err
+	}
+	engine, fx, err := w.BuildEngine(fragFracFor(s), rank.NewBM25())
+	if err != nil {
+		return nil, err
+	}
+	planner, err := core.NewPlanner(engine)
+	if err != nil {
+		return nil, err
+	}
+	alts := []struct {
+		alt  core.PlanAlternative
+		opts core.Options
+	}{
+		{core.PlanUnsafe, core.Options{N: 10, Mode: core.ModeUnsafe}},
+		{core.PlanSafeStream, core.Options{N: 10, Mode: core.ModeSafe, SwitchThreshold: 2}},
+		{core.PlanSafeProbe, core.Options{N: 10, Mode: core.ModeSafe, SwitchThreshold: 2, ProbeLarge: true}},
+	}
+	relErrSum := map[core.PlanAlternative]float64{}
+	relErrN := map[core.PlanAlternative]int{}
+	agree, totalPairs := 0, 0
+	for _, q := range w.Queries {
+		choice := planner.Plan(q)
+		measured := map[core.PlanAlternative]int64{}
+		for _, a := range alts {
+			fx.ResetCounters()
+			if _, err := engine.Search(q, a.opts); err != nil {
+				return nil, err
+			}
+			measured[a.alt] = decoded(fx)
+			if m := measured[a.alt]; m > 0 {
+				pred := choice.Predicted[a.alt].Decodes
+				err := pred/float64(m) - 1
+				if err < 0 {
+					err = -err
+				}
+				relErrSum[a.alt] += err
+				relErrN[a.alt]++
+			}
+		}
+		pairs := [][2]core.PlanAlternative{
+			{core.PlanUnsafe, core.PlanSafeStream},
+			{core.PlanUnsafe, core.PlanSafeProbe},
+			{core.PlanSafeProbe, core.PlanSafeStream},
+		}
+		for _, pr := range pairs {
+			predLess := choice.Predicted[pr[0]].Decodes <= choice.Predicted[pr[1]].Decodes
+			measLess := measured[pr[0]] <= measured[pr[1]]
+			totalPairs++
+			if predLess == measLess {
+				agree++
+			}
+		}
+	}
+	t := &Table{
+		ID:      "E9",
+		Title:   "cost model accuracy: predicted vs measured postings decoded",
+		Columns: []string{"plan", "meanRelError%", "queries"},
+	}
+	for _, a := range alts {
+		n := relErrN[a.alt]
+		if n == 0 {
+			t.AddRow(a.alt.String(), "-", 0)
+			continue
+		}
+		t.AddRow(a.alt.String(), 100*relErrSum[a.alt]/float64(n), n)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"pairwise plan-ordering agreement: %d/%d (%.0f%%) — the decision-relevant accuracy",
+		agree, totalPairs, 100*float64(agree)/float64(totalPairs)))
+	return t, nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/lexicon"
+	"repro/internal/zipf"
+)
+
+// RunF1 regenerates the figure behind Step 1's premise: the rank-frequency
+// law of the generated collection and the cumulative postings mass, i.e.
+// how small a fragment holding the rarest X% of terms is. The paper's
+// headline point — 95% of terms fit in ~5% of the postings volume — is the
+// last column at the 95% row.
+func RunF1(s Scale, seed uint64) (*Table, error) {
+	w, err := NewWorkload(s, seed)
+	if err != nil {
+		return nil, err
+	}
+	lex := w.Col.Lex
+	freqs := make([]int, 0, lex.Size())
+	for id := 0; id < lex.Size(); id++ {
+		if cf := lex.Stats(lexicon.TermID(id)).CollFreq; cf > 0 {
+			freqs = append(freqs, int(cf))
+		}
+	}
+	fitted, r2, err := zipf.FitExponent(freqs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: F1 fit: %w", err)
+	}
+
+	byDF := lex.TermsByDocFreq() // descending df
+	total := lex.TotalPostings()
+	t := &Table{
+		ID:      "F1",
+		Title:   "Zipf shape of the collection: rarest-terms fraction vs postings volume",
+		Columns: []string{"rarestTerms%", "terms", "postings", "volume%"},
+	}
+	nTerms := len(byDF)
+	// Cumulative postings of the rarest X% of the vocabulary.
+	suffix := make([]int64, nTerms+1)
+	for i := nTerms - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + int64(lex.Stats(byDF[i]).DocFreq)
+	}
+	for _, pct := range []int{50, 75, 90, 95, 99} {
+		cut := nTerms * (100 - pct) / 100
+		rare := suffix[cut]
+		t.AddRow(pct, nTerms-cut, rare, 100*float64(rare)/float64(total))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("fitted Zipf exponent s=%.2f (log-log R²=%.3f) over %d terms, %d postings",
+			fitted, r2, nTerms, total))
+	return t, nil
+}

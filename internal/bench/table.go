@@ -1,0 +1,115 @@
+// Package bench implements the experiment harness: one runner per table
+// or figure of the reproduction (F1, E1..E10 in DESIGN.md §4), shared by
+// the topnbench command and the repository's testing.B benchmarks.
+//
+// Every runner builds its own workload from deterministic seeds, executes
+// the competing strategies, and returns a Table whose rows are the series
+// the paper (or the cited baseline paper) reports: speedups, quality
+// drops, access counts, crossover points. Wall-clock is reported where
+// meaningful, but the primary measurements are the deterministic counters
+// (postings decoded, page reads, sorted/random accesses, comparisons), so
+// results are machine-independent.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's output: a titled grid plus free-form notes
+// (observations the experiment asserts, e.g. "crossover at k=...").
+type Table struct {
+	ID      string // experiment id, e.g. "E1"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row; values are Sprint-ed.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		case time.Duration:
+			row[i] = x.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.3f", x)
+	if len(s) > 12 {
+		s = fmt.Sprintf("%.3g", x)
+	}
+	return s
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Scale selects the experiment size. Unit tests and smoke runs use Small;
+// the recorded EXPERIMENTS.md numbers use Full.
+type Scale int
+
+// The harness scales.
+const (
+	// ScaleSmall finishes each experiment in well under a second.
+	ScaleSmall Scale = iota
+	// ScaleFull is the experiment scale recorded in EXPERIMENTS.md.
+	ScaleFull
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == ScaleFull {
+		return "full"
+	}
+	return "small"
+}

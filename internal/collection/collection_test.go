@@ -1,0 +1,281 @@
+package collection
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/lexicon"
+	"repro/internal/zipf"
+)
+
+// smallCfg keeps unit tests fast; statistical assertions use testCol. The
+// vocabulary is kept large relative to the corpus, as in real collections,
+// so the document-frequency distribution shows the paper's heavy head.
+func smallCfg() Config {
+	return Config{NumDocs: 500, VocabSize: 20000, MeanDocLen: 150, Seed: 7}
+}
+
+var cachedCol *Collection
+
+func testCol(t *testing.T) *Collection {
+	t.Helper()
+	if cachedCol == nil {
+		c, err := Generate(smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedCol = c
+	}
+	return cachedCol
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	col := testCol(t)
+	if len(col.Docs) != 500 {
+		t.Fatalf("docs = %d", len(col.Docs))
+	}
+	if col.Lex.Size() != 20000 {
+		t.Fatalf("lexicon size = %d", col.Lex.Size())
+	}
+	for i := range col.Docs {
+		d := &col.Docs[i]
+		if d.ID != uint32(i) {
+			t.Fatalf("doc %d has ID %d", i, d.ID)
+		}
+		var sum int32
+		prev := lexicon.TermID(0)
+		for j, tf := range d.Terms {
+			if tf.TF <= 0 {
+				t.Fatalf("doc %d term %d has TF %d", i, j, tf.TF)
+			}
+			if j > 0 && tf.Term <= prev {
+				t.Fatalf("doc %d terms not strictly sorted", i)
+			}
+			prev = tf.Term
+			sum += tf.TF
+		}
+		if sum != d.Len {
+			t.Fatalf("doc %d: Len %d != sum of TFs %d", i, d.Len, sum)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTokens != b.TotalTokens {
+		t.Fatal("token counts differ across identical configs")
+	}
+	for i := range a.Docs {
+		if len(a.Docs[i].Terms) != len(b.Docs[i].Terms) {
+			t.Fatalf("doc %d shape differs", i)
+		}
+		for j := range a.Docs[i].Terms {
+			if a.Docs[i].Terms[j] != b.Docs[i].Terms[j] {
+				t.Fatalf("doc %d term %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	cfg := smallCfg()
+	a, _ := Generate(cfg)
+	cfg.Seed = 8
+	b, _ := Generate(cfg)
+	if a.TotalTokens == b.TotalTokens {
+		t.Error("different seeds produced identical token counts (suspicious)")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{NumDocs: -1}); err == nil {
+		t.Error("negative NumDocs accepted")
+	}
+}
+
+func TestDocTFLookup(t *testing.T) {
+	col := testCol(t)
+	d := &col.Docs[0]
+	for _, tf := range d.Terms {
+		if got := d.TF(tf.Term); got != tf.TF {
+			t.Fatalf("TF(%d) = %d, want %d", tf.Term, got, tf.TF)
+		}
+	}
+	// A term id beyond the vocabulary is certainly absent.
+	if d.TF(lexicon.TermID(1<<30)) != 0 {
+		t.Error("absent term reported positive TF")
+	}
+}
+
+func TestLexiconStatsConsistent(t *testing.T) {
+	col := testCol(t)
+	// Recompute doc freqs by brute force and compare.
+	df := make(map[lexicon.TermID]int32)
+	var tokens int64
+	for i := range col.Docs {
+		for _, tf := range col.Docs[i].Terms {
+			df[tf.Term]++
+			tokens += int64(tf.TF)
+		}
+	}
+	if tokens != col.TotalTokens {
+		t.Fatalf("TotalTokens %d != recomputed %d", col.TotalTokens, tokens)
+	}
+	for id, want := range df {
+		if got := col.Lex.Stats(id).DocFreq; got != want {
+			t.Fatalf("term %d: DocFreq %d, want %d", id, got, want)
+		}
+	}
+}
+
+// TestZipfShape verifies the generated collection is convincingly Zipfian
+// — the statistical foundation of experiment F1 and the whole of Step 1.
+func TestZipfShape(t *testing.T) {
+	col := testCol(t)
+	freqs := make([]int, 0, col.Lex.Size())
+	for id := 0; id < col.Lex.Size(); id++ {
+		if cf := col.Lex.Stats(lexicon.TermID(id)).CollFreq; cf > 0 {
+			freqs = append(freqs, int(cf))
+		}
+	}
+	s, r2, err := zipf.FitExponent(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.8 || s > 1.8 {
+		t.Errorf("fitted Zipf exponent %v outside plausible range", s)
+	}
+	if r2 < 0.8 {
+		t.Errorf("log-log fit R² = %v; collection is not convincingly Zipfian", r2)
+	}
+}
+
+// TestTailVolume verifies the 5%/95% premise on actual generated data:
+// the 95% rarest terms (by doc freq) must carry a small share of postings.
+func TestTailVolume(t *testing.T) {
+	col := testCol(t)
+	byDF := col.Lex.TermsByDocFreq()
+	head := len(byDF) / 20 // 5% most frequent terms
+	var headPostings, total int64
+	for i, id := range byDF {
+		df := int64(col.Lex.Stats(id).DocFreq)
+		total += df
+		if i < head {
+			headPostings += df
+		}
+	}
+	tailFrac := 1 - float64(headPostings)/float64(total)
+	if tailFrac > 0.12 {
+		t.Errorf("95%% rarest terms carry %.1f%% of postings; expected a small tail (Zipf premise)", 100*tailFrac)
+	}
+}
+
+func TestRankOrderingMatchesTermIDs(t *testing.T) {
+	// Terms are interned in rank order, so low ids should on average be
+	// more frequent. Check the extremes.
+	col := testCol(t)
+	var headCF, tailCF int64
+	for id := 0; id < 10; id++ {
+		headCF += col.Lex.Stats(lexicon.TermID(id)).CollFreq
+	}
+	for id := col.Lex.Size() - 10; id < col.Lex.Size(); id++ {
+		tailCF += col.Lex.Stats(lexicon.TermID(id)).CollFreq
+	}
+	if headCF <= tailCF {
+		t.Errorf("head terms (cf=%d) should dominate tail terms (cf=%d)", headCF, tailCF)
+	}
+}
+
+func TestGenerateQueriesShape(t *testing.T) {
+	col := testCol(t)
+	qs, err := GenerateQueries(col, QueryConfig{NumQueries: 30, MinTerms: 2, MaxTerms: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 30 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Terms) < 1 || len(q.Terms) > 5 {
+			t.Fatalf("query %d has %d terms", q.ID, len(q.Terms))
+		}
+		if !sort.SliceIsSorted(q.Terms, func(a, b int) bool { return q.Terms[a] < q.Terms[b] }) {
+			t.Fatalf("query %d terms unsorted", q.ID)
+		}
+		for i := 1; i < len(q.Terms); i++ {
+			if q.Terms[i] == q.Terms[i-1] {
+				t.Fatalf("query %d has duplicate terms", q.ID)
+			}
+		}
+		// Every query term must actually occur in the collection.
+		for _, term := range q.Terms {
+			if col.Lex.Stats(term).DocFreq == 0 {
+				t.Fatalf("query %d contains unseen term %d", q.ID, term)
+			}
+		}
+	}
+}
+
+func TestGenerateQueriesValidation(t *testing.T) {
+	col := testCol(t)
+	if _, err := GenerateQueries(col, QueryConfig{MinTerms: 5, MaxTerms: 3}); err == nil {
+		t.Error("MinTerms > MaxTerms accepted")
+	}
+	empty := &Collection{Lex: lexicon.New()}
+	if _, err := GenerateQueries(empty, QueryConfig{}); err == nil {
+		t.Error("empty collection accepted")
+	}
+}
+
+func TestGenerateQueriesDeterministic(t *testing.T) {
+	col := testCol(t)
+	cfg := QueryConfig{NumQueries: 10, Seed: 9}
+	a, _ := GenerateQueries(col, cfg)
+	b, _ := GenerateQueries(col, cfg)
+	for i := range a {
+		if len(a[i].Terms) != len(b[i].Terms) {
+			t.Fatal("query generation not deterministic")
+		}
+		for j := range a[i].Terms {
+			if a[i].Terms[j] != b[i].Terms[j] {
+				t.Fatal("query generation not deterministic")
+			}
+		}
+	}
+}
+
+// TestMatchFraction verifies the paper's motivating observation: a large
+// share (around half) of the documents contain at least one query term.
+func TestMatchFraction(t *testing.T) {
+	col := testCol(t)
+	qs, err := GenerateQueries(col, QueryConfig{NumQueries: 20, MinTerms: 3, MaxTerms: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, q := range qs {
+		sum += col.MatchFraction(q)
+	}
+	avg := sum / float64(len(qs))
+	if avg < 0.2 || avg > 0.95 {
+		t.Errorf("average match fraction %.2f; paper motivates with 'about half'", avg)
+	}
+}
+
+func TestAvgDocLen(t *testing.T) {
+	col := testCol(t)
+	if math.Abs(col.AvgDocLen-float64(col.TotalTokens)/float64(len(col.Docs))) > 1e-9 {
+		t.Error("AvgDocLen inconsistent with totals")
+	}
+	if col.AvgDocLen < 75 || col.AvgDocLen > 300 {
+		t.Errorf("AvgDocLen = %v, want near configured mean 150", col.AvgDocLen)
+	}
+}

@@ -1,0 +1,17 @@
+package collection
+
+import "repro/internal/lexicon"
+
+// lexTermID converts an int index to a TermID; a named helper keeps the
+// serialization code readable.
+func lexTermID(i int) lexicon.TermID { return lexicon.TermID(i) }
+
+// newLexiconFromNames rebuilds an empty-statistics lexicon with the given
+// vocabulary in id order.
+func newLexiconFromNames(names []string) *lexicon.Lexicon {
+	lex := lexicon.New()
+	for _, n := range names {
+		lex.Intern(n)
+	}
+	return lex
+}

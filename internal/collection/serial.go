@@ -1,0 +1,71 @@
+package collection
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// diskForm is the serialized representation of a collection. The lexicon
+// is stored as the ordered vocabulary; statistics are rebuilt on load by
+// replaying the documents, which keeps the on-disk form free of internal
+// invariants.
+type diskForm struct {
+	Version     int
+	VocabNames  []string
+	Docs        []Document
+	TotalTokens int64
+	AvgDocLen   float64
+}
+
+const diskVersion = 1
+
+// Save writes the collection in a self-contained binary form.
+func (col *Collection) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names := make([]string, col.Lex.Size())
+	for i := range names {
+		names[i] = col.Lex.Name(lexTermID(i))
+	}
+	form := diskForm{
+		Version:     diskVersion,
+		VocabNames:  names,
+		Docs:        col.Docs,
+		TotalTokens: col.TotalTokens,
+		AvgDocLen:   col.AvgDocLen,
+	}
+	if err := gob.NewEncoder(bw).Encode(&form); err != nil {
+		return fmt.Errorf("collection: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads a collection written by Save, rebuilding the lexicon and its
+// statistics.
+func Load(r io.Reader) (*Collection, error) {
+	var form diskForm
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&form); err != nil {
+		return nil, fmt.Errorf("collection: load: %w", err)
+	}
+	if form.Version != diskVersion {
+		return nil, fmt.Errorf("collection: unsupported version %d", form.Version)
+	}
+	col := &Collection{
+		Docs:        form.Docs,
+		TotalTokens: form.TotalTokens,
+		AvgDocLen:   form.AvgDocLen,
+	}
+	col.Lex = newLexiconFromNames(form.VocabNames)
+	for i := range col.Docs {
+		for _, tf := range col.Docs[i].Terms {
+			if int(tf.Term) >= len(form.VocabNames) {
+				return nil, fmt.Errorf("collection: doc %d references term %d beyond vocabulary", i, tf.Term)
+			}
+			if err := col.Lex.Record(tf.Term, int(tf.TF)); err != nil {
+				return nil, fmt.Errorf("collection: load doc %d: %w", i, err)
+			}
+		}
+	}
+	return col, nil
+}

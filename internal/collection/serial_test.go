@@ -1,0 +1,58 @@
+package collection
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lexicon"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	col := testCol(t)
+	var buf bytes.Buffer
+	if err := col.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Docs) != len(col.Docs) {
+		t.Fatalf("docs %d, want %d", len(got.Docs), len(col.Docs))
+	}
+	if got.TotalTokens != col.TotalTokens || got.AvgDocLen != col.AvgDocLen {
+		t.Error("aggregate statistics differ")
+	}
+	if got.Lex.Size() != col.Lex.Size() {
+		t.Fatalf("lexicon size %d, want %d", got.Lex.Size(), col.Lex.Size())
+	}
+	for i := range col.Docs {
+		if len(got.Docs[i].Terms) != len(col.Docs[i].Terms) {
+			t.Fatalf("doc %d shape differs", i)
+		}
+		for j := range col.Docs[i].Terms {
+			if got.Docs[i].Terms[j] != col.Docs[i].Terms[j] {
+				t.Fatalf("doc %d term %d differs", i, j)
+			}
+		}
+	}
+	// Lexicon statistics rebuilt exactly.
+	for id := 0; id < col.Lex.Size(); id += 97 {
+		term := lexicon.TermID(id)
+		if got.Lex.Stats(term) != col.Lex.Stats(term) {
+			t.Fatalf("term %d stats differ", id)
+		}
+		if got.Lex.Name(term) != col.Lex.Name(term) {
+			t.Fatalf("term %d name differs", id)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a collection"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}

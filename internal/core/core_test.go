@@ -1,0 +1,522 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/quality"
+	"repro/internal/rank"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+type fixture struct {
+	col     *collection.Collection
+	fx      *index.Fragmented
+	engine  *Engine
+	queries []collection.Query
+	// freqQueries include genuinely frequent terms (no stopword strip);
+	// they exercise the long large-fragment lists the probe strategy
+	// targets.
+	freqQueries []collection.Query
+}
+
+var cached *fixture
+
+// fix builds (once) a mid-sized fragmented engine at the paper's operating
+// point scaled down to unit-test size: at 2000 documents a 10% volume
+// fragment with a df cap of 2% on query terms reproduces the regime the
+// paper measured on TREC FT with a 5% fragment (the fragment covers most
+// query terms; unsafe processing loses >30% quality for a large speedup).
+func fix(t *testing.T) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	col, err := collection.Generate(collection.Config{
+		NumDocs: 2000, VocabSize: 30000, MeanDocLen: 200, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := index.BuildFragmented(col, pool, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(fx, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := collection.GenerateQueries(col, collection.QueryConfig{
+		NumQueries: 40, MinTerms: 2, MaxTerms: 6, Seed: 22, MaxDocFreqFrac: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqQueries, err := collection.GenerateQueries(col, collection.QueryConfig{
+		NumQueries: 40, MinTerms: 3, MaxTerms: 6, Seed: 23, MaxDocFreqFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = &fixture{col: col, fx: fx, engine: engine, queries: queries, freqQueries: freqQueries}
+	return cached
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, rank.NewBM25()); err == nil {
+		t.Error("nil index accepted")
+	}
+	f := fix(t)
+	if _, err := NewEngine(f.fx, nil); err == nil {
+		t.Error("nil scorer accepted")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	f := fix(t)
+	if _, err := f.engine.Search(f.queries[0], Options{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := f.engine.Search(f.queries[0], Options{N: 5, Mode: Mode(99)}); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+// TestFullMatchesBruteForce: the engine's full mode must agree with direct
+// scoring over the collection — the correctness anchor for everything.
+func TestFullMatchesBruteForce(t *testing.T) {
+	f := fix(t)
+	scorer := f.engine.Scorer
+	corpus := f.engine.Corpus()
+	for _, q := range f.queries[:8] {
+		res, err := f.engine.Search(q, Options{N: 10, Mode: ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force.
+		acc := rank.NewAccumulator(len(f.col.Docs))
+		for _, term := range q.Terms {
+			st := f.col.Lex.Stats(term)
+			ts := rank.TermStat{DocFreq: int(st.DocFreq), CollFreq: st.CollFreq}
+			if ts.DocFreq == 0 {
+				continue
+			}
+			for i := range f.col.Docs {
+				d := &f.col.Docs[i]
+				if tf := d.TF(term); tf > 0 {
+					acc.Add(d.ID, scorer.Score(tf, d.Len, ts, corpus))
+				}
+			}
+		}
+		want := acc.Results()
+		if len(want) > 10 {
+			want = want[:10]
+		}
+		if len(res.Top) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", q.ID, len(res.Top), len(want))
+		}
+		for i := range want {
+			if res.Top[i].DocID != want[i].DocID {
+				t.Fatalf("query %d: position %d is doc %d, want %d", q.ID, i, res.Top[i].DocID, want[i].DocID)
+			}
+			if diff := res.Top[i].Score - want[i].Score; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("query %d: score mismatch at %d", q.ID, i)
+			}
+		}
+	}
+}
+
+// TestUnsafeCheaperButLossy verifies the E1/E2 shape at unit scale: over
+// the workload, unsafe processing decodes far fewer postings and loses
+// ranking quality.
+func TestUnsafeCheaperButLossy(t *testing.T) {
+	f := fix(t)
+	eval, err := quality.NewEvaluator(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullDecodes, unsafeDecodes int64
+	for _, q := range f.queries {
+		f.fx.ResetCounters()
+		truth, err := f.engine.Search(q, Options{N: 10, Mode: ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullDecodes += f.fx.Small.Counters().PostingsDecoded + f.fx.Large.Counters().PostingsDecoded
+
+		f.fx.ResetCounters()
+		unsafe, err := f.engine.Search(q, Options{N: 10, Mode: ModeUnsafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unsafeDecodes += f.fx.Small.Counters().PostingsDecoded + f.fx.Large.Counters().PostingsDecoded
+		eval.Add(quality.NewQrels(truth.Top), unsafe.Top)
+	}
+	if unsafeDecodes*3 > fullDecodes {
+		t.Errorf("unsafe decoded %d postings vs full %d; expected a large reduction", unsafeDecodes, fullDecodes)
+	}
+	s := eval.Summary()
+	if s.MeanPrecision >= 0.999 {
+		t.Errorf("unsafe precision %.3f: expected measurable quality loss", s.MeanPrecision)
+	}
+	if s.MeanPrecision < 0.2 {
+		t.Errorf("unsafe precision %.3f: rare terms should still carry most signal", s.MeanPrecision)
+	}
+}
+
+// TestSafeRestoresQuality verifies the E3 shape: the safe strategy's
+// quality is at least the unsafe strategy's, at a cost between unsafe and
+// full.
+func TestSafeRestoresQuality(t *testing.T) {
+	f := fix(t)
+	evalUnsafe, _ := quality.NewEvaluator(10)
+	evalSafe, _ := quality.NewEvaluator(10)
+	var unsafeDecodes, safeDecodes, fullDecodes int64
+	switched := 0
+	for _, q := range f.queries {
+		truth, err := f.engine.Search(q, Options{N: 10, Mode: ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.fx.ResetCounters()
+		_, err = f.engine.Search(q, Options{N: 10, Mode: ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullDecodes += f.fx.Small.Counters().PostingsDecoded + f.fx.Large.Counters().PostingsDecoded
+
+		f.fx.ResetCounters()
+		unsafe, err := f.engine.Search(q, Options{N: 10, Mode: ModeUnsafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unsafeDecodes += f.fx.Small.Counters().PostingsDecoded + f.fx.Large.Counters().PostingsDecoded
+
+		f.fx.ResetCounters()
+		safe, err := f.engine.Search(q, Options{N: 10, Mode: ModeSafe, SwitchThreshold: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		safeDecodes += f.fx.Small.Counters().PostingsDecoded + f.fx.Large.Counters().PostingsDecoded
+		if safe.Switched {
+			switched++
+		}
+		qr := quality.NewQrels(truth.Top)
+		evalUnsafe.Add(qr, unsafe.Top)
+		evalSafe.Add(qr, safe.Top)
+	}
+	pu := evalUnsafe.Summary().MeanPrecision
+	ps := evalSafe.Summary().MeanPrecision
+	if ps < pu {
+		t.Errorf("safe precision %.3f below unsafe %.3f", ps, pu)
+	}
+	if ps < 0.85 {
+		t.Errorf("safe precision %.3f: switching should restore most quality", ps)
+	}
+	if switched == 0 {
+		t.Error("no query triggered the switch; threshold ineffective")
+	}
+	if safeDecodes <= unsafeDecodes {
+		t.Error("safe cannot be cheaper than unsafe")
+	}
+	if safeDecodes > fullDecodes {
+		t.Errorf("safe decoded %d vs full %d; switching everything defeats the design", safeDecodes, fullDecodes)
+	}
+}
+
+// TestProbeCheaperThanStream verifies the E4 shape on queries containing
+// genuinely frequent terms: consulting the large fragment by candidate
+// probing through the non-dense index decodes substantially less than
+// streaming it, and lifts quality above unsafe — the paper's "extra
+// computations while still decreasing execution time, bringing the answer
+// quality nearer" claim.
+func TestProbeCheaperThanStream(t *testing.T) {
+	f := fix(t)
+	var streamDecodes, probeDecodes int64
+	evalUnsafe, _ := quality.NewEvaluator(10)
+	evalStream, _ := quality.NewEvaluator(10)
+	evalProbe, _ := quality.NewEvaluator(10)
+	for _, q := range f.freqQueries {
+		truth, err := f.engine.Search(q, Options{N: 10, Mode: ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		unsafe, err := f.engine.Search(q, Options{N: 10, Mode: ModeUnsafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Force the switch for every query so the comparison isolates the
+		// large-fragment access method.
+		f.fx.ResetCounters()
+		stream, err := f.engine.Search(q, Options{N: 10, Mode: ModeSafe, SwitchThreshold: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamDecodes += f.fx.Large.Counters().PostingsDecoded
+
+		f.fx.ResetCounters()
+		probe, err := f.engine.Search(q, Options{N: 10, Mode: ModeSafe, SwitchThreshold: 2, ProbeLarge: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probeDecodes += f.fx.Large.Counters().PostingsDecoded
+		qr := quality.NewQrels(truth.Top)
+		evalUnsafe.Add(qr, unsafe.Top)
+		evalStream.Add(qr, stream.Top)
+		evalProbe.Add(qr, probe.Top)
+	}
+	if probeDecodes >= streamDecodes {
+		t.Errorf("probe decoded %d vs stream %d; the non-dense index must pay off", probeDecodes, streamDecodes)
+	}
+	pu := evalUnsafe.Summary().MeanPrecision
+	ps := evalStream.Summary().MeanPrecision
+	pp := evalProbe.Summary().MeanPrecision
+	if pp <= pu {
+		t.Errorf("probe precision %.3f not above unsafe %.3f", pp, pu)
+	}
+	if pp > ps+1e-9 {
+		t.Errorf("probe precision %.3f above full-stream %.3f is impossible", pp, ps)
+	}
+}
+
+func TestCoverageBounds(t *testing.T) {
+	f := fix(t)
+	for _, q := range f.queries {
+		c := f.engine.Coverage(q)
+		if c < 0 || c > 1 {
+			t.Fatalf("coverage %v out of [0,1]", c)
+		}
+	}
+	// Empty query: full coverage by definition.
+	if c := f.engine.Coverage(collection.Query{}); c != 1 {
+		t.Errorf("empty query coverage = %v", c)
+	}
+}
+
+func TestSwitchThresholdMonotone(t *testing.T) {
+	f := fix(t)
+	// A higher threshold can only switch more queries.
+	count := func(th float64) int {
+		n := 0
+		for _, q := range f.queries {
+			res, err := f.engine.Search(q, Options{N: 5, Mode: ModeSafe, SwitchThreshold: th})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Switched {
+				n++
+			}
+		}
+		return n
+	}
+	low, high := count(0.2), count(0.95)
+	if low > high {
+		t.Errorf("threshold 0.2 switched %d queries, 0.95 switched %d; must be monotone", low, high)
+	}
+}
+
+func TestPlannerCalibration(t *testing.T) {
+	f := fix(t)
+	p, err := NewPlanner(f.engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Model.BytesPerPosting <= 0 || p.Model.BytesPerPosting > 8 {
+		t.Errorf("calibrated bytes/posting = %v; expected compressed (< 8)", p.Model.BytesPerPosting)
+	}
+}
+
+// TestPlannerCostOrdering is E9's criterion at unit scale: for each query,
+// the predicted decode cost of the alternatives must order the same way
+// the measured decode counts do.
+func TestPlannerCostOrdering(t *testing.T) {
+	f := fix(t)
+	p, err := NewPlanner(f.engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, total := 0, 0
+	for _, q := range f.queries {
+		choice := p.Plan(q)
+		measured := map[PlanAlternative]int64{}
+
+		f.fx.ResetCounters()
+		if _, err := f.engine.Search(q, Options{N: 10, Mode: ModeUnsafe}); err != nil {
+			t.Fatal(err)
+		}
+		measured[PlanUnsafe] = f.fx.Small.Counters().PostingsDecoded + f.fx.Large.Counters().PostingsDecoded
+
+		f.fx.ResetCounters()
+		if _, err := f.engine.Search(q, Options{N: 10, Mode: ModeSafe, SwitchThreshold: 2}); err != nil {
+			t.Fatal(err)
+		}
+		measured[PlanSafeStream] = f.fx.Small.Counters().PostingsDecoded + f.fx.Large.Counters().PostingsDecoded
+
+		f.fx.ResetCounters()
+		if _, err := f.engine.Search(q, Options{N: 10, Mode: ModeSafe, SwitchThreshold: 2, ProbeLarge: true}); err != nil {
+			t.Fatal(err)
+		}
+		measured[PlanSafeProbe] = f.fx.Small.Counters().PostingsDecoded + f.fx.Large.Counters().PostingsDecoded
+
+		// Pairwise ordering agreement on decode counts.
+		pairs := [][2]PlanAlternative{
+			{PlanUnsafe, PlanSafeStream},
+			{PlanUnsafe, PlanSafeProbe},
+			{PlanSafeProbe, PlanSafeStream},
+		}
+		for _, pr := range pairs {
+			predLess := choice.Predicted[pr[0]].Decodes <= choice.Predicted[pr[1]].Decodes
+			measLess := measured[pr[0]] <= measured[pr[1]]
+			total++
+			if predLess == measLess {
+				agree++
+			}
+		}
+	}
+	if ratio := float64(agree) / float64(total); ratio < 0.85 {
+		t.Errorf("cost model ordered only %.0f%% of plan pairs correctly", 100*ratio)
+	}
+}
+
+func TestPlannerRunExecutesChoice(t *testing.T) {
+	f := fix(t)
+	p, err := NewPlanner(f.engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranUnsafe, ranSwitched := false, false
+	for _, q := range f.queries {
+		res, choice, err := p.Run(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Top) == 0 && len(q.Terms) > 0 && f.col.MatchFraction(q) > 0 {
+			t.Errorf("query %d returned nothing", q.ID)
+		}
+		switch choice.Chosen {
+		case PlanUnsafe:
+			ranUnsafe = true
+			if res.Switched {
+				t.Error("unsafe plan reported a switch")
+			}
+		case PlanSafeStream, PlanSafeProbe:
+			ranSwitched = true
+			if !res.Switched {
+				t.Error("safe plan did not switch")
+			}
+		}
+	}
+	if !ranUnsafe || !ranSwitched {
+		t.Errorf("plan space not exercised: unsafe=%v switched=%v", ranUnsafe, ranSwitched)
+	}
+}
+
+func TestFusionAgreesAcrossAlgorithms(t *testing.T) {
+	f := fix(t)
+	data, err := vector.Generate(vector.Config{
+		NumObjects: f.fx.Stats.NumDocs, Dim: 8, NumClusters: 6, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusion, err := NewFusion(f.engine, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := FusionQuery{
+		Text:    f.queries[0],
+		Points:  []vector.Vector{data.Vecs[7]},
+		Weights: []float64{1.0, 0.5},
+	}
+	naive, err := fusion.Search(fq, 10, AlgNaive, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgFA, AlgTA} {
+		got, err := fusion.Search(fq, 10, alg, ModeFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Top) != len(naive.Top) {
+			t.Fatalf("%s: %d results", alg, len(got.Top))
+		}
+		for i := range got.Top {
+			if got.Top[i].DocID != naive.Top[i].DocID {
+				t.Fatalf("%s disagrees with naive at %d", alg, i)
+			}
+		}
+	}
+	// NRA: set agreement.
+	nra, err := fusion.Search(fq, 10, AlgNRA, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTrue := map[uint32]bool{}
+	for _, d := range naive.Top {
+		inTrue[d.DocID] = true
+	}
+	for _, d := range nra.Top {
+		if !inTrue[d.DocID] {
+			t.Fatalf("nra returned %d outside the true top set", d.DocID)
+		}
+	}
+}
+
+func TestFusionTASavesAccesses(t *testing.T) {
+	f := fix(t)
+	data, err := vector.Generate(vector.Config{
+		NumObjects: f.fx.Stats.NumDocs, Dim: 8, NumClusters: 6, Seed: 33,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusion, err := NewFusion(f.engine, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq := FusionQuery{Text: f.queries[1], Points: []vector.Vector{data.Vecs[42]}}
+	naive, err := fusion.Search(fq, 5, AlgNaive, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := fusion.Search(fq, 5, AlgTA, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.Accesses.Sorted >= naive.Accesses.Sorted {
+		t.Errorf("TA sorted accesses %d vs naive %d", ta.Accesses.Sorted, naive.Accesses.Sorted)
+	}
+}
+
+func TestFusionValidation(t *testing.T) {
+	f := fix(t)
+	data, _ := vector.Generate(vector.Config{NumObjects: f.fx.Stats.NumDocs, Dim: 4, Seed: 1})
+	fusion, err := NewFusion(f.engine, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFusion(nil, data); err == nil {
+		t.Error("nil engine accepted")
+	}
+	small, _ := vector.Generate(vector.Config{NumObjects: 3, Dim: 4, Seed: 1})
+	if _, err := NewFusion(f.engine, small); err == nil {
+		t.Error("mismatched dataset accepted")
+	}
+	fq := FusionQuery{Text: f.queries[0], Points: []vector.Vector{{1, 2}}}
+	if _, err := fusion.Search(fq, 5, AlgTA, ModeFull); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := fusion.Search(FusionQuery{Text: f.queries[0]}, 0, AlgTA, ModeFull); err == nil {
+		t.Error("n=0 accepted")
+	}
+	bad := FusionQuery{Text: f.queries[0], Weights: []float64{1, 2, 3}}
+	if _, err := fusion.Search(bad, 5, AlgTA, ModeFull); err == nil {
+		t.Error("weight arity mismatch accepted")
+	}
+}

@@ -1,0 +1,303 @@
+// Package core implements the paper's primary contribution: a top-N text
+// retrieval engine over a horizontally fragmented inverted file, with the
+// unsafe and safe processing strategies of Step 1, the early quality check
+// that switches between them, candidate probing of the large fragment
+// through the non-dense index, and cost-model-driven plan selection
+// (Step 3). The MM fusion queries of the integrated scenario (text ⊕
+// feature, Step 2's motivation) are built on top in fusion.go.
+//
+// Terminology follows the paper:
+//
+//   - full: process every query term's postings — the unoptimized,
+//     exact evaluation (ground truth for quality);
+//   - unsafe: process only the small fragment (rare terms); fast, may
+//     lose quality because frequent query terms contribute nothing;
+//   - safe: run the plan-time quality check first and consult the large
+//     fragment when the check predicts the unsafe answer would be poor;
+//   - probe: when the large fragment is consulted, do not stream its
+//     lists — probe them with the candidate documents the small fragment
+//     produced, using the postings skip (non-dense) index.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/rank"
+	"repro/internal/topk"
+)
+
+// Mode selects the processing strategy for Search.
+type Mode int
+
+// The processing strategies.
+const (
+	// ModeFull processes all query terms' full lists.
+	ModeFull Mode = iota
+	// ModeUnsafe processes only small-fragment terms.
+	ModeUnsafe
+	// ModeSafe runs the quality check, then Unsafe or a large-fragment
+	// consultation depending on the outcome.
+	ModeSafe
+)
+
+// String names the mode for experiment output.
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeUnsafe:
+		return "unsafe"
+	case ModeSafe:
+		return "safe"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a search.
+type Options struct {
+	// N is the number of results to return. Required.
+	N int
+	// Mode selects the strategy; default ModeFull.
+	Mode Mode
+	// SwitchThreshold is the safe mode's quality-check bound: when the
+	// predicted score coverage of the small fragment falls below it, the
+	// plan switches to consulting the large fragment. Default 0.8.
+	SwitchThreshold float64
+	// ProbeLarge makes the large-fragment consultation use candidate
+	// probing through the non-dense index instead of streaming full
+	// lists. Only meaningful in ModeSafe (and ModeFull ignores it).
+	ProbeLarge bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.SwitchThreshold == 0 {
+		o.SwitchThreshold = 0.8
+	}
+}
+
+// Result is a search outcome plus the plan facts experiments report.
+type Result struct {
+	Top []rank.DocScore
+	// Coverage is the quality check's predicted score coverage of the
+	// small fragment for this query (1 = all query-term weight lives in
+	// the small fragment).
+	Coverage float64
+	// Switched reports whether safe mode consulted the large fragment.
+	Switched bool
+	// DocsTouched counts accumulator entries — the paper's "objects taken
+	// into consideration during the ranking process".
+	DocsTouched int
+	// TermsProcessed counts postings lists read (fully or by probing).
+	TermsProcessed int
+	// TermsSkipped counts query terms whose lists were not read.
+	TermsSkipped int
+}
+
+// Engine is the fragmented top-N retrieval engine.
+//
+// An Engine reuses one score accumulator across searches, so a single
+// Engine must not run Search concurrently from multiple goroutines; build
+// one Engine per worker instead (they can share the fragmented index,
+// whose reads are thread-safe through the buffer pool).
+type Engine struct {
+	FX     *index.Fragmented
+	Scorer rank.Scorer
+
+	corpus rank.CorpusStat
+	acc    *rank.Accumulator
+}
+
+// NewEngine builds an engine over a fragmented index with the given
+// ranking model.
+func NewEngine(fx *index.Fragmented, scorer rank.Scorer) (*Engine, error) {
+	if fx == nil || scorer == nil {
+		return nil, fmt.Errorf("core: nil index or scorer")
+	}
+	var totalTokens int64
+	for id := 0; id < fx.Lex.Size(); id++ {
+		totalTokens += fx.Lex.Stats(lexicon.TermID(id)).CollFreq
+	}
+	return &Engine{
+		FX:     fx,
+		Scorer: scorer,
+		corpus: rank.CorpusStat{
+			NumDocs:     fx.Stats.NumDocs,
+			AvgDocLen:   fx.Stats.AvgDocLen,
+			TotalTokens: totalTokens,
+		},
+		acc: rank.NewAccumulator(fx.Stats.NumDocs),
+	}, nil
+}
+
+// Corpus exposes the collection statistics the engine ranks with.
+func (e *Engine) Corpus() rank.CorpusStat { return e.corpus }
+
+// termStat fetches global term statistics (fragmentation never changes
+// the ranking formula's inputs — only which lists get read).
+func (e *Engine) termStat(t lexicon.TermID) rank.TermStat {
+	s := e.FX.Lex.Stats(t)
+	return rank.TermStat{DocFreq: int(s.DocFreq), CollFreq: s.CollFreq}
+}
+
+// Coverage computes the quality check of the paper's safe technique: the
+// fraction of the query's maximum attainable score mass that small-
+// fragment terms can contribute. The upper bounds come from the ranking
+// model, so the check adapts to the scorer in use. A coverage of 1 means
+// the unsafe plan loses nothing; near 0 means almost all ranking signal
+// sits in the large fragment.
+//
+// The check runs at plan time: it touches only the lexicon statistics,
+// never the postings — this is what makes it an "early" check in the
+// paper's sense.
+func (e *Engine) Coverage(q collection.Query) float64 {
+	var smallUB, totalUB float64
+	for _, t := range q.Terms {
+		ts := e.termStat(t)
+		if ts.DocFreq == 0 {
+			continue
+		}
+		ub := e.Scorer.UpperBound(ts, e.corpus)
+		totalUB += ub
+		if e.FX.Small.Has(t) {
+			smallUB += ub
+		}
+	}
+	if totalUB == 0 {
+		return 1
+	}
+	return smallUB / totalUB
+}
+
+// Search evaluates q with the configured strategy.
+func (e *Engine) Search(q collection.Query, opts Options) (Result, error) {
+	opts.fillDefaults()
+	if opts.N <= 0 {
+		return Result{}, fmt.Errorf("core: N = %d must be positive", opts.N)
+	}
+	var res Result
+	res.Coverage = e.Coverage(q)
+
+	useLarge := false
+	switch opts.Mode {
+	case ModeFull:
+		useLarge = true
+	case ModeUnsafe:
+		useLarge = false
+	case ModeSafe:
+		useLarge = res.Coverage < opts.SwitchThreshold
+		res.Switched = useLarge
+	default:
+		return Result{}, fmt.Errorf("core: unknown mode %d", opts.Mode)
+	}
+
+	e.acc.Reset()
+
+	// Pass 1: small-fragment terms, always streamed in full (they are
+	// cheap by construction).
+	var largeTerms []lexicon.TermID
+	for _, t := range q.Terms {
+		ts := e.termStat(t)
+		if ts.DocFreq == 0 {
+			continue
+		}
+		if e.FX.Small.Has(t) {
+			if err := e.streamTerm(e.FX.Small, t, ts); err != nil {
+				return Result{}, err
+			}
+			res.TermsProcessed++
+			continue
+		}
+		if useLarge {
+			largeTerms = append(largeTerms, t)
+		} else {
+			res.TermsSkipped++
+		}
+	}
+
+	// Pass 2: large-fragment terms, streamed or candidate-probed. Probing
+	// restricts scoring to documents the small pass surfaced; when that
+	// pass produced no candidates (a query of only frequent terms), the
+	// sound fallback is streaming.
+	probe := opts.ProbeLarge && opts.Mode == ModeSafe && e.acc.Touched() > 0
+	for _, t := range largeTerms {
+		ts := e.termStat(t)
+		var err error
+		if probe {
+			err = e.probeTerm(t, ts)
+		} else {
+			err = e.streamTerm(e.FX.Large, t, ts)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		res.TermsProcessed++
+	}
+
+	res.DocsTouched = e.acc.Touched()
+	res.Top = topk.SelectTop(e.acc.Results(), opts.N)
+	return res, nil
+}
+
+// streamTerm accumulates one full postings list.
+func (e *Engine) streamTerm(frag *index.Fragment, t lexicon.TermID, ts rank.TermStat) error {
+	it, ok, err := frag.Reader(t)
+	if err != nil {
+		return fmt.Errorf("core: term %d: %w", t, err)
+	}
+	if !ok {
+		return nil
+	}
+	for it.Next() {
+		p := it.At()
+		docLen := e.FX.Stats.DocLen(p.DocID)
+		e.acc.Add(p.DocID, e.Scorer.Score(int32(p.TF), docLen, ts, e.corpus))
+	}
+	return it.Err()
+}
+
+// probeTerm adds a large-fragment term's contributions only for documents
+// already in the accumulator, seeking through the list's non-dense index
+// instead of decoding it fully. This realizes the paper's plan of a
+// sparse index that performs "extra computations while still decreasing
+// execution time": the extra computations are the per-candidate seeks, and
+// the saving is the skipped decoding between candidates.
+func (e *Engine) probeTerm(t lexicon.TermID, ts rank.TermStat) error {
+	candidates := e.candidateDocs()
+	if len(candidates) == 0 {
+		return nil
+	}
+	it, ok, err := e.FX.Large.Reader(t)
+	if err != nil {
+		return fmt.Errorf("core: term %d: %w", t, err)
+	}
+	if !ok {
+		return nil
+	}
+	for _, doc := range candidates {
+		if !it.SeekGE(doc) {
+			break
+		}
+		if p := it.At(); p.DocID == doc {
+			docLen := e.FX.Stats.DocLen(doc)
+			e.acc.Add(doc, e.Scorer.Score(int32(p.TF), docLen, ts, e.corpus))
+		}
+	}
+	return it.Err()
+}
+
+// candidateDocs returns the accumulator's touched documents in ascending
+// id order (the order SeekGE requires).
+func (e *Engine) candidateDocs() []uint32 {
+	res := e.acc.Results()
+	out := make([]uint32, len(res))
+	for i, r := range res {
+		out[i] = r.DocID
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

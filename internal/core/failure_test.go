@@ -1,0 +1,74 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/rank"
+	"repro/internal/storage"
+)
+
+// TestSearchSurfacesDiskErrors injects storage failures under a live
+// engine and verifies every strategy returns the error instead of
+// panicking or silently returning partial rankings.
+func TestSearchSurfacesDiskErrors(t *testing.T) {
+	col, err := collection.Generate(collection.Config{
+		NumDocs: 300, VocabSize: 8000, MeanDocLen: 120, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := storage.NewDisk()
+	// A tiny pool forces physical reads during search (no full caching).
+	pool, err := storage.NewPool(disk, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := index.BuildFragmented(col, pool, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(fx, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := collection.GenerateQueries(col, collection.QueryConfig{
+		NumQueries: 5, MinTerms: 3, MaxTerms: 6, MaxDocFreqFrac: 0.5, Seed: 92,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: searches work before injection.
+	if _, err := engine.Search(queries[0], Options{N: 5, Mode: ModeFull}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold cache so the next reads must touch the (failing) disk.
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	disk.FailReadsAfter(0)
+	defer disk.FailReadsAfter(-1)
+	sawError := false
+	for _, q := range queries {
+		for _, opts := range []Options{
+			{N: 5, Mode: ModeFull},
+			{N: 5, Mode: ModeSafe, SwitchThreshold: 2},
+			{N: 5, Mode: ModeSafe, SwitchThreshold: 2, ProbeLarge: true},
+		} {
+			_, err := engine.Search(q, opts)
+			if err != nil {
+				if !errors.Is(err, storage.ErrInjected) {
+					t.Fatalf("error lost its cause: %v", err)
+				}
+				sawError = true
+			}
+		}
+	}
+	if !sawError {
+		t.Fatal("no search hit the injected failure; pool too large for the test")
+	}
+}

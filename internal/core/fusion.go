@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/collection"
+	"repro/internal/topk"
+	"repro/internal/vector"
+)
+
+// FusionQuery is an integrated MM top-N query: a text component plus one
+// or more feature-space components (query-by-example points), combined by
+// weighted sum. This is the query class the paper's introduction motivates
+// — "integrated top N queries on several content and alpha numerical
+// types" — and the workload of experiment E10.
+type FusionQuery struct {
+	Text collection.Query
+	// Points are query-by-example feature vectors, one per feature source.
+	Points []vector.Vector
+	// Weights order: first the text source, then one per point. When nil,
+	// all sources weigh 1.
+	Weights []float64
+}
+
+// Fusion evaluates integrated text⊕feature queries over a text engine and
+// a feature dataset using the middleware algorithms.
+type Fusion struct {
+	Engine *Engine
+	Data   *vector.Dataset
+}
+
+// NewFusion pairs a text engine with a feature dataset. The dataset must
+// grade the same document ids the engine ranks.
+func NewFusion(e *Engine, data *vector.Dataset) (*Fusion, error) {
+	if e == nil || data == nil {
+		return nil, fmt.Errorf("core: nil engine or dataset")
+	}
+	if len(data.Vecs) != e.FX.Stats.NumDocs {
+		return nil, fmt.Errorf("core: dataset has %d objects, engine ranks %d documents",
+			len(data.Vecs), e.FX.Stats.NumDocs)
+	}
+	return &Fusion{Engine: e, Data: data}, nil
+}
+
+// TextSource materializes the text ranking as a graded Source for the
+// middleware algorithms: every matching document graded by its (full,
+// exact) text score. In a mediator architecture this is the ranked stream
+// the text subsystem exports.
+func (f *Fusion) TextSource(q collection.Query, mode Mode) (*topk.SliceSource, error) {
+	res, err := f.Engine.Search(q, Options{
+		N:    f.Engine.FX.Stats.NumDocs, // keep every matching document
+		Mode: mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return topk.NewSliceSource(res.Top), nil
+}
+
+// Algorithm selects the middleware evaluation strategy for fused queries.
+type Algorithm int
+
+// The fusion evaluation strategies.
+const (
+	// AlgNaive drains all sources (the unoptimized baseline).
+	AlgNaive Algorithm = iota
+	// AlgFA is Fagin's original algorithm.
+	AlgFA
+	// AlgTA is the threshold algorithm.
+	AlgTA
+	// AlgNRA is the no-random-access algorithm.
+	AlgNRA
+)
+
+// String names the algorithm in experiment output.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgNaive:
+		return "naive"
+	case AlgFA:
+		return "fa"
+	case AlgTA:
+		return "ta"
+	case AlgNRA:
+		return "nra"
+	default:
+		return "unknown"
+	}
+}
+
+// Search evaluates fq returning the fused top n with the access counts the
+// middleware model measures. textMode picks the text subplan strategy
+// (full for exact grades, unsafe/safe for the fragmented speedups —
+// composing Step 1 with the middleware layer).
+func (f *Fusion) Search(fq FusionQuery, n int, alg Algorithm, textMode Mode) (topk.Result, error) {
+	if n <= 0 {
+		return topk.Result{}, fmt.Errorf("core: fusion n = %d must be positive", n)
+	}
+	text, err := f.TextSource(fq.Text, textMode)
+	if err != nil {
+		return topk.Result{}, err
+	}
+	sources := []topk.Source{text}
+	for _, pt := range fq.Points {
+		if len(pt) != f.Data.Dim {
+			return topk.Result{}, fmt.Errorf("core: query point dimension %d, dataset %d", len(pt), f.Data.Dim)
+		}
+		sources = append(sources, f.Data.Source(pt))
+	}
+	weights := fq.Weights
+	if weights == nil {
+		weights = make([]float64, len(sources))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(sources) {
+		return topk.Result{}, fmt.Errorf("core: %d weights for %d sources", len(weights), len(sources))
+	}
+	agg := topk.WeightedSumAgg(weights)
+	switch alg {
+	case AlgNaive:
+		return topk.Naive(sources, agg, n)
+	case AlgFA:
+		return topk.FA(sources, agg, n)
+	case AlgTA:
+		return topk.TA(sources, agg, n)
+	case AlgNRA:
+		return topk.NRA(sources, agg, n)
+	default:
+		return topk.Result{}, fmt.Errorf("core: unknown algorithm %d", alg)
+	}
+}

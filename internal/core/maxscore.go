@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/postings"
+	"repro/internal/rank"
+	"repro/internal/topk"
+)
+
+// MaxScoreEngine evaluates exact top-N queries document-at-a-time with
+// MaxScore pruning (Turtle & Flood's refinement of the ideas in Brown's
+// thesis, which the paper's State of the Art cites as the IR side of
+// early termination). Query terms are ordered by their score upper
+// bounds; once the running top-N threshold exceeds the combined bound of
+// the weakest terms, those terms stop driving the document cursor and are
+// only probed for candidates that the strong terms surface.
+//
+// MaxScore is the natural ablation against Step 1: it needs no physical
+// fragmentation, loses no quality, but saves less than the unsafe
+// strategy — quantifying what the fragmented design buys is experiment
+// E12.
+//
+// Like Engine, a MaxScoreEngine is not safe for concurrent Search.
+type MaxScoreEngine struct {
+	Idx    *index.Index
+	Scorer rank.Scorer
+
+	corpus rank.CorpusStat
+}
+
+// NewMaxScore builds a MaxScore engine over an unfragmented index.
+func NewMaxScore(idx *index.Index, scorer rank.Scorer) (*MaxScoreEngine, error) {
+	if idx == nil || scorer == nil {
+		return nil, fmt.Errorf("core: nil index or scorer")
+	}
+	var totalTokens int64
+	for id := 0; id < idx.Lex.Size(); id++ {
+		totalTokens += idx.Lex.Stats(lexicon.TermID(id)).CollFreq
+	}
+	return &MaxScoreEngine{
+		Idx:    idx,
+		Scorer: scorer,
+		corpus: rank.CorpusStat{
+			NumDocs:     idx.Stats.NumDocs,
+			AvgDocLen:   idx.Stats.AvgDocLen,
+			TotalTokens: totalTokens,
+		},
+	}, nil
+}
+
+// msCursor tracks one term's iterator state during DAAT evaluation.
+type msCursor struct {
+	it        *postings.Iterator
+	ts        rank.TermStat
+	ub        float64
+	cur       postings.Posting
+	exhausted bool
+}
+
+func (c *msCursor) advance() error {
+	if c.it.Next() {
+		c.cur = c.it.At()
+		return nil
+	}
+	c.exhausted = true
+	return c.it.Err()
+}
+
+func (c *msCursor) seekGE(doc uint32) error {
+	if c.exhausted {
+		return nil
+	}
+	if c.cur.DocID >= doc {
+		return nil
+	}
+	if c.it.SeekGE(doc) {
+		c.cur = c.it.At()
+		return nil
+	}
+	c.exhausted = true
+	return c.it.Err()
+}
+
+// Search returns the exact top N for q. The result always equals full
+// evaluation (verified by the test suite); only the work differs.
+func (m *MaxScoreEngine) Search(q collection.Query, n int) ([]rank.DocScore, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: N = %d must be positive", n)
+	}
+	// Open cursors, ascending by upper bound.
+	cursors := make([]*msCursor, 0, len(q.Terms))
+	for _, t := range q.Terms {
+		s := m.Idx.Lex.Stats(t)
+		if s.DocFreq == 0 {
+			continue
+		}
+		it, ok, err := m.Idx.Reader(t)
+		if err != nil {
+			return nil, fmt.Errorf("core: term %d: %w", t, err)
+		}
+		if !ok {
+			continue
+		}
+		c := &msCursor{
+			it: it,
+			ts: rank.TermStat{DocFreq: int(s.DocFreq), CollFreq: s.CollFreq},
+		}
+		c.ub = m.Scorer.UpperBound(c.ts, m.corpus)
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		if !c.exhausted {
+			cursors = append(cursors, c)
+		}
+	}
+	if len(cursors) == 0 {
+		return nil, nil
+	}
+	sort.Slice(cursors, func(a, b int) bool { return cursors[a].ub < cursors[b].ub })
+	// prefixUB[i] = sum of upper bounds of cursors[0..i-1] (the weakest i).
+	prefixUB := make([]float64, len(cursors)+1)
+	for i, c := range cursors {
+		prefixUB[i+1] = prefixUB[i] + c.ub
+	}
+
+	h := topk.NewHeap(n)
+	theta := func() float64 {
+		if !h.Full() {
+			return 0
+		}
+		min, _ := h.Min()
+		return min.Score
+	}
+	// first = index of the first essential cursor: the weakest terms
+	// [0, first) together cannot beat theta, so they never drive the
+	// candidate choice. Grows monotonically as theta rises. The strict
+	// inequality matters: a document reaching theta exactly can still
+	// displace the heap minimum through the document-id tie-break, so
+	// only a strictly smaller bound excludes safely.
+	first := 0
+	for {
+		th := theta()
+		for first < len(cursors) && prefixUB[first+1] < th {
+			first++
+		}
+		if first >= len(cursors) {
+			break // no term set can beat the current top N
+		}
+		// Next candidate: minimum current document over essential cursors.
+		cand := uint32(0)
+		found := false
+		for _, c := range cursors[first:] {
+			if c.exhausted {
+				continue
+			}
+			if !found || c.cur.DocID < cand {
+				cand = c.cur.DocID
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+		docLen := m.Idx.Stats.DocLen(cand)
+		// Score the essential terms and advance their cursors.
+		var score float64
+		for _, c := range cursors[first:] {
+			if !c.exhausted && c.cur.DocID == cand {
+				score += m.Scorer.Score(int32(c.cur.TF), docLen, c.ts, m.corpus)
+				if err := c.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Probe the non-essential terms strongest-first, aborting as soon
+		// as even their combined remainder cannot lift the candidate past
+		// the threshold.
+		for i := first - 1; i >= 0; i-- {
+			if score+prefixUB[i+1] < th {
+				break
+			}
+			c := cursors[i]
+			if err := c.seekGE(cand); err != nil {
+				return nil, err
+			}
+			if !c.exhausted && c.cur.DocID == cand {
+				score += m.Scorer.Score(int32(c.cur.TF), docLen, c.ts, m.corpus)
+			}
+		}
+		h.Offer(rank.DocScore{DocID: cand, Score: score})
+	}
+	return h.Results(), nil
+}

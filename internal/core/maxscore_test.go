@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/rank"
+	"repro/internal/storage"
+	"repro/internal/xrand"
+)
+
+func buildMaxScore(t *testing.T) (*MaxScoreEngine, *index.Index) {
+	t.Helper()
+	f := fix(t)
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(f.col, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := NewMaxScore(idx, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms, idx
+}
+
+// TestMaxScoreExact: MaxScore must return exactly the full engine's
+// ranking — it is a safe technique by construction.
+func TestMaxScoreExact(t *testing.T) {
+	f := fix(t)
+	ms, _ := buildMaxScore(t)
+	for _, queries := range [][]collection.Query{f.queries, f.freqQueries} {
+		for _, q := range queries {
+			want, err := f.engine.Search(q, Options{N: 10, Mode: ModeFull})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ms.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want.Top) {
+				t.Fatalf("query %d: %d results, want %d", q.ID, len(got), len(want.Top))
+			}
+			for i := range want.Top {
+				if got[i].DocID != want.Top[i].DocID {
+					t.Fatalf("query %d: position %d is doc %d, want %d",
+						q.ID, i, got[i].DocID, want.Top[i].DocID)
+				}
+				if diff := got[i].Score - want.Top[i].Score; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("query %d: score mismatch at %d: %v vs %v",
+						q.ID, i, got[i].Score, want.Top[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// TestMaxScoreSavesDecoding: on queries mixing strong and weak terms, the
+// pruning must decode fewer postings than exhaustive evaluation.
+func TestMaxScoreSavesDecoding(t *testing.T) {
+	f := fix(t)
+	ms, idx := buildMaxScore(t)
+	var exhaustive int64
+	for _, q := range f.freqQueries {
+		for _, term := range q.Terms {
+			exhaustive += int64(idx.DocFreq(term))
+		}
+	}
+	idx.Counters().Reset()
+	for _, q := range f.freqQueries {
+		if _, err := ms.Search(q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pruned := idx.Counters().PostingsDecoded
+	if pruned >= exhaustive {
+		t.Errorf("MaxScore decoded %d postings vs exhaustive %d; pruning ineffective", pruned, exhaustive)
+	}
+}
+
+// TestMaxScoreSmallN: tighter N means higher thresholds and more pruning.
+func TestMaxScoreSmallN(t *testing.T) {
+	f := fix(t)
+	ms, idx := buildMaxScore(t)
+	count := func(n int) int64 {
+		idx.Counters().Reset()
+		for _, q := range f.freqQueries {
+			if _, err := ms.Search(q, n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return idx.Counters().PostingsDecoded
+	}
+	if d1, d100 := count(1), count(100); d1 > d100 {
+		t.Errorf("N=1 decoded %d > N=100 decoded %d; threshold should tighten with smaller N", d1, d100)
+	}
+}
+
+func TestMaxScoreValidation(t *testing.T) {
+	f := fix(t)
+	ms, _ := buildMaxScore(t)
+	if _, err := ms.Search(f.queries[0], 0); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := NewMaxScore(nil, rank.NewBM25()); err == nil {
+		t.Error("nil index accepted")
+	}
+	// Query with no indexed terms returns empty, not an error.
+	res, err := ms.Search(collection.Query{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Error("empty query returned results")
+	}
+}
+
+// TestMaxScoreRandomQueries widens the equivalence check beyond the fixed
+// workloads: random term subsets of random sizes.
+func TestMaxScoreRandomQueries(t *testing.T) {
+	f := fix(t)
+	ms, _ := buildMaxScore(t)
+	rng := xrand.New(555)
+	for trial := 0; trial < 60; trial++ {
+		nTerms := 1 + rng.Intn(8)
+		q := collection.Query{ID: trial}
+		seen := map[int]bool{}
+		for len(q.Terms) < nTerms {
+			d := &f.col.Docs[rng.Intn(len(f.col.Docs))]
+			if len(d.Terms) == 0 {
+				continue
+			}
+			term := d.Terms[rng.Intn(len(d.Terms))].Term
+			if !seen[int(term)] {
+				seen[int(term)] = true
+				q.Terms = append(q.Terms, term)
+			}
+		}
+		n := 1 + rng.Intn(20)
+		want, err := f.engine.Search(q, Options{N: n, Mode: ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ms.Search(q, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want.Top) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want.Top))
+		}
+		for i := range want.Top {
+			if got[i].DocID != want.Top[i].DocID {
+				t.Fatalf("trial %d: rank %d is doc %d, want %d", trial, i, got[i].DocID, want.Top[i].DocID)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/collection"
+	"repro/internal/cost"
+	"repro/internal/postings"
+)
+
+// PlanAlternative identifies one strategy the planner prices.
+type PlanAlternative int
+
+// The plan space of the fragmented engine.
+const (
+	// PlanUnsafe reads only the small fragment.
+	PlanUnsafe PlanAlternative = iota
+	// PlanSafeStream reads the small fragment plus full large-fragment
+	// lists.
+	PlanSafeStream
+	// PlanSafeProbe reads the small fragment and probes large-fragment
+	// lists with the candidate set through the non-dense index.
+	PlanSafeProbe
+)
+
+// String names the alternative in experiment output.
+func (p PlanAlternative) String() string {
+	switch p {
+	case PlanUnsafe:
+		return "unsafe"
+	case PlanSafeStream:
+		return "safe-stream"
+	case PlanSafeProbe:
+		return "safe-probe"
+	default:
+		return "unknown"
+	}
+}
+
+// PlanChoice is the planner's decision with its cost predictions, kept for
+// the cost-model-accuracy experiment (E9).
+type PlanChoice struct {
+	Chosen    PlanAlternative
+	Coverage  float64
+	Predicted map[PlanAlternative]cost.IRPlanCost
+}
+
+// Planner performs Step 3's cost-based strategy selection: it predicts
+// each alternative's cost with the centralized IR cost model and picks the
+// cheapest plan that meets the quality target.
+type Planner struct {
+	Engine *Engine
+	Model  cost.IRModel
+	// QualityTarget is the minimum predicted coverage at which the unsafe
+	// plan is considered quality-safe. Default 0.8.
+	QualityTarget float64
+	// ProbeQualityFloor guards the probe plan: candidate probing restricts
+	// large-term scoring to documents the small pass surfaced, so when
+	// coverage is very low the candidate set itself is unreliable and
+	// streaming is the only quality-safe consultation. Below this coverage
+	// the planner refuses the probe plan. Default 0.3.
+	ProbeQualityFloor float64
+	// PageWeight prices a page read in posting-decode units. Default
+	// cost.DefaultPageWeight.
+	PageWeight float64
+}
+
+// NewPlanner builds a planner whose cost model is calibrated against the
+// engine's actual fragments (bytes per posting measured, not assumed).
+func NewPlanner(e *Engine) (*Planner, error) {
+	bytes := e.FX.Small.SizeBytes() + e.FX.Large.SizeBytes()
+	total := e.FX.Small.TotalPostings() + e.FX.Large.TotalPostings()
+	model, err := cost.CalibrateIR(bytes, total)
+	if err != nil {
+		return nil, fmt.Errorf("core: planner calibration: %w", err)
+	}
+	return &Planner{
+		Engine:            e,
+		Model:             model,
+		QualityTarget:     0.8,
+		ProbeQualityFloor: 0.3,
+		PageWeight:        cost.DefaultPageWeight,
+	}, nil
+}
+
+// Plan prices the alternatives for q and picks one.
+func (p *Planner) Plan(q collection.Query) PlanChoice {
+	choice := PlanChoice{
+		Coverage:  p.Engine.Coverage(q),
+		Predicted: make(map[PlanAlternative]cost.IRPlanCost),
+	}
+	var smallDFs, largeDFs []int
+	for _, t := range q.Terms {
+		df := p.Engine.FX.DocFreq(t)
+		if df == 0 {
+			continue
+		}
+		if p.Engine.FX.Small.Has(t) {
+			smallDFs = append(smallDFs, df)
+		} else {
+			largeDFs = append(largeDFs, df)
+		}
+	}
+	smallCost := p.Model.PlanCost(smallDFs)
+	choice.Predicted[PlanUnsafe] = smallCost
+
+	stream := p.Model.PlanCost(largeDFs)
+	choice.Predicted[PlanSafeStream] = addCost(smallCost, stream)
+
+	// Candidate cardinality estimate: union of small-list postings under
+	// independence, the standard textbook estimator.
+	candidates := p.estimateCandidates(smallDFs)
+	probe := cost.IRPlanCost{}
+	for _, df := range largeDFs {
+		c := p.Model.SparseProbeCost(df, candidates, postings.BlockSize)
+		probe.Pages += c.Pages
+		probe.Decodes += c.Decodes
+	}
+	choice.Predicted[PlanSafeProbe] = addCost(smallCost, probe)
+
+	if choice.Coverage >= p.QualityTarget || len(largeDFs) == 0 {
+		choice.Chosen = PlanUnsafe
+		return choice
+	}
+	probeAllowed := choice.Coverage >= p.ProbeQualityFloor && candidates > 0
+	if probeAllowed && choice.Predicted[PlanSafeProbe].Weighted(p.PageWeight) <=
+		choice.Predicted[PlanSafeStream].Weighted(p.PageWeight) {
+		choice.Chosen = PlanSafeProbe
+	} else {
+		choice.Chosen = PlanSafeStream
+	}
+	return choice
+}
+
+// estimateCandidates predicts how many documents the small pass touches.
+func (p *Planner) estimateCandidates(smallDFs []int) int {
+	n := float64(p.Engine.FX.Stats.NumDocs)
+	if n == 0 {
+		return 0
+	}
+	missAll := 1.0
+	for _, df := range smallDFs {
+		missAll *= 1 - float64(df)/n
+	}
+	return int(n * (1 - missAll))
+}
+
+// Run plans q, executes the chosen alternative, and returns both.
+func (p *Planner) Run(q collection.Query, n int) (Result, PlanChoice, error) {
+	choice := p.Plan(q)
+	opts := Options{N: n}
+	switch choice.Chosen {
+	case PlanUnsafe:
+		opts.Mode = ModeUnsafe
+	case PlanSafeStream:
+		// Force the switch the planner already decided on.
+		opts.Mode = ModeSafe
+		opts.SwitchThreshold = 2 // always above coverage, so always switch
+	case PlanSafeProbe:
+		opts.Mode = ModeSafe
+		opts.SwitchThreshold = 2
+		opts.ProbeLarge = true
+	}
+	res, err := p.Engine.Search(q, opts)
+	return res, choice, err
+}
+
+func addCost(a, b cost.IRPlanCost) cost.IRPlanCost {
+	return cost.IRPlanCost{Pages: a.Pages + b.Pages, Decodes: a.Decodes + b.Decodes}
+}

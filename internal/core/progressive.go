@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/rank"
+	"repro/internal/topk"
+)
+
+// Progressive evaluates top-N queries over a fragment chain
+// (index.MultiFragmented), processing fragments from rarest to most
+// frequent terms and stopping as soon as the bound administration proves
+// the top N stable. It implements the synthesis the paper's programme
+// points at: the fragmentation of Step 1 turned into a safe early-
+// termination strategy by the upper/lower-bound machinery of the Fagin
+// line of work, with the top-N operator deciding *how much* of the
+// physical design a query needs to touch.
+//
+// Like Engine, a Progressive instance is not safe for concurrent Search.
+type Progressive struct {
+	MX     *index.MultiFragmented
+	Scorer rank.Scorer
+
+	corpus rank.CorpusStat
+	acc    *rank.Accumulator
+}
+
+// NewProgressive builds a progressive engine over a fragment chain.
+func NewProgressive(mx *index.MultiFragmented, scorer rank.Scorer) (*Progressive, error) {
+	if mx == nil || scorer == nil {
+		return nil, fmt.Errorf("core: nil index or scorer")
+	}
+	var totalTokens int64
+	for id := 0; id < mx.Lex.Size(); id++ {
+		totalTokens += mx.Lex.Stats(lexicon.TermID(id)).CollFreq
+	}
+	return &Progressive{
+		MX:     mx,
+		Scorer: scorer,
+		corpus: rank.CorpusStat{
+			NumDocs:     mx.Stats.NumDocs,
+			AvgDocLen:   mx.Stats.AvgDocLen,
+			TotalTokens: totalTokens,
+		},
+		acc: rank.NewAccumulator(mx.Stats.NumDocs),
+	}, nil
+}
+
+// ProgressiveResult reports the answer and how far along the chain the
+// query had to go.
+type ProgressiveResult struct {
+	Top []rank.DocScore
+	// FragmentsUsed counts chain links processed before stopping.
+	FragmentsUsed int
+	// Exact reports whether the early stop was provably safe (it is
+	// always true when Epsilon == 0 and the run completed).
+	Exact bool
+	// RemainingBound is the unseen score mass at the stopping point: no
+	// document's score can grow by more than this if processing had
+	// continued.
+	RemainingBound float64
+}
+
+// ProgressiveOptions configures a progressive search.
+type ProgressiveOptions struct {
+	// N is the number of results. Required.
+	N int
+	// Epsilon relaxes the stopping rule: the run stops once the potential
+	// remaining gain is at most Epsilon times the current N-th score
+	// (0 = exact top N; small positive values trade certainty for speed,
+	// the quantified form of the paper's unsafe techniques).
+	Epsilon float64
+}
+
+// Search evaluates q over the chain.
+func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (ProgressiveResult, error) {
+	if opts.N <= 0 {
+		return ProgressiveResult{}, fmt.Errorf("core: N = %d must be positive", opts.N)
+	}
+	if opts.Epsilon < 0 {
+		return ProgressiveResult{}, fmt.Errorf("core: epsilon %v must be non-negative", opts.Epsilon)
+	}
+	p.acc.Reset()
+
+	// Group query terms by fragment and precompute each term's score
+	// upper bound for the remaining-mass administration.
+	type queryTerm struct {
+		id lexicon.TermID
+		ts rank.TermStat
+		ub float64
+	}
+	byFrag := make([][]queryTerm, len(p.MX.Fragments))
+	remaining := make([]float64, len(p.MX.Fragments)+1)
+	for _, t := range q.Terms {
+		s := p.MX.Lex.Stats(t)
+		if s.DocFreq == 0 {
+			continue
+		}
+		fi := p.MX.FragmentIndexOf(t)
+		qt := queryTerm{
+			id: t,
+			ts: rank.TermStat{DocFreq: int(s.DocFreq), CollFreq: s.CollFreq},
+		}
+		qt.ub = p.Scorer.UpperBound(qt.ts, p.corpus)
+		byFrag[fi] = append(byFrag[fi], qt)
+	}
+	for fi := len(p.MX.Fragments) - 1; fi >= 0; fi-- {
+		var mass float64
+		for _, qt := range byFrag[fi] {
+			mass += qt.ub
+		}
+		remaining[fi] = remaining[fi+1] + mass
+	}
+
+	var res ProgressiveResult
+	for fi, terms := range byFrag {
+		// Stop check before touching this fragment: can any document
+		// still displace the current top N?
+		bound := remaining[fi]
+		if p.stopSafe(opts.N, bound, opts.Epsilon) {
+			res.Exact = opts.Epsilon == 0
+			res.RemainingBound = bound
+			res.Top = topk.SelectTop(p.acc.Results(), opts.N)
+			res.FragmentsUsed = fi
+			return res, nil
+		}
+		frag := p.MX.Fragments[fi]
+		for _, qt := range terms {
+			it, ok, err := frag.Reader(qt.id)
+			if err != nil {
+				return ProgressiveResult{}, fmt.Errorf("core: term %d: %w", qt.id, err)
+			}
+			if !ok {
+				continue
+			}
+			for it.Next() {
+				pst := it.At()
+				docLen := p.MX.Stats.DocLen(pst.DocID)
+				p.acc.Add(pst.DocID, p.Scorer.Score(int32(pst.TF), docLen, qt.ts, p.corpus))
+			}
+			if err := it.Err(); err != nil {
+				return ProgressiveResult{}, err
+			}
+		}
+		res.FragmentsUsed = fi + 1
+	}
+	res.Exact = true
+	res.RemainingBound = 0
+	res.Top = topk.SelectTop(p.acc.Results(), opts.N)
+	return res, nil
+}
+
+// stopSafe decides whether processing can end given the remaining score
+// mass. Exact rule (epsilon 0): the N-th best current score must be at
+// least the best possible final score of every other document — the
+// (N+1)-th current score plus the bound for seen documents, or the bound
+// alone for unseen ones. Relaxed rule: the bound is at most epsilon times
+// the N-th score.
+func (p *Progressive) stopSafe(n int, bound, epsilon float64) bool {
+	if bound == 0 {
+		return true
+	}
+	results := p.acc.Results()
+	if len(results) < n {
+		return false
+	}
+	nth := results[n-1].Score
+	if epsilon > 0 {
+		return bound <= epsilon*nth
+	}
+	runnerUp := 0.0
+	if len(results) > n {
+		runnerUp = results[n].Score
+	}
+	// Unseen documents can reach at most bound; seen non-top documents at
+	// most runnerUp+bound.
+	return nth >= runnerUp+bound && nth >= bound
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lexicon"
+
+	"repro/internal/index"
+	"repro/internal/quality"
+	"repro/internal/rank"
+	"repro/internal/storage"
+)
+
+func buildMulti(t *testing.T) (*Progressive, *index.MultiFragmented) {
+	t.Helper()
+	f := fix(t)
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := index.BuildMulti(f.col, pool, []float64{0.05, 0.15, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProgressive(mx, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, mx
+}
+
+func TestBuildMultiPartition(t *testing.T) {
+	f := fix(t)
+	_, mx := buildMulti(t)
+	if len(mx.Fragments) != 4 {
+		t.Fatalf("fragments = %d", len(mx.Fragments))
+	}
+	if mx.TotalPostings() != f.col.Lex.TotalPostings() {
+		t.Error("chain postings do not sum to the collection total")
+	}
+	// Fragment order: df thresholds must be non-decreasing along the
+	// chain; check via max df per fragment.
+	prevMax := 0
+	for fi, frag := range mx.Fragments {
+		maxDF := 0
+		for id := 0; id < f.col.Lex.Size(); id++ {
+			term := lexTermIDT(id)
+			if mx.FragmentIndexOf(term) == fi {
+				if df := frag.DocFreq(term); df > maxDF {
+					maxDF = df
+				}
+			}
+		}
+		if maxDF < prevMax {
+			// Boundary groups may share a df; a strict drop is a bug.
+			t.Fatalf("fragment %d max df %d below previous %d", fi, maxDF, prevMax)
+		}
+		prevMax = maxDF
+	}
+}
+
+func TestBuildMultiValidation(t *testing.T) {
+	f := fix(t)
+	pool, _ := storage.NewPool(storage.NewDisk(), 1<<12)
+	if _, err := index.BuildMulti(f.col, pool, nil); err == nil {
+		t.Error("no cuts accepted")
+	}
+	if _, err := index.BuildMulti(f.col, pool, []float64{0.5, 0.3}); err == nil {
+		t.Error("non-increasing cuts accepted")
+	}
+	if _, err := index.BuildMulti(f.col, pool, []float64{0}); err == nil {
+		t.Error("zero cut accepted")
+	}
+	if _, err := index.BuildMulti(f.col, pool, []float64{1}); err == nil {
+		t.Error("unit cut accepted")
+	}
+}
+
+// TestProgressiveExactMatchesFull: with epsilon 0 the progressive engine
+// must return exactly the full engine's ranking, for every query.
+func TestProgressiveExactMatchesFull(t *testing.T) {
+	f := fix(t)
+	p, _ := buildMulti(t)
+	for _, q := range f.queries {
+		want, err := f.engine.Search(q, Options{N: 10, Mode: ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Search(q, ProgressiveOptions{N: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Exact {
+			t.Fatalf("query %d: exact run not marked exact", q.ID)
+		}
+		if len(got.Top) != len(want.Top) {
+			t.Fatalf("query %d: %d results, want %d", q.ID, len(got.Top), len(want.Top))
+		}
+		for i := range want.Top {
+			if got.Top[i].DocID != want.Top[i].DocID {
+				t.Fatalf("query %d: position %d is doc %d, want %d",
+					q.ID, i, got.Top[i].DocID, want.Top[i].DocID)
+			}
+		}
+	}
+}
+
+// TestProgressiveStopsEarly: across the workload, at least some queries
+// must terminate before the last fragment, and early termination must
+// save decoding work.
+func TestProgressiveStopsEarly(t *testing.T) {
+	f := fix(t)
+	p, mx := buildMulti(t)
+	stopped := 0
+	mx.ResetCounters()
+	for _, q := range f.queries {
+		res, err := p.Search(q, ProgressiveOptions{N: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FragmentsUsed < len(mx.Fragments) {
+			stopped++
+		}
+	}
+	exactDecodes := mx.Decoded()
+	if stopped == 0 {
+		t.Error("no query stopped before the last fragment")
+	}
+	// Epsilon relaxation must stop no later and decode no more.
+	mx.ResetCounters()
+	for _, q := range f.queries {
+		if _, err := p.Search(q, ProgressiveOptions{N: 10, Epsilon: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	relaxedDecodes := mx.Decoded()
+	if relaxedDecodes > exactDecodes {
+		t.Errorf("epsilon=0.5 decoded %d > exact %d", relaxedDecodes, exactDecodes)
+	}
+}
+
+// TestProgressiveEpsilonQualityBound: the relaxed stop loses little
+// quality at small epsilon.
+func TestProgressiveEpsilonQualityBound(t *testing.T) {
+	f := fix(t)
+	p, _ := buildMulti(t)
+	eval, err := quality.NewEvaluator(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range f.queries {
+		exact, err := p.Search(q, ProgressiveOptions{N: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		relaxed, err := p.Search(q, ProgressiveOptions{N: 10, Epsilon: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eval.Add(quality.NewQrels(exact.Top), relaxed.Top)
+	}
+	if s := eval.Summary(); s.MeanPrecision < 0.8 {
+		t.Errorf("epsilon=0.1 P@10 = %.3f; the bounded relaxation lost too much", s.MeanPrecision)
+	}
+}
+
+func TestProgressiveValidation(t *testing.T) {
+	f := fix(t)
+	p, _ := buildMulti(t)
+	if _, err := p.Search(f.queries[0], ProgressiveOptions{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := p.Search(f.queries[0], ProgressiveOptions{N: 5, Epsilon: -1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := NewProgressive(nil, rank.NewBM25()); err == nil {
+		t.Error("nil index accepted")
+	}
+}
+
+// lexTermIDT adapts an int to a TermID for the partition test.
+func lexTermIDT(i int) lexicon.TermID { return lexicon.TermID(i) }

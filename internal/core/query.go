@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/collection"
+	"repro/internal/lexicon"
+)
+
+// ParseQuery turns whitespace-separated term text into a Query against
+// lex, the way a retrieval front-end would. Unknown terms are dropped
+// (they can match nothing), duplicates are collapsed, and the result is
+// sorted by term id as the engine expects. It errors only when no query
+// term is known at all, which almost always indicates querying the wrong
+// collection.
+func ParseQuery(lex *lexicon.Lexicon, id int, text string) (collection.Query, error) {
+	fields := strings.Fields(text)
+	seen := map[lexicon.TermID]bool{}
+	q := collection.Query{ID: id}
+	for _, f := range fields {
+		t := lex.Lookup(strings.ToLower(f))
+		if t == lexicon.InvalidTerm || seen[t] {
+			continue
+		}
+		seen[t] = true
+		q.Terms = append(q.Terms, t)
+	}
+	if len(fields) > 0 && len(q.Terms) == 0 {
+		return collection.Query{}, fmt.Errorf("core: no query term of %q exists in the collection", text)
+	}
+	sort.Slice(q.Terms, func(a, b int) bool { return q.Terms[a] < q.Terms[b] })
+	return q, nil
+}
+
+// SearchText is a convenience wrapper: parse text against the engine's
+// lexicon and search.
+func (e *Engine) SearchText(text string, opts Options) (Result, error) {
+	q, err := ParseQuery(e.FX.Lex, 0, text)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Search(q, opts)
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lexicon"
+)
+
+func TestParseQuery(t *testing.T) {
+	f := fix(t)
+	lex := f.col.Lex
+	// Term names are "t<rank>" by construction of the generator.
+	q, err := ParseQuery(lex, 3, "t10 t20 t10 nosuchterm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != 3 {
+		t.Errorf("ID = %d", q.ID)
+	}
+	if len(q.Terms) != 2 {
+		t.Fatalf("terms = %v, want 2 distinct known terms", q.Terms)
+	}
+	for i := 1; i < len(q.Terms); i++ {
+		if q.Terms[i] <= q.Terms[i-1] {
+			t.Error("terms not sorted")
+		}
+	}
+}
+
+func TestParseQueryAllUnknown(t *testing.T) {
+	f := fix(t)
+	if _, err := ParseQuery(f.col.Lex, 0, "xyzzy plugh"); err == nil {
+		t.Error("query with no known terms accepted")
+	}
+	// Empty text is a valid (empty) query.
+	q, err := ParseQuery(f.col.Lex, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Terms) != 0 {
+		t.Error("empty text produced terms")
+	}
+}
+
+func TestSearchTextMatchesSearch(t *testing.T) {
+	f := fix(t)
+	// Build the text form of an existing workload query.
+	q := f.queries[0]
+	text := ""
+	for _, term := range q.Terms {
+		text += f.col.Lex.Name(term) + " "
+	}
+	want, err := f.engine.Search(q, Options{N: 5, Mode: ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.engine.SearchText(text, Options{N: 5, Mode: ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Top) != len(want.Top) {
+		t.Fatalf("result sizes differ: %d vs %d", len(got.Top), len(want.Top))
+	}
+	for i := range want.Top {
+		if got.Top[i] != want.Top[i] {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+	_ = lexicon.InvalidTerm
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestEngineReuseNoStateLeak runs searches back to back in mixed modes and
+// checks repeated evaluations of the same query are identical — the
+// accumulator reset must be complete, or scores would accumulate across
+// queries.
+func TestEngineReuseNoStateLeak(t *testing.T) {
+	f := fix(t)
+	q1, q2 := f.queries[0], f.queries[1]
+	baseline, err := f.engine.Search(q1, Options{N: 10, Mode: ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave other queries and modes.
+	for _, opts := range []Options{
+		{N: 3, Mode: ModeUnsafe},
+		{N: 10, Mode: ModeSafe, SwitchThreshold: 2, ProbeLarge: true},
+		{N: 1, Mode: ModeSafe, SwitchThreshold: 0.5},
+	} {
+		if _, err := f.engine.Search(q2, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := f.engine.Search(q1, Options{N: 10, Mode: ModeFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Top) != len(baseline.Top) {
+		t.Fatalf("result size changed across reuse: %d vs %d", len(again.Top), len(baseline.Top))
+	}
+	for i := range baseline.Top {
+		if again.Top[i] != baseline.Top[i] {
+			t.Fatalf("position %d changed across engine reuse: %v vs %v",
+				i, again.Top[i], baseline.Top[i])
+		}
+	}
+}
+
+// TestProgressiveReuseNoStateLeak is the same guarantee for the
+// progressive engine.
+func TestProgressiveReuseNoStateLeak(t *testing.T) {
+	f := fix(t)
+	p, _ := buildMulti(t)
+	q1, q2 := f.queries[0], f.queries[2]
+	baseline, err := p.Search(q1, ProgressiveOptions{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0, 0.5, 2} {
+		if _, err := p.Search(q2, ProgressiveOptions{N: 5, Epsilon: eps}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := p.Search(q1, ProgressiveOptions{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range baseline.Top {
+		if again.Top[i] != baseline.Top[i] {
+			t.Fatalf("position %d changed across progressive reuse", i)
+		}
+	}
+}
+
+// TestResultMetadataConsistency cross-checks the bookkeeping fields the
+// experiments aggregate: processed + skipped covers exactly the indexed
+// query terms, and coverage/switch agree with the mode semantics.
+func TestResultMetadataConsistency(t *testing.T) {
+	f := fix(t)
+	for _, q := range f.queries {
+		indexed := 0
+		for _, term := range q.Terms {
+			if f.col.Lex.Stats(term).DocFreq > 0 {
+				indexed++
+			}
+		}
+		full, err := f.engine.Search(q, Options{N: 5, Mode: ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.TermsProcessed != indexed || full.TermsSkipped != 0 {
+			t.Fatalf("query %d full: processed %d skipped %d, want %d/0",
+				q.ID, full.TermsProcessed, full.TermsSkipped, indexed)
+		}
+		unsafe, err := f.engine.Search(q, Options{N: 5, Mode: ModeUnsafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if unsafe.TermsProcessed+unsafe.TermsSkipped != indexed {
+			t.Fatalf("query %d unsafe: %d+%d != %d",
+				q.ID, unsafe.TermsProcessed, unsafe.TermsSkipped, indexed)
+		}
+		if unsafe.Switched {
+			t.Fatal("unsafe mode cannot switch")
+		}
+		safe, err := f.engine.Search(q, Options{N: 5, Mode: ModeSafe, SwitchThreshold: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if safe.Switched != (safe.Coverage < 0.8) {
+			t.Fatalf("query %d: switched=%v at coverage %v threshold 0.8",
+				q.ID, safe.Switched, safe.Coverage)
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/moa"
+	"repro/internal/xrand"
+)
+
+func TestBuildHistogramValidation(t *testing.T) {
+	if _, err := BuildHistogram(nil, 4); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := BuildHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := BuildHistogram([]float64{1, 2}, 10); err != nil {
+		t.Errorf("buckets > values should clamp, got %v", err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h, err := BuildHistogram(vals, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 1000 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Min() != 0 || h.Max() != 999 {
+		t.Errorf("range [%v, %v]", h.Min(), h.Max())
+	}
+	// Uniform data: estimates should track truth closely.
+	cases := []struct {
+		v    float64
+		want float64
+	}{
+		{0, 1000}, {500, 500}, {999, 0}, {250, 750},
+	}
+	for _, c := range cases {
+		got := h.EstimateAbove(c.v)
+		if math.Abs(got-c.want) > 30 {
+			t.Errorf("EstimateAbove(%v) = %v, want about %v", c.v, got, c.want)
+		}
+	}
+	if got := h.EstimateRange(100, 200); math.Abs(got-100) > 30 {
+		t.Errorf("EstimateRange(100,200) = %v", got)
+	}
+	if got := h.EstimateRange(200, 100); got != 0 {
+		t.Errorf("inverted range = %v", got)
+	}
+}
+
+func TestHistogramSkewedData(t *testing.T) {
+	// Heavy skew: most mass near zero. Equi-depth must stay accurate.
+	rng := xrand.New(5)
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = rng.ExpFloat64()
+	}
+	h, err := BuildHistogram(vals, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.1, 0.5, 1.0, 2.0} {
+		truth := 0
+		for _, v := range vals {
+			if v >= q {
+				truth++
+			}
+		}
+		got := h.EstimateAbove(q)
+		if relErr := math.Abs(got-float64(truth)) / float64(len(vals)); relErr > 0.03 {
+			t.Errorf("EstimateAbove(%v) = %v, truth %d (rel err %.3f)", q, got, truth, relErr)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h, _ := BuildHistogram(vals, 20)
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("Q(0) = %v", q)
+	}
+	if q := h.Quantile(1); q != 999 {
+		t.Errorf("Q(1) = %v", q)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-500) > 55 {
+		t.Errorf("Q(0.5) = %v", q)
+	}
+}
+
+func TestCutoffForTopN(t *testing.T) {
+	rng := xrand.New(7)
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	h, _ := BuildHistogram(vals, 64)
+	for _, n := range []int{10, 100, 1000} {
+		cut := h.CutoffForTopN(n, 1.5)
+		above := 0
+		for _, v := range vals {
+			if v >= cut {
+				above++
+			}
+		}
+		if above < n {
+			t.Errorf("n=%d: cutoff %v keeps only %d values", n, cut, above)
+		}
+		if above > 5*n+100 {
+			t.Errorf("n=%d: cutoff %v keeps %d values — far too loose", n, cut, above)
+		}
+	}
+	// Asking for more than exists must return the minimum.
+	if cut := h.CutoffForTopN(100000, 1); cut != h.Min() {
+		t.Errorf("oversized n: cutoff %v, want min", cut)
+	}
+}
+
+// TestMoaModelPredictsCounters builds random expressions, runs them, and
+// checks the model's work prediction is within a reasonable factor of the
+// evaluator's true counters — the E9 criterion at unit scale.
+func TestMoaModelPredictsCounters(t *testing.T) {
+	reg := moa.NewRegistry()
+	model := NewMoaModel(reg)
+	rng := xrand.New(99)
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		e := genExpr(rng)
+		est, err := model.Estimate(e)
+		if err != nil {
+			t.Fatalf("estimate %s: %v", e, err)
+		}
+		ev := moa.NewEvaluator(reg)
+		if _, err := ev.Eval(e); err != nil {
+			t.Fatalf("eval %s: %v", e, err)
+		}
+		actual := float64(ev.Counters.ElementsVisited + ev.Counters.Comparisons)
+		if actual < 50 {
+			continue // tiny plans: constant factors dominate, skip
+		}
+		checked++
+		if est.Work() > actual*4 || est.Work() < actual/4 {
+			t.Errorf("trial %d: %s\npredicted work %.0f, actual %.0f", trial, e, est.Work(), actual)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d non-trivial cases checked", checked)
+	}
+}
+
+// genExpr builds random expressions mirroring the optimizer tests but
+// sized for cost checking.
+func genExpr(rng *xrand.RNG) *moa.Expr {
+	n := 50 + rng.Intn(500)
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(rng.Intn(1000))
+	}
+	e := moa.Literal(moa.NewIntList(xs...))
+	kind := moa.KindList
+	depth := 1 + rng.Intn(4)
+	for d := 0; d < depth; d++ {
+		lo := int64(rng.Intn(1000))
+		hi := lo + int64(rng.Intn(1000-int(lo)+1))
+		switch kind {
+		case moa.KindList:
+			switch rng.Intn(5) {
+			case 0:
+				e = moa.SelectL(e, moa.Int(lo), moa.Int(hi))
+			case 1:
+				e = moa.SortL(e)
+			case 2:
+				e = moa.TopNL(e, int64(1+rng.Intn(20)))
+			case 3:
+				e = moa.ProjectToBag(e)
+				kind = moa.KindBag
+			case 4:
+				e = moa.SelectL(moa.SortL(e), moa.Int(lo), moa.Int(hi))
+			}
+		case moa.KindBag:
+			switch rng.Intn(3) {
+			case 0:
+				e = moa.SelectB(e, moa.Int(lo), moa.Int(hi))
+			case 1:
+				e = moa.ToListB(e)
+				kind = moa.KindList
+			case 2:
+				e = moa.TopNB(e, int64(1+rng.Intn(20)))
+				kind = moa.KindList
+			}
+		}
+	}
+	return e
+}
+
+// TestMoaModelRanksPlans: the model must order the paper's Example 1 plans
+// correctly (rewritten < original), which is what plan choice needs — the
+// absolute error matters less than the ordering.
+func TestMoaModelRanksPlans(t *testing.T) {
+	reg := moa.NewRegistry()
+	model := NewMoaModel(reg)
+	xs := make([]int64, 5000)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	l := moa.Literal(moa.NewIntList(xs...))
+	orig := moa.SelectB(moa.ProjectToBag(l), moa.Int(10), moa.Int(20))
+	rewritten := moa.ProjectToBag(moa.NewExpr("list.select.binsearch",
+		[]moa.Value{moa.Int(10), moa.Int(20)}, l))
+	best, ests, err := model.ChoosePlan([]*moa.Expr{orig, rewritten})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 1 {
+		t.Errorf("model chose plan %d (work %v vs %v); the rewritten plan is cheaper",
+			best, ests[0].Work(), ests[1].Work())
+	}
+}
+
+func TestMoaModelSelectivity(t *testing.T) {
+	reg := moa.NewRegistry()
+	model := NewMoaModel(reg)
+	xs := make([]int64, 1000)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	l := moa.Literal(moa.NewIntList(xs...))
+	narrow, err := model.Estimate(moa.SelectL(l, moa.Int(0), moa.Int(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := model.Estimate(moa.SelectL(l, moa.Int(0), moa.Int(899)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Card > 50 {
+		t.Errorf("narrow select estimated %v rows, want about 10", narrow.Card)
+	}
+	if wide.Card < 700 || wide.Card > 1000 {
+		t.Errorf("wide select estimated %v rows, want about 900", wide.Card)
+	}
+}
+
+func TestChoosePlanValidation(t *testing.T) {
+	model := NewMoaModel(moa.NewRegistry())
+	if _, _, err := model.ChoosePlan(nil); err == nil {
+		t.Error("empty alternatives accepted")
+	}
+}
+
+func TestCalibrateIR(t *testing.T) {
+	if _, err := CalibrateIR(0, 100); err == nil {
+		t.Error("zero bytes accepted")
+	}
+	if _, err := CalibrateIR(100, 0); err == nil {
+		t.Error("zero postings accepted")
+	}
+	m, err := CalibrateIR(20000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BytesPerPosting != 2 {
+		t.Errorf("BytesPerPosting = %v", m.BytesPerPosting)
+	}
+}
+
+func TestIRModelMonotone(t *testing.T) {
+	m := IRModel{BytesPerPosting: 2}
+	prev := IRPlanCost{}
+	for _, df := range []int{1, 100, 10000, 1000000} {
+		c := m.TermCost(df)
+		if c.Pages < prev.Pages || c.Decodes <= prev.Decodes-1 {
+			t.Errorf("cost not monotone at df=%d", df)
+		}
+		prev = c
+	}
+	if c := m.TermCost(0); c.Pages != 0 || c.Decodes != 0 {
+		t.Error("df=0 should cost nothing")
+	}
+	// Minimum one page for any non-empty list.
+	if c := m.TermCost(1); c.Pages != 1 {
+		t.Errorf("tiny list pages = %v, want 1", c.Pages)
+	}
+}
+
+func TestIRPlanCost(t *testing.T) {
+	m := IRModel{BytesPerPosting: 2}
+	single := m.TermCost(5000)
+	plan := m.PlanCost([]int{5000, 5000})
+	if math.Abs(plan.Pages-2*single.Pages) > 1e-9 || plan.Decodes != 2*single.Decodes {
+		t.Error("plan cost must be additive over terms")
+	}
+	if plan.Weighted(DefaultPageWeight) <= plan.Decodes {
+		t.Error("weighted cost must price pages")
+	}
+}
+
+func TestSparseProbeCost(t *testing.T) {
+	m := IRModel{BytesPerPosting: 2}
+	full := m.TermCost(1 << 20)
+	probe := m.SparseProbeCost(1<<20, 10, 128)
+	if probe.Decodes >= full.Decodes {
+		t.Error("sparse probing should decode less than a full stream")
+	}
+	if probe.Pages >= full.Pages {
+		t.Error("sparse probing should touch fewer pages")
+	}
+	// Degenerates to the full cost when candidates are plentiful.
+	many := m.SparseProbeCost(1000, 100000, 128)
+	if many != m.TermCost(1000) {
+		t.Error("oversized candidate set must clamp to full cost")
+	}
+}
+
+func TestHistogramEstimateProperty(t *testing.T) {
+	rng := xrand.New(12)
+	if err := quick.Check(func(seed uint32) bool {
+		vals := make([]float64, 500)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+		}
+		h, err := BuildHistogram(vals, 16)
+		if err != nil {
+			return false
+		}
+		// Estimates are bounded and monotone in the threshold.
+		prev := math.Inf(1)
+		for _, q := range []float64{-30, -10, 0, 10, 30} {
+			e := h.EstimateAbove(q)
+			if e < 0 || e > float64(h.Total()) {
+				return false
+			}
+			if e > prev {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package cost implements Step 3 of the paper: a single, centralized cost
+// model spanning every extension of the algebra and the IR engine, with no
+// delegation to black-box subsystems.
+//
+// Three pieces live here:
+//
+//   - equi-depth histograms over value distributions, the statistics
+//     backbone for selectivity estimation (also used by the probabilistic
+//     top-N baseline);
+//   - a cost model over Moa algebra expressions predicting the evaluator's
+//     deterministic work counters (element visits, comparisons);
+//   - an IR plan cost model predicting page reads and postings decoded
+//     for fragmented top-N query plans, which is what the safe/unsafe
+//     switch decision of Step 1 consumes.
+//
+// Experiment E9 measures all three against the real counters.
+package cost
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram is an equi-depth (equi-height) histogram: bucket boundaries
+// chosen so each bucket holds the same number of observed values. Depth
+// rather than width because score distributions in ranking are heavily
+// skewed, and equi-depth keeps relative estimation error uniform.
+type Histogram struct {
+	bounds []float64 // len = buckets+1; bounds[0] = min, bounds[len-1] = max
+	depth  float64   // values per bucket
+	total  int64
+}
+
+// BuildHistogram constructs an equi-depth histogram with the given number
+// of buckets. It errors on empty input or non-positive bucket counts.
+func BuildHistogram(values []float64, buckets int) (*Histogram, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("cost: cannot build histogram over no values")
+	}
+	if buckets <= 0 {
+		return nil, fmt.Errorf("cost: bucket count %d must be positive", buckets)
+	}
+	if buckets > len(values) {
+		buckets = len(values)
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	h := &Histogram{
+		bounds: make([]float64, buckets+1),
+		depth:  float64(len(values)) / float64(buckets),
+		total:  int64(len(values)),
+	}
+	for b := 0; b <= buckets; b++ {
+		idx := int(float64(b) * h.depth)
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		h.bounds[b] = sorted[idx]
+	}
+	h.bounds[buckets] = sorted[len(sorted)-1]
+	return h, nil
+}
+
+// Total returns the number of values the histogram summarizes.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Min and Max return the observed extremes.
+func (h *Histogram) Min() float64 { return h.bounds[0] }
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() float64 { return h.bounds[len(h.bounds)-1] }
+
+// EstimateAbove estimates how many values are >= v, interpolating linearly
+// within the containing bucket.
+func (h *Histogram) EstimateAbove(v float64) float64 {
+	return float64(h.total) - h.EstimateBelow(v)
+}
+
+// EstimateBelow estimates how many values are < v.
+func (h *Histogram) EstimateBelow(v float64) float64 {
+	if v <= h.bounds[0] {
+		return 0
+	}
+	if v >= h.Max() {
+		return float64(h.total)
+	}
+	// Find the bucket containing v: bounds[i] <= v < bounds[i+1].
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i > 0 && (i >= len(h.bounds) || h.bounds[i] != v) {
+		i--
+	}
+	if i >= len(h.bounds)-1 {
+		i = len(h.bounds) - 2
+	}
+	lo, hi := h.bounds[i], h.bounds[i+1]
+	frac := 0.0
+	if hi > lo {
+		frac = (v - lo) / (hi - lo)
+	}
+	return (float64(i) + frac) * h.depth
+}
+
+// EstimateRange estimates how many values fall in [lo, hi].
+func (h *Histogram) EstimateRange(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	est := h.EstimateBelow(hi) - h.EstimateBelow(lo)
+	// Nudge for the inclusive upper bound: treat hi as hi+ε by adding the
+	// mass exactly at hi when hi is a bucket boundary. The linear model
+	// cannot see point masses, so this stays an approximation.
+	if est < 0 {
+		est = 0
+	}
+	if est > float64(h.total) {
+		est = float64(h.total)
+	}
+	return est
+}
+
+// Quantile returns an estimate of the p-quantile (0 <= p <= 1) of the
+// distribution: the value below which a fraction p of the data lies.
+func (h *Histogram) Quantile(p float64) float64 {
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 1 {
+		return h.Max()
+	}
+	pos := p * float64(len(h.bounds)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i >= len(h.bounds)-1 {
+		return h.Max()
+	}
+	return h.bounds[i] + frac*(h.bounds[i+1]-h.bounds[i])
+}
+
+// CutoffForTopN returns a score cutoff κ such that the estimated number of
+// values >= κ is at least n·inflation. This is the histogram computation
+// at the heart of Donjerkovic & Ramakrishnan's probabilistic top-N: the
+// inflation factor buys confidence against estimation error, trading a
+// bigger candidate set for a lower restart probability.
+func (h *Histogram) CutoffForTopN(n int, inflation float64) float64 {
+	if inflation < 1 {
+		inflation = 1
+	}
+	need := float64(n) * inflation
+	if need >= float64(h.total) {
+		return h.Min()
+	}
+	p := 1 - need/float64(h.total)
+	return h.Quantile(p)
+}

@@ -1,0 +1,105 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/storage"
+)
+
+// IRPlanCost is the predicted cost of an inverted-file query plan in the
+// two currencies the storage substrate measures: page reads and postings
+// decoded.
+type IRPlanCost struct {
+	Pages   float64
+	Decodes float64
+}
+
+// Weighted combines the two terms into one comparable number. The default
+// weight reflects that a page read (8 KiB of I/O) costs on the order of a
+// thousand posting decodes; experiments may recalibrate.
+func (c IRPlanCost) Weighted(pageWeight float64) float64 {
+	return pageWeight*c.Pages + c.Decodes
+}
+
+// DefaultPageWeight is the page-read weight used when callers have not
+// calibrated their own.
+const DefaultPageWeight = 1000
+
+// IRModel predicts inverted-file access costs from term document
+// frequencies. Its single parameter — compressed bytes per posting — is
+// calibrated from the actual index, after which predictions are pure
+// arithmetic over the lexicon statistics available at plan time.
+type IRModel struct {
+	BytesPerPosting float64
+}
+
+// CalibrateIR fits the model to a built index: total compressed bytes over
+// total postings.
+func CalibrateIR(indexBytes int64, totalPostings int64) (IRModel, error) {
+	if totalPostings <= 0 {
+		return IRModel{}, fmt.Errorf("cost: cannot calibrate over %d postings", totalPostings)
+	}
+	if indexBytes <= 0 {
+		return IRModel{}, fmt.Errorf("cost: cannot calibrate over %d bytes", indexBytes)
+	}
+	return IRModel{BytesPerPosting: float64(indexBytes) / float64(totalPostings)}, nil
+}
+
+// TermCost predicts the cost of streaming one term's full postings list.
+func (m IRModel) TermCost(docFreq int) IRPlanCost {
+	if docFreq <= 0 {
+		return IRPlanCost{}
+	}
+	bytes := float64(docFreq) * m.BytesPerPosting
+	pages := bytes / storage.PageSize
+	if pages < 1 {
+		pages = 1 // a list costs at least one page touch
+	}
+	return IRPlanCost{Pages: pages, Decodes: float64(docFreq)}
+}
+
+// PlanCost predicts the cost of a term-at-a-time plan touching the given
+// document frequencies (one per accessed list).
+func (m IRModel) PlanCost(docFreqs []int) IRPlanCost {
+	var total IRPlanCost
+	for _, df := range docFreqs {
+		c := m.TermCost(df)
+		total.Pages += c.Pages
+		total.Decodes += c.Decodes
+	}
+	return total
+}
+
+// SparseProbeCost predicts the cost of probing one term's list for a
+// candidate set of the given size using the non-dense index instead of a
+// full stream. Probes are monotone seeks, so several candidates landing in
+// the same skip block share one block decode; the expected number of
+// distinct blocks touched follows the classical occupancy estimate
+// B·(1-(1-1/B)^c) for c candidates over B blocks, bounded above by the
+// full list cost.
+func (m IRModel) SparseProbeCost(docFreq, candidates, blockSize int) IRPlanCost {
+	if docFreq <= 0 || candidates <= 0 {
+		return IRPlanCost{}
+	}
+	full := m.TermCost(docFreq)
+	blocks := float64(docFreq) / float64(blockSize)
+	if blocks < 1 {
+		return full
+	}
+	touched := blocks * (1 - math.Pow(1-1/blocks, float64(candidates)))
+	probed := touched * float64(blockSize)
+	if probed >= full.Decodes {
+		return full
+	}
+	// Page cost: each touched block costs about one page visit, capped at
+	// the full list.
+	pages := touched
+	if pages > full.Pages {
+		pages = full.Pages
+	}
+	if pages < 1 {
+		pages = 1
+	}
+	return IRPlanCost{Pages: pages, Decodes: probed}
+}

@@ -1,0 +1,265 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/moa"
+)
+
+// Estimate is the cost model's prediction for one (sub)expression: output
+// cardinality plus the two work counters the evaluator maintains.
+// Work figures are cumulative over the subtree.
+type Estimate struct {
+	Card        float64
+	Visits      float64
+	Comparisons float64
+}
+
+// Work returns the combined work metric used for plan comparison.
+func (e Estimate) Work() float64 { return e.Visits + e.Comparisons }
+
+// MoaModel predicts evaluation costs of algebra expressions. Statistics
+// come from literal leaves (whose value distributions are fully known at
+// plan time — they play the role of base-table statistics); derived
+// cardinalities propagate through operators with the classical estimation
+// rules. The single model covers all extensions, which is precisely the
+// paper's Step 3 argument: because Moa needs no black-box delegation, one
+// cost model sees the whole plan.
+type MoaModel struct {
+	Reg *moa.Registry
+	// Buckets for leaf histograms; default 32.
+	Buckets int
+}
+
+// NewMoaModel returns a model over reg.
+func NewMoaModel(reg *moa.Registry) *MoaModel {
+	return &MoaModel{Reg: reg, Buckets: 32}
+}
+
+// estimateCtx carries the per-node derived statistics.
+type estimateCtx struct {
+	est  Estimate
+	hist *Histogram // value distribution of the output container; may be nil
+}
+
+// Estimate predicts the evaluation cost of e.
+func (m *MoaModel) Estimate(e *moa.Expr) (Estimate, error) {
+	ctx, err := m.walk(e)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return ctx.est, nil
+}
+
+func (m *MoaModel) walk(e *moa.Expr) (estimateCtx, error) {
+	if e.Op == moa.OpLit {
+		return m.leaf(e)
+	}
+	kids := make([]estimateCtx, len(e.Children))
+	for i, c := range e.Children {
+		k, err := m.walk(c)
+		if err != nil {
+			return estimateCtx{}, err
+		}
+		kids[i] = k
+	}
+	out := estimateCtx{}
+	// Work accumulates over children.
+	for _, k := range kids {
+		out.est.Visits += k.est.Visits
+		out.est.Comparisons += k.est.Comparisons
+	}
+	in := estimateCtx{}
+	if len(kids) > 0 {
+		in = kids[0]
+	}
+	n := in.est.Card
+	switch e.Op {
+	case "list.select", "bag.select", "set.select":
+		sel := m.rangeSelectivity(in.hist, e.Params)
+		out.est.Card = n * sel
+		out.est.Visits += n
+		out.est.Comparisons += 2 * n
+		out.hist = in.hist // approximation: shape within range preserved
+	case "list.select.binsearch":
+		sel := m.rangeSelectivity(in.hist, e.Params)
+		out.est.Card = n * sel
+		out.est.Visits += out.est.Card
+		out.est.Comparisons += 2 * log2(n+1)
+		out.hist = in.hist
+	case "list.sort":
+		out.est.Card = n
+		out.est.Visits += n
+		out.est.Comparisons += n * log2(n+1)
+		out.hist = in.hist
+	case "list.topn", "bag.topn":
+		k := paramN(e)
+		out.est.Card = math.Min(n, k)
+		out.est.Visits += n
+		// Heap threshold check per element plus sift costs for entries.
+		out.est.Comparisons += n + math.Min(n, k)*log2(k+1)*2
+		out.hist = in.hist
+	case "list.topn.sorted":
+		k := paramN(e)
+		out.est.Card = math.Min(n, k)
+		out.est.Visits += out.est.Card
+		out.hist = in.hist
+	case "list.projecttobag", "bag.tolist":
+		out.est.Card = n
+		out.est.Visits += n
+		out.hist = in.hist
+	case "set.tolist":
+		out.est.Card = n
+		out.est.Visits += n
+		out.est.Comparisons += n * log2(n+1)
+		out.hist = in.hist
+	case "bag.toset":
+		// Duplicate elimination: cardinality shrinks by an assumed
+		// duplication factor when we lack better knowledge.
+		out.est.Card = n * defaultDistinctFraction
+		out.est.Visits += n
+		out.est.Comparisons += n * log2(n+1)
+		out.hist = in.hist
+	case "list.topnby":
+		k := float64(0)
+		if len(e.Params) == 2 {
+			if n, ok := e.Params[1].(moa.Int); ok {
+				k = float64(n)
+			}
+		}
+		out.est.Card = math.Min(n, k)
+		out.est.Visits += n
+		out.est.Comparisons += n * log2(n+1) // full stable sort by field
+		out.hist = nil
+	case "list.projectfield":
+		out.est.Card = n
+		out.est.Visits += n
+		out.hist = nil // field distribution unknown without tuple stats
+	case "list.selectby":
+		out.est.Card = n * defaultRangeSelectivity
+		out.est.Visits += n
+		out.est.Comparisons += 2 * n
+		out.hist = nil
+	case "list.count", "bag.count", "set.count":
+		out.est.Card = 1
+		out.hist = nil
+	case "list.concat", "bag.union":
+		out.est.Card = kids[0].est.Card + kids[1].est.Card
+		out.est.Visits += out.est.Card
+		out.hist = kids[0].hist // approximation
+	default:
+		return estimateCtx{}, fmt.Errorf("cost: no cost rule for operator %q", e.Op)
+	}
+	return out, nil
+}
+
+// defaultDistinctFraction is the assumed distinct/total ratio when
+// eliminating duplicates without statistics.
+const defaultDistinctFraction = 0.7
+
+// defaultRangeSelectivity applies when no histogram is available.
+const defaultRangeSelectivity = 1.0 / 3
+
+func (m *MoaModel) leaf(e *moa.Expr) (estimateCtx, error) {
+	var elems []moa.Value
+	switch v := e.Lit.(type) {
+	case *moa.List:
+		elems = v.Elems
+	case *moa.Bag:
+		elems = v.Elems
+	case *moa.Set:
+		elems = v.Elems
+	case moa.Int, moa.Float, moa.Str:
+		return estimateCtx{est: Estimate{Card: 1}}, nil
+	default:
+		return estimateCtx{}, fmt.Errorf("cost: unknown literal kind %T", e.Lit)
+	}
+	ctx := estimateCtx{est: Estimate{Card: float64(len(elems))}}
+	// Build a histogram over numeric elements; base "table" statistics.
+	vals := make([]float64, 0, len(elems))
+	for _, el := range elems {
+		switch x := el.(type) {
+		case moa.Int:
+			vals = append(vals, float64(x))
+		case moa.Float:
+			vals = append(vals, float64(x))
+		}
+	}
+	if len(vals) > 0 {
+		h, err := BuildHistogram(vals, m.Buckets)
+		if err == nil {
+			ctx.hist = h
+		}
+	}
+	return ctx, nil
+}
+
+// rangeSelectivity estimates the fraction of elements within [lo, hi].
+func (m *MoaModel) rangeSelectivity(h *Histogram, params []moa.Value) float64 {
+	if h == nil || len(params) != 2 || h.Total() == 0 {
+		return defaultRangeSelectivity
+	}
+	lo, okLo := numeric(params[0])
+	hi, okHi := numeric(params[1])
+	if !okLo || !okHi {
+		return defaultRangeSelectivity
+	}
+	sel := h.EstimateRange(lo, hi) / float64(h.Total())
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+func numeric(v moa.Value) (float64, bool) {
+	switch x := v.(type) {
+	case moa.Int:
+		return float64(x), true
+	case moa.Float:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+func paramN(e *moa.Expr) float64 {
+	if len(e.Params) == 1 {
+		if n, ok := e.Params[0].(moa.Int); ok {
+			return float64(n)
+		}
+	}
+	return 0
+}
+
+func log2(x float64) float64 {
+	if x < 2 {
+		return 1
+	}
+	return math.Log2(x)
+}
+
+// ChoosePlan returns the index of the cheapest alternative under the model
+// (ties broken by position). This is the cost-based decision procedure the
+// optimizer layers call when rewriting alone cannot order plans.
+func (m *MoaModel) ChoosePlan(alternatives []*moa.Expr) (int, []Estimate, error) {
+	if len(alternatives) == 0 {
+		return -1, nil, fmt.Errorf("cost: no alternatives")
+	}
+	ests := make([]Estimate, len(alternatives))
+	best := 0
+	for i, alt := range alternatives {
+		est, err := m.Estimate(alt)
+		if err != nil {
+			return -1, nil, err
+		}
+		ests[i] = est
+		if est.Work() < ests[best].Work() {
+			best = i
+		}
+	}
+	return best, ests, nil
+}

@@ -1,0 +1,231 @@
+// Package exec provides a minimal Volcano-style physical operator algebra
+// over scored rows. It is the relational substrate on which the two
+// database-side top-N baselines cited by the paper run: Carey & Kossmann's
+// STOP AFTER plans (internal/stopafter) and Donjerkovic & Ramakrishnan's
+// probabilistic top-N (internal/probtopn).
+//
+// Operators pull rows one at a time through Next and account their work in
+// a shared Stats, so experiments can report machine-independent costs
+// (rows scanned, predicate evaluations, comparisons) next to wall-clock.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/rank"
+	"repro/internal/topk"
+)
+
+// Row is a tuple: an id, the score the top-N ranks on, and one extra
+// attribute for predicates (the "expensive computed column" of the
+// STOP AFTER scenarios).
+type Row struct {
+	ID    uint32
+	Score float64
+	Attr  float64
+}
+
+// Stats counts the physical work of a plan execution.
+type Stats struct {
+	RowsScanned int64 // rows produced by table scans
+	PredEvals   int64 // predicate evaluations (the expensive part)
+	Comparisons int64 // sort/heap comparisons
+	Restarts    int64 // plan restarts (aggressive stop-after, prob. top-N)
+}
+
+// Reset zeroes the counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Operator is a Volcano iterator. Open must be called before Next; Close
+// releases resources. Operators are single-use: re-Open after Close is not
+// supported (build a new plan instead).
+type Operator interface {
+	Open() error
+	Next() (Row, bool, error)
+	Close() error
+}
+
+// Scan produces the rows of an in-memory table in order.
+type Scan struct {
+	rows  []Row
+	pos   int
+	stats *Stats
+	open  bool
+}
+
+// NewScan returns a scan over rows, counting into stats.
+func NewScan(rows []Row, stats *Stats) *Scan {
+	return &Scan{rows: rows, stats: stats}
+}
+
+// Open implements Operator.
+func (s *Scan) Open() error {
+	s.pos = 0
+	s.open = true
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (Row, bool, error) {
+	if !s.open {
+		return Row{}, false, fmt.Errorf("exec: scan not open")
+	}
+	if s.pos >= len(s.rows) {
+		return Row{}, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	s.stats.RowsScanned++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error {
+	s.open = false
+	return nil
+}
+
+// Filter passes rows satisfying pred. Predicate evaluations are counted:
+// in the STOP AFTER scenarios the predicate is the expensive part of the
+// query, so the baselines' whole purpose is minimizing this counter.
+type Filter struct {
+	in    Operator
+	pred  func(Row) bool
+	stats *Stats
+}
+
+// NewFilter wraps in with a predicate.
+func NewFilter(in Operator, pred func(Row) bool, stats *Stats) *Filter {
+	return &Filter{in: in, pred: pred, stats: stats}
+}
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.in.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (Row, bool, error) {
+	for {
+		r, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		f.stats.PredEvals++
+		if f.pred(r) {
+			return r, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.in.Close() }
+
+// StopAfter is the materializing top-N operator (Carey & Kossmann's
+// Sort-Stop): it drains its input into a bounded heap of the n highest
+// scores and then emits them in descending order.
+type StopAfter struct {
+	in      Operator
+	n       int
+	stats   *Stats
+	results []Row
+	pos     int
+}
+
+// NewStopAfter returns a Sort-Stop over in retaining n rows.
+func NewStopAfter(in Operator, n int, stats *Stats) *StopAfter {
+	return &StopAfter{in: in, n: n, stats: stats}
+}
+
+// Open implements Operator: it materializes the top n immediately.
+func (s *StopAfter) Open() error {
+	if s.n <= 0 {
+		return fmt.Errorf("exec: stop-after cardinality %d must be positive", s.n)
+	}
+	if err := s.in.Open(); err != nil {
+		return err
+	}
+	h := topk.NewHeap(s.n)
+	byID := make(map[uint32]Row, s.n)
+	for {
+		r, ok, err := s.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.stats.Comparisons++ // heap threshold comparison
+		if h.Offer(rank.DocScore{DocID: r.ID, Score: r.Score}) {
+			byID[r.ID] = r
+		}
+	}
+	for _, ds := range h.Results() {
+		s.results = append(s.results, byID[ds.DocID])
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *StopAfter) Next() (Row, bool, error) {
+	if s.pos >= len(s.results) {
+		return Row{}, false, nil
+	}
+	r := s.results[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (s *StopAfter) Close() error { return s.in.Close() }
+
+// Limit passes through at most n rows.
+type Limit struct {
+	in   Operator
+	n    int
+	seen int
+}
+
+// NewLimit wraps in, truncating after n rows.
+func NewLimit(in Operator, n int) *Limit { return &Limit{in: in, n: n} }
+
+// Open implements Operator.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.in.Open()
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (Row, bool, error) {
+	if l.seen >= l.n {
+		return Row{}, false, nil
+	}
+	r, ok, err := l.in.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	l.seen++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.in.Close() }
+
+// Drain opens op, collects every row, and closes it.
+func Drain(op Operator) ([]Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	var out []Row
+	for {
+		r, ok, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, op.Close()
+}

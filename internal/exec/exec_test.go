@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func table(n int, seed uint64) []Row {
+	rng := xrand.New(seed)
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{ID: uint32(i), Score: rng.Float64(), Attr: rng.Float64()}
+	}
+	return rows
+}
+
+func TestScanProducesAll(t *testing.T) {
+	var st Stats
+	rows := table(100, 1)
+	got, err := Drain(NewScan(rows, &st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("drained %d rows", len(got))
+	}
+	if st.RowsScanned != 100 {
+		t.Errorf("RowsScanned = %d", st.RowsScanned)
+	}
+	for i := range got {
+		if got[i] != rows[i] {
+			t.Fatal("scan reordered rows")
+		}
+	}
+}
+
+func TestScanRequiresOpen(t *testing.T) {
+	var st Stats
+	s := NewScan(table(5, 1), &st)
+	if _, _, err := s.Next(); err == nil {
+		t.Error("Next before Open succeeded")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	var st Stats
+	rows := table(1000, 2)
+	pred := func(r Row) bool { return r.Attr > 0.5 }
+	got, err := Drain(NewFilter(NewScan(rows, &st), pred, &st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range rows {
+		if pred(r) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("filtered %d rows, want %d", len(got), want)
+	}
+	if st.PredEvals != 1000 {
+		t.Errorf("PredEvals = %d, want 1000", st.PredEvals)
+	}
+}
+
+func TestStopAfterKeepsTopN(t *testing.T) {
+	var st Stats
+	rows := table(500, 3)
+	got, err := Drain(NewStopAfter(NewScan(rows, &st), 10, &st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("returned %d rows", len(got))
+	}
+	// Descending and correct membership: nothing outside beats the min.
+	min := got[len(got)-1].Score
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatal("output not descending")
+		}
+	}
+	inTop := map[uint32]bool{}
+	for _, r := range got {
+		inTop[r.ID] = true
+	}
+	for _, r := range rows {
+		if !inTop[r.ID] && r.Score > min {
+			t.Fatalf("row %d with score %v should be in the top 10 (min kept %v)", r.ID, r.Score, min)
+		}
+	}
+}
+
+func TestStopAfterPreservesAttrs(t *testing.T) {
+	var st Stats
+	rows := []Row{{ID: 1, Score: 0.3, Attr: 42}, {ID: 2, Score: 0.9, Attr: 7}}
+	got, err := Drain(NewStopAfter(NewScan(rows, &st), 1, &st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].ID != 2 || got[0].Attr != 7 {
+		t.Fatalf("got %+v", got[0])
+	}
+}
+
+func TestStopAfterValidation(t *testing.T) {
+	var st Stats
+	op := NewStopAfter(NewScan(nil, &st), 0, &st)
+	if err := op.Open(); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestStopAfterFewerRowsThanN(t *testing.T) {
+	var st Stats
+	got, err := Drain(NewStopAfter(NewScan(table(3, 4), &st), 10, &st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("returned %d rows, want all 3", len(got))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	var st Stats
+	got, err := Drain(NewLimit(NewScan(table(100, 5), &st), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("limit returned %d rows", len(got))
+	}
+}
+
+func TestPipelineComposition(t *testing.T) {
+	// filter → stop-after → limit, all composed.
+	var st Stats
+	rows := table(2000, 6)
+	pred := func(r Row) bool { return r.Attr < 0.9 }
+	plan := NewLimit(NewStopAfter(NewFilter(NewScan(rows, &st), pred, &st), 50, &st), 5)
+	got, err := Drain(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("returned %d rows", len(got))
+	}
+	// Verify against brute force.
+	var best Row
+	found := false
+	for _, r := range rows {
+		if pred(r) && (!found || r.Score > best.Score) {
+			best, found = r, true
+		}
+	}
+	if got[0].ID != best.ID {
+		t.Errorf("top row %d, want %d", got[0].ID, best.ID)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	st := Stats{RowsScanned: 5, PredEvals: 3, Comparisons: 2, Restarts: 1}
+	st.Reset()
+	if st != (Stats{}) {
+		t.Error("reset incomplete")
+	}
+}

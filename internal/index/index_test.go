@@ -1,0 +1,292 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/lexicon"
+	"repro/internal/storage"
+)
+
+func testCollection(t *testing.T) *collection.Collection {
+	t.Helper()
+	col, err := collection.Generate(collection.Config{
+		NumDocs: 400, VocabSize: 8000, MeanDocLen: 120, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func newTestPool(t *testing.T) *storage.Pool {
+	t.Helper()
+	p, err := storage.NewPool(storage.NewDisk(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildRoundTrip(t *testing.T) {
+	col := testCollection(t)
+	idx, err := Build(col, newTestPool(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every document's terms must be findable through the index with the
+	// recorded TF.
+	for i := range col.Docs {
+		if i%37 != 0 {
+			continue // sample for speed
+		}
+		d := &col.Docs[i]
+		for _, tf := range d.Terms {
+			ps, err := idx.Postings(tf.Term)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, p := range ps {
+				if p.DocID == d.ID {
+					if p.TF != uint32(tf.TF) {
+						t.Fatalf("doc %d term %d: TF %d, want %d", d.ID, tf.Term, p.TF, tf.TF)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("doc %d missing from list of term %d", d.ID, tf.Term)
+			}
+		}
+	}
+}
+
+func TestIndexDocFreqMatchesLexicon(t *testing.T) {
+	col := testCollection(t)
+	idx, err := Build(col, newTestPool(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < col.Lex.Size(); id += 13 {
+		term := lexicon.TermID(id)
+		if got, want := idx.DocFreq(term), int(col.Lex.Stats(term).DocFreq); got != want {
+			t.Fatalf("term %d: index df %d, lexicon df %d", id, got, want)
+		}
+	}
+}
+
+func TestIndexStats(t *testing.T) {
+	col := testCollection(t)
+	idx, err := Build(col, newTestPool(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Stats.NumDocs != len(col.Docs) {
+		t.Errorf("NumDocs = %d", idx.Stats.NumDocs)
+	}
+	if idx.Stats.AvgDocLen != col.AvgDocLen {
+		t.Errorf("AvgDocLen = %v, want %v", idx.Stats.AvgDocLen, col.AvgDocLen)
+	}
+	for i := range col.Docs {
+		if idx.Stats.DocLen(col.Docs[i].ID) != col.Docs[i].Len {
+			t.Fatalf("doc %d length mismatch", i)
+		}
+	}
+	if idx.Stats.DocLen(1<<30) != 0 {
+		t.Error("out-of-range doc length should be 0")
+	}
+	if idx.TotalPostings() != col.Lex.TotalPostings() {
+		t.Errorf("TotalPostings %d != lexicon %d", idx.TotalPostings(), col.Lex.TotalPostings())
+	}
+}
+
+func TestReaderAbsentTerm(t *testing.T) {
+	col := testCollection(t)
+	idx, err := Build(col, newTestPool(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a term with zero df (vocab is larger than what 400 docs use).
+	for id := 0; id < col.Lex.Size(); id++ {
+		if col.Lex.Stats(lexicon.TermID(id)).DocFreq == 0 {
+			if _, ok, err := idx.Reader(lexicon.TermID(id)); ok || err != nil {
+				t.Fatalf("absent term: ok=%v err=%v", ok, err)
+			}
+			return
+		}
+	}
+	t.Skip("no unused term found")
+}
+
+func TestCompressionEffective(t *testing.T) {
+	col := testCollection(t)
+	idx, err := Build(col, newTestPool(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesPerPosting := float64(idx.SizeBytes()) / float64(idx.TotalPostings())
+	if bytesPerPosting > 4 {
+		t.Errorf("%.2f bytes/posting; v-byte should stay well under 4", bytesPerPosting)
+	}
+}
+
+func TestBuildFragmentedPartition(t *testing.T) {
+	col := testCollection(t)
+	fx, err := BuildFragmented(col, newTestPool(t), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition: every indexed term in exactly one fragment.
+	for id := 0; id < col.Lex.Size(); id++ {
+		term := lexicon.TermID(id)
+		df := int(col.Lex.Stats(term).DocFreq)
+		inSmall, inLarge := fx.Small.Has(term), fx.Large.Has(term)
+		if df == 0 {
+			if inSmall || inLarge {
+				t.Fatalf("term %d has no postings but is in a fragment", id)
+			}
+			continue
+		}
+		if inSmall == inLarge {
+			t.Fatalf("term %d: small=%v large=%v, want exactly one", id, inSmall, inLarge)
+		}
+		if fx.DocFreq(term) != df {
+			t.Fatalf("term %d: fragmented df %d, want %d", id, fx.DocFreq(term), df)
+		}
+		// Membership must follow the (df, id) fragmentation predicate.
+		if inSmall != fx.inSmall(term, int32(df)) {
+			t.Fatalf("term %d with df %d: membership contradicts predicate", id, df)
+		}
+	}
+	// Volumes add up.
+	if fx.Small.TotalPostings()+fx.Large.TotalPostings() != col.Lex.TotalPostings() {
+		t.Error("fragment postings do not sum to the unfragmented total")
+	}
+}
+
+func TestFragmentedVolumeTarget(t *testing.T) {
+	col := testCollection(t)
+	for _, frac := range []float64{0.01, 0.05, 0.10, 0.20} {
+		fx, err := BuildFragmented(col, newTestPool(t), frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fx.SmallFraction()
+		// The realized fraction undershoots by at most one term's postings
+		// (we stop before exceeding the budget), so it must sit just below
+		// the target.
+		if got > frac+1e-9 {
+			t.Errorf("frac %v: realized %v exceeds target", frac, got)
+		}
+		if got < 0.9*frac {
+			t.Errorf("frac %v: realized %v is far below target", frac, got)
+		}
+	}
+}
+
+// TestFragmentedPaperShape verifies the headline physical claim: at the 5%
+// volume point, the small fragment holds the majority of the distinct
+// terms (the paper: "the 95% most interesting terms"). At this unit-test
+// scale (400 docs) the hapax group alone exceeds the volume budget, so the
+// share is around one half; the experiment-scale run in the bench harness
+// reaches the paper's ~95%.
+func TestFragmentedPaperShape(t *testing.T) {
+	col := testCollection(t)
+	fx, err := BuildFragmented(col, newTestPool(t), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalTerms := fx.Small.NumTerms() + fx.Large.NumTerms()
+	termShare := float64(fx.Small.NumTerms()) / float64(totalTerms)
+	if termShare < 0.45 {
+		t.Errorf("small fragment holds %.1f%% of terms; expected at least the hapax mass", 100*termShare)
+	}
+	if fx.SmallFraction() > 0.05 {
+		t.Errorf("small fragment volume %.3f exceeds 5%% target", fx.SmallFraction())
+	}
+}
+
+func TestFragmentedExtremes(t *testing.T) {
+	col := testCollection(t)
+	zero, err := BuildFragmented(col, newTestPool(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Small.NumTerms() != 0 {
+		t.Error("frac 0 should put everything in the large fragment")
+	}
+	one, err := BuildFragmented(col, newTestPool(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Large.NumTerms() != 0 {
+		t.Error("frac 1 should put everything in the small fragment")
+	}
+	if _, err := BuildFragmented(col, newTestPool(t), -0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := BuildFragmented(col, newTestPool(t), 1.1); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestFragmentedReadersAgreeWithUnfragmented(t *testing.T) {
+	col := testCollection(t)
+	idx, err := Build(col, newTestPool(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := BuildFragmented(col, newTestPool(t), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < col.Lex.Size(); id += 7 {
+		term := lexicon.TermID(id)
+		want, err := idx.Postings(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frag := fx.FragmentOf(term)
+		if frag == nil {
+			if want != nil {
+				t.Fatalf("term %d present unfragmented but in no fragment", id)
+			}
+			continue
+		}
+		got, err := frag.Postings(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("term %d: fragment list length %d, want %d", id, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("term %d posting %d differs", id, i)
+			}
+		}
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	col := testCollection(t)
+	fx, err := BuildFragmented(col, newTestPool(t), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch a list in each fragment, then reset.
+	for id := 0; id < col.Lex.Size(); id++ {
+		term := lexicon.TermID(id)
+		if f := fx.FragmentOf(term); f != nil {
+			if _, err := f.Postings(term); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fx.ResetCounters()
+	if fx.Small.Counters().PostingsDecoded != 0 || fx.Large.Counters().PostingsDecoded != 0 {
+		t.Error("counters not reset")
+	}
+}

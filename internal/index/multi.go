@@ -1,0 +1,157 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/collection"
+	"repro/internal/lexicon"
+	"repro/internal/postings"
+	"repro/internal/storage"
+)
+
+// MultiFragmented generalizes the two-way split of Fragmented to an
+// ordered chain of fragments from rarest to most frequent terms. This is
+// the design the paper's research programme was heading towards (and
+// Blok's subsequent work published): query processing walks the chain,
+// accumulating contributions fragment by fragment, and a bound
+// administration over the remaining fragments' maximal score mass decides
+// when the top N is provably stable — the paper's "top N operators ...
+// allow optimal utilization of the new structure of the data".
+type MultiFragmented struct {
+	Lex   *lexicon.Lexicon
+	Stats Stats
+
+	// Fragments are ordered rarest terms first. Every indexed term lives
+	// in exactly one fragment.
+	Fragments []*Fragment
+
+	// fragOf maps a term to its fragment index (-1 when unindexed).
+	fragOf []int8
+}
+
+// BuildMulti constructs a fragment chain over col. cuts are strictly
+// increasing cumulative postings-volume fractions in (0, 1); the result
+// has len(cuts)+1 fragments, fragment i holding the rarest terms between
+// cut boundaries i-1 and i (fragment 0 from zero, the last fragment up to
+// the full volume).
+func BuildMulti(col *collection.Collection, pool *storage.Pool, cuts []float64) (*MultiFragmented, error) {
+	if len(cuts) == 0 {
+		return nil, fmt.Errorf("index: BuildMulti needs at least one cut")
+	}
+	if len(cuts) > 126 {
+		return nil, fmt.Errorf("index: %d cuts exceed the supported fragment count", len(cuts))
+	}
+	prev := 0.0
+	for _, c := range cuts {
+		if c <= prev || c >= 1 {
+			return nil, fmt.Errorf("index: cuts must be strictly increasing within (0,1), got %v", cuts)
+		}
+		prev = c
+	}
+	mx := &MultiFragmented{
+		Lex:    col.Lex,
+		Stats:  statsOf(col),
+		fragOf: make([]int8, col.Lex.Size()),
+	}
+	for i := range mx.fragOf {
+		mx.fragOf[i] = -1
+	}
+	numFrags := len(cuts) + 1
+	for i := 0; i < numFrags; i++ {
+		mx.Fragments = append(mx.Fragments, &Fragment{
+			store: postings.NewStore(storage.NewFile(pool)),
+			metas: map[lexicon.TermID]postings.ListMeta{},
+		})
+	}
+
+	// Assign terms in ascending (df, id) order against the volume cuts.
+	type termDF struct {
+		id lexicon.TermID
+		df int64
+	}
+	terms := make([]termDF, 0, col.Lex.Size())
+	var total int64
+	for id := 0; id < col.Lex.Size(); id++ {
+		df := int64(col.Lex.Stats(lexicon.TermID(id)).DocFreq)
+		if df > 0 {
+			terms = append(terms, termDF{lexicon.TermID(id), df})
+			total += df
+		}
+	}
+	sort.Slice(terms, func(a, b int) bool {
+		if terms[a].df != terms[b].df {
+			return terms[a].df < terms[b].df
+		}
+		return terms[a].id < terms[b].id
+	})
+	var acc int64
+	frag := 0
+	for _, t := range terms {
+		for frag < len(cuts) && float64(acc+t.df) > cuts[frag]*float64(total) {
+			frag++
+		}
+		acc += t.df
+		mx.fragOf[t.id] = int8(frag)
+	}
+
+	// Materialize.
+	byTerm := invert(col)
+	for id, ps := range byTerm {
+		if len(ps) == 0 {
+			continue
+		}
+		fi := mx.fragOf[id]
+		f := mx.Fragments[fi]
+		meta, err := f.store.Put(ps)
+		if err != nil {
+			return nil, fmt.Errorf("index: term %d: %w", id, err)
+		}
+		f.metas[lexicon.TermID(id)] = meta
+		f.postings += int64(len(ps))
+	}
+	return mx, nil
+}
+
+// FragmentIndexOf returns which fragment holds term (-1 when the term has
+// no postings).
+func (mx *MultiFragmented) FragmentIndexOf(term lexicon.TermID) int {
+	if int(term) >= len(mx.fragOf) {
+		return -1
+	}
+	return int(mx.fragOf[term])
+}
+
+// DocFreq returns the global document frequency of term.
+func (mx *MultiFragmented) DocFreq(term lexicon.TermID) int {
+	fi := mx.FragmentIndexOf(term)
+	if fi < 0 {
+		return 0
+	}
+	return mx.Fragments[fi].DocFreq(term)
+}
+
+// TotalPostings sums the chain's postings.
+func (mx *MultiFragmented) TotalPostings() int64 {
+	var n int64
+	for _, f := range mx.Fragments {
+		n += f.postings
+	}
+	return n
+}
+
+// ResetCounters zeroes every fragment's decode counters.
+func (mx *MultiFragmented) ResetCounters() {
+	for _, f := range mx.Fragments {
+		f.store.Counters.Reset()
+	}
+}
+
+// Decoded sums the chain's postings-decoded counters.
+func (mx *MultiFragmented) Decoded() int64 {
+	var n int64
+	for _, f := range mx.Fragments {
+		n += f.store.Counters.PostingsDecoded
+	}
+	return n
+}

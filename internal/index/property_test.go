@@ -1,0 +1,136 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/collection"
+	"repro/internal/lexicon"
+	"repro/internal/storage"
+	"repro/internal/xrand"
+)
+
+// TestFragmentationInvariantsProperty drives BuildFragmented over random
+// collections and fractions, asserting the structural invariants that
+// every experiment relies on: exact partition, volume within target, and
+// content equality with the unfragmented index.
+func TestFragmentationInvariantsProperty(t *testing.T) {
+	rng := xrand.New(303)
+	cfg := &quick.Config{MaxCount: 12}
+	if err := quick.Check(func(seedRaw uint16, fracRaw uint8) bool {
+		col, err := collection.Generate(collection.Config{
+			NumDocs:    100 + rng.Intn(200),
+			VocabSize:  2000 + rng.Intn(4000),
+			MeanDocLen: 60,
+			Seed:       uint64(seedRaw) + 1,
+		})
+		if err != nil {
+			return false
+		}
+		frac := float64(fracRaw%90+5) / 100 // 5%..94%
+		pool, err := storage.NewPool(storage.NewDisk(), 1<<13)
+		if err != nil {
+			return false
+		}
+		fx, err := BuildFragmented(col, pool, frac)
+		if err != nil {
+			return false
+		}
+		// Partition + volume.
+		if fx.Small.TotalPostings()+fx.Large.TotalPostings() != col.Lex.TotalPostings() {
+			return false
+		}
+		if fx.SmallFraction() > frac+1e-9 {
+			return false
+		}
+		// Spot-check content equality on a sample of terms.
+		for trial := 0; trial < 30; trial++ {
+			term := lexicon.TermID(rng.Intn(col.Lex.Size()))
+			df := int(col.Lex.Stats(term).DocFreq)
+			frag := fx.FragmentOf(term)
+			if df == 0 {
+				if frag != nil {
+					return false
+				}
+				continue
+			}
+			if frag == nil || frag.DocFreq(term) != df {
+				return false
+			}
+			ps, err := frag.Postings(term)
+			if err != nil || len(ps) != df {
+				return false
+			}
+			// Doc ids strictly ascending, TFs positive.
+			for i, p := range ps {
+				if p.TF == 0 || (i > 0 && ps[i].DocID <= ps[i-1].DocID) {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiChainInvariantsProperty does the same for fragment chains.
+func TestMultiChainInvariantsProperty(t *testing.T) {
+	rng := xrand.New(304)
+	cfg := &quick.Config{MaxCount: 8}
+	if err := quick.Check(func(seedRaw uint16) bool {
+		col, err := collection.Generate(collection.Config{
+			NumDocs:    150,
+			VocabSize:  4000,
+			MeanDocLen: 60,
+			Seed:       uint64(seedRaw) + 1,
+		})
+		if err != nil {
+			return false
+		}
+		pool, err := storage.NewPool(storage.NewDisk(), 1<<13)
+		if err != nil {
+			return false
+		}
+		// Random increasing cuts.
+		a := 0.02 + 0.2*rng.Float64()
+		b := a + 0.05 + 0.3*rng.Float64()
+		if b >= 1 {
+			b = 0.95
+		}
+		mx, err := BuildMulti(col, pool, []float64{a, b})
+		if err != nil {
+			return false
+		}
+		if mx.TotalPostings() != col.Lex.TotalPostings() {
+			return false
+		}
+		// Every indexed term in exactly one fragment, df consistent.
+		for id := 0; id < col.Lex.Size(); id += 17 {
+			term := lexicon.TermID(id)
+			df := int(col.Lex.Stats(term).DocFreq)
+			fi := mx.FragmentIndexOf(term)
+			if df == 0 {
+				if fi != -1 {
+					return false
+				}
+				continue
+			}
+			if fi < 0 || fi >= len(mx.Fragments) {
+				return false
+			}
+			count := 0
+			for _, f := range mx.Fragments {
+				if f.Has(term) {
+					count++
+				}
+			}
+			if count != 1 || mx.DocFreq(term) != df {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

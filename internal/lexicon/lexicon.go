@@ -1,0 +1,124 @@
+// Package lexicon maintains the term dictionary of an index: the mapping
+// between term strings and dense integer term ids, together with the
+// per-term statistics (document frequency, collection frequency) that both
+// the ranking formulas and the fragmentation decision in Step 1 of the
+// paper depend on.
+package lexicon
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TermID is a dense identifier assigned to terms in insertion order.
+type TermID uint32
+
+// InvalidTerm is returned by Lookup for unknown terms.
+const InvalidTerm TermID = ^TermID(0)
+
+// Stats holds the corpus statistics of one term.
+type Stats struct {
+	DocFreq  int32 // number of documents containing the term
+	CollFreq int64 // total number of occurrences across the collection
+}
+
+// Lexicon is the term dictionary. It is built once during indexing and
+// read-only afterwards; it is not safe for concurrent mutation.
+type Lexicon struct {
+	byName map[string]TermID
+	names  []string
+	stats  []Stats
+}
+
+// New returns an empty lexicon.
+func New() *Lexicon {
+	return &Lexicon{byName: make(map[string]TermID)}
+}
+
+// Intern returns the id for term, assigning a fresh one on first sight.
+func (l *Lexicon) Intern(term string) TermID {
+	if id, ok := l.byName[term]; ok {
+		return id
+	}
+	id := TermID(len(l.names))
+	l.byName[term] = id
+	l.names = append(l.names, term)
+	l.stats = append(l.stats, Stats{})
+	return id
+}
+
+// Lookup returns the id for term, or InvalidTerm when absent.
+func (l *Lexicon) Lookup(term string) TermID {
+	if id, ok := l.byName[term]; ok {
+		return id
+	}
+	return InvalidTerm
+}
+
+// Name returns the string of a term id. It panics on an invalid id, which
+// always indicates a programming error rather than bad input.
+func (l *Lexicon) Name(id TermID) string { return l.names[id] }
+
+// Size returns the number of distinct terms.
+func (l *Lexicon) Size() int { return len(l.names) }
+
+// Record adds one document's worth of occurrences for a term: docFreq is
+// incremented by one, collFreq by tf.
+func (l *Lexicon) Record(id TermID, tf int) error {
+	if int(id) >= len(l.stats) {
+		return fmt.Errorf("lexicon: unknown term id %d", id)
+	}
+	if tf <= 0 {
+		return fmt.Errorf("lexicon: non-positive tf %d for term %d", tf, id)
+	}
+	l.stats[id].DocFreq++
+	l.stats[id].CollFreq += int64(tf)
+	return nil
+}
+
+// Stats returns the statistics of a term id.
+func (l *Lexicon) Stats(id TermID) Stats { return l.stats[id] }
+
+// DocFreq is a convenience accessor for the document frequency of id.
+func (l *Lexicon) DocFreq(id TermID) int { return int(l.stats[id].DocFreq) }
+
+// TotalPostings returns the sum of document frequencies over all terms —
+// the total number of postings an unfragmented index stores. Fragment
+// size fractions in the experiments are computed against this.
+func (l *Lexicon) TotalPostings() int64 {
+	var total int64
+	for _, s := range l.stats {
+		total += int64(s.DocFreq)
+	}
+	return total
+}
+
+// TermsByDocFreq returns all term ids sorted by descending document
+// frequency (ties broken by id for determinism). This ordering defines the
+// paper's fragmentation split: the head of the slice is the frequent,
+// "uninteresting" terms that dominate storage; the tail is the rare,
+// high-information terms the small fragment keeps.
+func (l *Lexicon) TermsByDocFreq() []TermID {
+	ids := make([]TermID, len(l.stats))
+	for i := range ids {
+		ids[i] = TermID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := l.stats[ids[a]].DocFreq, l.stats[ids[b]].DocFreq
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// DocFreqs returns the document frequency of every term, indexed by term
+// id. The Zipf-fit verification in the harness consumes this.
+func (l *Lexicon) DocFreqs() []int {
+	out := make([]int, len(l.stats))
+	for i, s := range l.stats {
+		out[i] = int(s.DocFreq)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package lexicon
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternIdempotent(t *testing.T) {
+	l := New()
+	a := l.Intern("apple")
+	b := l.Intern("banana")
+	if a == b {
+		t.Fatal("distinct terms share an id")
+	}
+	if l.Intern("apple") != a {
+		t.Fatal("re-interning changed the id")
+	}
+	if l.Size() != 2 {
+		t.Fatalf("size = %d, want 2", l.Size())
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	l := New()
+	l.Intern("x")
+	if l.Lookup("x") == InvalidTerm {
+		t.Error("known term not found")
+	}
+	if l.Lookup("y") != InvalidTerm {
+		t.Error("unknown term found")
+	}
+}
+
+func TestNameRoundTrip(t *testing.T) {
+	l := New()
+	terms := []string{"alpha", "beta", "gamma", ""}
+	for _, s := range terms {
+		id := l.Intern(s)
+		if l.Name(id) != s {
+			t.Errorf("Name(Intern(%q)) = %q", s, l.Name(id))
+		}
+	}
+}
+
+func TestRecordAccumulates(t *testing.T) {
+	l := New()
+	id := l.Intern("term")
+	if err := l.Record(id, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(id, 5); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats(id)
+	if s.DocFreq != 2 {
+		t.Errorf("DocFreq = %d, want 2", s.DocFreq)
+	}
+	if s.CollFreq != 8 {
+		t.Errorf("CollFreq = %d, want 8", s.CollFreq)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	l := New()
+	id := l.Intern("t")
+	if err := l.Record(id, 0); err == nil {
+		t.Error("tf=0 accepted")
+	}
+	if err := l.Record(TermID(99), 1); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTermsByDocFreqOrdering(t *testing.T) {
+	l := New()
+	// Create terms with known doc freqs: term i appears in i+1 documents.
+	const n = 10
+	ids := make([]TermID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = l.Intern(fmt.Sprintf("t%d", i))
+		for d := 0; d <= i; d++ {
+			if err := l.Record(ids[i], 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sorted := l.TermsByDocFreq()
+	if len(sorted) != n {
+		t.Fatalf("got %d ids", len(sorted))
+	}
+	for i := 1; i < n; i++ {
+		if l.DocFreq(sorted[i]) > l.DocFreq(sorted[i-1]) {
+			t.Fatal("not sorted by descending doc freq")
+		}
+	}
+	if sorted[0] != ids[n-1] || sorted[n-1] != ids[0] {
+		t.Error("extremes misplaced")
+	}
+}
+
+func TestTermsByDocFreqTieBreak(t *testing.T) {
+	l := New()
+	a := l.Intern("a")
+	b := l.Intern("b")
+	l.Record(a, 1)
+	l.Record(b, 1)
+	sorted := l.TermsByDocFreq()
+	if sorted[0] != a || sorted[1] != b {
+		t.Error("ties must break by ascending id for determinism")
+	}
+}
+
+func TestTotalPostings(t *testing.T) {
+	l := New()
+	a := l.Intern("a")
+	b := l.Intern("b")
+	l.Record(a, 10)
+	l.Record(a, 1)
+	l.Record(b, 2)
+	if got := l.TotalPostings(); got != 3 {
+		t.Errorf("TotalPostings = %d, want 3 (postings, not occurrences)", got)
+	}
+}
+
+func TestDocFreqsVector(t *testing.T) {
+	l := New()
+	a := l.Intern("a")
+	l.Intern("b") // never recorded
+	l.Record(a, 1)
+	l.Record(a, 1)
+	dfs := l.DocFreqs()
+	if len(dfs) != 2 || dfs[0] != 2 || dfs[1] != 0 {
+		t.Errorf("DocFreqs = %v, want [2 0]", dfs)
+	}
+}
+
+func TestInternProperty(t *testing.T) {
+	// Ids are dense, stable, and name-reversible for any term multiset.
+	if err := quick.Check(func(terms []string) bool {
+		l := New()
+		seen := map[string]TermID{}
+		for _, s := range terms {
+			id := l.Intern(s)
+			if prev, ok := seen[s]; ok && prev != id {
+				return false
+			}
+			seen[s] = id
+			if l.Name(id) != s {
+				return false
+			}
+		}
+		return l.Size() == len(seen)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

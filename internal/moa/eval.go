@@ -1,0 +1,560 @@
+package moa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counters tallies the logical work of evaluation. Rewrite experiments
+// compare these instead of wall-clock: they are deterministic and
+// correspond to the cost model's CPU terms.
+type Counters struct {
+	ElementsVisited int64 // elements read from an input container
+	Comparisons     int64 // value comparisons performed
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Evaluator interprets algebra expressions against a registry.
+type Evaluator struct {
+	Reg      *Registry
+	Counters Counters
+	// CheckPhysical verifies the preconditions of physical operators
+	// (e.g. sortedness for binary-search select) and fails loudly when an
+	// optimizer produced an invalid plan. The verification work is not
+	// counted. Tests run with it on; benchmarks may disable it.
+	CheckPhysical bool
+}
+
+// NewEvaluator returns an evaluator over reg with precondition checking
+// enabled.
+func NewEvaluator(reg *Registry) *Evaluator {
+	return &Evaluator{Reg: reg, CheckPhysical: true}
+}
+
+// Eval computes the value of an expression tree bottom-up.
+func (ev *Evaluator) Eval(e *Expr) (Value, error) {
+	if e.Op == OpLit {
+		return e.Lit, nil
+	}
+	def, ok := ev.Reg.Lookup(e.Op)
+	if !ok {
+		return nil, fmt.Errorf("moa: unknown operator %q", e.Op)
+	}
+	if len(e.Children) != def.NumChildren || len(e.Params) != def.NumParams {
+		return nil, fmt.Errorf("moa: %s arity mismatch", e.Op)
+	}
+	args := make([]Value, len(e.Children))
+	for i, c := range e.Children {
+		v, err := ev.Eval(c)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return def.Eval(ev, args, e.Params)
+}
+
+// visit counts n element reads.
+func (ev *Evaluator) visit(n int) { ev.Counters.ElementsVisited += int64(n) }
+
+// compare counts a comparison and performs it.
+func (ev *Evaluator) compare(a, b Value) (int, error) {
+	ev.Counters.Comparisons++
+	return Compare(a, b)
+}
+
+func asList(op string, v Value) (*List, error) {
+	l, ok := v.(*List)
+	if !ok {
+		return nil, fmt.Errorf("moa: %s applied to %s, needs LIST", op, v.Kind())
+	}
+	return l, nil
+}
+
+func asBag(op string, v Value) (*Bag, error) {
+	b, ok := v.(*Bag)
+	if !ok {
+		return nil, fmt.Errorf("moa: %s applied to %s, needs BAG", op, v.Kind())
+	}
+	return b, nil
+}
+
+func asSet(op string, v Value) (*Set, error) {
+	s, ok := v.(*Set)
+	if !ok {
+		return nil, fmt.Errorf("moa: %s applied to %s, needs SET", op, v.Kind())
+	}
+	return s, nil
+}
+
+func asIntParam(op string, v Value) (int, error) {
+	n, ok := v.(Int)
+	if !ok {
+		return 0, fmt.Errorf("moa: %s parameter must be INT, got %s", op, v.Kind())
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("moa: %s parameter must be non-negative, got %d", op, int64(n))
+	}
+	return int(n), nil
+}
+
+// rangeScan selects elems with lo <= e <= hi by linear scan, preserving
+// input order.
+func (ev *Evaluator) rangeScan(elems []Value, lo, hi Value) ([]Value, error) {
+	out := make([]Value, 0, len(elems)/4)
+	for _, e := range elems {
+		ev.visit(1)
+		cl, err := ev.compare(e, lo)
+		if err != nil {
+			return nil, err
+		}
+		if cl < 0 {
+			continue
+		}
+		ch, err := ev.compare(e, hi)
+		if err != nil {
+			return nil, err
+		}
+		if ch <= 0 {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// topNHeap returns the n largest values in descending order, counting the
+// heap's comparisons.
+func (ev *Evaluator) topNHeap(elems []Value, n int) ([]Value, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	// Min-heap of the current best n.
+	h := make([]Value, 0, n)
+	less := func(a, b Value) (bool, error) {
+		c, err := ev.compare(a, b)
+		return c < 0, err
+	}
+	siftUp := func(i int) error {
+		for i > 0 {
+			p := (i - 1) / 2
+			l, err := less(h[i], h[p])
+			if err != nil {
+				return err
+			}
+			if !l {
+				return nil
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+		return nil
+	}
+	siftDown := func(i int) error {
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				return nil
+			}
+			if c+1 < len(h) {
+				l, err := less(h[c+1], h[c])
+				if err != nil {
+					return err
+				}
+				if l {
+					c++
+				}
+			}
+			l, err := less(h[c], h[i])
+			if err != nil {
+				return err
+			}
+			if !l {
+				return nil
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for _, e := range elems {
+		ev.visit(1)
+		if len(h) < n {
+			h = append(h, e)
+			if err := siftUp(len(h) - 1); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		l, err := less(h[0], e)
+		if err != nil {
+			return nil, err
+		}
+		if l {
+			h[0] = e
+			if err := siftDown(0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Drain ascending, then reverse for descending output.
+	out := make([]Value, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = h[0]
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		if len(h) > 0 {
+			if err := siftDown(0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// countingSort sorts ascending while counting comparisons.
+func (ev *Evaluator) countingSort(elems []Value) []Value {
+	out := append([]Value(nil), elems...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ev.Counters.Comparisons++
+		return mustCompare(out[i], out[j]) < 0
+	})
+	return out
+}
+
+func registerListExt(r *Registry) {
+	mustRegister := func(d *OpDef) {
+		if err := r.Register(d); err != nil {
+			panic(err)
+		}
+	}
+	mustRegister(&OpDef{
+		Name: "list.select", Extension: "list", NumChildren: 1, NumParams: 2,
+		ResultType: wantRangeSelect("list.select", KindList),
+		Eval: func(ev *Evaluator, args, params []Value) (Value, error) {
+			l, err := asList("list.select", args[0])
+			if err != nil {
+				return nil, err
+			}
+			out, err := ev.rangeScan(l.Elems, params[0], params[1])
+			if err != nil {
+				return nil, err
+			}
+			return &List{Elems: out}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "list.select.binsearch", Extension: "list", NumChildren: 1, NumParams: 2,
+		Physical:   true,
+		ResultType: wantRangeSelect("list.select.binsearch", KindList),
+		Eval: func(ev *Evaluator, args, params []Value) (Value, error) {
+			l, err := asList("list.select.binsearch", args[0])
+			if err != nil {
+				return nil, err
+			}
+			if ev.CheckPhysical && !IsSortedAsc(l) {
+				return nil, fmt.Errorf("moa: list.select.binsearch precondition violated: input not sorted")
+			}
+			lo, hi := params[0], params[1]
+			// First index with elem >= lo.
+			start := sort.Search(len(l.Elems), func(i int) bool {
+				ev.Counters.Comparisons++
+				return mustCompare(l.Elems[i], lo) >= 0
+			})
+			// First index with elem > hi.
+			end := sort.Search(len(l.Elems), func(i int) bool {
+				ev.Counters.Comparisons++
+				return mustCompare(l.Elems[i], hi) > 0
+			})
+			if end < start {
+				end = start
+			}
+			out := make([]Value, end-start)
+			copy(out, l.Elems[start:end])
+			ev.visit(end - start)
+			return &List{Elems: out}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "list.projecttobag", Extension: "list", NumChildren: 1, NumParams: 0,
+		ResultType: wantContainer("list.projecttobag", KindList, KindBag),
+		Eval: func(ev *Evaluator, args, _ []Value) (Value, error) {
+			l, err := asList("list.projecttobag", args[0])
+			if err != nil {
+				return nil, err
+			}
+			ev.visit(len(l.Elems))
+			return &Bag{Elems: append([]Value(nil), l.Elems...)}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "list.sort", Extension: "list", NumChildren: 1, NumParams: 0,
+		ResultType: wantContainer("list.sort", KindList, KindList),
+		Eval: func(ev *Evaluator, args, _ []Value) (Value, error) {
+			l, err := asList("list.sort", args[0])
+			if err != nil {
+				return nil, err
+			}
+			ev.visit(len(l.Elems))
+			return &List{Elems: ev.countingSort(l.Elems)}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "list.topn", Extension: "list", NumChildren: 1, NumParams: 1,
+		ResultType: wantContainer("list.topn", KindList, KindList),
+		Eval: func(ev *Evaluator, args, params []Value) (Value, error) {
+			l, err := asList("list.topn", args[0])
+			if err != nil {
+				return nil, err
+			}
+			n, err := asIntParam("list.topn", params[0])
+			if err != nil {
+				return nil, err
+			}
+			out, err := ev.topNHeap(l.Elems, n)
+			if err != nil {
+				return nil, err
+			}
+			return &List{Elems: out}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "list.topn.sorted", Extension: "list", NumChildren: 1, NumParams: 1,
+		Physical:   true,
+		ResultType: wantContainer("list.topn.sorted", KindList, KindList),
+		Eval: func(ev *Evaluator, args, params []Value) (Value, error) {
+			l, err := asList("list.topn.sorted", args[0])
+			if err != nil {
+				return nil, err
+			}
+			n, err := asIntParam("list.topn.sorted", params[0])
+			if err != nil {
+				return nil, err
+			}
+			if ev.CheckPhysical && !IsSortedAsc(l) {
+				return nil, fmt.Errorf("moa: list.topn.sorted precondition violated: input not sorted")
+			}
+			if n > len(l.Elems) {
+				n = len(l.Elems)
+			}
+			out := make([]Value, n)
+			for i := 0; i < n; i++ {
+				out[i] = l.Elems[len(l.Elems)-1-i]
+			}
+			ev.visit(n)
+			return &List{Elems: out}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "list.count", Extension: "list", NumChildren: 1, NumParams: 0,
+		ResultType: func(children []Type, _ []Value) (Type, error) {
+			if children[0].Kind != KindList {
+				return Type{}, fmt.Errorf("moa: list.count requires LIST, got %s", children[0].Kind)
+			}
+			return Type{Kind: KindInt}, nil
+		},
+		Eval: func(ev *Evaluator, args, _ []Value) (Value, error) {
+			l, err := asList("list.count", args[0])
+			if err != nil {
+				return nil, err
+			}
+			return Int(len(l.Elems)), nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "list.concat", Extension: "list", NumChildren: 2, NumParams: 0,
+		ResultType: func(children []Type, _ []Value) (Type, error) {
+			if children[0].Kind != KindList || children[1].Kind != KindList {
+				return Type{}, fmt.Errorf("moa: list.concat requires LIST inputs")
+			}
+			if !children[0].Equal(children[1]) {
+				return Type{}, fmt.Errorf("moa: list.concat element types differ: %s vs %s", children[0], children[1])
+			}
+			return children[0], nil
+		},
+		Eval: func(ev *Evaluator, args, _ []Value) (Value, error) {
+			a, err := asList("list.concat", args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := asList("list.concat", args[1])
+			if err != nil {
+				return nil, err
+			}
+			ev.visit(len(a.Elems) + len(b.Elems))
+			out := make([]Value, 0, len(a.Elems)+len(b.Elems))
+			out = append(out, a.Elems...)
+			out = append(out, b.Elems...)
+			return &List{Elems: out}, nil
+		},
+	})
+}
+
+func registerBagExt(r *Registry) {
+	mustRegister := func(d *OpDef) {
+		if err := r.Register(d); err != nil {
+			panic(err)
+		}
+	}
+	mustRegister(&OpDef{
+		Name: "bag.select", Extension: "bag", NumChildren: 1, NumParams: 2,
+		ResultType: wantRangeSelect("bag.select", KindBag),
+		Eval: func(ev *Evaluator, args, params []Value) (Value, error) {
+			b, err := asBag("bag.select", args[0])
+			if err != nil {
+				return nil, err
+			}
+			out, err := ev.rangeScan(b.Elems, params[0], params[1])
+			if err != nil {
+				return nil, err
+			}
+			return &Bag{Elems: out}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "bag.topn", Extension: "bag", NumChildren: 1, NumParams: 1,
+		ResultType: wantContainer("bag.topn", KindBag, KindList),
+		Eval: func(ev *Evaluator, args, params []Value) (Value, error) {
+			b, err := asBag("bag.topn", args[0])
+			if err != nil {
+				return nil, err
+			}
+			n, err := asIntParam("bag.topn", params[0])
+			if err != nil {
+				return nil, err
+			}
+			out, err := ev.topNHeap(b.Elems, n)
+			if err != nil {
+				return nil, err
+			}
+			return &List{Elems: out}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "bag.tolist", Extension: "bag", NumChildren: 1, NumParams: 0,
+		ResultType: wantContainer("bag.tolist", KindBag, KindList),
+		Eval: func(ev *Evaluator, args, _ []Value) (Value, error) {
+			b, err := asBag("bag.tolist", args[0])
+			if err != nil {
+				return nil, err
+			}
+			ev.visit(len(b.Elems))
+			return &List{Elems: append([]Value(nil), b.Elems...)}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "bag.toset", Extension: "bag", NumChildren: 1, NumParams: 0,
+		ResultType: wantContainer("bag.toset", KindBag, KindSet),
+		Eval: func(ev *Evaluator, args, _ []Value) (Value, error) {
+			b, err := asBag("bag.toset", args[0])
+			if err != nil {
+				return nil, err
+			}
+			ev.visit(len(b.Elems))
+			sorted := ev.countingSort(b.Elems)
+			out := make([]Value, 0, len(sorted))
+			for i, e := range sorted {
+				if i == 0 || mustCompare(e, sorted[i-1]) != 0 {
+					out = append(out, e)
+				}
+			}
+			return &Set{Elems: out}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "bag.count", Extension: "bag", NumChildren: 1, NumParams: 0,
+		ResultType: func(children []Type, _ []Value) (Type, error) {
+			if children[0].Kind != KindBag {
+				return Type{}, fmt.Errorf("moa: bag.count requires BAG, got %s", children[0].Kind)
+			}
+			return Type{Kind: KindInt}, nil
+		},
+		Eval: func(ev *Evaluator, args, _ []Value) (Value, error) {
+			b, err := asBag("bag.count", args[0])
+			if err != nil {
+				return nil, err
+			}
+			return Int(len(b.Elems)), nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "bag.union", Extension: "bag", NumChildren: 2, NumParams: 0,
+		ResultType: func(children []Type, _ []Value) (Type, error) {
+			if children[0].Kind != KindBag || children[1].Kind != KindBag {
+				return Type{}, fmt.Errorf("moa: bag.union requires BAG inputs")
+			}
+			if !children[0].Equal(children[1]) {
+				return Type{}, fmt.Errorf("moa: bag.union element types differ")
+			}
+			return children[0], nil
+		},
+		Eval: func(ev *Evaluator, args, _ []Value) (Value, error) {
+			a, err := asBag("bag.union", args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := asBag("bag.union", args[1])
+			if err != nil {
+				return nil, err
+			}
+			ev.visit(len(a.Elems) + len(b.Elems))
+			out := make([]Value, 0, len(a.Elems)+len(b.Elems))
+			out = append(out, a.Elems...)
+			out = append(out, b.Elems...)
+			return &Bag{Elems: out}, nil
+		},
+	})
+}
+
+func registerSetExt(r *Registry) {
+	mustRegister := func(d *OpDef) {
+		if err := r.Register(d); err != nil {
+			panic(err)
+		}
+	}
+	mustRegister(&OpDef{
+		Name: "set.select", Extension: "set", NumChildren: 1, NumParams: 2,
+		ResultType: wantRangeSelect("set.select", KindSet),
+		Eval: func(ev *Evaluator, args, params []Value) (Value, error) {
+			s, err := asSet("set.select", args[0])
+			if err != nil {
+				return nil, err
+			}
+			out, err := ev.rangeScan(s.Elems, params[0], params[1])
+			if err != nil {
+				return nil, err
+			}
+			return &Set{Elems: out}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "set.tolist", Extension: "set", NumChildren: 1, NumParams: 0,
+		ResultType: wantContainer("set.tolist", KindSet, KindList),
+		Eval: func(ev *Evaluator, args, _ []Value) (Value, error) {
+			s, err := asSet("set.tolist", args[0])
+			if err != nil {
+				return nil, err
+			}
+			ev.visit(len(s.Elems))
+			// Canonical (value-sorted) order: SET has no order of its own,
+			// so the extension defines the projection deterministically.
+			return &List{Elems: ev.countingSort(s.Elems)}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "set.count", Extension: "set", NumChildren: 1, NumParams: 0,
+		ResultType: func(children []Type, _ []Value) (Type, error) {
+			if children[0].Kind != KindSet {
+				return Type{}, fmt.Errorf("moa: set.count requires SET, got %s", children[0].Kind)
+			}
+			return Type{Kind: KindInt}, nil
+		},
+		Eval: func(ev *Evaluator, args, _ []Value) (Value, error) {
+			s, err := asSet("set.count", args[0])
+			if err != nil {
+				return nil, err
+			}
+			return Int(len(s.Elems)), nil
+		},
+	})
+}

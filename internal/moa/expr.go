@@ -1,0 +1,206 @@
+package moa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type describes an algebra value statically: a kind plus, for
+// containers, the element type, and for tuples, the field types. The zero
+// Type is invalid.
+type Type struct {
+	Kind   Kind
+	Elem   *Type  // element type for LIST/BAG/SET; nil otherwise
+	Fields []Type // field types for TUPLE; nil otherwise
+}
+
+// String renders the type Moa-style, e.g. LIST<TUPLE<INT, FLT>>.
+func (t Type) String() string {
+	if t.Kind == KindTuple {
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.String()
+		}
+		return fmt.Sprintf("TUPLE<%s>", strings.Join(parts, ", "))
+	}
+	if t.Elem == nil {
+		return t.Kind.String()
+	}
+	return fmt.Sprintf("%s<%s>", t.Kind, t.Elem)
+}
+
+// Equal reports structural type equality.
+func (t Type) Equal(o Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	if len(t.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range t.Fields {
+		if !t.Fields[i].Equal(o.Fields[i]) {
+			return false
+		}
+	}
+	if (t.Elem == nil) != (o.Elem == nil) {
+		return false
+	}
+	if t.Elem == nil {
+		return true
+	}
+	return t.Elem.Equal(*o.Elem)
+}
+
+// OpLit is the pseudo-operator of literal leaves.
+const OpLit = "lit"
+
+// Expr is a node of a logical (or, after intra-object optimization,
+// physical) algebra expression tree. Expressions are immutable by
+// convention: rewrites build new nodes rather than mutating.
+type Expr struct {
+	Op       string  // qualified operator name, e.g. "list.select"; OpLit for leaves
+	Lit      Value   // the literal value when Op == OpLit
+	Params   []Value // operator parameters (selection bounds, top-N count, ...)
+	Children []*Expr
+}
+
+// Literal wraps a value as a leaf expression.
+func Literal(v Value) *Expr { return &Expr{Op: OpLit, Lit: v} }
+
+// NewExpr builds an operator node.
+func NewExpr(op string, params []Value, children ...*Expr) *Expr {
+	return &Expr{Op: op, Params: params, Children: children}
+}
+
+// Clone returns a deep copy of the expression tree. Values are shared
+// (they are immutable by convention).
+func (e *Expr) Clone() *Expr {
+	c := &Expr{Op: e.Op, Lit: e.Lit}
+	c.Params = append([]Value(nil), e.Params...)
+	c.Children = make([]*Expr, len(e.Children))
+	for i, ch := range e.Children {
+		c.Children[i] = ch.Clone()
+	}
+	return c
+}
+
+// DeepEqual reports structural equality of two expression trees.
+func DeepEqual(a, b *Expr) bool {
+	if a.Op != b.Op || len(a.Params) != len(b.Params) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	if a.Op == OpLit && !Equal(a.Lit, b.Lit) {
+		return false
+	}
+	for i := range a.Params {
+		if !Equal(a.Params[i], b.Params[i]) {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !DeepEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tree in the paper's notation:
+// select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4).
+func (e *Expr) String() string {
+	if e.Op == OpLit {
+		return e.Lit.String()
+	}
+	// Strip the extension qualifier for readability; the qualified name is
+	// available via Op itself.
+	name := e.Op
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	parts := make([]string, 0, len(e.Children)+len(e.Params))
+	for _, c := range e.Children {
+		parts = append(parts, c.String())
+	}
+	for _, p := range e.Params {
+		parts = append(parts, p.String())
+	}
+	return name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Size returns the number of nodes in the tree.
+func (e *Expr) Size() int {
+	n := 1
+	for _, c := range e.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// Convenience constructors mirroring the paper's surface syntax. Each
+// builds the *logical* operator of the owning extension; physical variants
+// are introduced only by the optimizer.
+
+// SelectL builds list.select(child, lo, hi).
+func SelectL(child *Expr, lo, hi Value) *Expr {
+	return NewExpr("list.select", []Value{lo, hi}, child)
+}
+
+// SelectB builds bag.select(child, lo, hi).
+func SelectB(child *Expr, lo, hi Value) *Expr {
+	return NewExpr("bag.select", []Value{lo, hi}, child)
+}
+
+// SelectS builds set.select(child, lo, hi).
+func SelectS(child *Expr, lo, hi Value) *Expr {
+	return NewExpr("set.select", []Value{lo, hi}, child)
+}
+
+// ProjectToBag builds list.projecttobag(child).
+func ProjectToBag(child *Expr) *Expr {
+	return NewExpr("list.projecttobag", nil, child)
+}
+
+// SortL builds list.sort(child), sorting ascending by value.
+func SortL(child *Expr) *Expr {
+	return NewExpr("list.sort", nil, child)
+}
+
+// TopNL builds list.topn(child, n): the n largest elements, descending.
+func TopNL(child *Expr, n int64) *Expr {
+	return NewExpr("list.topn", []Value{Int(n)}, child)
+}
+
+// TopNB builds bag.topn(child, n): the n largest elements as a LIST.
+func TopNB(child *Expr, n int64) *Expr {
+	return NewExpr("bag.topn", []Value{Int(n)}, child)
+}
+
+// ToListB builds bag.tolist(child).
+func ToListB(child *Expr) *Expr {
+	return NewExpr("bag.tolist", nil, child)
+}
+
+// ToSetB builds bag.toset(child).
+func ToSetB(child *Expr) *Expr {
+	return NewExpr("bag.toset", nil, child)
+}
+
+// ToListS builds set.tolist(child), producing a value-sorted LIST.
+func ToListS(child *Expr) *Expr {
+	return NewExpr("set.tolist", nil, child)
+}
+
+// CountL, CountB and CountS build the per-extension cardinality operators.
+func CountL(child *Expr) *Expr { return NewExpr("list.count", nil, child) }
+
+// CountB builds bag.count(child).
+func CountB(child *Expr) *Expr { return NewExpr("bag.count", nil, child) }
+
+// CountS builds set.count(child).
+func CountS(child *Expr) *Expr { return NewExpr("set.count", nil, child) }
+
+// ConcatL builds list.concat(a, b).
+func ConcatL(a, b *Expr) *Expr { return NewExpr("list.concat", nil, a, b) }
+
+// UnionB builds bag.union(a, b) (additive multiset union).
+func UnionB(a, b *Expr) *Expr { return NewExpr("bag.union", nil, a, b) }

@@ -1,0 +1,377 @@
+package moa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func eval(t *testing.T, e *Expr) Value {
+	t.Helper()
+	ev := NewEvaluator(NewRegistry())
+	v, err := ev.Eval(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestExample1Semantics reproduces the paper's Example 1 verbatim:
+// select([1,2,3,4,4,5], 2, 4) == [2,3,4,4] and
+// projecttobag([1,2,3,4,4,5]) == {1,2,3,4,4,5}.
+func TestExample1Semantics(t *testing.T) {
+	l := NewIntList(1, 2, 3, 4, 4, 5)
+	sel := eval(t, SelectL(Literal(l), Int(2), Int(4)))
+	if !Equal(sel, NewIntList(2, 3, 4, 4)) {
+		t.Errorf("select = %s, want [2, 3, 4, 4]", sel)
+	}
+	bag := eval(t, ProjectToBag(Literal(l)))
+	if !Equal(bag, NewIntBag(1, 2, 3, 4, 4, 5)) {
+		t.Errorf("projecttobag = %s", bag)
+	}
+}
+
+// TestExample1Equivalence verifies the rewrite the paper presents: the two
+// nestings produce exactly the same answer.
+func TestExample1Equivalence(t *testing.T) {
+	l := Literal(NewIntList(1, 2, 3, 4, 4, 5))
+	orig := SelectB(ProjectToBag(l), Int(2), Int(4))
+	rewritten := ProjectToBag(SelectL(l, Int(2), Int(4)))
+	a := eval(t, orig)
+	b := eval(t, rewritten)
+	if !Equal(a, b) {
+		t.Errorf("original %s != rewritten %s", a, b)
+	}
+	if !Equal(a, NewIntBag(2, 3, 4, 4)) {
+		t.Errorf("result = %s, want {2, 3, 4, 4}", a)
+	}
+}
+
+func TestSelectPreservesListOrder(t *testing.T) {
+	l := NewIntList(5, 1, 4, 2, 3)
+	got := eval(t, SelectL(Literal(l), Int(2), Int(4)))
+	if !Equal(got, NewIntList(4, 2, 3)) {
+		t.Errorf("select on unsorted list = %s, want [4, 2, 3] (input order)", got)
+	}
+}
+
+func TestBinsearchSelectEquivalence(t *testing.T) {
+	rng := xrand.New(41)
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(30))
+		}
+		l := NewIntList(xs...)
+		sorted := eval(t, SortL(Literal(l))).(*List)
+		lo := Int(int64(rng.Intn(32)) - 1)
+		hi := Int(int64(rng.Intn(32)) - 1)
+		logical := eval(t, SelectL(Literal(sorted), lo, hi))
+		physical := eval(t, NewExpr("list.select.binsearch", []Value{lo, hi}, Literal(sorted)))
+		if !Equal(logical, physical) {
+			t.Fatalf("trial %d: scan %s != binsearch %s (bounds %s..%s)", trial, logical, physical, lo, hi)
+		}
+	}
+}
+
+func TestBinsearchRejectsUnsorted(t *testing.T) {
+	ev := NewEvaluator(NewRegistry())
+	e := NewExpr("list.select.binsearch", []Value{Int(1), Int(2)}, Literal(NewIntList(3, 1, 2)))
+	if _, err := ev.Eval(e); err == nil {
+		t.Fatal("binsearch accepted unsorted input with CheckPhysical on")
+	}
+}
+
+func TestBinsearchCheaper(t *testing.T) {
+	xs := make([]int64, 10000)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	l := Literal(NewIntList(xs...))
+	scan := NewEvaluator(NewRegistry())
+	if _, err := scan.Eval(SelectL(l, Int(100), Int(120))); err != nil {
+		t.Fatal(err)
+	}
+	bin := NewEvaluator(NewRegistry())
+	if _, err := bin.Eval(NewExpr("list.select.binsearch", []Value{Int(100), Int(120)}, l)); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Counters.Comparisons*50 > scan.Counters.Comparisons {
+		t.Errorf("binsearch %d comparisons vs scan %d: expected orders of magnitude fewer",
+			bin.Counters.Comparisons, scan.Counters.Comparisons)
+	}
+}
+
+func TestSortAndTopN(t *testing.T) {
+	l := NewIntList(3, 1, 4, 1, 5, 9, 2, 6)
+	sorted := eval(t, SortL(Literal(l)))
+	if !Equal(sorted, NewIntList(1, 1, 2, 3, 4, 5, 6, 9)) {
+		t.Errorf("sort = %s", sorted)
+	}
+	top := eval(t, TopNL(Literal(l), 3))
+	if !Equal(top, NewIntList(9, 6, 5)) {
+		t.Errorf("topn = %s, want [9, 6, 5]", top)
+	}
+	if got := eval(t, TopNL(Literal(l), 0)); !Equal(got, NewIntList()) {
+		t.Errorf("topn 0 = %s", got)
+	}
+	if got := eval(t, TopNL(Literal(l), 100)); len(got.(*List).Elems) != 8 {
+		t.Errorf("topn beyond length returned %s", got)
+	}
+}
+
+func TestTopNSortedVariant(t *testing.T) {
+	rng := xrand.New(43)
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(40)
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(20))
+		}
+		sorted := eval(t, SortL(Literal(NewIntList(xs...)))).(*List)
+		k := int64(rng.Intn(10))
+		logical := eval(t, TopNL(Literal(sorted), k))
+		physical := eval(t, NewExpr("list.topn.sorted", []Value{Int(k)}, Literal(sorted)))
+		if !Equal(logical, physical) {
+			t.Fatalf("trial %d: topn %s != topn.sorted %s", trial, logical, physical)
+		}
+	}
+}
+
+func TestBagTopN(t *testing.T) {
+	b := NewIntBag(3, 7, 1, 7, 2)
+	got := eval(t, TopNB(Literal(b), 2))
+	if got.Kind() != KindList {
+		t.Fatalf("bag.topn must produce LIST, got %s", got.Kind())
+	}
+	if !Equal(got, NewIntList(7, 7)) {
+		t.Errorf("bag.topn = %s, want [7, 7]", got)
+	}
+}
+
+func TestBagToSet(t *testing.T) {
+	got := eval(t, ToSetB(Literal(NewIntBag(2, 1, 2, 3, 1))))
+	s := got.(*Set)
+	if len(s.Elems) != 3 {
+		t.Fatalf("toset = %s", got)
+	}
+	want := &Set{Elems: []Value{Int(1), Int(2), Int(3)}}
+	if !Equal(got, want) {
+		t.Errorf("toset = %s", got)
+	}
+}
+
+func TestSetToListSorted(t *testing.T) {
+	set := ToSetB(Literal(NewIntBag(5, 2, 9, 2)))
+	got := eval(t, ToListS(set)).(*List)
+	if !IsSortedAsc(got) {
+		t.Errorf("set.tolist output not sorted: %s", got)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	if got := eval(t, CountL(Literal(NewIntList(1, 2, 3)))); got != Int(3) {
+		t.Errorf("list.count = %s", got)
+	}
+	if got := eval(t, CountB(Literal(NewIntBag(1, 1)))); got != Int(2) {
+		t.Errorf("bag.count = %s", got)
+	}
+	if got := eval(t, CountS(ToSetB(Literal(NewIntBag(1, 1))))); got != Int(1) {
+		t.Errorf("set.count = %s", got)
+	}
+}
+
+func TestConcatAndUnion(t *testing.T) {
+	got := eval(t, ConcatL(Literal(NewIntList(1, 2)), Literal(NewIntList(3))))
+	if !Equal(got, NewIntList(1, 2, 3)) {
+		t.Errorf("concat = %s", got)
+	}
+	u := eval(t, UnionB(Literal(NewIntBag(1, 2)), Literal(NewIntBag(2))))
+	if !Equal(u, NewIntBag(1, 2, 2)) {
+		t.Errorf("union = %s", u)
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	reg := NewRegistry()
+	l := Literal(NewIntList(1, 2))
+	b := Literal(NewIntBag(1))
+	cases := []struct {
+		name string
+		e    *Expr
+		want string // expected type string; "" means expect error
+	}{
+		{"select list", SelectL(l, Int(1), Int(2)), "LIST<INT>"},
+		{"projecttobag", ProjectToBag(l), "BAG<INT>"},
+		{"bag select", SelectB(b, Int(1), Int(2)), "BAG<INT>"},
+		{"toset", ToSetB(b), "SET<INT>"},
+		{"count", CountL(l), "INT"},
+		{"topn bag to list", TopNB(b, 3), "LIST<INT>"},
+		{"select on bag with list op", SelectL(b, Int(1), Int(2)), ""},
+		{"projecttobag on bag", ProjectToBag(b), ""},
+		{"bound kind mismatch", SelectL(l, Float(1), Int(2)), ""},
+		{"count wrong kind", CountB(l), ""},
+	}
+	for _, c := range cases {
+		typ, err := reg.TypeOf(c.e)
+		if c.want == "" {
+			if err == nil {
+				t.Errorf("%s: type checked as %s, want error", c.name, typ)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if typ.String() != c.want {
+			t.Errorf("%s: type %s, want %s", c.name, typ, c.want)
+		}
+	}
+}
+
+func TestHeterogeneousLiteralRejected(t *testing.T) {
+	reg := NewRegistry()
+	bad := &List{Elems: []Value{Int(1), Str("x")}}
+	if _, err := reg.TypeOf(Literal(bad)); err == nil {
+		t.Error("heterogeneous list type checked")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := Literal(NewIntList(1, 2, 3, 4, 4, 5))
+	e := SelectB(ProjectToBag(l), Int(2), Int(4))
+	got := e.String()
+	want := "select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestCloneAndDeepEqual(t *testing.T) {
+	e := SelectB(ProjectToBag(Literal(NewIntList(1, 2))), Int(1), Int(2))
+	c := e.Clone()
+	if !DeepEqual(e, c) {
+		t.Fatal("clone not equal")
+	}
+	c.Children[0].Op = "list.sort"
+	if DeepEqual(e, c) {
+		t.Fatal("mutated clone still equal")
+	}
+	if e.Size() != 3 {
+		t.Errorf("Size = %d, want 3", e.Size())
+	}
+}
+
+func TestRegistryDuplicate(t *testing.T) {
+	r := NewRegistry()
+	err := r.Register(&OpDef{Name: "list.select", Extension: "list"})
+	if err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := r.Register(&OpDef{Name: OpLit}); err == nil {
+		t.Error("reserved name accepted")
+	}
+	exts := r.Extensions()
+	if strings.Join(exts, ",") != "bag,list,set" {
+		t.Errorf("extensions = %v", exts)
+	}
+}
+
+func TestValueEquality(t *testing.T) {
+	if !Equal(NewIntBag(1, 2, 2), NewIntBag(2, 1, 2)) {
+		t.Error("bags must compare as multisets")
+	}
+	if Equal(NewIntBag(1, 2), NewIntBag(1, 2, 2)) {
+		t.Error("different multiplicities compared equal")
+	}
+	if Equal(NewIntList(1, 2), NewIntList(2, 1)) {
+		t.Error("lists must compare in order")
+	}
+	if Equal(NewIntList(1), NewIntBag(1)) {
+		t.Error("list equals bag")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := Compare(Int(1), Str("a")); err == nil {
+		t.Error("cross-kind compare accepted")
+	}
+	if _, err := Compare(NewIntList(1), NewIntList(1)); err == nil {
+		t.Error("container compare accepted")
+	}
+	if c, err := Compare(Str("a"), Str("b")); err != nil || c != -1 {
+		t.Errorf("string compare = %d, %v", c, err)
+	}
+	if c, err := Compare(Float(2), Float(1)); err != nil || c != 1 {
+		t.Errorf("float compare = %d, %v", c, err)
+	}
+}
+
+// TestSelectPushdownProperty is the semantic core of the inter-object
+// rule: for any int list and bounds, select(projecttobag(l)) equals
+// projecttobag(select(l)).
+func TestSelectPushdownProperty(t *testing.T) {
+	rng := xrand.New(71)
+	if err := quick.Check(func(raw []int8, loRaw, hiRaw int8) bool {
+		xs := make([]int64, len(raw))
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		l := Literal(NewIntList(xs...))
+		lo, hi := Int(int64(loRaw)), Int(int64(hiRaw))
+		ev := NewEvaluator(NewRegistry())
+		a, err := ev.Eval(SelectB(ProjectToBag(l), lo, hi))
+		if err != nil {
+			return false
+		}
+		b, err := ev.Eval(ProjectToBag(SelectL(l, lo, hi)))
+		if err != nil {
+			return false
+		}
+		_ = rng
+		return Equal(a, b)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	ev := NewEvaluator(NewRegistry())
+	if _, err := ev.Eval(NewExpr("nosuch.op", nil)); err == nil {
+		t.Error("unknown op evaluated")
+	}
+	// Arity mismatch.
+	if _, err := ev.Eval(NewExpr("list.sort", nil)); err == nil {
+		t.Error("missing child accepted")
+	}
+	// Dynamic kind mismatch.
+	if _, err := ev.Eval(NewExpr("list.sort", nil, Literal(NewIntBag(1)))); err == nil {
+		t.Error("bag passed to list.sort accepted")
+	}
+	// Negative topn parameter.
+	if _, err := ev.Eval(TopNL(Literal(NewIntList(1)), -1)); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	ev := NewEvaluator(NewRegistry())
+	l := Literal(NewIntList(1, 2, 3, 4, 5))
+	if _, err := ev.Eval(SelectL(l, Int(2), Int(4))); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Counters.ElementsVisited != 5 {
+		t.Errorf("visited %d, want 5", ev.Counters.ElementsVisited)
+	}
+	if ev.Counters.Comparisons == 0 {
+		t.Error("no comparisons counted")
+	}
+	ev.Counters.Reset()
+	if ev.Counters.ElementsVisited != 0 {
+		t.Error("reset failed")
+	}
+}

@@ -1,0 +1,266 @@
+package moa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an expression in the paper's surface notation, e.g.
+//
+//	select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)
+//
+// Container literals: [..] is a LIST, {..} a BAG, <..> a SET; elements are
+// int or float atomics (floats when any element contains a '.').
+// Unqualified operator names (select, topn, count, ...) are resolved to
+// the owning extension from the input type, exactly as Moa's overload
+// resolution works: the structure of the operand decides which extension's
+// operator applies.
+func Parse(input string, reg *Registry) (*Expr, error) {
+	p := &parser{src: input, reg: reg}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("moa: trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	return e, nil
+}
+
+type parser struct {
+	src string
+	pos int
+	reg *Registry
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("moa: expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parseExpr() (*Expr, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '[':
+		return p.parseContainer('[', ']', KindList)
+	case c == '{':
+		return p.parseContainer('{', '}', KindBag)
+	case c == '<':
+		return p.parseContainer('<', '>', KindSet)
+	case c == '-' || unicode.IsDigit(rune(c)):
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		return Literal(v), nil
+	case unicode.IsLetter(rune(c)):
+		return p.parseCall()
+	default:
+		return nil, fmt.Errorf("moa: unexpected character %q at offset %d", string(c), p.pos)
+	}
+}
+
+func (p *parser) parseContainer(open, close byte, kind Kind) (*Expr, error) {
+	if err := p.expect(open); err != nil {
+		return nil, err
+	}
+	var elems []Value
+	p.skipSpace()
+	if p.peek() == close {
+		p.pos++
+	} else {
+		for {
+			v, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, v)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			if err := p.expect(close); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	switch kind {
+	case KindList:
+		return Literal(&List{Elems: elems}), nil
+	case KindBag:
+		return Literal(&Bag{Elems: elems}), nil
+	default:
+		// SET literal: enforce the no-duplicates invariant at parse time.
+		s := &Set{}
+		for _, e := range elems {
+			dup := false
+			for _, have := range s.Elems {
+				if Equal(e, have) {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				return nil, fmt.Errorf("moa: duplicate element %s in SET literal", e)
+			}
+			s.Elems = append(s.Elems, e)
+		}
+		return Literal(s), nil
+	}
+}
+
+func (p *parser) parseNumber() (Value, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.peek() == '-' {
+		p.pos++
+	}
+	isFloat := false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if unicode.IsDigit(rune(c)) {
+			p.pos++
+			continue
+		}
+		if c == '.' && !isFloat {
+			isFloat = true
+			p.pos++
+			continue
+		}
+		break
+	}
+	text := p.src[start:p.pos]
+	if text == "" || text == "-" {
+		return nil, fmt.Errorf("moa: expected number at offset %d", start)
+	}
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("moa: bad float %q: %w", text, err)
+		}
+		return Float(f), nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("moa: bad integer %q: %w", text, err)
+	}
+	return Int(i), nil
+}
+
+func (p *parser) parseIdent() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '.' || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) parseCall() (*Expr, error) {
+	name := p.parseIdent()
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	// First argument is always the (only, in this algebra) child
+	// expression; remaining arguments are atomic parameters.
+	var children []*Expr
+	var params []Value
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	children = append(children, first)
+	for {
+		p.skipSpace()
+		if p.peek() != ',' {
+			break
+		}
+		p.pos++
+		p.skipSpace()
+		// Binary structural operators (concat, union) take a second
+		// expression; everything else takes atomic parameters.
+		if isBinaryOp(name) && len(children) < 2 {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, e)
+			continue
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, v)
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	op, err := p.resolve(name, children)
+	if err != nil {
+		return nil, err
+	}
+	return NewExpr(op, params, children...), nil
+}
+
+func isBinaryOp(name string) bool { return name == "concat" || name == "union" }
+
+// resolve maps an unqualified surface name to the extension operator that
+// accepts the first child's structure kind.
+func (p *parser) resolve(name string, children []*Expr) (string, error) {
+	if strings.Contains(name, ".") {
+		if _, ok := p.reg.Lookup(name); !ok {
+			return "", fmt.Errorf("moa: unknown operator %q", name)
+		}
+		return name, nil
+	}
+	if len(children) == 0 {
+		return "", fmt.Errorf("moa: operator %q needs an operand", name)
+	}
+	t, err := p.reg.TypeOf(children[0])
+	if err != nil {
+		return "", err
+	}
+	var ext string
+	switch t.Kind {
+	case KindList:
+		ext = "list"
+	case KindBag:
+		ext = "bag"
+	case KindSet:
+		ext = "set"
+	default:
+		return "", fmt.Errorf("moa: operator %q applied to %s", name, t.Kind)
+	}
+	qualified := ext + "." + name
+	if _, ok := p.reg.Lookup(qualified); !ok {
+		return "", fmt.Errorf("moa: extension %s has no operator %q", ext, name)
+	}
+	return qualified, nil
+}

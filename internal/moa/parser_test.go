@@ -1,0 +1,168 @@
+package moa
+
+import (
+	"testing"
+)
+
+func parse(t *testing.T, s string) *Expr {
+	t.Helper()
+	e, err := Parse(s, NewRegistry())
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return e
+}
+
+func TestParseExample1(t *testing.T) {
+	e := parse(t, "select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)")
+	if e.Op != "bag.select" {
+		t.Fatalf("root op = %s", e.Op)
+	}
+	if e.Children[0].Op != "list.projecttobag" {
+		t.Fatalf("child op = %s", e.Children[0].Op)
+	}
+	ev := NewEvaluator(NewRegistry())
+	v, err := ev.Eval(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v, NewIntBag(2, 3, 4, 4)) {
+		t.Errorf("result = %s", v)
+	}
+}
+
+func TestParseRoundTripsThroughString(t *testing.T) {
+	// The String rendering of a parsed tree must re-parse to an equal tree.
+	inputs := []string{
+		"select(projecttobag([1, 2, 3, 4, 4, 5]), 2, 4)",
+		"topn(sort([5, 3, 9]), 2)",
+		"count(toset({1, 1, 2}))",
+		"tolist(union({1}, {2, 2}))",
+		"concat([1], [2, 3])",
+	}
+	reg := NewRegistry()
+	for _, in := range inputs {
+		a, err := Parse(in, reg)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		b, err := Parse(a.String(), reg)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", a.String(), err)
+		}
+		if !DeepEqual(a, b) {
+			t.Errorf("%q: round trip changed the tree (%s)", in, a)
+		}
+	}
+}
+
+func TestParseOverloadResolution(t *testing.T) {
+	cases := []struct {
+		in, op string
+	}{
+		{"select([1,2], 1, 2)", "list.select"},
+		{"select({1,2}, 1, 2)", "bag.select"},
+		{"select(<1,2>, 1, 2)", "set.select"},
+		{"count([1])", "list.count"},
+		{"count({1})", "bag.count"},
+		{"count(<1>)", "set.count"},
+		{"topn({3,1}, 1)", "bag.topn"},
+		{"tolist(<1,2>)", "set.tolist"},
+	}
+	for _, c := range cases {
+		if e := parse(t, c.in); e.Op != c.op {
+			t.Errorf("%q resolved to %s, want %s", c.in, e.Op, c.op)
+		}
+	}
+}
+
+func TestParseQualifiedNames(t *testing.T) {
+	e := parse(t, "list.sort([2,1])")
+	if e.Op != "list.sort" {
+		t.Fatalf("op = %s", e.Op)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"[1, 2]", NewIntList(1, 2)},
+		{"[]", NewIntList()},
+		{"{3, 3}", NewIntBag(3, 3)},
+		{"[-5]", NewIntList(-5)},
+	}
+	for _, c := range cases {
+		e := parse(t, "sort("+wrapAsList(c.in)+")")
+		_ = e
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in, NewRegistry())
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if !Equal(e.Lit, c.want) {
+			t.Errorf("%q parsed as %s", c.in, e.Lit)
+		}
+	}
+	// Floats.
+	e, err := Parse("[1.5, 2.25]", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := e.Lit.(*List)
+	if l.Elems[0] != Float(1.5) || l.Elems[1] != Float(2.25) {
+		t.Errorf("float literal = %s", e.Lit)
+	}
+}
+
+// wrapAsList passes list inputs through unchanged and wraps others so the
+// sort() call type-checks; bags are converted via tolist.
+func wrapAsList(in string) string {
+	if in[0] == '{' {
+		return "tolist(" + in + ")"
+	}
+	return in
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select(",
+		"select([1], 2",
+		"select([1], 2, 4) trailing",
+		"nosuchop([1])",
+		"projecttobag({1})",   // bag has no projecttobag
+		"[1, 2",               // unterminated
+		"<1, 1>",              // duplicate in set literal
+		"select([1], [2], 3)", // container where a parameter belongs
+		"sort(3)",             // atomic operand
+		"1.2.3",
+	}
+	reg := NewRegistry()
+	for _, in := range bad {
+		if _, err := Parse(in, reg); err == nil {
+			t.Errorf("%q parsed without error", in)
+		}
+	}
+}
+
+func TestParsedTreesTypeCheck(t *testing.T) {
+	reg := NewRegistry()
+	inputs := []string{
+		"select(projecttobag([1, 2, 3]), 2, 4)",
+		"topn(tolist({9, 1, 5}), 2)",
+		"count(toset({1, 1, 2}))",
+	}
+	for _, in := range inputs {
+		e, err := Parse(in, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.TypeOf(e); err != nil {
+			t.Errorf("%q: parsed tree does not type check: %v", in, err)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package moa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpDef describes one operator contributed by a structure extension. The
+// registry of OpDefs is what makes the algebra extensible in Moa's sense:
+// the optimizer layers consult it rather than hard-coding operators, and
+// new extensions register without touching the evaluator.
+type OpDef struct {
+	// Name is the qualified operator name, "extension.op".
+	Name string
+	// Extension is the owning structure extension ("list", "bag", "set").
+	Extension string
+	// NumChildren and NumParams fix the arity.
+	NumChildren int
+	NumParams   int
+	// Physical marks variants that only the intra-object optimizer may
+	// introduce (they carry preconditions the type system cannot express,
+	// e.g. "input list is sorted").
+	Physical bool
+	// ResultType computes the output type from child types. It also
+	// performs input type checking.
+	ResultType func(children []Type, params []Value) (Type, error)
+	// Eval computes the operator over materialized child values. The
+	// evaluator passes itself for cost accounting.
+	Eval func(ev *Evaluator, args []Value, params []Value) (Value, error)
+}
+
+// Registry maps qualified operator names to definitions.
+type Registry struct {
+	ops map[string]*OpDef
+}
+
+// NewRegistry returns a registry pre-loaded with the built-in LIST, BAG
+// and SET extensions.
+func NewRegistry() *Registry {
+	r := &Registry{ops: make(map[string]*OpDef)}
+	registerListExt(r)
+	registerBagExt(r)
+	registerSetExt(r)
+	registerTupleOps(r)
+	return r
+}
+
+// Register adds an operator definition. It returns an error on duplicate
+// names so extensions cannot silently shadow each other.
+func (r *Registry) Register(def *OpDef) error {
+	if def.Name == "" || def.Name == OpLit {
+		return fmt.Errorf("moa: invalid operator name %q", def.Name)
+	}
+	if _, dup := r.ops[def.Name]; dup {
+		return fmt.Errorf("moa: operator %q already registered", def.Name)
+	}
+	r.ops[def.Name] = def
+	return nil
+}
+
+// Lookup returns the definition of a qualified operator name.
+func (r *Registry) Lookup(name string) (*OpDef, bool) {
+	d, ok := r.ops[name]
+	return d, ok
+}
+
+// Extensions returns the sorted list of extension names present.
+func (r *Registry) Extensions() []string {
+	seen := map[string]bool{}
+	for _, d := range r.ops {
+		seen[d.Extension] = true
+	}
+	out := make([]string, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TypeOf type-checks an expression bottom-up and returns its result type.
+func (r *Registry) TypeOf(e *Expr) (Type, error) {
+	if e.Op == OpLit {
+		return typeOfValue(e.Lit)
+	}
+	def, ok := r.Lookup(e.Op)
+	if !ok {
+		return Type{}, fmt.Errorf("moa: unknown operator %q", e.Op)
+	}
+	if len(e.Children) != def.NumChildren {
+		return Type{}, fmt.Errorf("moa: %s expects %d children, got %d", e.Op, def.NumChildren, len(e.Children))
+	}
+	if len(e.Params) != def.NumParams {
+		return Type{}, fmt.Errorf("moa: %s expects %d params, got %d", e.Op, def.NumParams, len(e.Params))
+	}
+	kids := make([]Type, len(e.Children))
+	for i, c := range e.Children {
+		t, err := r.TypeOf(c)
+		if err != nil {
+			return Type{}, err
+		}
+		kids[i] = t
+	}
+	return def.ResultType(kids, e.Params)
+}
+
+// typeOfValue derives the static type of a runtime value. Containers must
+// be element-homogeneous.
+func typeOfValue(v Value) (Type, error) {
+	switch x := v.(type) {
+	case Int, Float, Str:
+		return Type{Kind: v.Kind()}, nil
+	case *List:
+		return containerType(KindList, x.Elems)
+	case *Bag:
+		return containerType(KindBag, x.Elems)
+	case *Set:
+		return containerType(KindSet, x.Elems)
+	case *Tuple:
+		return tupleType(x)
+	default:
+		return Type{}, fmt.Errorf("moa: value of unknown kind %T", v)
+	}
+}
+
+func containerType(k Kind, elems []Value) (Type, error) {
+	if len(elems) == 0 {
+		// Empty containers default to INT elements; the algebra has no
+		// polymorphic empty literal.
+		return Type{Kind: k, Elem: &Type{Kind: KindInt}}, nil
+	}
+	et, err := typeOfValue(elems[0])
+	if err != nil {
+		return Type{}, err
+	}
+	for _, e := range elems[1:] {
+		t, err := typeOfValue(e)
+		if err != nil {
+			return Type{}, err
+		}
+		if !t.Equal(et) {
+			return Type{}, fmt.Errorf("moa: heterogeneous %s elements: %s vs %s", k, et, t)
+		}
+	}
+	return Type{Kind: k, Elem: &et}, nil
+}
+
+// Helper result-type functions shared by the extension registrations.
+
+// wantContainer returns a ResultType function for a unary operator
+// requiring input kind in with atomic elements and producing kind out with
+// the same element type.
+func wantContainer(opName string, in, out Kind) func([]Type, []Value) (Type, error) {
+	return func(children []Type, _ []Value) (Type, error) {
+		if children[0].Kind != in {
+			return Type{}, fmt.Errorf("moa: %s requires %s input, got %s", opName, in, children[0].Kind)
+		}
+		return Type{Kind: out, Elem: children[0].Elem}, nil
+	}
+}
+
+// wantRangeSelect type-checks a range selection: container kind k with
+// atomic elements, two parameter bounds of the element type.
+func wantRangeSelect(opName string, k Kind) func([]Type, []Value) (Type, error) {
+	return func(children []Type, params []Value) (Type, error) {
+		in := children[0]
+		if in.Kind != k {
+			return Type{}, fmt.Errorf("moa: %s requires %s input, got %s", opName, k, in.Kind)
+		}
+		if in.Elem == nil || !in.Elem.Kind.Atomic() {
+			return Type{}, fmt.Errorf("moa: %s requires atomic elements, got %s", opName, in)
+		}
+		for _, p := range params {
+			if p.Kind() != in.Elem.Kind {
+				return Type{}, fmt.Errorf("moa: %s bound %s does not match element type %s", opName, p.Kind(), in.Elem.Kind)
+			}
+		}
+		return in, nil
+	}
+}

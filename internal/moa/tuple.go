@@ -1,0 +1,261 @@
+package moa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is the TUPLE structure: a fixed-arity record of atomic fields.
+// Ranked document lists — the "core business of content based retrieval
+// DBMSs" in the paper's words — are LIST<TUPLE> values: each tuple a
+// (document id, score, ...) record, the list ordered by relevance.
+type Tuple struct {
+	Fields []Value
+}
+
+// Kind implements Value.
+func (*Tuple) Kind() Kind { return KindTuple }
+
+// String implements Value.
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		parts[i] = f.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// NewTuple builds a tuple of the given atomic fields.
+func NewTuple(fields ...Value) *Tuple { return &Tuple{Fields: fields} }
+
+// tupleEqual compares tuples field-wise.
+func tupleEqual(a, b *Tuple) bool {
+	if len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i := range a.Fields {
+		if !Equal(a.Fields[i], b.Fields[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tupleType derives a tuple's type, requiring atomic fields.
+func tupleType(t *Tuple) (Type, error) {
+	tt := Type{Kind: KindTuple, Fields: make([]Type, len(t.Fields))}
+	for i, f := range t.Fields {
+		ft, err := typeOfValue(f)
+		if err != nil {
+			return Type{}, err
+		}
+		if !ft.Kind.Atomic() {
+			return Type{}, fmt.Errorf("moa: tuple field %d is %s; fields must be atomic", i, ft.Kind)
+		}
+		tt.Fields[i] = ft
+	}
+	return tt, nil
+}
+
+// Tuple-aware operator constructors.
+
+// TopNByL builds list.topnby(child, field, n): the n tuples with the
+// largest value in the given field, descending — the ranked-retrieval
+// top-N as an algebra operator over LIST<TUPLE>.
+func TopNByL(child *Expr, field, n int64) *Expr {
+	return NewExpr("list.topnby", []Value{Int(field), Int(n)}, child)
+}
+
+// ProjectFieldL builds list.projectfield(child, field): LIST<TUPLE> →
+// LIST of the field's atomic values, order preserved.
+func ProjectFieldL(child *Expr, field int64) *Expr {
+	return NewExpr("list.projectfield", []Value{Int(field)}, child)
+}
+
+// SelectByL builds list.selectby(child, field, lo, hi): range selection on
+// one tuple field, order preserved.
+func SelectByL(child *Expr, field int64, lo, hi Value) *Expr {
+	return NewExpr("list.selectby", []Value{Int(field), lo, hi}, child)
+}
+
+// registerTupleOps adds the tuple-aware LIST operators. Called from
+// NewRegistry alongside the structure extensions.
+func registerTupleOps(r *Registry) {
+	mustRegister := func(d *OpDef) {
+		if err := r.Register(d); err != nil {
+			panic(err)
+		}
+	}
+	tupleListInput := func(op string, children []Type) (Type, int, error) {
+		in := children[0]
+		if in.Kind != KindList || in.Elem == nil || in.Elem.Kind != KindTuple {
+			return Type{}, 0, fmt.Errorf("moa: %s requires LIST<TUPLE>, got %s", op, in)
+		}
+		return in, len(in.Elem.Fields), nil
+	}
+	fieldParam := func(op string, p Value, arity int) (int, error) {
+		f, ok := p.(Int)
+		if !ok || f < 0 || int(f) >= arity {
+			return 0, fmt.Errorf("moa: %s field %s out of range for arity %d", op, p, arity)
+		}
+		return int(f), nil
+	}
+
+	mustRegister(&OpDef{
+		Name: "list.topnby", Extension: "list", NumChildren: 1, NumParams: 2,
+		ResultType: func(children []Type, params []Value) (Type, error) {
+			in, arity, err := tupleListInput("list.topnby", children)
+			if err != nil {
+				return Type{}, err
+			}
+			if _, err := fieldParam("list.topnby", params[0], arity); err != nil {
+				return Type{}, err
+			}
+			if _, ok := params[1].(Int); !ok {
+				return Type{}, fmt.Errorf("moa: list.topnby count must be INT")
+			}
+			return in, nil
+		},
+		Eval: func(ev *Evaluator, args, params []Value) (Value, error) {
+			l, err := asList("list.topnby", args[0])
+			if err != nil {
+				return nil, err
+			}
+			field, err := asIntParam("list.topnby", params[0])
+			if err != nil {
+				return nil, err
+			}
+			n, err := asIntParam("list.topnby", params[1])
+			if err != nil {
+				return nil, err
+			}
+			keys, err := tupleKeys(l, field)
+			if err != nil {
+				return nil, err
+			}
+			// Order indices by descending key (stable on input order for
+			// equal keys), then take the first n.
+			idx := make([]int, len(l.Elems))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool {
+				ev.Counters.Comparisons++
+				return mustCompare(keys[idx[a]], keys[idx[b]]) > 0
+			})
+			ev.visit(len(l.Elems))
+			if n > len(idx) {
+				n = len(idx)
+			}
+			out := make([]Value, n)
+			for i := 0; i < n; i++ {
+				out[i] = l.Elems[idx[i]]
+			}
+			return &List{Elems: out}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "list.projectfield", Extension: "list", NumChildren: 1, NumParams: 1,
+		ResultType: func(children []Type, params []Value) (Type, error) {
+			in, arity, err := tupleListInput("list.projectfield", children)
+			if err != nil {
+				return Type{}, err
+			}
+			f, err := fieldParam("list.projectfield", params[0], arity)
+			if err != nil {
+				return Type{}, err
+			}
+			elem := in.Elem.Fields[f]
+			return Type{Kind: KindList, Elem: &elem}, nil
+		},
+		Eval: func(ev *Evaluator, args, params []Value) (Value, error) {
+			l, err := asList("list.projectfield", args[0])
+			if err != nil {
+				return nil, err
+			}
+			field, err := asIntParam("list.projectfield", params[0])
+			if err != nil {
+				return nil, err
+			}
+			out := make([]Value, len(l.Elems))
+			for i, e := range l.Elems {
+				ev.visit(1)
+				tp, ok := e.(*Tuple)
+				if !ok || field >= len(tp.Fields) {
+					return nil, fmt.Errorf("moa: list.projectfield: element %d is not a tuple with field %d", i, field)
+				}
+				out[i] = tp.Fields[field]
+			}
+			return &List{Elems: out}, nil
+		},
+	})
+	mustRegister(&OpDef{
+		Name: "list.selectby", Extension: "list", NumChildren: 1, NumParams: 3,
+		ResultType: func(children []Type, params []Value) (Type, error) {
+			in, arity, err := tupleListInput("list.selectby", children)
+			if err != nil {
+				return Type{}, err
+			}
+			f, err := fieldParam("list.selectby", params[0], arity)
+			if err != nil {
+				return Type{}, err
+			}
+			ft := in.Elem.Fields[f]
+			for _, p := range params[1:] {
+				if p.Kind() != ft.Kind {
+					return Type{}, fmt.Errorf("moa: list.selectby bound %s does not match field type %s", p.Kind(), ft.Kind)
+				}
+			}
+			return in, nil
+		},
+		Eval: func(ev *Evaluator, args, params []Value) (Value, error) {
+			l, err := asList("list.selectby", args[0])
+			if err != nil {
+				return nil, err
+			}
+			field, err := asIntParam("list.selectby", params[0])
+			if err != nil {
+				return nil, err
+			}
+			lo, hi := params[1], params[2]
+			out := make([]Value, 0, len(l.Elems)/4)
+			for i, e := range l.Elems {
+				ev.visit(1)
+				tp, ok := e.(*Tuple)
+				if !ok || field >= len(tp.Fields) {
+					return nil, fmt.Errorf("moa: list.selectby: element %d is not a tuple with field %d", i, field)
+				}
+				key := tp.Fields[field]
+				cl, err := ev.compare(key, lo)
+				if err != nil {
+					return nil, err
+				}
+				if cl < 0 {
+					continue
+				}
+				ch, err := ev.compare(key, hi)
+				if err != nil {
+					return nil, err
+				}
+				if ch <= 0 {
+					out = append(out, e)
+				}
+			}
+			return &List{Elems: out}, nil
+		},
+	})
+}
+
+// tupleKeys extracts one field from every tuple of a LIST<TUPLE>.
+func tupleKeys(l *List, field int) ([]Value, error) {
+	keys := make([]Value, len(l.Elems))
+	for i, e := range l.Elems {
+		tp, ok := e.(*Tuple)
+		if !ok || field >= len(tp.Fields) {
+			return nil, fmt.Errorf("moa: element %d is not a tuple with field %d", i, field)
+		}
+		keys[i] = tp.Fields[field]
+	}
+	return keys, nil
+}

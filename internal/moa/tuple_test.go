@@ -1,0 +1,167 @@
+package moa
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// rankedList builds a LIST<TUPLE> of (docID, score) records — the ranked
+// document list the paper calls the core business of content-based
+// retrieval DBMSs.
+func rankedList(pairs ...[2]int64) *List {
+	l := &List{Elems: make([]Value, len(pairs))}
+	for i, p := range pairs {
+		l.Elems[i] = NewTuple(Int(p[0]), Int(p[1]))
+	}
+	return l
+}
+
+func TestTupleTypeChecking(t *testing.T) {
+	reg := NewRegistry()
+	l := Literal(rankedList([2]int64{1, 50}, [2]int64{2, 90}))
+	typ, err := reg.TypeOf(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ.String() != "LIST<TUPLE<INT, INT>>" {
+		t.Errorf("type = %s", typ)
+	}
+	if typ2, err := reg.TypeOf(TopNByL(l, 1, 2)); err != nil || !typ2.Equal(typ) {
+		t.Errorf("topnby type = %v err = %v", typ2, err)
+	}
+	if typ3, err := reg.TypeOf(ProjectFieldL(l, 1)); err != nil || typ3.String() != "LIST<INT>" {
+		t.Errorf("projectfield type = %v err = %v", typ3, err)
+	}
+	// Field out of range.
+	if _, err := reg.TypeOf(TopNByL(l, 5, 2)); err == nil {
+		t.Error("out-of-range field accepted")
+	}
+	// Non-tuple input.
+	if _, err := reg.TypeOf(TopNByL(Literal(NewIntList(1, 2)), 0, 1)); err == nil {
+		t.Error("atomic list accepted by topnby")
+	}
+	// Heterogeneous tuple list.
+	bad := &List{Elems: []Value{NewTuple(Int(1)), NewTuple(Str("x"))}}
+	if _, err := reg.TypeOf(Literal(bad)); err == nil {
+		t.Error("heterogeneous tuple list accepted")
+	}
+	// Nested container in tuple field.
+	nested := NewTuple(Int(1), NewIntList(2))
+	if _, err := reg.TypeOf(Literal(&List{Elems: []Value{nested}})); err == nil {
+		t.Error("container field accepted")
+	}
+}
+
+func TestTopNByRanksDocuments(t *testing.T) {
+	ev := NewEvaluator(NewRegistry())
+	docs := rankedList(
+		[2]int64{10, 30}, [2]int64{11, 90}, [2]int64{12, 55},
+		[2]int64{13, 90}, [2]int64{14, 10},
+	)
+	got, err := ev.Eval(TopNByL(Literal(docs), 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Descending by score; equal scores keep input order (doc 11 before 13).
+	want := rankedList([2]int64{11, 90}, [2]int64{13, 90}, [2]int64{12, 55})
+	if !Equal(got, want) {
+		t.Errorf("topnby = %s, want %s", got, want)
+	}
+}
+
+func TestProjectFieldAndSelectBy(t *testing.T) {
+	ev := NewEvaluator(NewRegistry())
+	docs := rankedList([2]int64{10, 30}, [2]int64{11, 90}, [2]int64{12, 55})
+	ids, err := ev.Eval(ProjectFieldL(Literal(docs), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(ids, NewIntList(10, 11, 12)) {
+		t.Errorf("ids = %s", ids)
+	}
+	hits, err := ev.Eval(SelectByL(Literal(docs), 1, Int(40), Int(95)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rankedList([2]int64{11, 90}, [2]int64{12, 55})
+	if !Equal(hits, want) {
+		t.Errorf("selectby = %s, want %s", hits, want)
+	}
+}
+
+// TestProjectThroughTopNByRule verifies the new logical rule preserves
+// semantics and is applied by the optimizer. (The optimizer lives in its
+// own package; here we check the algebraic identity the rule relies on.)
+func TestProjectThroughTopNByIdentity(t *testing.T) {
+	rng := xrand.New(811)
+	reg := NewRegistry()
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(30)
+		pairs := make([][2]int64, n)
+		for i := range pairs {
+			pairs[i] = [2]int64{int64(i), int64(rng.Intn(50))}
+		}
+		docs := Literal(rankedList(pairs...))
+		k := int64(rng.Intn(10))
+		ev := NewEvaluator(reg)
+		a, err := ev.Eval(ProjectFieldL(TopNByL(docs, 1, k), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ev.Eval(TopNL(ProjectFieldL(docs, 1), k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(a, b) {
+			t.Fatalf("trial %d: identity broken: %s vs %s", trial, a, b)
+		}
+	}
+}
+
+func TestTupleEquality(t *testing.T) {
+	a := NewTuple(Int(1), Str("x"))
+	b := NewTuple(Int(1), Str("x"))
+	c := NewTuple(Int(1), Str("y"))
+	if !Equal(a, b) {
+		t.Error("equal tuples not equal")
+	}
+	if Equal(a, c) {
+		t.Error("different tuples equal")
+	}
+	if Equal(a, NewTuple(Int(1))) {
+		t.Error("different arity equal")
+	}
+	// Bags of tuples: canonical comparison must not panic.
+	bag1 := &Bag{Elems: []Value{a, c}}
+	bag2 := &Bag{Elems: []Value{c, b}}
+	if !Equal(bag1, bag2) {
+		t.Error("tuple bags should compare as multisets")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := NewTuple(Int(7), Float(0.5))
+	if tp.String() != "(7, 0.5)" {
+		t.Errorf("String = %s", tp.String())
+	}
+	if tp.Kind() != KindTuple {
+		t.Error("wrong kind")
+	}
+	if KindTuple.Atomic() {
+		t.Error("tuple must not be atomic")
+	}
+}
+
+func TestTupleEvalErrors(t *testing.T) {
+	ev := NewEvaluator(NewRegistry())
+	// topnby over non-tuples fails dynamically too.
+	if _, err := ev.Eval(NewExpr("list.topnby", []Value{Int(0), Int(1)}, Literal(NewIntList(1)))); err == nil {
+		t.Error("dynamic non-tuple input accepted")
+	}
+	// Negative count.
+	docs := Literal(rankedList([2]int64{1, 2}))
+	if _, err := ev.Eval(NewExpr("list.topnby", []Value{Int(0), Int(-1)}, docs)); err == nil {
+		t.Error("negative count accepted")
+	}
+}

@@ -1,0 +1,280 @@
+// Package moa implements a structured object algebra in the style of Moa
+// [BWK98], the extensible algebra the paper targets: a small set of
+// structure extensions (ATOMIC, TUPLE, LIST, BAG, SET), each contributing
+// its own operators to a shared registry, with typed expression trees
+// evaluated by an instrumented interpreter.
+//
+// The package is the substrate for Step 2 of the paper: the inter-object
+// optimizer rewrites expressions that nest operators from *different*
+// extensions (the select/projecttobag of Example 1), and the intra-object
+// (E-ADT style) optimizers replace an extension's logical operators with
+// cheaper physical variants (binary-search select on sorted lists). The
+// evaluator counts element visits and comparisons so experiments can
+// demonstrate the rewrites' effect without resorting to wall-clock noise.
+package moa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies a structure extension. Each container kind corresponds
+// to one extension registered in the operator registry.
+type Kind uint8
+
+// The structure kinds of the algebra.
+const (
+	KindInvalid Kind = iota
+	KindInt          // ATOMIC integer
+	KindFloat        // ATOMIC float
+	KindStr          // ATOMIC string
+	KindList         // LIST: ordered, duplicates allowed
+	KindBag          // BAG: unordered, duplicates allowed
+	KindSet          // SET: unordered, no duplicates
+	KindTuple        // TUPLE: fixed-arity record of atomics
+)
+
+// String returns the Moa-style name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLT"
+	case KindStr:
+		return "STR"
+	case KindList:
+		return "LIST"
+	case KindBag:
+		return "BAG"
+	case KindSet:
+		return "SET"
+	case KindTuple:
+		return "TUPLE"
+	default:
+		return "INVALID"
+	}
+}
+
+// Atomic reports whether the kind is a scalar.
+func (k Kind) Atomic() bool { return k == KindInt || k == KindFloat || k == KindStr }
+
+// Value is an algebra value: an atomic or a container of values.
+type Value interface {
+	Kind() Kind
+	String() string
+}
+
+// Int is the ATOMIC integer value.
+type Int int64
+
+// Kind implements Value.
+func (Int) Kind() Kind { return KindInt }
+
+// String implements Value.
+func (v Int) String() string { return fmt.Sprintf("%d", int64(v)) }
+
+// Float is the ATOMIC float value.
+type Float float64
+
+// Kind implements Value.
+func (Float) Kind() Kind { return KindFloat }
+
+// String implements Value.
+func (v Float) String() string { return fmt.Sprintf("%g", float64(v)) }
+
+// Str is the ATOMIC string value.
+type Str string
+
+// Kind implements Value.
+func (Str) Kind() Kind { return KindStr }
+
+// String implements Value.
+func (v Str) String() string { return fmt.Sprintf("%q", string(v)) }
+
+// List is the LIST structure: an ordered sequence with duplicates. Order
+// is semantically significant — the property the inter-object optimizer
+// exploits.
+type List struct {
+	Elems []Value
+}
+
+// Kind implements Value.
+func (*List) Kind() Kind { return KindList }
+
+// String implements Value.
+func (l *List) String() string { return "[" + joinValues(l.Elems) + "]" }
+
+// Bag is the BAG structure: duplicates allowed, order formally absent.
+// The representation keeps an order for determinism, but no operator's
+// semantics may depend on it.
+type Bag struct {
+	Elems []Value
+}
+
+// Kind implements Value.
+func (*Bag) Kind() Kind { return KindBag }
+
+// String implements Value. Elements print in canonical (sorted) order so
+// equal bags print equally.
+func (b *Bag) String() string {
+	canon := append([]Value(nil), b.Elems...)
+	sortValues(canon)
+	return "{" + joinValues(canon) + "}"
+}
+
+// Set is the SET structure: no duplicates, no order.
+type Set struct {
+	Elems []Value // invariant: no two compare equal
+}
+
+// Kind implements Value.
+func (*Set) Kind() Kind { return KindSet }
+
+// String implements Value.
+func (s *Set) String() string {
+	canon := append([]Value(nil), s.Elems...)
+	sortValues(canon)
+	return "<" + joinValues(canon) + ">"
+}
+
+func joinValues(vs []Value) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Compare orders two atomic values of the same kind: -1, 0, +1. It returns
+// an error for containers or mismatched kinds; the algebra's range
+// operators are defined only over comparable atomics.
+func Compare(a, b Value) (int, error) {
+	if a.Kind() != b.Kind() {
+		return 0, fmt.Errorf("moa: cannot compare %s with %s", a.Kind(), b.Kind())
+	}
+	switch x := a.(type) {
+	case Int:
+		y := b.(Int)
+		switch {
+		case x < y:
+			return -1, nil
+		case x > y:
+			return 1, nil
+		}
+		return 0, nil
+	case Float:
+		y := b.(Float)
+		switch {
+		case x < y:
+			return -1, nil
+		case x > y:
+			return 1, nil
+		}
+		return 0, nil
+	case Str:
+		return strings.Compare(string(x), string(b.(Str))), nil
+	default:
+		return 0, fmt.Errorf("moa: %s values are not comparable", a.Kind())
+	}
+}
+
+// mustCompare is Compare for callers that have already type-checked.
+func mustCompare(a, b Value) int {
+	c, err := Compare(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// sortValues orders values for canonical printing and multiset
+// comparison: atomics by Compare, anything else (tuples) by rendered
+// string, which is stable and total.
+func sortValues(vs []Value) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		if c, err := Compare(vs[i], vs[j]); err == nil {
+			return c < 0
+		}
+		return vs[i].String() < vs[j].String()
+	})
+}
+
+// Equal reports deep semantic equality: lists compare in order, bags and
+// sets as multisets/sets.
+func Equal(a, b Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case Int, Float, Str:
+		return a == b
+	case *List:
+		y := b.(*List)
+		if len(x.Elems) != len(y.Elems) {
+			return false
+		}
+		for i := range x.Elems {
+			if !Equal(x.Elems[i], y.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case *Bag:
+		return multisetEqual(x.Elems, b.(*Bag).Elems)
+	case *Set:
+		return multisetEqual(x.Elems, b.(*Set).Elems)
+	case *Tuple:
+		return tupleEqual(x, b.(*Tuple))
+	default:
+		return false
+	}
+}
+
+func multisetEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca := append([]Value(nil), a...)
+	cb := append([]Value(nil), b...)
+	sortValues(ca)
+	sortValues(cb)
+	for i := range ca {
+		if !Equal(ca[i], cb[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSortedAsc reports whether a list's elements are in non-decreasing
+// order. It is the runtime ground truth behind the optimizer's static
+// sortedness property.
+func IsSortedAsc(l *List) bool {
+	for i := 1; i < len(l.Elems); i++ {
+		if mustCompare(l.Elems[i-1], l.Elems[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewIntList builds a LIST of Ints — a convenience for tests and examples
+// mirroring the paper's Example 1 notation.
+func NewIntList(xs ...int64) *List {
+	l := &List{Elems: make([]Value, len(xs))}
+	for i, x := range xs {
+		l.Elems[i] = Int(x)
+	}
+	return l
+}
+
+// NewIntBag builds a BAG of Ints.
+func NewIntBag(xs ...int64) *Bag {
+	b := &Bag{Elems: make([]Value, len(xs))}
+	for i, x := range xs {
+		b.Elems[i] = Int(x)
+	}
+	return b
+}

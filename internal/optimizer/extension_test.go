@@ -1,0 +1,101 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/moa"
+)
+
+// TestCustomExtensionRule verifies the extensibility story the paper's
+// architecture depends on: a new extension can register an operator and
+// contribute its own rewrite rule, and the optimizer applies it alongside
+// the built-in layers.
+func TestCustomExtensionRule(t *testing.T) {
+	reg := moa.NewRegistry()
+	// A toy "stats" extension with a sum over lists.
+	err := reg.Register(&moa.OpDef{
+		Name: "stats.sum", Extension: "stats", NumChildren: 1, NumParams: 0,
+		ResultType: func(children []moa.Type, _ []moa.Value) (moa.Type, error) {
+			return moa.Type{Kind: moa.KindInt}, nil
+		},
+		Eval: func(ev *moa.Evaluator, args, _ []moa.Value) (moa.Value, error) {
+			l := args[0].(*moa.List)
+			var s int64
+			for _, e := range l.Elems {
+				s += int64(e.(moa.Int))
+			}
+			return moa.Int(s), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := New(reg)
+	// Inter-object rule contributed by the extension: summing a sorted
+	// list is the same as summing the unsorted one — elide the sort.
+	opt.AddRule(Rule{
+		Name:  "stats-sum-ignores-order",
+		Layer: LayerInterObject,
+		Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+			if e.Op != "stats.sum" || e.Children[0].Op != "list.sort" {
+				return nil, false
+			}
+			return moa.NewExpr("stats.sum", nil, e.Children[0].Children[0]), true
+		},
+	})
+	lit := moa.Literal(moa.NewIntList(3, 1, 2))
+	expr := moa.NewExpr("stats.sum", nil, moa.SortL(lit))
+	optimized, traces, err := opt.Optimize(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.Children[0].Op != moa.OpLit {
+		t.Fatalf("custom rule not applied: %s", optimized)
+	}
+	found := false
+	for _, tr := range traces {
+		if tr.Rule == "stats-sum-ignores-order" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("custom rule missing from trace")
+	}
+	ev := moa.NewEvaluator(reg)
+	v, err := ev.Eval(optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != moa.Int(6) {
+		t.Errorf("sum = %s", v)
+	}
+}
+
+// TestStringListSelect exercises the algebra's STR atomics end to end:
+// range selection over strings, pushdown, and binary search on a sorted
+// string list.
+func TestStringListSelect(t *testing.T) {
+	reg := moa.NewRegistry()
+	opt := New(reg)
+	l := &moa.List{Elems: []moa.Value{
+		moa.Str("apple"), moa.Str("banana"), moa.Str("cherry"), moa.Str("date"),
+	}}
+	expr := moa.SelectB(moa.ProjectToBag(moa.Literal(l)), moa.Str("b"), moa.Str("d"))
+	optimized, _, err := opt.Optimize(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The literal is sorted, so the full chain should fire.
+	if optimized.Children[0].Op != "list.select.binsearch" {
+		t.Fatalf("plan = %s", optimized)
+	}
+	ev := moa.NewEvaluator(reg)
+	got, err := ev.Eval(optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &moa.Bag{Elems: []moa.Value{moa.Str("banana"), moa.Str("cherry")}}
+	if !moa.Equal(got, want) {
+		t.Errorf("result = %s, want %s", got, want)
+	}
+}

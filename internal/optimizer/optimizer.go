@@ -1,0 +1,146 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/moa"
+)
+
+// Trace records one applied rewrite for explain output.
+type Trace struct {
+	Rule   string
+	Layer  Layer
+	Before string
+	After  string
+}
+
+// Optimizer rewrites algebra expressions to cheaper equivalents using the
+// three-layer rule architecture of the paper.
+type Optimizer struct {
+	Reg   *moa.Registry
+	Props *Props
+	rules []Rule
+	// MaxPasses bounds fixpoint iteration; the default comfortably covers
+	// every rule chain the built-in set can produce.
+	MaxPasses int
+}
+
+// New returns an optimizer over reg with the default rule set.
+func New(reg *moa.Registry) *Optimizer {
+	return &Optimizer{
+		Reg:       reg,
+		Props:     &Props{Reg: reg},
+		rules:     DefaultRules(),
+		MaxPasses: 16,
+	}
+}
+
+// AddRule appends a custom rule (an extension registering its own
+// optimizations, in Moa's spirit).
+func (o *Optimizer) AddRule(r Rule) { o.rules = append(o.rules, r) }
+
+// Rules returns the rules of one layer, preserving order.
+func (o *Optimizer) Rules(layer Layer) []Rule {
+	var out []Rule
+	for _, r := range o.rules {
+		if r.Layer == layer {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Optimize rewrites e to a fixpoint and returns the result with the
+// rewrite trace. The input tree is not modified. The result is always
+// type-correct: Optimize type-checks the final tree and fails loudly if a
+// rule produced an ill-typed plan (a rule bug, never a user error).
+func (o *Optimizer) Optimize(e *moa.Expr) (*moa.Expr, []Trace, error) {
+	if _, err := o.Reg.TypeOf(e); err != nil {
+		return nil, nil, fmt.Errorf("optimizer: input does not type-check: %w", err)
+	}
+	cur := e.Clone()
+	var traces []Trace
+	// Layer order per the paper: logical, inter-object, intra-object.
+	// Looping over the whole sequence lets an inter-object rewrite expose
+	// new logical opportunities and vice versa.
+	for pass := 0; pass < o.MaxPasses; pass++ {
+		changed := false
+		for _, layer := range []Layer{LayerLogical, LayerInterObject, LayerIntraObject} {
+			next, layerTraces := o.applyLayer(cur, layer)
+			if len(layerTraces) > 0 {
+				changed = true
+				traces = append(traces, layerTraces...)
+				cur = next
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if _, err := o.Reg.TypeOf(cur); err != nil {
+		return nil, traces, fmt.Errorf("optimizer: produced ill-typed plan %s: %w", cur, err)
+	}
+	return cur, traces, nil
+}
+
+// applyLayer rewrites bottom-up with the rules of a single layer until
+// that layer reaches a local fixpoint.
+func (o *Optimizer) applyLayer(e *moa.Expr, layer Layer) (*moa.Expr, []Trace) {
+	rules := o.Rules(layer)
+	var traces []Trace
+	for {
+		next, tr := o.rewriteOnce(e, rules)
+		if tr == nil {
+			return e, traces
+		}
+		traces = append(traces, *tr)
+		e = next
+	}
+}
+
+// rewriteOnce performs the first matching rewrite found in a bottom-up
+// traversal, returning the new tree. It returns a nil trace when nothing
+// matched.
+func (o *Optimizer) rewriteOnce(e *moa.Expr, rules []Rule) (*moa.Expr, *Trace) {
+	// Recurse into children first (bottom-up).
+	for i, c := range e.Children {
+		nc, tr := o.rewriteOnce(c, rules)
+		if tr != nil {
+			out := shallowCopy(e)
+			out.Children[i] = nc
+			return out, tr
+		}
+	}
+	for _, r := range rules {
+		if next, ok := r.Apply(e, o.Props); ok {
+			return next, &Trace{
+				Rule:   r.Name,
+				Layer:  r.Layer,
+				Before: e.String(),
+				After:  next.String(),
+			}
+		}
+	}
+	return e, nil
+}
+
+// shallowCopy duplicates a node, sharing grandchildren.
+func shallowCopy(e *moa.Expr) *moa.Expr {
+	out := &moa.Expr{Op: e.Op, Lit: e.Lit}
+	out.Params = append([]moa.Value(nil), e.Params...)
+	out.Children = append([]*moa.Expr(nil), e.Children...)
+	return out
+}
+
+// Explain renders a rewrite trace as indented text for the shell and the
+// examples.
+func Explain(traces []Trace) string {
+	if len(traces) == 0 {
+		return "(no rewrites applied)\n"
+	}
+	out := ""
+	for i, t := range traces {
+		out += fmt.Sprintf("%2d. [%s] %s\n      %s\n   -> %s\n", i+1, t.Layer, t.Rule, t.Before, t.After)
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/moa"
+	"repro/internal/xrand"
+)
+
+func newOpt() (*Optimizer, *moa.Registry) {
+	reg := moa.NewRegistry()
+	return New(reg), reg
+}
+
+func mustEval(t *testing.T, reg *moa.Registry, e *moa.Expr) (moa.Value, moa.Counters) {
+	t.Helper()
+	ev := moa.NewEvaluator(reg)
+	v, err := ev.Eval(e)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e, err)
+	}
+	return v, ev.Counters
+}
+
+// TestExample1EndToEnd is the paper's Example 1 run through the optimizer:
+// the inter-object layer commutes select with projecttobag, and — because
+// the literal list is sorted — the intra-object layer then picks the
+// binary-search select.
+func TestExample1EndToEnd(t *testing.T) {
+	opt, reg := newOpt()
+	l := moa.Literal(moa.NewIntList(1, 2, 3, 4, 4, 5))
+	orig := moa.SelectB(moa.ProjectToBag(l), moa.Int(2), moa.Int(4))
+
+	optimized, traces, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect the exact plan shape from the paper (plus physical select).
+	if optimized.Op != "list.projecttobag" {
+		t.Fatalf("root = %s, want list.projecttobag; plan: %s", optimized.Op, optimized)
+	}
+	if optimized.Children[0].Op != "list.select.binsearch" {
+		t.Fatalf("inner = %s, want list.select.binsearch; plan: %s", optimized.Children[0].Op, optimized)
+	}
+	// Both layers must appear in the trace.
+	var sawInter, sawIntra bool
+	for _, tr := range traces {
+		if tr.Layer == LayerInterObject {
+			sawInter = true
+		}
+		if tr.Layer == LayerIntraObject {
+			sawIntra = true
+		}
+	}
+	if !sawInter || !sawIntra {
+		t.Errorf("trace missing layers: inter=%v intra=%v\n%s", sawInter, sawIntra, Explain(traces))
+	}
+	// Semantics preserved.
+	want, _ := mustEval(t, reg, orig)
+	got, _ := mustEval(t, reg, optimized)
+	if !moa.Equal(got, want) {
+		t.Fatalf("optimized result %s != original %s", got, want)
+	}
+	if !moa.Equal(got, moa.NewIntBag(2, 3, 4, 4)) {
+		t.Fatalf("result = %s, want {2, 3, 4, 4}", got)
+	}
+}
+
+func TestExample1WorkReduction(t *testing.T) {
+	opt, reg := newOpt()
+	xs := make([]int64, 20000)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	l := moa.Literal(moa.NewIntList(xs...))
+	orig := moa.SelectB(moa.ProjectToBag(l), moa.Int(100), moa.Int(200))
+	optimized, _, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, before := mustEval(t, reg, orig)
+	_, after := mustEval(t, reg, optimized)
+	// The original converts all n elements to a bag and scans them; the
+	// optimized plan binary-searches and converts only the selected range.
+	if after.ElementsVisited*50 > before.ElementsVisited {
+		t.Errorf("visits: %d -> %d; expected a large reduction", before.ElementsVisited, after.ElementsVisited)
+	}
+	if after.Comparisons*50 > before.Comparisons {
+		t.Errorf("comparisons: %d -> %d; expected a large reduction", before.Comparisons, after.Comparisons)
+	}
+}
+
+func TestUnsortedInputSkipsPhysicalRule(t *testing.T) {
+	opt, _ := newOpt()
+	l := moa.Literal(moa.NewIntList(5, 1, 4, 2))
+	orig := moa.SelectB(moa.ProjectToBag(l), moa.Int(1), moa.Int(4))
+	optimized, _, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inter-object pushdown still applies, but the select must remain the
+	// scanning variant because the list is not sorted.
+	if optimized.Children[0].Op != "list.select" {
+		t.Fatalf("plan %s uses %s on an unsorted list", optimized, optimized.Children[0].Op)
+	}
+}
+
+func TestSortEstablishesProperty(t *testing.T) {
+	opt, reg := newOpt()
+	l := moa.Literal(moa.NewIntList(5, 1, 4, 2))
+	orig := moa.SelectL(moa.SortL(l), moa.Int(1), moa.Int(4))
+	optimized, _, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.Op != "list.select.binsearch" {
+		t.Fatalf("plan %s: select above sort should become binsearch", optimized)
+	}
+	want, _ := mustEval(t, reg, orig)
+	got, _ := mustEval(t, reg, optimized)
+	if !moa.Equal(got, want) {
+		t.Fatal("semantics changed")
+	}
+}
+
+func TestMergeSelects(t *testing.T) {
+	opt, reg := newOpt()
+	l := moa.Literal(moa.NewIntList(1, 2, 3, 4, 5, 6, 7, 8))
+	orig := moa.SelectL(moa.SelectL(l, moa.Int(2), moa.Int(7)), moa.Int(4), moa.Int(9))
+	optimized, traces, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range traces {
+		if tr.Rule == "merge-selects" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("merge-selects not applied:\n%s", Explain(traces))
+	}
+	want, _ := mustEval(t, reg, orig)
+	got, _ := mustEval(t, reg, optimized)
+	if !moa.Equal(got, want) {
+		t.Fatalf("merge changed semantics: %s vs %s", got, want)
+	}
+	if !moa.Equal(got, moa.NewIntList(4, 5, 6, 7)) {
+		t.Fatalf("result = %s", got)
+	}
+}
+
+func TestIdempotentSortElision(t *testing.T) {
+	opt, _ := newOpt()
+	l := moa.Literal(moa.NewIntList(3, 1, 2))
+	orig := moa.SortL(moa.SortL(l))
+	optimized, _, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sort(sort(x)) collapses; one sort remains (x unsorted).
+	if optimized.Op != "list.sort" || optimized.Children[0].Op != moa.OpLit {
+		t.Fatalf("plan = %s, want single sort over literal", optimized)
+	}
+}
+
+func TestElideSortOnSorted(t *testing.T) {
+	opt, _ := newOpt()
+	l := moa.Literal(moa.NewIntList(1, 2, 3))
+	optimized, _, err := opt.Optimize(moa.SortL(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.Op != moa.OpLit {
+		t.Fatalf("sort over sorted literal not elided: %s", optimized)
+	}
+}
+
+func TestCountThroughConversions(t *testing.T) {
+	opt, reg := newOpt()
+	l := moa.Literal(moa.NewIntList(1, 2, 2, 3))
+	orig := moa.CountB(moa.ProjectToBag(l))
+	optimized, _, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.Op != "list.count" {
+		t.Fatalf("plan = %s, want list.count", optimized)
+	}
+	got, after := mustEval(t, reg, optimized)
+	if got != moa.Int(4) {
+		t.Fatalf("count = %s", got)
+	}
+	if after.ElementsVisited != 0 {
+		t.Errorf("count after elision visited %d elements, want 0", after.ElementsVisited)
+	}
+}
+
+func TestTopNPushdown(t *testing.T) {
+	opt, reg := newOpt()
+	l := moa.Literal(moa.NewIntList(4, 8, 1, 9, 3))
+	orig := moa.TopNB(moa.ProjectToBag(l), 2)
+	optimized, _, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.Op != "list.topn" {
+		t.Fatalf("plan = %s, want list.topn", optimized)
+	}
+	want, _ := mustEval(t, reg, orig)
+	got, _ := mustEval(t, reg, optimized)
+	if !moa.Equal(got, want) {
+		t.Fatalf("pushdown changed semantics: %s vs %s", got, want)
+	}
+}
+
+func TestTopNOnSortedUsesSuffix(t *testing.T) {
+	opt, reg := newOpt()
+	l := moa.Literal(moa.NewIntList(9, 4, 6, 2))
+	orig := moa.TopNL(moa.SortL(l), 2)
+	optimized, _, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.Op != "list.topn.sorted" {
+		t.Fatalf("plan = %s, want list.topn.sorted over sort", optimized)
+	}
+	want, _ := mustEval(t, reg, orig)
+	got, _ := mustEval(t, reg, optimized)
+	if !moa.Equal(got, want) {
+		t.Fatalf("%s vs %s", got, want)
+	}
+}
+
+func TestOptimizeRejectsIllTyped(t *testing.T) {
+	opt, _ := newOpt()
+	bad := moa.SelectL(moa.Literal(moa.NewIntBag(1)), moa.Int(0), moa.Int(1))
+	if _, _, err := opt.Optimize(bad); err == nil {
+		t.Error("ill-typed input optimized")
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	opt, _ := newOpt()
+	l := moa.Literal(moa.NewIntList(1, 2, 3))
+	orig := moa.SelectB(moa.ProjectToBag(l), moa.Int(1), moa.Int(2))
+	snapshot := orig.Clone()
+	if _, _, err := opt.Optimize(orig); err != nil {
+		t.Fatal(err)
+	}
+	if !moa.DeepEqual(orig, snapshot) {
+		t.Error("Optimize mutated its input")
+	}
+}
+
+func TestExplainFormat(t *testing.T) {
+	opt, _ := newOpt()
+	l := moa.Literal(moa.NewIntList(1, 2, 3))
+	_, traces, err := opt.Optimize(moa.SelectB(moa.ProjectToBag(l), moa.Int(1), moa.Int(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Explain(traces)
+	if !strings.Contains(text, "inter-object") || !strings.Contains(text, "pushdown-select-projecttobag") {
+		t.Errorf("explain output missing expected content:\n%s", text)
+	}
+	if Explain(nil) != "(no rewrites applied)\n" {
+		t.Error("empty trace rendering")
+	}
+}
+
+// genExpr builds a random type-correct expression over INT containers and
+// returns it. Depth bounds recursion.
+func genExpr(rng *xrand.RNG, depth int) *moa.Expr {
+	// Random literal list, sometimes sorted.
+	n := rng.Intn(30)
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(rng.Intn(50))
+	}
+	lit := moa.NewIntList(xs...)
+	e := moa.Literal(lit)
+	kind := moa.KindList
+	for d := 0; d < depth; d++ {
+		lo := moa.Int(int64(rng.Intn(50)))
+		hi := moa.Int(int64(rng.Intn(50)))
+		switch kind {
+		case moa.KindList:
+			switch rng.Intn(6) {
+			case 0:
+				e = moa.SelectL(e, lo, hi)
+			case 1:
+				e = moa.SortL(e)
+			case 2:
+				e = moa.TopNL(e, int64(rng.Intn(10)))
+			case 3:
+				e = moa.ProjectToBag(e)
+				kind = moa.KindBag
+			case 4:
+				e = moa.SelectL(moa.SortL(e), lo, hi)
+			case 5:
+				e = moa.TopNL(moa.SortL(e), int64(rng.Intn(10)))
+			}
+		case moa.KindBag:
+			switch rng.Intn(4) {
+			case 0:
+				e = moa.SelectB(e, lo, hi)
+			case 1:
+				e = moa.ToListB(e)
+				kind = moa.KindList
+			case 2:
+				e = moa.ToSetB(e)
+				kind = moa.KindSet
+			case 3:
+				e = moa.TopNB(e, int64(rng.Intn(10)))
+				kind = moa.KindList
+			}
+		case moa.KindSet:
+			switch rng.Intn(2) {
+			case 0:
+				e = moa.SelectS(e, lo, hi)
+			case 1:
+				e = moa.ToListS(e)
+				kind = moa.KindList
+			}
+		}
+	}
+	return e
+}
+
+// TestRandomizedSemanticPreservation optimizes random expressions and
+// checks the result value never changes — the safety property every rule
+// must uphold.
+func TestRandomizedSemanticPreservation(t *testing.T) {
+	rng := xrand.New(2024)
+	opt, reg := newOpt()
+	for trial := 0; trial < 400; trial++ {
+		e := genExpr(rng, 1+rng.Intn(5))
+		if _, err := reg.TypeOf(e); err != nil {
+			t.Fatalf("generator produced ill-typed expression %s: %v", e, err)
+		}
+		optimized, traces, err := opt.Optimize(e)
+		if err != nil {
+			t.Fatalf("trial %d: optimize %s: %v", trial, e, err)
+		}
+		want, _ := mustEval(t, reg, e)
+		got, _ := mustEval(t, reg, optimized)
+		if !moa.Equal(got, want) {
+			t.Fatalf("trial %d: %s\noptimized to %s\nresult %s != %s\ntrace:\n%s",
+				trial, e, optimized, got, want, Explain(traces))
+		}
+	}
+}
+
+// TestRandomizedWorkNeverIncreasesMuch verifies the optimizer's rewrites
+// do not pessimize: total logical work of the optimized plan must not
+// exceed the original beyond a small constant slack (binary search on very
+// short lists can cost a few extra comparisons).
+func TestRandomizedWorkNeverIncreasesMuch(t *testing.T) {
+	rng := xrand.New(77)
+	opt, reg := newOpt()
+	for trial := 0; trial < 200; trial++ {
+		e := genExpr(rng, 1+rng.Intn(4))
+		optimized, _, err := opt.Optimize(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, before := mustEval(t, reg, e)
+		_, after := mustEval(t, reg, optimized)
+		workBefore := before.ElementsVisited + before.Comparisons
+		workAfter := after.ElementsVisited + after.Comparisons
+		if workAfter > workBefore+64 {
+			t.Fatalf("trial %d: work grew %d -> %d\n%s\n-> %s", trial, workBefore, workAfter, e, optimized)
+		}
+	}
+}

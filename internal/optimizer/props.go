@@ -1,0 +1,57 @@
+// Package optimizer implements the paper's Step 2: a three-layer
+// rewriting optimizer for the Moa algebra.
+//
+// The layers, from the paper:
+//
+//   - the general logical layer applies algebra-wide rules that need no
+//     knowledge of specific extensions (selection merging, idempotent
+//     sorts, constant folding of counts);
+//   - the *inter-object* layer — the paper's novel contribution — rewrites
+//     nestings of operators from distinct extensions, such as Example 1's
+//     select∘projecttobag commutation, which no per-extension optimizer
+//     (including PREDATOR's E-ADTs) can see;
+//   - the intra-object layer plays the role of E-ADT optimizers: within
+//     one extension it replaces logical operators by cheaper physical
+//     variants whose preconditions (sortedness) it can prove.
+//
+// Rewrites never change results: every rule preserves value semantics, and
+// the test suite verifies this property on randomized expressions.
+package optimizer
+
+import (
+	"repro/internal/moa"
+)
+
+// Props derives static physical properties of expressions. Property
+// derivation is the knowledge the intra-object layer needs that the type
+// system does not carry — here, whether a (sub)expression is guaranteed to
+// produce an ascending-sorted LIST.
+type Props struct {
+	Reg *moa.Registry
+}
+
+// SortedAsc reports whether e provably yields a LIST sorted ascending by
+// value. The derivation is conservative: false means "unknown", and only
+// operators whose contracts guarantee order propagate it.
+func (p *Props) SortedAsc(e *moa.Expr) bool {
+	switch e.Op {
+	case moa.OpLit:
+		l, ok := e.Lit.(*moa.List)
+		return ok && moa.IsSortedAsc(l)
+	case "list.sort":
+		// Sorting establishes the property unconditionally.
+		return true
+	case "set.tolist":
+		// The SET extension defines its list projection as value-sorted.
+		return true
+	case "list.select", "list.select.binsearch":
+		// Range selection preserves relative order, hence sortedness.
+		return p.SortedAsc(e.Children[0])
+	case "list.concat":
+		// Concatenation of sorted lists is sorted only if provably
+		// boundary-compatible, which we cannot see statically.
+		return false
+	default:
+		return false
+	}
+}

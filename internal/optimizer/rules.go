@@ -1,0 +1,272 @@
+package optimizer
+
+import (
+	"repro/internal/moa"
+)
+
+// Layer identifies which optimizer layer a rule belongs to. Layers run in
+// the order the paper prescribes: general logical rules first, then the
+// inter-object layer, then intra-object physical selection.
+type Layer int
+
+// The optimizer layers.
+const (
+	LayerLogical Layer = iota
+	LayerInterObject
+	LayerIntraObject
+)
+
+// String names the layer for rewrite traces.
+func (l Layer) String() string {
+	switch l {
+	case LayerLogical:
+		return "logical"
+	case LayerInterObject:
+		return "inter-object"
+	case LayerIntraObject:
+		return "intra-object"
+	default:
+		return "unknown"
+	}
+}
+
+// Rule is one rewrite. Apply inspects the root of e and, on match, returns
+// the replacement tree and true. Children have already been optimized when
+// Apply runs (bottom-up application); rules must not mutate e.
+type Rule struct {
+	Name  string
+	Layer Layer
+	Apply func(e *moa.Expr, p *Props) (*moa.Expr, bool)
+}
+
+// minValue/maxValue pick bound intersections for select-select merging.
+func maxValue(a, b moa.Value) moa.Value {
+	if moa.Equal(a, b) {
+		return a
+	}
+	if c, err := moa.Compare(a, b); err == nil && c >= 0 {
+		return a
+	}
+	return b
+}
+
+func minValue(a, b moa.Value) moa.Value {
+	if moa.Equal(a, b) {
+		return a
+	}
+	if c, err := moa.Compare(a, b); err == nil && c <= 0 {
+		return a
+	}
+	return b
+}
+
+// DefaultRules returns the built-in rule set of all three layers.
+func DefaultRules() []Rule {
+	return []Rule{
+		// ---- General logical layer -----------------------------------
+
+		{
+			// select(select(x, a, b), c, d) → select(x, max(a,c), min(b,d))
+			// within any one extension that has a range select.
+			Name: "merge-selects", Layer: LayerLogical,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if !isRangeSelect(e.Op) || len(e.Children) != 1 {
+					return nil, false
+				}
+				c := e.Children[0]
+				if c.Op != e.Op {
+					return nil, false
+				}
+				lo := maxValue(e.Params[0], c.Params[0])
+				hi := minValue(e.Params[1], c.Params[1])
+				return moa.NewExpr(e.Op, []moa.Value{lo, hi}, c.Children[0]), true
+			},
+		},
+		{
+			// sort(sort(x)) → sort(x).
+			Name: "idempotent-sort", Layer: LayerLogical,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if e.Op == "list.sort" && e.Children[0].Op == "list.sort" {
+					return e.Children[0], true
+				}
+				return nil, false
+			},
+		},
+		{
+			// projectfield(topnby(x, f, n), f) → topn(projectfield(x, f), n):
+			// extracting the ranking key of a by-field top-N equals the
+			// plain top-N over the extracted keys. The rewrite moves work
+			// from tuple space into atomic space, where the intra-object
+			// layer has cheaper physical operators.
+			Name: "project-through-topnby", Layer: LayerLogical,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if e.Op != "list.projectfield" || e.Children[0].Op != "list.topnby" {
+					return nil, false
+				}
+				inner := e.Children[0]
+				if !moa.Equal(e.Params[0], inner.Params[0]) {
+					return nil, false // different field: keep the tuple top-N
+				}
+				proj := moa.NewExpr("list.projectfield", []moa.Value{e.Params[0]}, inner.Children[0])
+				return moa.NewExpr("list.topn", []moa.Value{inner.Params[1]}, proj), true
+			},
+		},
+		{
+			// topn(topn(x, a), b) → topn(x, min(a,b)) in the same extension.
+			Name: "merge-topn", Layer: LayerLogical,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if e.Op != "list.topn" || e.Children[0].Op != "list.topn" {
+					return nil, false
+				}
+				n := minValue(e.Params[0], e.Children[0].Params[0])
+				return moa.NewExpr("list.topn", []moa.Value{n}, e.Children[0].Children[0]), true
+			},
+		},
+
+		// ---- Inter-object layer (the paper's new contribution) -------
+
+		{
+			// Example 1: select(projecttobag(x), lo, hi) →
+			//            projecttobag(select(x, lo, hi)).
+			// The select moves from the BAG extension into the LIST
+			// extension below the structure conversion, where the list's
+			// ordering becomes exploitable by the intra-object layer.
+			Name: "pushdown-select-projecttobag", Layer: LayerInterObject,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if e.Op != "bag.select" || e.Children[0].Op != "list.projecttobag" {
+					return nil, false
+				}
+				inner := e.Children[0].Children[0]
+				sel := moa.NewExpr("list.select", e.Params, inner)
+				return moa.NewExpr("list.projecttobag", nil, sel), true
+			},
+		},
+		{
+			// select(tolist(x), lo, hi) → tolist(select(x, lo, hi)):
+			// the mirror rewrite from LIST into BAG. Selection commutes
+			// with the conversion because both sides filter the same
+			// multiset; pushing it down shrinks the converted volume.
+			Name: "pushdown-select-tolist", Layer: LayerInterObject,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if e.Op != "list.select" || e.Children[0].Op != "bag.tolist" {
+					return nil, false
+				}
+				inner := e.Children[0].Children[0]
+				sel := moa.NewExpr("bag.select", e.Params, inner)
+				return moa.NewExpr("bag.tolist", nil, sel), true
+			},
+		},
+		{
+			// select(toset(x), lo, hi) → toset(select(x, lo, hi)):
+			// SET/BAG variant; valid because range selection commutes with
+			// duplicate elimination.
+			Name: "pushdown-select-toset", Layer: LayerInterObject,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if e.Op != "set.select" || e.Children[0].Op != "bag.toset" {
+					return nil, false
+				}
+				inner := e.Children[0].Children[0]
+				sel := moa.NewExpr("bag.select", e.Params, inner)
+				return moa.NewExpr("bag.toset", nil, sel), true
+			},
+		},
+		{
+			// count(projecttobag(x)) → count(x): structure conversion
+			// preserves cardinality, so the conversion can be elided
+			// entirely — an inter-object rewrite PREDATOR-style E-ADTs
+			// cannot express because the two counts belong to different
+			// extensions.
+			Name: "count-through-projecttobag", Layer: LayerInterObject,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if e.Op != "bag.count" || e.Children[0].Op != "list.projecttobag" {
+					return nil, false
+				}
+				return moa.NewExpr("list.count", nil, e.Children[0].Children[0]), true
+			},
+		},
+		{
+			// count(tolist(x)) → count(x), the mirror image.
+			Name: "count-through-tolist", Layer: LayerInterObject,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if e.Op != "list.count" || e.Children[0].Op != "bag.tolist" {
+					return nil, false
+				}
+				return moa.NewExpr("bag.count", nil, e.Children[0].Children[0]), true
+			},
+		},
+		{
+			// topn(projecttobag(x), n) → topn(x, n): the paper's "special
+			// top N operators... can be seen as special select operators",
+			// pushed through structure conversion just like selects. The
+			// BAG top-N produces a LIST; the LIST top-N produces the same
+			// list directly.
+			Name: "pushdown-topn-projecttobag", Layer: LayerInterObject,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if e.Op != "bag.topn" || e.Children[0].Op != "list.projecttobag" {
+					return nil, false
+				}
+				inner := e.Children[0].Children[0]
+				return moa.NewExpr("list.topn", e.Params, inner), true
+			},
+		},
+		{
+			// topn(tolist(x), n) → topn(x, n): LIST top-N over a converted
+			// bag is the BAG extension's own top-N.
+			Name: "pushdown-topn-tolist", Layer: LayerInterObject,
+			Apply: func(e *moa.Expr, _ *Props) (*moa.Expr, bool) {
+				if e.Op != "list.topn" || e.Children[0].Op != "bag.tolist" {
+					return nil, false
+				}
+				inner := e.Children[0].Children[0]
+				return moa.NewExpr("bag.topn", e.Params, inner), true
+			},
+		},
+
+		// ---- Intra-object layer (E-ADT style physical selection) -----
+
+		{
+			// select(x) → binary-search select when x is provably sorted.
+			// This is the payoff the paper sketches after Example 1: "the
+			// second expression can be evaluated even more efficiently
+			// when the system is aware of the ordering of the elements".
+			Name: "list-select-binsearch", Layer: LayerIntraObject,
+			Apply: func(e *moa.Expr, p *Props) (*moa.Expr, bool) {
+				if e.Op != "list.select" || !p.SortedAsc(e.Children[0]) {
+					return nil, false
+				}
+				return moa.NewExpr("list.select.binsearch", e.Params, e.Children[0]), true
+			},
+		},
+		{
+			// topn(x, n) → suffix-take when x is provably sorted.
+			Name: "list-topn-sorted", Layer: LayerIntraObject,
+			Apply: func(e *moa.Expr, p *Props) (*moa.Expr, bool) {
+				if e.Op != "list.topn" || !p.SortedAsc(e.Children[0]) {
+					return nil, false
+				}
+				return moa.NewExpr("list.topn.sorted", e.Params, e.Children[0]), true
+			},
+		},
+		{
+			// sort(x) → x when x is provably sorted.
+			Name: "elide-sort", Layer: LayerIntraObject,
+			Apply: func(e *moa.Expr, p *Props) (*moa.Expr, bool) {
+				if e.Op != "list.sort" || !p.SortedAsc(e.Children[0]) {
+					return nil, false
+				}
+				return e.Children[0], true
+			},
+		},
+	}
+}
+
+// isRangeSelect reports whether op is one of the extensions' logical range
+// selections (physical variants excluded: merging across a physical
+// operator would discard its precondition analysis).
+func isRangeSelect(op string) bool {
+	switch op {
+	case "list.select", "bag.select", "set.select":
+		return true
+	}
+	return false
+}

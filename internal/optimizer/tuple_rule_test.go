@@ -1,0 +1,74 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/moa"
+)
+
+// rankedDocs builds a LIST<TUPLE<INT,INT>> literal of (doc, score) pairs.
+func rankedDocs(pairs ...[2]int64) *moa.Expr {
+	l := &moa.List{Elems: make([]moa.Value, len(pairs))}
+	for i, p := range pairs {
+		l.Elems[i] = moa.NewTuple(moa.Int(p[0]), moa.Int(p[1]))
+	}
+	return moa.Literal(l)
+}
+
+// TestProjectThroughTopNByApplied: the ranked-document motif — "give me
+// the top-n scores" phrased over tuples — is rewritten into atomic space
+// and preserves semantics.
+func TestProjectThroughTopNByApplied(t *testing.T) {
+	opt, reg := newOpt()
+	docs := rankedDocs([2]int64{1, 40}, [2]int64{2, 95}, [2]int64{3, 60}, [2]int64{4, 10})
+	orig := moa.ProjectFieldL(moa.TopNByL(docs, 1, 2), 1)
+	optimized, traces, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := false
+	for _, tr := range traces {
+		if tr.Rule == "project-through-topnby" {
+			applied = true
+		}
+	}
+	if !applied {
+		t.Fatalf("rule not applied; plan: %s\n%s", optimized, Explain(traces))
+	}
+	if optimized.Op != "list.topn" {
+		t.Fatalf("root = %s, want list.topn", optimized.Op)
+	}
+	want, _ := mustEval(t, reg, orig)
+	got, _ := mustEval(t, reg, optimized)
+	if !moa.Equal(got, want) {
+		t.Fatalf("semantics changed: %s vs %s", got, want)
+	}
+	if !moa.Equal(got, moa.NewIntList(95, 60)) {
+		t.Fatalf("result = %s", got)
+	}
+}
+
+// TestProjectThroughTopNByDifferentFieldNotApplied: projecting a field
+// other than the ranking key must keep the tuple top-N (the identity does
+// not hold there).
+func TestProjectThroughTopNByDifferentFieldNotApplied(t *testing.T) {
+	opt, reg := newOpt()
+	docs := rankedDocs([2]int64{1, 40}, [2]int64{2, 95}, [2]int64{3, 60})
+	orig := moa.ProjectFieldL(moa.TopNByL(docs, 1, 2), 0) // project doc ids
+	optimized, _, err := opt.Optimize(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized.Op != "list.projectfield" || optimized.Children[0].Op != "list.topnby" {
+		t.Fatalf("plan changed shape unexpectedly: %s", optimized)
+	}
+	want, _ := mustEval(t, reg, orig)
+	got, _ := mustEval(t, reg, optimized)
+	if !moa.Equal(got, want) {
+		t.Fatal("semantics changed")
+	}
+	// The answer is the doc ids of the two best-scoring documents.
+	if !moa.Equal(got, moa.NewIntList(2, 3)) {
+		t.Fatalf("result = %s", got)
+	}
+}

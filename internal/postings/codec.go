@@ -1,0 +1,105 @@
+// Package postings implements compressed inverted-list storage: v-byte
+// encoded postings, sequential and skipping iterators, and the non-dense
+// (sparse) index the paper proposes in Step 1 to "speed up processing the
+// large fragment".
+//
+// A posting is a (document id, term frequency) pair. Lists are stored
+// sorted by document id, with ids delta-encoded and both fields v-byte
+// compressed — the standard IR layout of the paper's era (Brown 1995).
+// Lists live in a storage.File so every read is accounted as page I/O.
+package postings
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Posting is one entry of an inverted list: the document the term occurs
+// in and how often it occurs there.
+type Posting struct {
+	DocID uint32
+	TF    uint32
+}
+
+// putUvarint appends the v-byte encoding of v to buf and returns the
+// extended slice. The encoding stores 7 bits per byte, the high bit
+// flagging continuation, least-significant group first.
+func putUvarint(buf []byte, v uint32) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// uvarint decodes a v-byte value from buf, returning the value and the
+// number of bytes consumed. n == 0 signals truncated input.
+func uvarint(buf []byte) (v uint32, n int) {
+	var shift uint
+	for i, b := range buf {
+		if i == 5 {
+			return 0, 0 // overlong encoding for a 32-bit value
+		}
+		v |= uint32(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	return 0, 0
+}
+
+// ErrCorrupt is returned when a list's byte stream cannot be decoded.
+var ErrCorrupt = errors.New("postings: corrupt list encoding")
+
+// Encode serializes a docID-sorted posting list. The layout is:
+//
+//	uvarint count
+//	count × (uvarint docID-delta, uvarint tf)
+//
+// The first delta is the first document id itself. Encode rejects lists
+// that are not strictly increasing in DocID or that contain zero TFs,
+// because both would silently break ranking.
+func Encode(ps []Posting) ([]byte, error) {
+	buf := putUvarint(nil, uint32(len(ps)))
+	prev := int64(-1)
+	for i, p := range ps {
+		if int64(p.DocID) <= prev {
+			return nil, fmt.Errorf("postings: doc ids not strictly increasing at index %d", i)
+		}
+		if p.TF == 0 {
+			return nil, fmt.Errorf("postings: zero term frequency at index %d", i)
+		}
+		buf = putUvarint(buf, uint32(int64(p.DocID)-prev-1))
+		buf = putUvarint(buf, p.TF)
+		prev = int64(p.DocID)
+	}
+	return buf, nil
+}
+
+// Decode deserializes an entire encoded list. It is the inverse of Encode.
+func Decode(buf []byte) ([]Posting, error) {
+	count, n := uvarint(buf)
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	buf = buf[n:]
+	out := make([]Posting, 0, count)
+	prev := int64(-1)
+	for i := uint32(0); i < count; i++ {
+		gap, n := uvarint(buf)
+		if n == 0 {
+			return nil, ErrCorrupt
+		}
+		buf = buf[n:]
+		tf, n := uvarint(buf)
+		if n == 0 {
+			return nil, ErrCorrupt
+		}
+		buf = buf[n:]
+		doc := prev + 1 + int64(gap)
+		out = append(out, Posting{DocID: uint32(doc), TF: tf})
+		prev = doc
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+package postings
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// Counters tallies the logical decoding work done while reading lists.
+// They complement the storage layer's page counters: pages measure I/O,
+// these measure CPU-side decompression effort. Experiments reset and read
+// them per query.
+type Counters struct {
+	PostingsDecoded int64 // individual postings decompressed
+	SkipsTaken      int64 // sparse-index jumps that avoided decoding a block
+	ListsOpened     int64
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { *c = Counters{} }
+
+// SkipEntry is one entry of a list's non-dense index: the first document
+// id of a block and the byte offset of that block within the encoded list
+// body. The paper proposes exactly this structure to make the large
+// (frequent-terms) fragment cheap to probe: a reader can jump to the block
+// that may contain a wanted document instead of decompressing the whole
+// list.
+type SkipEntry struct {
+	FirstDoc uint32
+	Offset   uint32
+}
+
+// ListMeta describes a stored list: where it lives in the file, its
+// document frequency, and its sparse index (nil when the list is short).
+type ListMeta struct {
+	Offset  int64       // byte offset of the encoded body in the file
+	Length  int32       // encoded body length in bytes
+	DocFreq int32       // number of postings
+	Skips   []SkipEntry // non-dense index over blocks of BlockSize postings
+}
+
+// BlockSize is the number of postings per skip block. 128 keeps the sparse
+// index below 1% of list size while making a block a few hundred bytes —
+// about the granularity of a cache line fetch in the simulated model.
+const BlockSize = 128
+
+// Store persists encoded postings lists in a storage.File and serves
+// readers over them. One Store backs one index fragment.
+type Store struct {
+	file     *storage.File
+	Counters Counters
+}
+
+// NewStore creates an empty list store writing into file.
+func NewStore(file *storage.File) *Store {
+	return &Store{file: file}
+}
+
+// File exposes the backing file (for size reporting).
+func (s *Store) File() *storage.File { return s.file }
+
+// Put encodes and appends a posting list, returning its metadata. Lists
+// with more than 2×BlockSize postings get a sparse index.
+func (s *Store) Put(ps []Posting) (ListMeta, error) {
+	body, err := Encode(ps)
+	if err != nil {
+		return ListMeta{}, err
+	}
+	off, err := s.file.Append(body)
+	if err != nil {
+		return ListMeta{}, err
+	}
+	meta := ListMeta{Offset: off, Length: int32(len(body)), DocFreq: int32(len(ps))}
+	if len(ps) >= 2*BlockSize {
+		meta.Skips = buildSkips(ps)
+	}
+	return meta, nil
+}
+
+// buildSkips computes the sparse index by re-walking the encoding and
+// recording each block's first document and byte offset within the body.
+func buildSkips(ps []Posting) []SkipEntry {
+	var skips []SkipEntry
+	// Reproduce the byte positions Encode generates.
+	buf := putUvarint(nil, uint32(len(ps)))
+	prev := int64(-1)
+	for i, p := range ps {
+		if i%BlockSize == 0 {
+			skips = append(skips, SkipEntry{FirstDoc: p.DocID, Offset: uint32(len(buf))})
+		}
+		buf = putUvarint(buf, uint32(int64(p.DocID)-prev-1))
+		buf = putUvarint(buf, p.TF)
+		prev = int64(p.DocID)
+	}
+	return skips
+}
+
+// ReadAll decodes an entire stored list.
+func (s *Store) ReadAll(meta ListMeta) ([]Posting, error) {
+	body := make([]byte, meta.Length)
+	if _, err := s.file.ReadAt(body, meta.Offset); err != nil && err != io.EOF {
+		return nil, err
+	}
+	ps, err := Decode(body)
+	if err != nil {
+		return nil, err
+	}
+	s.Counters.ListsOpened++
+	s.Counters.PostingsDecoded += int64(len(ps))
+	return ps, nil
+}
+
+// Iterator streams a stored list in document-id order and supports
+// SeekGE via the sparse index. The iterator reads the full encoded body
+// once (the page fetches are accounted) but only decodes the blocks it
+// visits, which is where the sparse index saves CPU work.
+type Iterator struct {
+	store   *Store
+	meta    ListMeta
+	body    []byte
+	pos     int   // byte position within body
+	prevDoc int64 // last decoded doc id, -1 before the first
+	decoded int32 // postings decoded so far
+	cur     Posting
+	valid   bool
+	err     error
+}
+
+// NewIterator opens a streaming reader over the list described by meta.
+func (s *Store) NewIterator(meta ListMeta) (*Iterator, error) {
+	body := make([]byte, meta.Length)
+	if _, err := s.file.ReadAt(body, meta.Offset); err != nil && err != io.EOF {
+		return nil, err
+	}
+	s.Counters.ListsOpened++
+	it := &Iterator{store: s, meta: meta, body: body}
+	// Skip the count header.
+	_, n := uvarint(body)
+	if n == 0 {
+		return nil, ErrCorrupt
+	}
+	it.pos = n
+	it.prevDoc = -1
+	return it, nil
+}
+
+// Next advances to the next posting, returning false at end of list or on
+// error (check Err).
+func (it *Iterator) Next() bool {
+	if it.err != nil || it.decoded >= it.meta.DocFreq {
+		it.valid = false
+		return false
+	}
+	gap, n := uvarint(it.body[it.pos:])
+	if n == 0 {
+		it.err = ErrCorrupt
+		it.valid = false
+		return false
+	}
+	it.pos += n
+	tf, n := uvarint(it.body[it.pos:])
+	if n == 0 {
+		it.err = ErrCorrupt
+		it.valid = false
+		return false
+	}
+	it.pos += n
+	doc := it.prevDoc + 1 + int64(gap)
+	it.prevDoc = doc
+	it.decoded++
+	it.store.Counters.PostingsDecoded++
+	it.cur = Posting{DocID: uint32(doc), TF: tf}
+	it.valid = true
+	return true
+}
+
+// SeekGE positions the iterator at the first posting with DocID >= doc and
+// reports whether one exists. When the list has a sparse index, blocks
+// strictly before the target are skipped without decoding.
+func (it *Iterator) SeekGE(doc uint32) bool {
+	if it.err != nil {
+		return false
+	}
+	if it.valid && it.cur.DocID >= doc {
+		return true
+	}
+	if len(it.meta.Skips) > 0 {
+		// Find the last block whose first doc is <= doc; it is the only
+		// block that can contain the target. sort.Search finds the first
+		// block with FirstDoc > doc.
+		idx := sort.Search(len(it.meta.Skips), func(i int) bool {
+			return it.meta.Skips[i].FirstDoc > doc
+		}) - 1
+		if idx >= 0 {
+			blockStartCount := int32(idx) * BlockSize
+			if blockStartCount > it.decoded {
+				// Jump forward: restart decoding at the block boundary.
+				skipped := blockStartCount - it.decoded
+				it.pos = int(it.meta.Skips[idx].Offset)
+				it.prevDoc = int64(it.meta.Skips[idx].FirstDoc) - 1
+				// The delta stored at a block boundary is relative to the
+				// previous posting; we reconstruct by treating FirstDoc-1
+				// as the previous doc, which makes gap+prev+1 == FirstDoc
+				// only if the stored gap were 0. It is not, so instead we
+				// decode the gap and overwrite: see below.
+				it.decoded = blockStartCount
+				it.store.Counters.SkipsTaken += int64(skipped) / BlockSize
+				// Decode the block's first posting with the known FirstDoc.
+				gap, n := uvarint(it.body[it.pos:])
+				_ = gap
+				if n == 0 {
+					it.err = ErrCorrupt
+					return false
+				}
+				it.pos += n
+				tf, n := uvarint(it.body[it.pos:])
+				if n == 0 {
+					it.err = ErrCorrupt
+					return false
+				}
+				it.pos += n
+				it.decoded++
+				it.store.Counters.PostingsDecoded++
+				it.prevDoc = int64(it.meta.Skips[idx].FirstDoc)
+				it.cur = Posting{DocID: it.meta.Skips[idx].FirstDoc, TF: tf}
+				it.valid = true
+				if it.cur.DocID >= doc {
+					return true
+				}
+			}
+		}
+	}
+	for it.Next() {
+		if it.cur.DocID >= doc {
+			return true
+		}
+	}
+	return false
+}
+
+// At returns the current posting. Only valid after Next or SeekGE returned
+// true.
+func (it *Iterator) At() Posting { return it.cur }
+
+// Err reports any decoding error encountered.
+func (it *Iterator) Err() error {
+	if it.err != nil {
+		return fmt.Errorf("postings iterator: %w", it.err)
+	}
+	return nil
+}
+
+// DocFreq returns the total number of postings in the underlying list.
+func (it *Iterator) DocFreq() int { return int(it.meta.DocFreq) }

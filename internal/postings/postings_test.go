@@ -1,0 +1,364 @@
+package postings
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+	"repro/internal/xrand"
+)
+
+func TestUvarintRoundTrip(t *testing.T) {
+	if err := quick.Check(func(v uint32) bool {
+		buf := putUvarint(nil, v)
+		got, n := uvarint(buf)
+		return n == len(buf) && got == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUvarintTruncated(t *testing.T) {
+	buf := putUvarint(nil, 1<<30)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, n := uvarint(buf[:cut]); n != 0 && cut < len(buf) {
+			// Any prefix that still terminates must decode to something;
+			// only prefixes ending mid-value must return n==0. A prefix of
+			// a multi-byte encoding always has the continuation bit set on
+			// its last byte, so n must be 0.
+			last := buf[cut-1]
+			if last >= 0x80 {
+				t.Errorf("truncated input of %d bytes decoded", cut)
+			}
+		}
+	}
+	if _, n := uvarint(nil); n != 0 {
+		t.Error("empty input decoded")
+	}
+}
+
+func TestUvarintOverlong(t *testing.T) {
+	// Six continuation bytes exceed what a uint32 can need.
+	buf := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, n := uvarint(buf); n != 0 {
+		t.Error("overlong encoding accepted")
+	}
+}
+
+func randomList(rng *xrand.RNG, n int) []Posting {
+	docs := make(map[uint32]bool, n)
+	for len(docs) < n {
+		docs[uint32(rng.Intn(1<<22))] = true
+	}
+	out := make([]Posting, 0, n)
+	for d := range docs {
+		out = append(out, Posting{DocID: d, TF: uint32(1 + rng.Intn(50))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DocID < out[j].DocID })
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := xrand.New(42)
+	for _, n := range []int{0, 1, 2, 10, 127, 128, 129, 1000, 5000} {
+		ps := randomList(rng, n)
+		buf, err := Encode(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ps) {
+			t.Fatalf("n=%d: decoded %d postings", n, len(got))
+		}
+		if n > 0 && !reflect.DeepEqual(got, ps) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode([]Posting{{5, 1}, {5, 1}}); err == nil {
+		t.Error("duplicate doc ids accepted")
+	}
+	if _, err := Encode([]Posting{{5, 1}, {3, 1}}); err == nil {
+		t.Error("descending doc ids accepted")
+	}
+	if _, err := Encode([]Posting{{5, 0}}); err == nil {
+		t.Error("zero TF accepted")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	ps := []Posting{{1, 2}, {3, 4}, {100, 5}}
+	buf, _ := Encode(ps)
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Error("nil input accepted")
+	}
+}
+
+func TestEncodeCompresses(t *testing.T) {
+	// Dense consecutive doc ids with small TFs should cost about 2 bytes
+	// per posting, far below the 8-byte struct size.
+	ps := make([]Posting, 10000)
+	for i := range ps {
+		ps[i] = Posting{DocID: uint32(i), TF: 1}
+	}
+	buf, err := Encode(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perPosting := float64(len(buf)) / float64(len(ps)); perPosting > 2.1 {
+		t.Errorf("dense list costs %.2f bytes/posting, want about 2", perPosting)
+	}
+}
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	d := storage.NewDisk()
+	p, err := storage.NewPool(d, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStore(storage.NewFile(p))
+}
+
+func TestStorePutReadAll(t *testing.T) {
+	s := newStore(t)
+	rng := xrand.New(7)
+	lists := make([][]Posting, 20)
+	metas := make([]ListMeta, 20)
+	for i := range lists {
+		lists[i] = randomList(rng, 1+rng.Intn(500))
+		m, err := s.Put(lists[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		metas[i] = m
+	}
+	for i := range lists {
+		got, err := s.ReadAll(metas[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, lists[i]) {
+			t.Fatalf("list %d round trip mismatch", i)
+		}
+	}
+}
+
+func TestIteratorSequential(t *testing.T) {
+	s := newStore(t)
+	rng := xrand.New(11)
+	ps := randomList(rng, 777)
+	meta, err := s.Put(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.NewIterator(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Posting
+	for it.Next() {
+		got = append(got, it.At())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ps) {
+		t.Fatal("iterator did not reproduce the list")
+	}
+	if it.DocFreq() != len(ps) {
+		t.Errorf("DocFreq = %d, want %d", it.DocFreq(), len(ps))
+	}
+}
+
+func TestSkipsBuiltOnlyForLongLists(t *testing.T) {
+	s := newStore(t)
+	rng := xrand.New(3)
+	short, err := s.Put(randomList(rng, 2*BlockSize-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Skips != nil {
+		t.Error("short list received a sparse index")
+	}
+	long, err := s.Put(randomList(rng, 2*BlockSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long.Skips) != 2 {
+		t.Errorf("long list has %d skip entries, want 2", len(long.Skips))
+	}
+}
+
+func TestSeekGEEquivalence(t *testing.T) {
+	// SeekGE through the sparse index must land exactly where a linear
+	// scan would, for arbitrary targets.
+	s := newStore(t)
+	rng := xrand.New(5)
+	ps := randomList(rng, 3000)
+	meta, err := s.Put(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.Skips) == 0 {
+		t.Fatal("expected a sparse index")
+	}
+	targets := []uint32{0, 1, ps[0].DocID, ps[10].DocID, ps[10].DocID + 1,
+		ps[1500].DocID, ps[2999].DocID, ps[2999].DocID + 1}
+	for i := 0; i < 60; i++ {
+		targets = append(targets, uint32(rng.Intn(1<<22)))
+	}
+	for _, target := range targets {
+		it, err := s.NewIterator(meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := it.SeekGE(target)
+		// Reference answer by binary search on the decoded list.
+		idx := sort.Search(len(ps), func(i int) bool { return ps[i].DocID >= target })
+		if idx == len(ps) {
+			if ok {
+				t.Fatalf("target %d: SeekGE found %v, want none", target, it.At())
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("target %d: SeekGE found nothing, want %v", target, ps[idx])
+		}
+		if it.At() != ps[idx] {
+			t.Fatalf("target %d: SeekGE at %v, want %v", target, it.At(), ps[idx])
+		}
+		// The iterator must still stream the remainder correctly.
+		want := idx
+		for it.Next() {
+			want++
+			if want >= len(ps) || it.At() != ps[want] {
+				t.Fatalf("target %d: stream after seek diverged at %d", target, want)
+			}
+		}
+	}
+}
+
+func TestSeekGESavesDecoding(t *testing.T) {
+	s := newStore(t)
+	// A long dense list; seeking to the end should decode far fewer
+	// postings than the list holds.
+	n := 100 * BlockSize
+	ps := make([]Posting, n)
+	for i := range ps {
+		ps[i] = Posting{DocID: uint32(i * 3), TF: 1}
+	}
+	meta, err := s.Put(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Counters.Reset()
+	it, err := s.NewIterator(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.SeekGE(ps[n-1].DocID) {
+		t.Fatal("seek to last posting failed")
+	}
+	if dec := s.Counters.PostingsDecoded; dec > int64(2*BlockSize) {
+		t.Errorf("seek to end decoded %d postings, want <= %d", dec, 2*BlockSize)
+	}
+	if s.Counters.SkipsTaken == 0 {
+		t.Error("no skips recorded")
+	}
+}
+
+func TestSeekGEMonotoneCalls(t *testing.T) {
+	// Repeated seeks with increasing targets (the intersection pattern)
+	// must all land correctly.
+	s := newStore(t)
+	rng := xrand.New(17)
+	ps := randomList(rng, 5000)
+	meta, _ := s.Put(ps)
+	it, err := s.NewIterator(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(ps) / 37
+	for i := 0; i < len(ps); i += step {
+		target := ps[i].DocID
+		if !it.SeekGE(target) {
+			t.Fatalf("monotone seek to %d failed", target)
+		}
+		if it.At().DocID != target {
+			t.Fatalf("monotone seek to %d landed on %d", target, it.At().DocID)
+		}
+	}
+}
+
+func TestIteratorPropertyAgainstDecode(t *testing.T) {
+	// Property: for random lists, full iteration == Decode(Encode(list)).
+	cfg := &quick.Config{MaxCount: 25}
+	rng := xrand.New(23)
+	if err := quick.Check(func(seed uint32, size uint16) bool {
+		n := int(size)%2000 + 1
+		_ = seed
+		ps := randomList(rng, n)
+		s := newStore(&testing.T{})
+		meta, err := s.Put(ps)
+		if err != nil {
+			return false
+		}
+		it, err := s.NewIterator(meta)
+		if err != nil {
+			return false
+		}
+		i := 0
+		for it.Next() {
+			if i >= len(ps) || it.At() != ps[i] {
+				return false
+			}
+			i++
+		}
+		return i == len(ps) && it.Err() == nil
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := xrand.New(1)
+	ps := randomList(rng, 10000)
+	buf, _ := Encode(ps)
+	b.ResetTimer()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeekGEWithSkips(b *testing.B) {
+	s := newStore(&testing.T{})
+	n := 200 * BlockSize
+	ps := make([]Posting, n)
+	for i := range ps {
+		ps[i] = Posting{DocID: uint32(i * 2), TF: 1}
+	}
+	meta, _ := s.Put(ps)
+	rng := xrand.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, _ := s.NewIterator(meta)
+		it.SeekGE(uint32(rng.Intn(2 * n)))
+	}
+}

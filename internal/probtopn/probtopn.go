@@ -1,0 +1,148 @@
+// Package probtopn implements Donjerkovic & Ramakrishnan's probabilistic
+// top-N optimization (TR-1395, U. Wisconsin-Madison, 1999), the second
+// database-side baseline in the paper's State of the Art.
+//
+// The idea: instead of sorting everything to find the top n, derive a
+// score cutoff κ from a histogram such that, with high probability, at
+// least n rows score at or above κ. Evaluate the cheap predicate
+// "score >= κ" first and only rank the survivors. Choosing κ trades
+// expected work against restart probability: an aggressive (high) κ ranks
+// few rows but risks finding fewer than n and having to restart with a
+// lower cutoff; a timid κ never restarts but saves little. The inflation
+// parameter makes this trade-off explicit, and experiment E8 sweeps it.
+package probtopn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/rank"
+	"repro/internal/topk"
+)
+
+// Result carries the answer rows (descending score) and work counters.
+type Result struct {
+	Rows    []exec.Row
+	Stats   exec.Stats
+	Cutoffs []float64 // the κ values tried, in order
+}
+
+// TopN evaluates a probabilistic top-N over an unsorted table. hist must
+// summarize the table's score distribution (in a DBMS it would be the
+// maintained column statistics). inflation >= 1 widens the candidate set
+// beyond the bare estimate.
+func TopN(table []exec.Row, n int, hist *cost.Histogram, inflation float64) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("probtopn: n = %d must be positive", n)
+	}
+	if hist == nil {
+		return Result{}, fmt.Errorf("probtopn: histogram required")
+	}
+	if inflation < 1 {
+		return Result{}, fmt.Errorf("probtopn: inflation %v must be >= 1", inflation)
+	}
+	var res Result
+	if len(table) == 0 {
+		return res, nil
+	}
+	kappa := hist.CutoffForTopN(n, inflation)
+	for {
+		res.Cutoffs = append(res.Cutoffs, kappa)
+		plan := exec.NewStopAfter(
+			exec.NewFilter(exec.NewScan(table, &res.Stats),
+				func(r exec.Row) bool { return r.Score >= kappa }, &res.Stats),
+			n, &res.Stats)
+		rows, err := exec.Drain(plan)
+		if err != nil {
+			return Result{}, err
+		}
+		// Success: any excluded row scores below κ and therefore below
+		// every returned row, so the n survivors are the global top n.
+		if len(rows) >= n || math.IsInf(kappa, -1) {
+			res.Rows = rows
+			return res, nil
+		}
+		res.Stats.Restarts++
+		kappa = retreat(hist, n, &inflation, kappa)
+	}
+}
+
+// retreat lowers the cutoff one confidence notch: double the required
+// candidate mass; once the histogram is exhausted (which can happen when
+// its statistics are stale and no longer reflect the data), fall back to
+// the unbounded query, which always terminates.
+func retreat(hist *cost.Histogram, n int, inflation *float64, kappa float64) float64 {
+	if kappa <= hist.Min() {
+		return math.Inf(-1)
+	}
+	*inflation *= 2
+	next := hist.CutoffForTopN(n, *inflation)
+	if next >= kappa {
+		next = hist.Min()
+	}
+	return next
+}
+
+// TopNIndexed is the variant with a B-tree-style score index available: the
+// table is pre-sorted descending by score, so evaluating "score >= κ" is a
+// prefix read and no full scan happens. This is the configuration where
+// the original paper reports its largest wins. sortedDesc must be in
+// non-increasing score order.
+func TopNIndexed(sortedDesc []exec.Row, n int, hist *cost.Histogram, inflation float64) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("probtopn: n = %d must be positive", n)
+	}
+	if hist == nil {
+		return Result{}, fmt.Errorf("probtopn: histogram required")
+	}
+	if inflation < 1 {
+		return Result{}, fmt.Errorf("probtopn: inflation %v must be >= 1", inflation)
+	}
+	var res Result
+	if len(sortedDesc) == 0 {
+		return res, nil
+	}
+	kappa := hist.CutoffForTopN(n, inflation)
+	for {
+		res.Cutoffs = append(res.Cutoffs, kappa)
+		// Prefix read: rows with score >= κ.
+		count := 0
+		for count < len(sortedDesc) && sortedDesc[count].Score >= kappa {
+			count++
+		}
+		res.Stats.RowsScanned += int64(count)
+		if count >= n || count == len(sortedDesc) || math.IsInf(kappa, -1) {
+			rows := append([]exec.Row(nil), sortedDesc[:count]...)
+			if len(rows) > n {
+				rows = rows[:n]
+			}
+			res.Rows = rows
+			return res, nil
+		}
+		res.Stats.Restarts++
+		kappa = retreat(hist, n, &inflation, kappa)
+	}
+}
+
+// Reference is the unoptimized answer: rank the whole table.
+func Reference(table []exec.Row, n int) (Result, error) {
+	if n <= 0 {
+		return Result{}, fmt.Errorf("probtopn: n = %d must be positive", n)
+	}
+	var res Result
+	h := topk.NewHeap(n)
+	byID := make(map[uint32]exec.Row, n)
+	for _, r := range table {
+		res.Stats.RowsScanned++
+		res.Stats.Comparisons++
+		if h.Offer(rank.DocScore{DocID: r.ID, Score: r.Score}) {
+			byID[r.ID] = r
+		}
+	}
+	for _, ds := range h.Results() {
+		res.Rows = append(res.Rows, byID[ds.DocID])
+	}
+	return res, nil
+}

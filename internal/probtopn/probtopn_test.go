@@ -1,0 +1,207 @@
+package probtopn
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/xrand"
+)
+
+func table(n int, seed uint64) ([]exec.Row, *cost.Histogram) {
+	rng := xrand.New(seed)
+	rows := make([]exec.Row, n)
+	scores := make([]float64, n)
+	for i := range rows {
+		s := rng.Float64()
+		rows[i] = exec.Row{ID: uint32(i), Score: s}
+		scores[i] = s
+	}
+	h, err := cost.BuildHistogram(scores, 64)
+	if err != nil {
+		panic(err)
+	}
+	return rows, h
+}
+
+func sortedCopy(rows []exec.Row) []exec.Row {
+	out := append([]exec.Row(nil), rows...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func assertSameIDs(t *testing.T, name string, got, want []exec.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("%s: position %d is %d, want %d", name, i, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+func TestMatchesReference(t *testing.T) {
+	rows, h := table(5000, 3)
+	for _, n := range []int{1, 10, 100} {
+		for _, inflation := range []float64{1, 1.5, 3} {
+			ref, err := Reference(rows, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := TopN(rows, n, h, inflation)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameIDs(t, "scan", got.Rows, ref.Rows)
+			idx, err := TopNIndexed(sortedCopy(rows), n, h, inflation)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameIDs(t, "indexed", idx.Rows, ref.Rows)
+		}
+	}
+}
+
+func TestCutoffReducesRankingWork(t *testing.T) {
+	rows, h := table(50000, 5)
+	ref, _ := Reference(rows, 10)
+	got, err := TopN(rows, 10, h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scan variant still reads the table once, but the ranking heap
+	// only sees the survivors.
+	if got.Stats.Comparisons*100 > ref.Stats.Comparisons {
+		t.Errorf("heap comparisons %d vs reference %d: cutoff should shrink ranking work ~1000x",
+			got.Stats.Comparisons, ref.Stats.Comparisons)
+	}
+}
+
+func TestIndexedReadsPrefixOnly(t *testing.T) {
+	rows, h := table(50000, 7)
+	srt := sortedCopy(rows)
+	got, err := TopNIndexed(srt, 10, h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.RowsScanned > 2000 {
+		t.Errorf("indexed variant read %d rows of 50000", got.Stats.RowsScanned)
+	}
+	if got.Stats.Restarts > 0 {
+		t.Errorf("restarted %d times with inflation 2", got.Stats.Restarts)
+	}
+}
+
+func TestAggressiveCutoffRestarts(t *testing.T) {
+	// Force restarts by lying to the algorithm with a histogram over a
+	// different (higher-scoring) distribution: the cutoff lands too high.
+	rng := xrand.New(11)
+	rows := make([]exec.Row, 10000)
+	for i := range rows {
+		rows[i] = exec.Row{ID: uint32(i), Score: rng.Float64() * 0.5} // true scores in [0, 0.5)
+	}
+	fake := make([]float64, 10000)
+	for i := range fake {
+		fake[i] = 0.5 + rng.Float64()*0.5 // histogram believes [0.5, 1)
+	}
+	h, _ := cost.BuildHistogram(fake, 32)
+	got, err := TopN(rows, 50, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.Restarts == 0 {
+		t.Error("no restarts despite a misleading histogram")
+	}
+	ref, _ := Reference(rows, 50)
+	assertSameIDs(t, "after-restarts", got.Rows, ref.Rows)
+	if len(got.Cutoffs) < 2 {
+		t.Errorf("cutoff history %v should show the retreat", got.Cutoffs)
+	}
+}
+
+func TestInflationTradeoff(t *testing.T) {
+	// Higher inflation → more candidates scanned per attempt but fewer
+	// restarts. Verify both directions on the indexed variant, averaged
+	// over queries.
+	rows, h := table(20000, 13)
+	srt := sortedCopy(rows)
+	timid, err := TopNIndexed(srt, 100, h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := TopNIndexed(srt, 100, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timid.Stats.Restarts > bare.Stats.Restarts {
+		t.Errorf("inflation 4 restarted more (%d) than inflation 1 (%d)",
+			timid.Stats.Restarts, bare.Stats.Restarts)
+	}
+	if bare.Stats.Restarts == 0 && timid.Stats.RowsScanned < bare.Stats.RowsScanned {
+		t.Errorf("with no restarts anywhere, higher inflation cannot scan less (%d < %d)",
+			timid.Stats.RowsScanned, bare.Stats.RowsScanned)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rows, h := table(10, 1)
+	if _, err := TopN(rows, 0, h, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := TopN(rows, 5, nil, 1); err == nil {
+		t.Error("nil histogram accepted")
+	}
+	if _, err := TopN(rows, 5, h, 0.5); err == nil {
+		t.Error("inflation < 1 accepted")
+	}
+	if _, err := TopNIndexed(rows, 0, h, 1); err == nil {
+		t.Error("indexed n=0 accepted")
+	}
+	if _, err := Reference(rows, 0); err == nil {
+		t.Error("reference n=0 accepted")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	_, h := table(10, 1)
+	res, err := TopN(nil, 5, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Error("rows from empty table")
+	}
+	res, err = TopNIndexed(nil, 5, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Error("rows from empty sorted table")
+	}
+}
+
+func TestNLargerThanTable(t *testing.T) {
+	rows, h := table(20, 9)
+	got, err := TopN(rows, 100, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 20 {
+		t.Errorf("returned %d rows, want all 20", len(got.Rows))
+	}
+	idx, err := TopNIndexed(sortedCopy(rows), 100, h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Rows) != 20 {
+		t.Errorf("indexed returned %d rows, want all 20", len(idx.Rows))
+	}
+}

@@ -1,0 +1,153 @@
+// Package quality measures answer quality of optimized top-N runs against
+// ground truth, quantifying the paper's safe/unsafe distinction: unsafe
+// techniques "might lower the answer quality (e.g. precision and/or
+// recall)" while safe ones must not.
+//
+// Ground truth (the qrels) for the synthetic workloads is the exhaustive
+// ranking over the unfragmented index — the unoptimized computation whose
+// answers an optimization must preserve. This is exactly how [VH99]
+// quantified the quality drop of the fragment-only technique.
+package quality
+
+import (
+	"fmt"
+
+	"repro/internal/rank"
+)
+
+// Qrels is the relevant-document set of one query, usually the top-N of an
+// exhaustive run.
+type Qrels struct {
+	Relevant map[uint32]bool
+}
+
+// NewQrels builds qrels from a ranked ground-truth answer list.
+func NewQrels(truth []rank.DocScore) Qrels {
+	q := Qrels{Relevant: make(map[uint32]bool, len(truth))}
+	for _, d := range truth {
+		q.Relevant[d.DocID] = true
+	}
+	return q
+}
+
+// PrecisionAt returns the fraction of the first k results that are
+// relevant. k beyond len(results) treats the missing tail as misses,
+// matching trec_eval behaviour.
+func (q Qrels) PrecisionAt(results []rank.DocScore, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < k && i < len(results); i++ {
+		if q.Relevant[results[i].DocID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAt returns the fraction of relevant documents retrieved within the
+// first k results.
+func (q Qrels) RecallAt(results []rank.DocScore, k int) float64 {
+	if len(q.Relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < k && i < len(results); i++ {
+		if q.Relevant[results[i].DocID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(q.Relevant))
+}
+
+// AveragePrecision returns the mean of precision values at each relevant
+// result's position — the standard single-number TREC quality metric.
+func (q Qrels) AveragePrecision(results []rank.DocScore) float64 {
+	if len(q.Relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	var sum float64
+	for i, r := range results {
+		if q.Relevant[r.DocID] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(q.Relevant))
+}
+
+// Overlap returns |top-k(results) ∩ relevant| / min(k, |relevant|): the
+// symmetric set agreement used when ground truth and answer have the same
+// cardinality.
+func (q Qrels) Overlap(results []rank.DocScore, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	denom := k
+	if len(q.Relevant) < denom {
+		denom = len(q.Relevant)
+	}
+	if denom == 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < k && i < len(results); i++ {
+		if q.Relevant[results[i].DocID] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(denom)
+}
+
+// Summary aggregates metrics over a workload.
+type Summary struct {
+	Queries       int
+	MeanPrecision float64 // mean P@k
+	MeanRecall    float64 // mean R@k
+	MAP           float64 // mean average precision
+	MeanOverlap   float64
+}
+
+// Evaluator accumulates per-query metrics into a workload Summary.
+type Evaluator struct {
+	k       int
+	n       int
+	sumP    float64
+	sumR    float64
+	sumAP   float64
+	sumOvlp float64
+}
+
+// NewEvaluator returns an evaluator computing metrics at cutoff k.
+func NewEvaluator(k int) (*Evaluator, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("quality: cutoff %d must be positive", k)
+	}
+	return &Evaluator{k: k}, nil
+}
+
+// Add records one query's results against its qrels.
+func (e *Evaluator) Add(q Qrels, results []rank.DocScore) {
+	e.n++
+	e.sumP += q.PrecisionAt(results, e.k)
+	e.sumR += q.RecallAt(results, e.k)
+	e.sumAP += q.AveragePrecision(results)
+	e.sumOvlp += q.Overlap(results, e.k)
+}
+
+// Summary returns the aggregated metrics.
+func (e *Evaluator) Summary() Summary {
+	if e.n == 0 {
+		return Summary{}
+	}
+	n := float64(e.n)
+	return Summary{
+		Queries:       e.n,
+		MeanPrecision: e.sumP / n,
+		MeanRecall:    e.sumR / n,
+		MAP:           e.sumAP / n,
+		MeanOverlap:   e.sumOvlp / n,
+	}
+}

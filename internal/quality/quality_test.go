@@ -1,0 +1,132 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rank"
+)
+
+func ds(ids ...uint32) []rank.DocScore {
+	out := make([]rank.DocScore, len(ids))
+	for i, id := range ids {
+		out[i] = rank.DocScore{DocID: id, Score: float64(len(ids) - i)}
+	}
+	return out
+}
+
+func TestPrecisionAt(t *testing.T) {
+	q := NewQrels(ds(1, 2, 3, 4))
+	results := ds(1, 9, 2, 8, 3)
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1.0},
+		{2, 0.5},
+		{3, 2.0 / 3},
+		{5, 3.0 / 5},
+		{10, 3.0 / 10}, // missing tail counts as misses
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := q.PrecisionAt(results, c.k); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P@%d = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestRecallAt(t *testing.T) {
+	q := NewQrels(ds(1, 2, 3, 4))
+	results := ds(1, 9, 2)
+	if got := q.RecallAt(results, 3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("R@3 = %v, want 0.5", got)
+	}
+	if got := q.RecallAt(results, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("R@1 = %v, want 0.25", got)
+	}
+	empty := NewQrels(nil)
+	if got := empty.RecallAt(results, 3); got != 0 {
+		t.Errorf("recall with empty qrels = %v", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	q := NewQrels(ds(1, 2))
+	// Relevant at positions 1 and 3: AP = (1/1 + 2/3)/2.
+	results := ds(1, 9, 2)
+	want := (1.0 + 2.0/3) / 2
+	if got := q.AveragePrecision(results); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP = %v, want %v", got, want)
+	}
+	// Perfect ranking has AP 1.
+	if got := q.AveragePrecision(ds(1, 2)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect AP = %v", got)
+	}
+	// No relevant retrieved: AP 0.
+	if got := q.AveragePrecision(ds(7, 8, 9)); got != 0 {
+		t.Errorf("AP with no hits = %v", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	q := NewQrels(ds(1, 2, 3))
+	if got := q.Overlap(ds(1, 2, 9), 3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("overlap = %v, want 2/3", got)
+	}
+	// k larger than qrels: denominator is |relevant|.
+	if got := q.Overlap(ds(1, 2, 3, 9, 8), 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("overlap with k>|rel| = %v, want 1", got)
+	}
+	if got := q.Overlap(nil, 0); got != 0 {
+		t.Errorf("overlap k=0 = %v", got)
+	}
+	if got := NewQrels(nil).Overlap(ds(1), 1); got != 0 {
+		t.Errorf("overlap with empty qrels = %v", got)
+	}
+}
+
+func TestIdenticalRankingIsPerfect(t *testing.T) {
+	truth := ds(5, 3, 8, 1)
+	q := NewQrels(truth)
+	if p := q.PrecisionAt(truth, 4); p != 1 {
+		t.Errorf("P@4 of identical ranking = %v", p)
+	}
+	if r := q.RecallAt(truth, 4); r != 1 {
+		t.Errorf("R@4 of identical ranking = %v", r)
+	}
+	if ap := q.AveragePrecision(truth); ap != 1 {
+		t.Errorf("AP of identical ranking = %v", ap)
+	}
+}
+
+func TestEvaluatorAggregation(t *testing.T) {
+	e, err := NewEvaluator(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := NewQrels(ds(1, 2))
+	q2 := NewQrels(ds(3, 4))
+	e.Add(q1, ds(1, 2)) // P@2 = 1
+	e.Add(q2, ds(9, 8)) // P@2 = 0
+	s := e.Summary()
+	if s.Queries != 2 {
+		t.Errorf("Queries = %d", s.Queries)
+	}
+	if math.Abs(s.MeanPrecision-0.5) > 1e-12 {
+		t.Errorf("MeanPrecision = %v, want 0.5", s.MeanPrecision)
+	}
+	if math.Abs(s.MAP-0.5) > 1e-12 {
+		t.Errorf("MAP = %v, want 0.5", s.MAP)
+	}
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	if _, err := NewEvaluator(0); err == nil {
+		t.Error("cutoff 0 accepted")
+	}
+	e, _ := NewEvaluator(5)
+	if s := e.Summary(); s.Queries != 0 || s.MAP != 0 {
+		t.Error("empty evaluator summary not zero")
+	}
+}

@@ -1,0 +1,183 @@
+package stopafter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+	"repro/internal/xrand"
+)
+
+func table(n int, seed uint64) []exec.Row {
+	rng := xrand.New(seed)
+	rows := make([]exec.Row, n)
+	for i := range rows {
+		rows[i] = exec.Row{ID: uint32(i), Score: rng.Float64(), Attr: rng.Float64()}
+	}
+	return rows
+}
+
+// predSel builds a predicate passing roughly the given fraction of rows.
+func predSel(sel float64) func(exec.Row) bool {
+	return func(r exec.Row) bool { return r.Attr < sel }
+}
+
+func sameRows(t *testing.T, name string, got, want []exec.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("%s: position %d is row %d, want %d", name, i, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+func TestBothPoliciesMatchReference(t *testing.T) {
+	rows := table(2000, 7)
+	for _, sel := range []float64{0.05, 0.3, 0.9} {
+		for _, n := range []int{1, 10, 100} {
+			ref, err := Reference(rows, predSel(sel), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cons, err := Conservative(rows, predSel(sel), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRows(t, "conservative", cons.Rows, ref.Rows)
+			aggr, err := Aggressive(rows, predSel(sel), n, sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameRows(t, "aggressive", aggr.Rows, ref.Rows)
+		}
+	}
+}
+
+func TestAggressiveSavesPredicateWork(t *testing.T) {
+	// High selectivity (most rows pass): the aggressive plan should pay
+	// the predicate on a small fraction of the table.
+	rows := table(20000, 9)
+	sel := 0.9
+	cons, err := Conservative(rows, predSel(sel), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggr, err := Aggressive(rows, predSel(sel), 10, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Stats.PredEvals != 20000 {
+		t.Errorf("conservative PredEvals = %d, want full table", cons.Stats.PredEvals)
+	}
+	if aggr.Stats.PredEvals*100 > cons.Stats.PredEvals {
+		t.Errorf("aggressive PredEvals = %d vs conservative %d; expected ~100x fewer",
+			aggr.Stats.PredEvals, cons.Stats.PredEvals)
+	}
+	if aggr.Stats.Restarts != 0 {
+		t.Errorf("aggressive restarted %d times with a good estimate", aggr.Stats.Restarts)
+	}
+}
+
+func TestAggressiveRestartsOnBadEstimate(t *testing.T) {
+	// True selectivity is 1%, but the optimizer believes 90%: the first k
+	// is far too small and the plan must restart (possibly repeatedly),
+	// scanning the table again — Carey & Kossmann's risk case.
+	rows := table(5000, 11)
+	res, err := Aggressive(rows, predSel(0.01), 20, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Restarts == 0 {
+		t.Error("no restart despite wildly optimistic estimate")
+	}
+	ref, _ := Reference(rows, predSel(0.01), 20)
+	sameRows(t, "aggressive-after-restart", res.Rows, ref.Rows)
+	// Restarting costs whole re-scans.
+	if res.Stats.RowsScanned <= 5000 {
+		t.Errorf("RowsScanned = %d; restarts should exceed one scan", res.Stats.RowsScanned)
+	}
+}
+
+func TestZeroSurvivors(t *testing.T) {
+	rows := table(100, 13)
+	never := func(exec.Row) bool { return false }
+	for name, run := range map[string]func() (Result, error){
+		"conservative": func() (Result, error) { return Conservative(rows, never, 5) },
+		"aggressive":   func() (Result, error) { return Aggressive(rows, never, 5, 0.5) },
+		"reference":    func() (Result, error) { return Reference(rows, never, 5) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Rows) != 0 {
+			t.Errorf("%s returned %d rows for an always-false predicate", name, len(res.Rows))
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rows := table(10, 1)
+	if _, err := Conservative(rows, predSel(1), 0); err == nil {
+		t.Error("conservative accepted n=0")
+	}
+	if _, err := Aggressive(rows, predSel(1), 0, 0.5); err == nil {
+		t.Error("aggressive accepted n=0")
+	}
+	if _, err := Aggressive(rows, predSel(1), 5, 0); err == nil {
+		t.Error("aggressive accepted selectivity 0")
+	}
+	if _, err := Aggressive(rows, predSel(1), 5, 1.5); err == nil {
+		t.Error("aggressive accepted selectivity > 1")
+	}
+	if _, err := Reference(rows, predSel(1), -1); err == nil {
+		t.Error("reference accepted negative n")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	res, err := Aggressive(nil, predSel(0.5), 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("empty table returned rows")
+	}
+}
+
+// TestPropertyPoliciesAgree: for random tables, selectivities and n, both
+// policies return exactly the reference answer.
+func TestPropertyPoliciesAgree(t *testing.T) {
+	rng := xrand.New(31)
+	if err := quick.Check(func(nRaw, selRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		sel := float64(selRaw%100)/100 + 0.005
+		rows := table(500, rng.Uint64())
+		ref, err := Reference(rows, predSel(sel), n)
+		if err != nil {
+			return false
+		}
+		cons, err := Conservative(rows, predSel(sel), n)
+		if err != nil {
+			return false
+		}
+		aggr, err := Aggressive(rows, predSel(sel), n, 0.5)
+		if err != nil {
+			return false
+		}
+		if len(cons.Rows) != len(ref.Rows) || len(aggr.Rows) != len(ref.Rows) {
+			return false
+		}
+		for i := range ref.Rows {
+			if cons.Rows[i].ID != ref.Rows[i].ID || aggr.Rows[i].ID != ref.Rows[i].ID {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

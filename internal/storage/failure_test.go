@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFailReadsAfter(t *testing.T) {
+	d := NewDisk()
+	p, err := NewPool(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := p.NewPage()
+	id := pg.ID()
+	p.Unpin(pg, true)
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	d.FailReadsAfter(1)
+	// First read succeeds.
+	g, err := p.Fetch(id)
+	if err != nil {
+		t.Fatalf("first read should succeed: %v", err)
+	}
+	p.Unpin(g, false)
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Second read fails with the injected error.
+	if _, err := p.Fetch(id); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// Disarm: reads work again.
+	d.FailReadsAfter(-1)
+	g, err = p.Fetch(id)
+	if err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+	p.Unpin(g, false)
+}
+
+func TestFailedFetchLeavesPoolConsistent(t *testing.T) {
+	d := NewDisk()
+	p, err := NewPool(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := p.NewPage()
+	id := pg.ID()
+	p.Unpin(pg, true)
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	d.FailReadsAfter(0)
+	if _, err := p.Fetch(id); err == nil {
+		t.Fatal("expected failure")
+	}
+	d.FailReadsAfter(-1)
+	// The failed fetch must not have leaked a pinned frame: the pool can
+	// still hold two pages.
+	a, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(a, false)
+	p.Unpin(b, false)
+}
+
+func TestFileReadFailurePropagates(t *testing.T) {
+	d := NewDisk()
+	p, err := NewPool(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFile(p)
+	data := make([]byte, 3*PageSize)
+	if _, err := f.Append(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	d.FailReadsAfter(1)
+	buf := make([]byte, len(data))
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}

@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+)
+
+// File is an append-only byte stream laid out across disk pages. Inverted
+// lists and column segments are stored in Files so that reading them costs
+// a predictable, countable number of page fetches. A File is written once
+// by a builder and then read many times by queries.
+type File struct {
+	pool  *Pool
+	pages []PageID
+	size  int64 // total bytes written
+}
+
+// NewFile creates an empty file backed by pool.
+func NewFile(pool *Pool) *File {
+	return &File{pool: pool}
+}
+
+// Size returns the number of bytes written to the file.
+func (f *File) Size() int64 { return f.size }
+
+// NumPages returns the number of pages the file occupies.
+func (f *File) NumPages() int { return len(f.pages) }
+
+// Append writes b at the end of the file and returns the byte offset at
+// which it was placed.
+func (f *File) Append(b []byte) (int64, error) {
+	start := f.size
+	for len(b) > 0 {
+		off := int(f.size % PageSize)
+		if off == 0 && f.size == int64(len(f.pages))*PageSize {
+			pg, err := f.pool.NewPage()
+			if err != nil {
+				return 0, err
+			}
+			f.pages = append(f.pages, pg.ID())
+			if err := f.pool.Unpin(pg, true); err != nil {
+				return 0, err
+			}
+		}
+		pid := f.pages[f.size/PageSize]
+		pg, err := f.pool.Fetch(pid)
+		if err != nil {
+			return 0, err
+		}
+		n := copy(pg.Data()[off:], b)
+		if err := f.pool.Unpin(pg, true); err != nil {
+			return 0, err
+		}
+		b = b[n:]
+		f.size += int64(n)
+	}
+	return start, nil
+}
+
+// ReadAt reads len(b) bytes starting at byte offset off, fetching each
+// covered page through the buffer pool. It returns io.EOF when the range
+// extends past the end of the file.
+func (f *File) ReadAt(b []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d", off)
+	}
+	read := 0
+	for read < len(b) {
+		if off >= f.size {
+			return read, io.EOF
+		}
+		pidx := off / PageSize
+		poff := int(off % PageSize)
+		pg, err := f.pool.Fetch(f.pages[pidx])
+		if err != nil {
+			return read, err
+		}
+		avail := PageSize - poff
+		if rem := f.size - off; int64(avail) > rem {
+			avail = int(rem)
+		}
+		n := copy(b[read:], pg.Data()[poff:poff+avail])
+		if err := f.pool.Unpin(pg, false); err != nil {
+			return read, err
+		}
+		read += n
+		off += int64(n)
+	}
+	return read, nil
+}
+
+// Reader returns an io.Reader over the file contents starting at offset
+// off and limited to n bytes (or to end of file when n < 0).
+func (f *File) Reader(off, n int64) io.Reader {
+	if n < 0 {
+		n = f.size - off
+	}
+	return &fileReader{f: f, off: off, remaining: n}
+}
+
+type fileReader struct {
+	f         *File
+	off       int64
+	remaining int64
+}
+
+func (r *fileReader) Read(b []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(b)) > r.remaining {
+		b = b[:r.remaining]
+	}
+	n, err := r.f.ReadAt(b, r.off)
+	r.off += int64(n)
+	r.remaining -= int64(n)
+	return n, err
+}

@@ -1,0 +1,153 @@
+// Package storage provides a simulated page-based storage substrate with a
+// buffer pool and exact I/O accounting.
+//
+// The original system (Moa on the Monet binary-relation kernel) measured
+// its optimizations in real disk time on the TREC FT collection. We do not
+// have that testbed, so this package plays Monet's role: data structures
+// above it (postings lists, columns) allocate fixed-size pages from a
+// simulated disk, access goes through a buffer pool, and every physical
+// read and write is counted. Experiments report those deterministic
+// counters alongside wall-clock time, which makes the cost model (Step 3
+// of the paper) testable: its predictions are compared against counters
+// that do not depend on the machine the reproduction runs on.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the size of every page in bytes. 8 KiB matches the unit used
+// by contemporary systems of the paper's era and keeps postings-per-page
+// arithmetic simple.
+const PageSize = 8192
+
+// PageID identifies a page on the simulated disk. Valid IDs are assigned
+// by Disk.Allocate starting from 1; 0 is the invalid page.
+type PageID uint32
+
+// InvalidPage is the zero PageID, never returned by Allocate.
+const InvalidPage PageID = 0
+
+// Page is a fixed-size block of bytes plus bookkeeping. Callers obtain
+// pages through a Pool and must not retain the data slice past Unpin.
+type Page struct {
+	id    PageID
+	data  [PageSize]byte
+	dirty bool
+	pins  int
+}
+
+// ID returns the page's identifier.
+func (p *Page) ID() PageID { return p.id }
+
+// Data returns the page's byte payload. Mutating it requires calling
+// MarkDirty so the pool writes the page back on eviction.
+func (p *Page) Data() *[PageSize]byte { return &p.data }
+
+// MarkDirty records that the page's contents changed and must be flushed.
+func (p *Page) MarkDirty() { p.dirty = true }
+
+// Stats aggregates the physical access counters of a Disk. All experiment
+// cost reporting is derived from these numbers.
+type Stats struct {
+	PhysicalReads  int64 // pages read from the simulated disk
+	PhysicalWrites int64 // pages written to the simulated disk
+	LogicalReads   int64 // page requests satisfied from the buffer pool
+	Allocations    int64 // pages ever allocated
+}
+
+// Disk is a simulated disk: a growable array of pages with access
+// counters. It is safe for concurrent use.
+type Disk struct {
+	mu        sync.Mutex
+	pages     map[PageID][]byte
+	next      PageID
+	stats     Stats
+	failAfter int64 // remaining successful reads before injection; -1 = off
+}
+
+// NewDisk returns an empty simulated disk.
+func NewDisk() *Disk {
+	return &Disk{pages: make(map[PageID][]byte), next: 1, failAfter: -1}
+}
+
+// ErrInjected is the failure FailReadsAfter injects; tests use it to
+// verify that read errors propagate through every layer instead of
+// panicking or being swallowed.
+var ErrInjected = errors.New("storage: injected read failure")
+
+// FailReadsAfter arms failure injection: the next n physical reads
+// succeed, every one after that returns ErrInjected. A negative n disarms.
+func (d *Disk) FailReadsAfter(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failAfter = n
+}
+
+// Allocate reserves a new zeroed page and returns its ID.
+func (d *Disk) Allocate() PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.next
+	d.next++
+	d.pages[id] = make([]byte, PageSize)
+	d.stats.Allocations++
+	return id
+}
+
+// ErrNoSuchPage is returned when reading or writing an unallocated page.
+var ErrNoSuchPage = errors.New("storage: no such page")
+
+func (d *Disk) read(id PageID, buf *[PageSize]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failAfter == 0 {
+		return fmt.Errorf("%w: page %d", ErrInjected, id)
+	}
+	if d.failAfter > 0 {
+		d.failAfter--
+	}
+	src, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchPage, id)
+	}
+	copy(buf[:], src)
+	d.stats.PhysicalReads++
+	return nil
+}
+
+func (d *Disk) write(id PageID, buf *[PageSize]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dst, ok := d.pages[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchPage, id)
+	}
+	copy(dst, buf[:])
+	d.stats.PhysicalWrites++
+	return nil
+}
+
+// Stats returns a snapshot of the access counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the access counters (allocation count included) so an
+// experiment can measure a single query in isolation.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// NumPages reports how many pages have been allocated.
+func (d *Disk) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pages)
+}

@@ -1,0 +1,198 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Pool is a buffer pool caching disk pages with LRU replacement. Pages are
+// pinned while in use; only unpinned pages are eviction candidates. The
+// pool distinguishes logical reads (hits plus misses) from the physical
+// reads it forwards to the disk, so experiments can report both the
+// work a plan requests and the I/O the storage layer actually performs.
+type Pool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used; holds *frame
+	hits     int64
+	misses   int64
+}
+
+type frame struct {
+	page Page
+	elem *list.Element
+}
+
+// NewPool creates a buffer pool over disk holding at most capacity pages.
+func NewPool(disk *Disk, capacity int) (*Pool, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("storage: pool capacity %d must be positive", capacity)
+	}
+	return &Pool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}, nil
+}
+
+// ErrPoolFull is returned when every frame is pinned and a new page is
+// requested; callers hold too many pages at once.
+var ErrPoolFull = errors.New("storage: all buffer frames pinned")
+
+// Fetch pins the page with the given ID, reading it from disk on a miss,
+// and returns it. The caller must call Unpin when done.
+func (p *Pool) Fetch(id PageID) (*Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.disk.mu.Lock()
+	p.disk.stats.LogicalReads++
+	p.disk.mu.Unlock()
+
+	if f, ok := p.frames[id]; ok {
+		p.hits++
+		f.page.pins++
+		p.lru.MoveToFront(f.elem)
+		return &f.page, nil
+	}
+	p.misses++
+	f, err := p.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	f.page.id = id
+	f.page.dirty = false
+	f.page.pins = 1
+	if err := p.disk.read(id, &f.page.data); err != nil {
+		// Roll the frame back out so the pool stays consistent.
+		p.lru.Remove(f.elem)
+		return nil, err
+	}
+	p.frames[id] = f
+	return &f.page, nil
+}
+
+// NewPage allocates a fresh page on disk, pins it, and returns it zeroed.
+func (p *Pool) NewPage() (*Page, error) {
+	id := p.disk.Allocate()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	f.page.id = id
+	f.page.data = [PageSize]byte{}
+	f.page.dirty = true
+	f.page.pins = 1
+	p.frames[id] = f
+	return &f.page, nil
+}
+
+// allocFrameLocked finds a free frame, evicting the least recently used
+// unpinned page if the pool is at capacity. The returned frame is already
+// on the LRU list front but not yet in the frames map.
+func (p *Pool) allocFrameLocked() (*frame, error) {
+	if len(p.frames) < p.capacity {
+		f := &frame{}
+		f.elem = p.lru.PushFront(f)
+		return f, nil
+	}
+	// Evict from the back of the LRU list.
+	for e := p.lru.Back(); e != nil; e = e.Prev() {
+		f := e.Value.(*frame)
+		if f.page.pins > 0 {
+			continue
+		}
+		if f.page.dirty {
+			if err := p.disk.write(f.page.id, &f.page.data); err != nil {
+				return nil, err
+			}
+		}
+		delete(p.frames, f.page.id)
+		p.lru.MoveToFront(e)
+		return f, nil
+	}
+	return nil, ErrPoolFull
+}
+
+// Unpin releases one pin on the page. dirty indicates whether the caller
+// modified the page contents.
+func (p *Pool) Unpin(pg *Page, dirty bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pg.id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of page %d not in pool", pg.id)
+	}
+	if f.page.pins <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", pg.id)
+	}
+	if dirty {
+		f.page.dirty = true
+	}
+	f.page.pins--
+	return nil
+}
+
+// FlushAll writes every dirty page back to disk. Pages remain cached.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.page.dirty {
+			if err := p.disk.write(f.page.id, &f.page.data); err != nil {
+				return err
+			}
+			f.page.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropAll flushes dirty pages and empties the cache. Experiments call this
+// between runs to measure cold-cache behaviour. It fails if any page is
+// still pinned.
+func (p *Pool) DropAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.frames {
+		if f.page.pins > 0 {
+			return fmt.Errorf("storage: page %d still pinned", id)
+		}
+		if f.page.dirty {
+			if err := p.disk.write(f.page.id, &f.page.data); err != nil {
+				return err
+			}
+		}
+	}
+	p.frames = make(map[PageID]*frame)
+	p.lru.Init()
+	return nil
+}
+
+// HitRate reports the buffer pool hit ratio since construction (or the
+// last ResetCounters); it returns 0 when no fetches happened.
+func (p *Pool) HitRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}
+
+// ResetCounters zeroes the hit/miss counters.
+func (p *Pool) ResetCounters() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits, p.misses = 0, 0
+}
+
+// Capacity returns the maximum number of cached pages.
+func (p *Pool) Capacity() int { return p.capacity }

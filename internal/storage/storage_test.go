@@ -1,0 +1,367 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func newPool(t *testing.T, capacity int) (*Disk, *Pool) {
+	t.Helper()
+	d := NewDisk()
+	p, err := NewPool(d, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, p
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	d := NewDisk()
+	if _, err := NewPool(d, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := NewPool(d, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestAllocateAndFetch(t *testing.T) {
+	d, p := newPool(t, 4)
+	pg, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID()
+	if id == InvalidPage {
+		t.Fatal("NewPage returned invalid ID")
+	}
+	copy(pg.Data()[:], "hello")
+	if err := p.Unpin(pg, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(pg2.Data()[:5]); got != "hello" {
+		t.Errorf("page contents = %q, want hello", got)
+	}
+	if err := p.Unpin(pg2, false); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Stats(); s.PhysicalReads != 1 {
+		t.Errorf("physical reads = %d, want 1", s.PhysicalReads)
+	}
+}
+
+func TestFetchUnknownPage(t *testing.T) {
+	_, p := newPool(t, 2)
+	if _, err := p.Fetch(999); !errors.Is(err, ErrNoSuchPage) {
+		t.Errorf("err = %v, want ErrNoSuchPage", err)
+	}
+}
+
+func TestEvictionWritesDirtyPages(t *testing.T) {
+	d, p := newPool(t, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data()[0] = byte('a' + i)
+		ids = append(ids, pg.ID())
+		if err := p.Unpin(pg, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 2, three pages created: the first must have been evicted
+	// and persisted. Re-fetch and verify contents survived.
+	for i, id := range ids {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.Data()[0] != byte('a'+i) {
+			t.Errorf("page %d: got %c, want %c", id, pg.Data()[0], 'a'+i)
+		}
+		if err := p.Unpin(pg, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := d.Stats(); s.PhysicalWrites == 0 {
+		t.Error("expected at least one eviction write")
+	}
+}
+
+func TestPinnedPagesNotEvicted(t *testing.T) {
+	_, p := newPool(t, 2)
+	a, _ := p.NewPage()
+	b, _ := p.NewPage()
+	// Both frames pinned: next allocation must fail.
+	if _, err := p.NewPage(); !errors.Is(err, ErrPoolFull) {
+		t.Errorf("err = %v, want ErrPoolFull", err)
+	}
+	if err := p.Unpin(a, false); err != nil {
+		t.Fatal(err)
+	}
+	// One frame free now.
+	c, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(b, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(c, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpinErrors(t *testing.T) {
+	_, p := newPool(t, 2)
+	pg, _ := p.NewPage()
+	if err := p.Unpin(pg, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(pg, false); err == nil {
+		t.Error("double unpin accepted")
+	}
+	bogus := &Page{id: 12345}
+	if err := p.Unpin(bogus, false); err == nil {
+		t.Error("unpin of unknown page accepted")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	d, p := newPool(t, 2)
+	a, _ := p.NewPage()
+	b, _ := p.NewPage()
+	p.Unpin(a, true)
+	p.Unpin(b, true)
+	// Touch a so b becomes LRU.
+	pg, _ := p.Fetch(a.ID())
+	p.Unpin(pg, false)
+	// New page should evict b, not a.
+	c, _ := p.NewPage()
+	p.Unpin(c, true)
+	d.ResetStats()
+	pg, err := p.Fetch(a.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(pg, false)
+	if s := d.Stats(); s.PhysicalReads != 0 {
+		t.Errorf("fetching recently used page caused %d physical reads, want 0 (still cached)", s.PhysicalReads)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	_, p := newPool(t, 4)
+	pg, _ := p.NewPage()
+	id := pg.ID()
+	p.Unpin(pg, true)
+	for i := 0; i < 9; i++ {
+		g, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(g, false)
+	}
+	if hr := p.HitRate(); hr != 1.0 {
+		t.Errorf("hit rate = %v, want 1.0 (page never left pool)", hr)
+	}
+	p.ResetCounters()
+	if hr := p.HitRate(); hr != 0 {
+		t.Errorf("hit rate after reset = %v, want 0", hr)
+	}
+}
+
+func TestDropAllRefusesPinned(t *testing.T) {
+	_, p := newPool(t, 2)
+	pg, _ := p.NewPage()
+	if err := p.DropAll(); err == nil {
+		t.Error("DropAll succeeded with a pinned page")
+	}
+	p.Unpin(pg, false)
+	if err := p.DropAll(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileAppendRead(t *testing.T) {
+	_, p := newPool(t, 8)
+	f := NewFile(p)
+	msg := []byte("the quick brown fox")
+	off, err := f.Append(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 0 {
+		t.Errorf("first append offset = %d, want 0", off)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("read %q, want %q", buf, msg)
+	}
+}
+
+func TestFileCrossesPageBoundaries(t *testing.T) {
+	_, p := newPool(t, 16)
+	f := NewFile(p)
+	rng := xrand.New(99)
+	data := make([]byte, 3*PageSize+137)
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	// Append in odd-sized chunks to exercise page-boundary splits.
+	for i := 0; i < len(data); {
+		n := 1000 + rng.Intn(2000)
+		if i+n > len(data) {
+			n = len(data) - i
+		}
+		if _, err := f.Append(data[i : i+n]); err != nil {
+			t.Fatal(err)
+		}
+		i += n
+	}
+	if f.Size() != int64(len(data)) {
+		t.Fatalf("size = %d, want %d", f.Size(), len(data))
+	}
+	if want := (len(data) + PageSize - 1) / PageSize; f.NumPages() != want {
+		t.Fatalf("pages = %d, want %d", f.NumPages(), want)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round-trip across page boundaries corrupted data")
+	}
+	// Random interior reads.
+	for trial := 0; trial < 50; trial++ {
+		off := rng.Intn(len(data) - 1)
+		n := 1 + rng.Intn(len(data)-off)
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, int64(off)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data[off:off+n]) {
+			t.Fatalf("interior read [%d:%d] mismatch", off, off+n)
+		}
+	}
+}
+
+func TestFileReadPastEOF(t *testing.T) {
+	_, p := newPool(t, 4)
+	f := NewFile(p)
+	f.Append([]byte("abc"))
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if err != io.EOF {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+	if n != 3 {
+		t.Errorf("n = %d, want 3", n)
+	}
+	if _, err := f.ReadAt(buf, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestFileReader(t *testing.T) {
+	_, p := newPool(t, 8)
+	f := NewFile(p)
+	f.Append([]byte("0123456789"))
+	r := f.Reader(2, 5)
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "23456" {
+		t.Errorf("Reader(2,5) = %q, want 23456", got)
+	}
+	r = f.Reader(5, -1)
+	got, _ = io.ReadAll(r)
+	if string(got) != "56789" {
+		t.Errorf("Reader(5,-1) = %q, want 56789", got)
+	}
+}
+
+// TestFileRoundTripProperty: any sequence of appended chunks reads back
+// identically, regardless of chunk sizes relative to the page size.
+func TestFileRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(func(chunks [][]byte) bool {
+		_, pool := func() (*Disk, *Pool) {
+			d := NewDisk()
+			p, _ := NewPool(d, 64)
+			return d, p
+		}()
+		f := NewFile(pool)
+		var all []byte
+		for _, c := range chunks {
+			if len(c) > 20000 {
+				c = c[:20000]
+			}
+			off, err := f.Append(c)
+			if err != nil {
+				return false
+			}
+			if off != int64(len(all)) {
+				return false
+			}
+			all = append(all, c...)
+		}
+		if len(all) == 0 {
+			return f.Size() == 0
+		}
+		got := make([]byte, len(all))
+		if _, err := f.ReadAt(got, 0); err != nil {
+			return false
+		}
+		return bytes.Equal(got, all)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d, p := newPool(t, 2)
+	pg, _ := p.NewPage()
+	id := pg.ID()
+	p.Unpin(pg, true)
+	d.ResetStats()
+	g, _ := p.Fetch(id) // cached: logical only
+	p.Unpin(g, false)
+	s := d.Stats()
+	if s.LogicalReads != 1 {
+		t.Errorf("logical reads = %d, want 1", s.LogicalReads)
+	}
+	if s.PhysicalReads != 0 {
+		t.Errorf("physical reads = %d, want 0", s.PhysicalReads)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	g, _ = p.Fetch(id) // cold: logical + physical
+	p.Unpin(g, false)
+	s = d.Stats()
+	if s.PhysicalReads != 1 {
+		t.Errorf("physical reads after drop = %d, want 1", s.PhysicalReads)
+	}
+}

@@ -1,0 +1,318 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rank"
+)
+
+// Result is the outcome of a middleware top-N run: the ranked answers and
+// the access work it took to compute them.
+type Result struct {
+	Top      []rank.DocScore
+	Accesses AccessStats
+}
+
+func validate(sources []Source, n int) error {
+	if len(sources) == 0 {
+		return fmt.Errorf("topk: no sources")
+	}
+	if n <= 0 {
+		return fmt.Errorf("topk: n = %d must be positive", n)
+	}
+	return nil
+}
+
+// Naive computes the exact top N by exhaustively draining every source —
+// the unoptimized evaluation the paper says MM DBMSs are stuck with. It is
+// the baseline every experiment compares against.
+func Naive(sources []Source, agg Agg, n int) (Result, error) {
+	if err := validate(sources, n); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	grades := map[uint32][]float64{}
+	m := len(sources)
+	for i, s := range sources {
+		s.Reset()
+		for {
+			id, g, ok := s.Next()
+			res.Accesses.Sorted++
+			if !ok {
+				break
+			}
+			v := grades[id]
+			if v == nil {
+				v = make([]float64, m)
+				grades[id] = v
+			}
+			v[i] = g
+		}
+	}
+	h := NewHeap(n)
+	for id, v := range grades {
+		h.Offer(rank.DocScore{DocID: id, Score: agg.Combine(v)})
+	}
+	res.Top = h.Results()
+	return res, nil
+}
+
+// FA is Fagin's original algorithm: round-robin sorted access until at
+// least n objects have been seen in every source, then random access to
+// complete the grades of everything seen. Correct for monotone
+// aggregations; with independently ordered sources it touches O(k·m·
+// N^((m-1)/m)) objects instead of all of them.
+func FA(sources []Source, agg Agg, n int) (Result, error) {
+	if err := validate(sources, n); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	m := len(sources)
+	seenBy := make([]map[uint32]float64, m)
+	for i, s := range sources {
+		s.Reset()
+		seenBy[i] = map[uint32]float64{}
+	}
+	seenCount := map[uint32]int{}
+	inAll := 0
+	exhausted := 0
+	for inAll < n && exhausted < m {
+		exhausted = 0
+		for i, s := range sources {
+			id, g, ok := s.Next()
+			res.Accesses.Sorted++
+			if !ok {
+				exhausted++
+				continue
+			}
+			if _, dup := seenBy[i][id]; !dup {
+				seenBy[i][id] = g
+				seenCount[id]++
+				if seenCount[id] == m {
+					inAll++
+				}
+			}
+		}
+	}
+	// Random-access phase: complete every partially seen object.
+	h := NewHeap(n)
+	grades := make([]float64, m)
+	for id, cnt := range seenCount {
+		for i := range sources {
+			if g, ok := seenBy[i][id]; ok {
+				grades[i] = g
+			} else {
+				g, _ := sources[i].Lookup(id)
+				res.Accesses.Random++
+				grades[i] = g
+			}
+		}
+		_ = cnt
+		h.Offer(rank.DocScore{DocID: id, Score: agg.Combine(grades)})
+	}
+	res.Top = h.Results()
+	return res, nil
+}
+
+// TA is the threshold algorithm: each object discovered by sorted access
+// is immediately completed by random access, and the run stops as soon as
+// the current n-th best score reaches the threshold — the aggregate of the
+// grades at the current sorted-access frontier. TA is instance-optimal
+// among algorithms using both access kinds.
+func TA(sources []Source, agg Agg, n int) (Result, error) {
+	if err := validate(sources, n); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	m := len(sources)
+	for _, s := range sources {
+		s.Reset()
+	}
+	frontier := make([]float64, m)
+	for i := range frontier {
+		frontier[i] = math.Inf(1)
+	}
+	probed := map[uint32]bool{}
+	h := NewHeap(n)
+	grades := make([]float64, m)
+	for {
+		exhausted := 0
+		for i, s := range sources {
+			id, g, ok := s.Next()
+			res.Accesses.Sorted++
+			if !ok {
+				frontier[i] = 0 // no further object can score in this source
+				exhausted++
+				continue
+			}
+			frontier[i] = g
+			if probed[id] {
+				continue
+			}
+			probed[id] = true
+			for j := range sources {
+				if j == i {
+					grades[j] = g
+					continue
+				}
+				gj, _ := sources[j].Lookup(id)
+				res.Accesses.Random++
+				grades[j] = gj
+			}
+			h.Offer(rank.DocScore{DocID: id, Score: agg.Combine(grades)})
+		}
+		threshold := agg.Combine(frontier)
+		if h.Full() {
+			if min, ok := h.Min(); ok && min.Score >= threshold {
+				break
+			}
+		}
+		if exhausted == m {
+			break
+		}
+	}
+	res.Top = h.Results()
+	return res, nil
+}
+
+// nraCand is the bound administration record NRA keeps per seen object.
+type nraCand struct {
+	id    uint32
+	known []float64
+	mask  uint64 // bit i set when source i's grade is known
+}
+
+// NRA is the no-random-access algorithm: only sorted access, maintaining a
+// lower bound (unknown grades taken as 0) and an upper bound (unknown
+// grades taken as the source frontier) per candidate, stopping when the
+// n-th best lower bound is at least every other candidate's upper bound.
+// This is the purest form of the paper's "upper and lower bound
+// administration".
+//
+// At termination the returned documents are exactly the true top-N set,
+// but their scores are the final lower bounds, so the order within the set
+// may deviate from the true-score order when bounds are still loose —
+// the classical NRA guarantee. Callers needing exact internal order must
+// re-score the (small) returned set.
+func NRA(sources []Source, agg Agg, n int) (Result, error) {
+	if err := validate(sources, n); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	m := len(sources)
+	if m > 64 {
+		return Result{}, fmt.Errorf("topk: NRA supports at most 64 sources, got %d", m)
+	}
+	for _, s := range sources {
+		s.Reset()
+	}
+	frontier := make([]float64, m)
+	for i := range frontier {
+		frontier[i] = math.Inf(1)
+	}
+	cands := map[uint32]*nraCand{}
+	fullMask := uint64(1)<<m - 1
+
+	lower := func(c *nraCand) float64 {
+		if c.mask == fullMask {
+			return agg.Combine(c.known)
+		}
+		v := make([]float64, m)
+		for i := 0; i < m; i++ {
+			if c.mask&(1<<i) != 0 {
+				v[i] = c.known[i]
+			}
+		}
+		return agg.Combine(v)
+	}
+	upper := func(c *nraCand) float64 {
+		if c.mask == fullMask {
+			return agg.Combine(c.known)
+		}
+		v := make([]float64, m)
+		for i := 0; i < m; i++ {
+			if c.mask&(1<<i) != 0 {
+				v[i] = c.known[i]
+			} else {
+				v[i] = frontier[i]
+			}
+		}
+		return agg.Combine(v)
+	}
+
+	// The stop check costs O(|cands|·m·log|cands|), so running it after
+	// every round would make NRA quadratic on large inputs. It runs on a
+	// geometric schedule instead: the bound administration stays exact,
+	// the algorithm merely performs at most a constant factor of extra
+	// sorted accesses past the earliest possible stopping round.
+	checkAt := 1
+	for round := 0; ; round++ {
+		exhausted := 0
+		for i, s := range sources {
+			id, g, ok := s.Next()
+			res.Accesses.Sorted++
+			if !ok {
+				frontier[i] = 0
+				exhausted++
+				continue
+			}
+			frontier[i] = g
+			c := cands[id]
+			if c == nil {
+				c = &nraCand{id: id, known: make([]float64, m)}
+				cands[id] = c
+			}
+			if c.mask&(1<<i) == 0 {
+				c.mask |= 1 << i
+				c.known[i] = g
+			}
+		}
+		allExhausted := exhausted == m
+		if !allExhausted && round < checkAt {
+			continue
+		}
+		checkAt = round + 1 + (round+1)/4 // ~25% growth between checks
+		if len(cands) >= n || allExhausted {
+			type bound struct {
+				c      *nraCand
+				lb, ub float64
+			}
+			bounds := make([]bound, 0, len(cands))
+			for _, c := range cands {
+				bounds = append(bounds, bound{c, lower(c), upper(c)})
+			}
+			sort.Slice(bounds, func(a, b int) bool {
+				x, y := bounds[a], bounds[b]
+				if x.lb != y.lb {
+					return x.lb > y.lb
+				}
+				return x.c.id < y.c.id
+			})
+			k := n
+			if k > len(bounds) {
+				k = len(bounds)
+			}
+			stop := allExhausted
+			if !stop && k == n {
+				minLB := bounds[k-1].lb
+				// Unseen objects are bounded by the frontier aggregate.
+				maxOther := agg.Combine(frontier)
+				for _, b := range bounds[k:] {
+					if b.ub > maxOther {
+						maxOther = b.ub
+					}
+				}
+				stop = minLB >= maxOther
+			}
+			if stop {
+				res.Top = make([]rank.DocScore, 0, k)
+				for _, b := range bounds[:k] {
+					res.Top = append(res.Top, rank.DocScore{DocID: b.c.id, Score: b.lb})
+				}
+				return res, nil
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package topk implements top-N selection machinery: a bounded heap for
+// engine-side selection, and the family of middleware algorithms the paper
+// builds on — Fagin's algorithm (FA), the threshold algorithm (TA), and
+// no-random-access (NRA) with upper/lower bound administration.
+//
+// The paper's State-of-the-Art section credits "maintaining the proper
+// upper and lower bound administration while computing the required
+// results" as the basic idea enabling early termination; this package is
+// that idea made concrete. All algorithms assume non-negative scores,
+// sources sorted by descending score, and a monotone aggregation function.
+package topk
+
+import (
+	"container/heap"
+
+	"repro/internal/rank"
+)
+
+// Heap keeps the N best DocScores seen so far. It is a bounded min-heap:
+// the root is the weakest of the current top N, so a new candidate only
+// enters if it beats the root. Ordering (including the deterministic
+// doc-id tie-break) follows rank.Less.
+type Heap struct {
+	n     int
+	items docScoreHeap
+}
+
+type docScoreHeap []rank.DocScore
+
+func (h docScoreHeap) Len() int            { return len(h) }
+func (h docScoreHeap) Less(i, j int) bool  { return rank.Less(h[i], h[j]) }
+func (h docScoreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *docScoreHeap) Push(x interface{}) { *h = append(*h, x.(rank.DocScore)) }
+func (h *docScoreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewHeap returns a heap retaining the n best offers. It panics if n <= 0,
+// which always indicates a programming error in the caller.
+func NewHeap(n int) *Heap {
+	if n <= 0 {
+		panic("topk: heap size must be positive")
+	}
+	return &Heap{n: n, items: make(docScoreHeap, 0, n)}
+}
+
+// Offer considers ds for the top N. It returns true when ds entered the
+// heap (displacing the weakest member if the heap was full).
+func (h *Heap) Offer(ds rank.DocScore) bool {
+	if len(h.items) < h.n {
+		heap.Push(&h.items, ds)
+		return true
+	}
+	if !rank.Less(h.items[0], ds) {
+		return false
+	}
+	h.items[0] = ds
+	heap.Fix(&h.items, 0)
+	return true
+}
+
+// Min returns the weakest member of the current top N, with ok=false while
+// the heap is empty.
+func (h *Heap) Min() (rank.DocScore, bool) {
+	if len(h.items) == 0 {
+		return rank.DocScore{}, false
+	}
+	return h.items[0], true
+}
+
+// Full reports whether the heap holds n items; only then is Min a
+// meaningful threshold for pruning.
+func (h *Heap) Full() bool { return len(h.items) == h.n }
+
+// Len returns the current number of items.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Results drains the heap, returning the retained items in ranking order
+// (best first). The heap is empty afterwards.
+func (h *Heap) Results() []rank.DocScore {
+	out := make([]rank.DocScore, len(h.items))
+	for i := len(h.items) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h.items).(rank.DocScore)
+	}
+	return out
+}
+
+// SelectTop returns the k best entries of ds in ranking order without
+// modifying ds. It is the O(n log k) selection the engine uses instead of
+// sorting full result sets.
+func SelectTop(ds []rank.DocScore, k int) []rank.DocScore {
+	if k <= 0 {
+		return nil
+	}
+	h := NewHeap(k)
+	for _, d := range ds {
+		h.Offer(d)
+	}
+	return h.Results()
+}

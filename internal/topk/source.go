@@ -1,0 +1,151 @@
+package topk
+
+import (
+	"sort"
+
+	"repro/internal/rank"
+)
+
+// Source is one ranked input of a multi-source top-N query — in Fagin's
+// middleware model, one subsystem grading every object by one atomic
+// criterion (a text ranker, a colour-histogram matcher, ...).
+//
+// Sorted access streams objects by descending grade; random access probes
+// the grade of a known object. Grades must be non-negative and the stream
+// must be non-increasing, which the algorithms rely on for termination.
+type Source interface {
+	// Next returns the next object in descending-grade order, ok=false
+	// when exhausted. Implementations count this as one sorted access.
+	Next() (id uint32, grade float64, ok bool)
+	// Lookup returns the object's grade (0, false when the object does not
+	// appear in this source). Counts as one random access.
+	Lookup(id uint32) (float64, bool)
+	// Reset rewinds sorted access to the beginning.
+	Reset()
+	// Len returns the number of graded objects.
+	Len() int
+}
+
+// AccessStats counts the work of a middleware algorithm in Fagin's cost
+// model: sorted and random accesses. The experiments report these next to
+// wall-clock, since they are the machine-independent quantities the
+// original analyses are stated in.
+type AccessStats struct {
+	Sorted int64
+	Random int64
+}
+
+// SliceSource is an in-memory Source over explicit (id, grade) pairs; the
+// standard implementation used by the MM feature sources and all tests.
+type SliceSource struct {
+	byRank   []rank.DocScore // descending grade
+	byID     map[uint32]float64
+	pos      int
+	Accesses *AccessStats // optional shared counter; may be nil
+}
+
+// NewSliceSource builds a source from arbitrary-order grades. Ties are
+// broken by ascending id for determinism.
+func NewSliceSource(grades []rank.DocScore) *SliceSource {
+	s := &SliceSource{
+		byRank: append([]rank.DocScore(nil), grades...),
+		byID:   make(map[uint32]float64, len(grades)),
+	}
+	sort.Slice(s.byRank, func(i, j int) bool { return rank.Less(s.byRank[j], s.byRank[i]) })
+	for _, g := range s.byRank {
+		s.byID[g.DocID] = g.Score
+	}
+	return s
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (uint32, float64, bool) {
+	if s.Accesses != nil {
+		s.Accesses.Sorted++
+	}
+	if s.pos >= len(s.byRank) {
+		return 0, 0, false
+	}
+	g := s.byRank[s.pos]
+	s.pos++
+	return g.DocID, g.Score, true
+}
+
+// Lookup implements Source.
+func (s *SliceSource) Lookup(id uint32) (float64, bool) {
+	if s.Accesses != nil {
+		s.Accesses.Random++
+	}
+	g, ok := s.byID[id]
+	return g, ok
+}
+
+// Reset implements Source.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len implements Source.
+func (s *SliceSource) Len() int { return len(s.byRank) }
+
+// Agg is a monotone aggregation function combining one grade per source
+// into an overall score: if every component grade is >= another vector's,
+// the aggregate must be too. Fagin's correctness results hold exactly for
+// this class.
+type Agg struct {
+	Name    string
+	Combine func(grades []float64) float64
+}
+
+// SumAgg adds grades — the aggregation of additive IR ranking.
+func SumAgg() Agg {
+	return Agg{Name: "sum", Combine: func(g []float64) float64 {
+		var t float64
+		for _, v := range g {
+			t += v
+		}
+		return t
+	}}
+}
+
+// MinAgg is the standard fuzzy conjunction from Fagin's fuzzy-query work.
+func MinAgg() Agg {
+	return Agg{Name: "min", Combine: func(g []float64) float64 {
+		if len(g) == 0 {
+			return 0
+		}
+		m := g[0]
+		for _, v := range g[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	}}
+}
+
+// MaxAgg is the fuzzy disjunction.
+func MaxAgg() Agg {
+	return Agg{Name: "max", Combine: func(g []float64) float64 {
+		var m float64
+		for _, v := range g {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}}
+}
+
+// WeightedSumAgg weights each source, the form used for mixed text+feature
+// MM queries (Fagin & Maarek's user-weighted search terms).
+func WeightedSumAgg(weights []float64) Agg {
+	w := append([]float64(nil), weights...)
+	return Agg{Name: "wsum", Combine: func(g []float64) float64 {
+		var t float64
+		for i, v := range g {
+			if i < len(w) {
+				t += w[i] * v
+			}
+		}
+		return t
+	}}
+}

@@ -1,0 +1,420 @@
+package topk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rank"
+	"repro/internal/xrand"
+)
+
+func TestHeapBasics(t *testing.T) {
+	h := NewHeap(3)
+	for _, s := range []float64{5, 1, 4, 2, 3} {
+		h.Offer(rank.DocScore{DocID: uint32(s), Score: s})
+	}
+	if !h.Full() {
+		t.Fatal("heap should be full")
+	}
+	res := h.Results()
+	want := []float64{5, 4, 3}
+	for i, r := range res {
+		if r.Score != want[i] {
+			t.Fatalf("position %d: score %v, want %v", i, r.Score, want[i])
+		}
+	}
+}
+
+func TestHeapMinThreshold(t *testing.T) {
+	h := NewHeap(2)
+	if _, ok := h.Min(); ok {
+		t.Error("empty heap reported a min")
+	}
+	h.Offer(rank.DocScore{DocID: 1, Score: 10})
+	h.Offer(rank.DocScore{DocID: 2, Score: 20})
+	if min, _ := h.Min(); min.Score != 10 {
+		t.Errorf("min = %v, want 10", min.Score)
+	}
+	// A worse offer must be rejected.
+	if h.Offer(rank.DocScore{DocID: 3, Score: 5}) {
+		t.Error("worse offer accepted into full heap")
+	}
+	// A better offer displaces the min.
+	if !h.Offer(rank.DocScore{DocID: 4, Score: 15}) {
+		t.Error("better offer rejected")
+	}
+	if min, _ := h.Min(); min.Score != 15 {
+		t.Errorf("min after displacement = %v, want 15", min.Score)
+	}
+}
+
+func TestHeapTieBreak(t *testing.T) {
+	h := NewHeap(1)
+	h.Offer(rank.DocScore{DocID: 9, Score: 1})
+	// Same score, lower id ranks higher and must displace.
+	if !h.Offer(rank.DocScore{DocID: 3, Score: 1}) {
+		t.Error("tie with lower id rejected")
+	}
+	res := h.Results()
+	if res[0].DocID != 3 {
+		t.Errorf("kept doc %d, want 3", res[0].DocID)
+	}
+}
+
+func TestHeapPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHeap(0) did not panic")
+		}
+	}()
+	NewHeap(0)
+}
+
+func TestSelectTopMatchesSort(t *testing.T) {
+	rng := xrand.New(31)
+	if err := quick.Check(func(seed uint32) bool {
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		ds := make([]rank.DocScore, n)
+		for i := range ds {
+			ds[i] = rank.DocScore{DocID: uint32(i), Score: float64(rng.Intn(50))}
+		}
+		got := SelectTop(ds, k)
+		ref := append([]rank.DocScore(nil), ds...)
+		rank.SortByScore(ref)
+		if k > n {
+			k = n
+		}
+		if len(got) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if SelectTop([]rank.DocScore{{DocID: 1, Score: 1}}, 0) != nil {
+		t.Error("SelectTop with k=0 should be nil")
+	}
+}
+
+// makeSources builds m sources over numObj objects. When correlated is
+// true, grades across sources are positively correlated (the easy case for
+// early termination on Sum); otherwise independent.
+func makeSources(rng *xrand.RNG, m, numObj int, correlated bool) []Source {
+	base := make([]float64, numObj)
+	for i := range base {
+		base[i] = rng.Float64()
+	}
+	out := make([]Source, m)
+	for s := 0; s < m; s++ {
+		grades := make([]rank.DocScore, numObj)
+		for i := 0; i < numObj; i++ {
+			var g float64
+			if correlated {
+				g = 0.7*base[i] + 0.3*rng.Float64()
+			} else {
+				g = rng.Float64()
+			}
+			grades[i] = rank.DocScore{DocID: uint32(i), Score: g}
+		}
+		out[s] = NewSliceSource(grades)
+	}
+	return out
+}
+
+func sameTop(t *testing.T, name string, got, want []rank.DocScore, checkScores bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].DocID != want[i].DocID {
+			t.Fatalf("%s: position %d has doc %d, want %d", name, i, got[i].DocID, want[i].DocID)
+		}
+		if checkScores && math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+			t.Fatalf("%s: position %d score %v, want %v", name, i, got[i].Score, want[i].Score)
+		}
+	}
+}
+
+// sameSet checks set equality of the returned documents — the guarantee
+// NRA provides (order within the set may deviate from true-score order
+// because it ranks by lower bounds).
+func sameSet(t *testing.T, name string, got, want []rank.DocScore) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+	}
+	ids := map[uint32]bool{}
+	for _, w := range want {
+		ids[w.DocID] = true
+	}
+	for _, g := range got {
+		if !ids[g.DocID] {
+			t.Fatalf("%s: doc %d not in the true top set", name, g.DocID)
+		}
+	}
+}
+
+func TestAlgorithmsAgreeWithNaive(t *testing.T) {
+	rng := xrand.New(7)
+	aggs := []Agg{SumAgg(), MinAgg(), MaxAgg(), WeightedSumAgg([]float64{0.7, 0.2, 0.1, 0.4})}
+	for _, m := range []int{1, 2, 3, 4} {
+		for _, corr := range []bool{true, false} {
+			sources := makeSources(rng, m, 300, corr)
+			for _, agg := range aggs {
+				for _, n := range []int{1, 5, 20} {
+					naive, err := Naive(sources, agg, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fa, err := FA(sources, agg, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameTop(t, "FA/"+agg.Name, fa.Top, naive.Top, true)
+					ta, err := TA(sources, agg, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameTop(t, "TA/"+agg.Name, ta.Top, naive.Top, true)
+					nra, err := NRA(sources, agg, n)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// NRA guarantees the right set; its reported scores
+					// are lower bounds, not exact values.
+					sameSet(t, "NRA/"+agg.Name, nra.Top, naive.Top)
+				}
+			}
+		}
+	}
+}
+
+func TestTAStopsEarly(t *testing.T) {
+	rng := xrand.New(11)
+	sources := makeSources(rng, 2, 5000, true)
+	ta, err := TA(sources, SumAgg(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, _ := Naive(sources, SumAgg(), 10)
+	if ta.Accesses.Sorted >= naive.Accesses.Sorted/2 {
+		t.Errorf("TA used %d sorted accesses; naive %d — expected a large saving on correlated data",
+			ta.Accesses.Sorted, naive.Accesses.Sorted)
+	}
+}
+
+func TestFAStopsEarly(t *testing.T) {
+	rng := xrand.New(13)
+	sources := makeSources(rng, 2, 5000, true)
+	fa, err := FA(sources, SumAgg(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Accesses.Sorted >= 2*5000 {
+		t.Errorf("FA drained the sources (%d sorted accesses)", fa.Accesses.Sorted)
+	}
+}
+
+func TestNRAUsesNoRandomAccess(t *testing.T) {
+	rng := xrand.New(17)
+	sources := makeSources(rng, 3, 500, true)
+	nra, err := NRA(sources, SumAgg(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nra.Accesses.Random != 0 {
+		t.Errorf("NRA performed %d random accesses", nra.Accesses.Random)
+	}
+}
+
+func TestAlgorithmsValidateInput(t *testing.T) {
+	rng := xrand.New(1)
+	src := makeSources(rng, 1, 10, false)
+	type fn func([]Source, Agg, int) (Result, error)
+	for name, f := range map[string]fn{"naive": Naive, "fa": FA, "ta": TA, "nra": NRA} {
+		if _, err := f(nil, SumAgg(), 5); err == nil {
+			t.Errorf("%s accepted empty sources", name)
+		}
+		if _, err := f(src, SumAgg(), 0); err == nil {
+			t.Errorf("%s accepted n=0", name)
+		}
+	}
+}
+
+func TestNRejectedTooManySources(t *testing.T) {
+	srcs := make([]Source, 65)
+	for i := range srcs {
+		srcs[i] = NewSliceSource([]rank.DocScore{{DocID: 1, Score: 1}})
+	}
+	if _, err := NRA(srcs, SumAgg(), 1); err == nil {
+		t.Error("NRA accepted 65 sources")
+	}
+}
+
+func TestNLargerThanUniverse(t *testing.T) {
+	rng := xrand.New(3)
+	sources := makeSources(rng, 2, 8, false)
+	for name, f := range map[string]func([]Source, Agg, int) (Result, error){
+		"naive": Naive, "fa": FA, "ta": TA, "nra": NRA,
+	} {
+		res, err := f(sources, SumAgg(), 50)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Top) != 8 {
+			t.Errorf("%s returned %d results, want all 8", name, len(res.Top))
+		}
+	}
+}
+
+func TestDisjointSources(t *testing.T) {
+	// Objects present in only one source: missing grades are 0.
+	a := NewSliceSource([]rank.DocScore{{DocID: 1, Score: 0.9}, {DocID: 2, Score: 0.5}})
+	b := NewSliceSource([]rank.DocScore{{DocID: 3, Score: 0.8}, {DocID: 2, Score: 0.6}})
+	naive, err := Naive([]Source{a, b}, SumAgg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// doc2: 0.5+0.6=1.1; doc1: 0.9; doc3: 0.8
+	want := []rank.DocScore{{DocID: 2, Score: 1.1}, {DocID: 1, Score: 0.9}, {DocID: 3, Score: 0.8}}
+	sameTop(t, "naive", naive.Top, want, true)
+	ta, err := TA([]Source{a, b}, SumAgg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTop(t, "ta", ta.Top, want, true)
+	fa, err := FA([]Source{a, b}, SumAgg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTop(t, "fa", fa.Top, want, true)
+	nra, err := NRA([]Source{a, b}, SumAgg(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSet(t, "nra", nra.Top, want)
+}
+
+// TestPropertyAgreement drives the four algorithms over random instances:
+// FA and TA must reproduce the naive ranking exactly; NRA must return the
+// same document set.
+func TestPropertyAgreement(t *testing.T) {
+	rng := xrand.New(99)
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(func(mRaw, nRaw, objRaw uint8, corr bool) bool {
+		m := int(mRaw)%4 + 1
+		n := int(nRaw)%15 + 1
+		numObj := int(objRaw)%100 + 20
+		sources := makeSources(rng, m, numObj, corr)
+		naive, err := Naive(sources, SumAgg(), n)
+		if err != nil {
+			return false
+		}
+		for _, f := range []func([]Source, Agg, int) (Result, error){FA, TA} {
+			res, err := f(sources, SumAgg(), n)
+			if err != nil {
+				return false
+			}
+			if len(res.Top) != len(naive.Top) {
+				return false
+			}
+			for i := range res.Top {
+				if res.Top[i].DocID != naive.Top[i].DocID {
+					return false
+				}
+			}
+		}
+		nra, err := NRA(sources, SumAgg(), n)
+		if err != nil || len(nra.Top) != len(naive.Top) {
+			return false
+		}
+		inTrue := map[uint32]bool{}
+		for _, w := range naive.Top {
+			inTrue[w.DocID] = true
+		}
+		for _, g := range nra.Top {
+			if !inTrue[g.DocID] {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceSourceOrdering(t *testing.T) {
+	s := NewSliceSource([]rank.DocScore{{DocID: 5, Score: 0.2}, {DocID: 1, Score: 0.9}, {DocID: 2, Score: 0.9}, {DocID: 3, Score: 0.5}})
+	var prev float64 = math.Inf(1)
+	var ids []uint32
+	for {
+		id, g, ok := s.Next()
+		if !ok {
+			break
+		}
+		if g > prev {
+			t.Fatal("sorted access not descending")
+		}
+		prev = g
+		ids = append(ids, id)
+	}
+	if ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("equal grades must order by ascending id, got %v", ids)
+	}
+	if g, ok := s.Lookup(3); !ok || g != 0.5 {
+		t.Errorf("Lookup(3) = %v,%v", g, ok)
+	}
+	if _, ok := s.Lookup(99); ok {
+		t.Error("Lookup of absent id succeeded")
+	}
+	s.Reset()
+	if id, _, _ := s.Next(); id != 1 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestAggFunctions(t *testing.T) {
+	g := []float64{0.2, 0.8, 0.5}
+	if got := SumAgg().Combine(g); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("sum = %v", got)
+	}
+	if got := MinAgg().Combine(g); got != 0.2 {
+		t.Errorf("min = %v", got)
+	}
+	if got := MaxAgg().Combine(g); got != 0.8 {
+		t.Errorf("max = %v", got)
+	}
+	if got := WeightedSumAgg([]float64{1, 0, 2}).Combine(g); math.Abs(got-1.2) > 1e-12 {
+		t.Errorf("wsum = %v", got)
+	}
+	if got := MinAgg().Combine(nil); got != 0 {
+		t.Errorf("min of empty = %v", got)
+	}
+}
+
+func BenchmarkTAvsNaive(b *testing.B) {
+	rng := xrand.New(5)
+	sources := makeSources(rng, 3, 10000, true)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Naive(sources, SumAgg(), 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := TA(sources, SumAgg(), 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package vector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topk"
+	"repro/internal/xrand"
+)
+
+func TestL2(t *testing.T) {
+	a := Vector{0, 0}
+	b := Vector{3, 4}
+	if got := L2(a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("L2 = %v, want 5", got)
+	}
+	if got := L2(a, a); got != 0 {
+		t.Errorf("L2 self = %v", got)
+	}
+}
+
+func TestL2PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	L2(Vector{1}, Vector{1, 2})
+}
+
+func TestL2Properties(t *testing.T) {
+	rng := xrand.New(5)
+	mk := func() Vector {
+		v := make(Vector, 8)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	if err := quick.Check(func(seed uint8) bool {
+		a, b, c := mk(), mk(), mk()
+		// Symmetry, non-negativity, triangle inequality.
+		if math.Abs(L2(a, b)-L2(b, a)) > 1e-9 {
+			return false
+		}
+		if L2(a, b) < 0 {
+			return false
+		}
+		return L2(a, c) <= L2(a, b)+L2(b, c)+1e-9
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine(Vector{1, 0}, Vector{1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("parallel = %v", got)
+	}
+	if got := Cosine(Vector{1, 0}, Vector{0, 1}); math.Abs(got) > 1e-12 {
+		t.Errorf("orthogonal = %v", got)
+	}
+	if got := Cosine(Vector{1, 0}, Vector{-1, 0}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("antiparallel = %v", got)
+	}
+	if got := Cosine(Vector{0, 0}, Vector{1, 1}); got != 0 {
+		t.Errorf("zero vector = %v", got)
+	}
+}
+
+func TestSimilarityMonotone(t *testing.T) {
+	if Similarity(0) != 1 {
+		t.Error("similarity at distance 0 must be 1")
+	}
+	prev := 2.0
+	for d := 0.0; d < 10; d += 0.5 {
+		s := Similarity(d)
+		if s <= 0 || s > 1 {
+			t.Fatalf("similarity out of (0,1]: %v", s)
+		}
+		if s >= prev {
+			t.Fatal("similarity not strictly decreasing")
+		}
+		prev = s
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds, err := Generate(Config{NumObjects: 500, Dim: 8, NumClusters: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Vecs) != 500 || ds.Dim != 8 {
+		t.Fatalf("shape %d×%d", len(ds.Vecs), ds.Dim)
+	}
+	for _, v := range ds.Vecs {
+		if len(v) != 8 {
+			t.Fatal("inconsistent dimension")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{NumObjects: 100, Dim: 4, Seed: 11}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	for i := range a.Vecs {
+		for d := range a.Vecs[i] {
+			if a.Vecs[i][d] != b.Vecs[i][d] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{NumObjects: -1}); err == nil {
+		t.Error("negative objects accepted")
+	}
+}
+
+func TestGenerateClustered(t *testing.T) {
+	// With tight clusters, average distance to the nearest other point
+	// must be much smaller than to a random point.
+	ds, err := Generate(Config{NumObjects: 300, Dim: 6, NumClusters: 4, ClusterStd: 0.02, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(1)
+	var nearSum, randSum float64
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		i := rng.Intn(len(ds.Vecs))
+		near := math.Inf(1)
+		for j := range ds.Vecs {
+			if j == i {
+				continue
+			}
+			if d := L2(ds.Vecs[i], ds.Vecs[j]); d < near {
+				near = d
+			}
+		}
+		nearSum += near
+		randSum += L2(ds.Vecs[i], ds.Vecs[rng.Intn(len(ds.Vecs))])
+	}
+	if nearSum >= randSum/3 {
+		t.Errorf("nearest-neighbour distance %.3f not clearly below random distance %.3f; data not clustered",
+			nearSum/trials, randSum/trials)
+	}
+}
+
+func TestKNNMatchesExhaustive(t *testing.T) {
+	ds, err := Generate(Config{NumObjects: 200, Dim: 4, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Vecs[42]
+	got := ds.KNN(q, 5)
+	if len(got) != 5 {
+		t.Fatalf("returned %d", len(got))
+	}
+	if got[0].DocID != 42 {
+		t.Errorf("nearest to itself is %d", got[0].DocID)
+	}
+	if math.Abs(got[0].Score-1) > 1e-12 {
+		t.Errorf("self-similarity = %v", got[0].Score)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatal("KNN not sorted by similarity")
+		}
+	}
+}
+
+func TestSourceFeedsFagin(t *testing.T) {
+	ds, err := Generate(Config{NumObjects: 300, Dim: 4, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, q2 := ds.Vecs[0], ds.Vecs[1]
+	sources := []topk.Source{ds.Source(q1), ds.Source(q2)}
+	res, err := topk.TA(sources, topk.MinAgg(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := topk.Naive(sources, topk.MinAgg(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range naive.Top {
+		if res.Top[i].DocID != naive.Top[i].DocID {
+			t.Fatal("TA over feature sources disagrees with exhaustive")
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package zipf models the rank-frequency distribution of natural-language
+// terms, which is the statistical foundation of the paper's Step 1.
+//
+// Blok's fragmentation argument rests on the observation (from the IR
+// literature, notably Brown's thesis) that term occurrences follow a Zipf
+// law: the frequency of the term of rank r is proportional to 1/r^s. The
+// consequence exploited by the paper is that the *least frequent* terms —
+// the ones carrying the most information for ranking — account for a tiny
+// share of the total postings volume, so an index fragment holding only
+// those terms is both small and highly useful.
+//
+// This package provides a sampler over a finite Zipf(-Mandelbrot)
+// vocabulary, exact distribution quantities (probabilities, cumulative
+// postings mass), a maximum-likelihood-style exponent fit used by the
+// harness to verify that generated collections really are Zipfian, and the
+// self-information ("interestingness") weights that drive fragmentation.
+package zipf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Dist is a finite Zipf-Mandelbrot distribution over ranks 1..V:
+//
+//	P(rank = r) = (r + q)^(-s) / H(V, q, s)
+//
+// with exponent s > 0 and flattening parameter q >= 0 (q = 0 gives the
+// classic Zipf law). Rank 1 is the most frequent term.
+type Dist struct {
+	V   int     // vocabulary size (number of ranks)
+	S   float64 // exponent
+	Q   float64 // Mandelbrot flattening parameter
+	cdf []float64
+}
+
+// New constructs a Zipf-Mandelbrot distribution. It returns an error when
+// the parameters do not define a valid distribution.
+func New(v int, s, q float64) (*Dist, error) {
+	if v <= 0 {
+		return nil, fmt.Errorf("zipf: vocabulary size %d must be positive", v)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("zipf: exponent %v must be positive", s)
+	}
+	if q < 0 {
+		return nil, fmt.Errorf("zipf: flattening %v must be non-negative", q)
+	}
+	d := &Dist{V: v, S: s, Q: q}
+	d.cdf = make([]float64, v)
+	var total float64
+	for r := 1; r <= v; r++ {
+		total += math.Pow(float64(r)+q, -s)
+		d.cdf[r-1] = total
+	}
+	for i := range d.cdf {
+		d.cdf[i] /= total
+	}
+	return d, nil
+}
+
+// MustNew is New but panics on error; intended for literal parameters in
+// tests and examples.
+func MustNew(v int, s, q float64) *Dist {
+	d, err := New(v, s, q)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Prob returns P(rank = r) for r in [1, V].
+func (d *Dist) Prob(r int) float64 {
+	if r < 1 || r > d.V {
+		return 0
+	}
+	if r == 1 {
+		return d.cdf[0]
+	}
+	return d.cdf[r-1] - d.cdf[r-2]
+}
+
+// CDF returns P(rank <= r). CDF(V) is 1 up to rounding.
+func (d *Dist) CDF(r int) float64 {
+	if r < 1 {
+		return 0
+	}
+	if r > d.V {
+		r = d.V
+	}
+	return d.cdf[r-1]
+}
+
+// Sample draws a rank in [1, V] using inverse-CDF sampling. It costs
+// O(log V) per draw.
+func (d *Dist) Sample(rng *xrand.RNG) int {
+	u := rng.Float64()
+	// Find the first index with cdf >= u.
+	i := sort.SearchFloat64s(d.cdf, u)
+	if i >= d.V {
+		i = d.V - 1
+	}
+	return i + 1
+}
+
+// HeadMassRank returns the smallest rank r such that terms of rank <= r
+// carry at least frac of the total probability mass. This is the
+// quantitative form of the paper's "the most frequent terms take up most
+// of the storage": for s near 1 a tiny set of head ranks covers a large
+// mass fraction.
+func (d *Dist) HeadMassRank(frac float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	if frac >= 1 {
+		return d.V
+	}
+	i := sort.SearchFloat64s(d.cdf, frac)
+	if i >= d.V {
+		i = d.V - 1
+	}
+	return i + 1
+}
+
+// TailVolumeFraction returns the fraction of total occurrence mass carried
+// by terms of rank > r, i.e. the relative postings volume of the "rare
+// terms" fragment when the split point is r. The paper's 5%-fragment claim
+// corresponds to choosing r so that this is about 0.05.
+func (d *Dist) TailVolumeFraction(r int) float64 {
+	if r <= 0 {
+		return 1
+	}
+	if r >= d.V {
+		return 0
+	}
+	return 1 - d.cdf[r-1]
+}
+
+// SelfInformation returns -log2 P(rank = r), the information content of an
+// occurrence of the rank-r term. Rare terms have high self-information;
+// this is the "interestingness" the paper's fragmentation preserves in the
+// small fragment.
+func (d *Dist) SelfInformation(r int) float64 {
+	p := d.Prob(r)
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log2(p)
+}
+
+// ErrInsufficientData is returned by FitExponent when fewer than two
+// distinct positive frequencies are supplied.
+var ErrInsufficientData = errors.New("zipf: need at least two positive frequencies to fit")
+
+// FitExponent estimates the Zipf exponent s from observed term frequencies
+// (any order; zeros are ignored) by least-squares regression of
+// log(frequency) on log(rank). It returns the fitted exponent and the R²
+// of the log-log fit, which the harness uses to assert the synthetic
+// collection is convincingly Zipfian (R² close to 1).
+func FitExponent(freqs []int) (s, r2 float64, err error) {
+	f := make([]int, 0, len(freqs))
+	for _, v := range freqs {
+		if v > 0 {
+			f = append(f, v)
+		}
+	}
+	if len(f) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(f)))
+	n := float64(len(f))
+	var sx, sy, sxx, sxy, syy float64
+	for i, v := range f {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(v))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	slope := (n*sxy - sx*sy) / denom
+	// slope is d log f / d log r, which is -s for a Zipf law.
+	s = -slope
+	// Coefficient of determination of the regression.
+	ssTot := syy - sy*sy/n
+	ssRes := ssTot - slope*(sxy-sx*sy/n)
+	if ssTot <= 0 {
+		r2 = 1
+	} else {
+		r2 = 1 - ssRes/ssTot
+	}
+	return s, r2, nil
+}
+
+// Harmonic returns the generalized harmonic number H_{n,s} = sum_{r=1..n} r^-s.
+// It is exposed for cost-model formulas that need expected postings sizes.
+func Harmonic(n int, s float64) float64 {
+	var h float64
+	for r := 1; r <= n; r++ {
+		h += math.Pow(float64(r), -s)
+	}
+	return h
+}

@@ -1,0 +1,231 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		v    int
+		s, q float64
+	}{
+		{0, 1, 0},
+		{-5, 1, 0},
+		{10, 0, 0},
+		{10, -1, 0},
+		{10, 1, -0.5},
+	}
+	for _, c := range cases {
+		if _, err := New(c.v, c.s, c.q); err == nil {
+			t.Errorf("New(%d,%v,%v) accepted invalid parameters", c.v, c.s, c.q)
+		}
+	}
+	if _, err := New(10, 1, 0); err != nil {
+		t.Errorf("New(10,1,0) rejected valid parameters: %v", err)
+	}
+}
+
+func TestProbSumsToOne(t *testing.T) {
+	for _, s := range []float64{0.7, 1.0, 1.3} {
+		d := MustNew(500, s, 0)
+		var sum float64
+		for r := 1; r <= d.V; r++ {
+			sum += d.Prob(r)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("s=%v: probabilities sum to %v", s, sum)
+		}
+	}
+}
+
+func TestProbMonotoneDecreasing(t *testing.T) {
+	d := MustNew(1000, 1.1, 2)
+	for r := 2; r <= d.V; r++ {
+		if d.Prob(r) > d.Prob(r-1)+1e-15 {
+			t.Fatalf("Prob not decreasing at rank %d: %v > %v", r, d.Prob(r), d.Prob(r-1))
+		}
+	}
+}
+
+func TestProbOutOfRange(t *testing.T) {
+	d := MustNew(10, 1, 0)
+	if d.Prob(0) != 0 || d.Prob(11) != 0 || d.Prob(-3) != 0 {
+		t.Error("Prob outside [1,V] must be 0")
+	}
+}
+
+func TestCDFBoundaries(t *testing.T) {
+	d := MustNew(100, 1, 0)
+	if d.CDF(0) != 0 {
+		t.Errorf("CDF(0) = %v, want 0", d.CDF(0))
+	}
+	if math.Abs(d.CDF(100)-1) > 1e-12 {
+		t.Errorf("CDF(V) = %v, want 1", d.CDF(100))
+	}
+	if math.Abs(d.CDF(1000)-1) > 1e-12 {
+		t.Errorf("CDF beyond V = %v, want 1", d.CDF(1000))
+	}
+}
+
+func TestCDFConsistentWithProb(t *testing.T) {
+	d := MustNew(200, 1.2, 1)
+	if err := quick.Check(func(raw uint8) bool {
+		r := int(raw)%d.V + 1
+		return math.Abs(d.CDF(r)-d.CDF(r-1)-d.Prob(r)) < 1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	d := MustNew(50, 1.0, 0)
+	rng := xrand.New(1)
+	const draws = 200000
+	counts := make([]int, d.V+1)
+	for i := 0; i < draws; i++ {
+		r := d.Sample(rng)
+		if r < 1 || r > d.V {
+			t.Fatalf("sample %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Check the head ranks, where counts are large enough for a tight test.
+	for r := 1; r <= 5; r++ {
+		got := float64(counts[r]) / draws
+		want := d.Prob(r)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: empirical %v vs true %v", r, got, want)
+		}
+	}
+}
+
+func TestHeadMassRank(t *testing.T) {
+	d := MustNew(10000, 1.0, 0)
+	r := d.HeadMassRank(0.95)
+	if r <= 0 || r > d.V {
+		t.Fatalf("HeadMassRank out of range: %d", r)
+	}
+	if d.CDF(r) < 0.95 {
+		t.Errorf("CDF(HeadMassRank(0.95)) = %v < 0.95", d.CDF(r))
+	}
+	if r > 1 && d.CDF(r-1) >= 0.95 {
+		t.Errorf("HeadMassRank not minimal: CDF(%d) = %v already >= 0.95", r-1, d.CDF(r-1))
+	}
+	if d.HeadMassRank(0) != 0 {
+		t.Error("HeadMassRank(0) should be 0")
+	}
+	if d.HeadMassRank(1) != d.V {
+		t.Error("HeadMassRank(1) should be V")
+	}
+}
+
+// TestPaperShape verifies the quantitative premise of the paper's Step 1:
+// the 95% rarest terms (the "most interesting" ones) carry only a small
+// fraction (~5%) of the total postings volume, so a fragment holding them
+// is ~5% of the unfragmented size. This holds for Zipf exponents around
+// 1.25-1.3, which is what empirical document-frequency distributions show
+// and what the collection generator uses as its default.
+func TestPaperShape(t *testing.T) {
+	d := MustNew(100000, 1.3, 0)
+	// Head = the 5% most frequent terms; tail = the 95% rarest.
+	headRanks := d.V / 20
+	tail := d.TailVolumeFraction(headRanks)
+	if tail > 0.055 {
+		t.Errorf("95%% rarest terms carry %.1f%% of volume, want about 5%%", 100*tail)
+	}
+	// The effect must strengthen with the exponent: steeper law, lighter tail.
+	flatter := MustNew(100000, 1.0, 0)
+	if flatter.TailVolumeFraction(headRanks) <= tail {
+		t.Error("tail volume should shrink as the Zipf exponent grows")
+	}
+}
+
+func TestTailVolumeFraction(t *testing.T) {
+	d := MustNew(100, 1, 0)
+	if got := d.TailVolumeFraction(0); got != 1 {
+		t.Errorf("TailVolumeFraction(0) = %v, want 1", got)
+	}
+	if got := d.TailVolumeFraction(100); got != 0 {
+		t.Errorf("TailVolumeFraction(V) = %v, want 0", got)
+	}
+	prev := 1.0
+	for r := 1; r < 100; r++ {
+		cur := d.TailVolumeFraction(r)
+		if cur > prev {
+			t.Fatalf("TailVolumeFraction increased at %d", r)
+		}
+		prev = cur
+	}
+}
+
+func TestSelfInformationIncreasesWithRank(t *testing.T) {
+	d := MustNew(1000, 1.1, 0)
+	if d.SelfInformation(1) >= d.SelfInformation(1000) {
+		t.Error("rare terms must carry more self-information than frequent ones")
+	}
+	if !math.IsInf(d.SelfInformation(0), 1) {
+		t.Error("out-of-range rank should have infinite self-information")
+	}
+}
+
+func TestFitExponentRecoversParameter(t *testing.T) {
+	for _, trueS := range []float64{0.8, 1.0, 1.2} {
+		d := MustNew(2000, trueS, 0)
+		// Build exact expected frequencies for a large synthetic corpus.
+		const total = 10_000_000
+		freqs := make([]int, d.V)
+		for r := 1; r <= d.V; r++ {
+			freqs[r-1] = int(d.Prob(r) * total)
+		}
+		s, r2, err := FitExponent(freqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s-trueS) > 0.1 {
+			t.Errorf("true s=%v: fitted %v", trueS, s)
+		}
+		if r2 < 0.99 {
+			t.Errorf("true s=%v: R² = %v, want near 1", trueS, r2)
+		}
+	}
+}
+
+func TestFitExponentErrors(t *testing.T) {
+	if _, _, err := FitExponent(nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, _, err := FitExponent([]int{5}); err == nil {
+		t.Error("single frequency should error")
+	}
+	if _, _, err := FitExponent([]int{0, 0, 3}); err == nil {
+		t.Error("single positive frequency should error")
+	}
+	if _, _, err := FitExponent([]int{3, 4}); err != nil {
+		t.Errorf("two positive frequencies should fit: %v", err)
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if got := Harmonic(1, 1); got != 1 {
+		t.Errorf("H(1,1) = %v", got)
+	}
+	if got, want := Harmonic(4, 1), 1+0.5+1.0/3+0.25; math.Abs(got-want) > 1e-12 {
+		t.Errorf("H(4,1) = %v, want %v", got, want)
+	}
+	if got, want := Harmonic(3, 2), 1+0.25+1.0/9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("H(3,2) = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	d := MustNew(100000, 1.05, 0)
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sample(rng)
+	}
+}
