@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/moa"
 	"repro/internal/optimizer"
+	"repro/internal/parallel"
 	"repro/internal/probtopn"
 	"repro/internal/rank"
 	"repro/internal/stopafter"
@@ -401,4 +403,40 @@ func BenchmarkE12MaxScore(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallelSearch is the wall-clock view of the sharded
+// concurrent layer (experiment PAR): the fixture workload batched
+// through parallel.Searcher at several shard/worker configurations,
+// against the sequential full-evaluation baseline above it.
+func BenchmarkParallelSearch(b *testing.B) {
+	f := getFixtures(b)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			searchAll(b, f, core.Options{N: 10, Mode: core.ModeFull})
+		}
+	})
+	for _, shards := range []int{1, 4} {
+		pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := parallel.NewSearcher(f.col, pool, rank.NewBM25(), parallel.Config{Shards: shards, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		workerSweep := []int{1}
+		if shards > 1 {
+			workerSweep = append(workerSweep, 4)
+		}
+		for _, workers := range workerSweep {
+			b.Run(fmt.Sprintf("shards%d_workers%d", shards, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := s.SearchBatch(f.queries, parallel.Options{N: 10, Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }

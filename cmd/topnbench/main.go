@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	topnbench [-exp all|F1|E1|E3|E4|E5|E6|E7|E8|E9|E10] [-scale small|full] [-seed N]
+//	topnbench [-exp all|F1|E1..E12|PAR] [-scale small|full] [-seed N]
+//	          [-shards K] [-workers W]
+//
+// The PAR experiment exercises the sharded concurrent search layer
+// (internal/parallel): -shards picks the document-range shard count and
+// -workers the worker-pool bound; the table reports sequential vs.
+// parallel wall-clock and the speedup.
 //
 // Results print as aligned text tables with the paper's claim noted under
 // each; EXPERIMENTS.md records a full-scale run.
@@ -14,13 +20,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
-var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR"}
 
 var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
 	"F1":  bench.RunF1,
@@ -39,10 +46,16 @@ var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (F1, E1..E10) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR) or 'all'")
 	scaleFlag := flag.String("scale", "small", "workload scale: small or full")
 	seed := flag.Uint64("seed", 42, "deterministic workload seed")
+	shards := flag.Int("shards", 4, "PAR: number of document-range shards")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "PAR: worker-pool size")
 	flag.Parse()
+
+	runners["PAR"] = func(s bench.Scale, seed uint64) (*bench.Table, error) {
+		return bench.RunParallel(s, seed, *shards, *workers)
+	}
 
 	var scale bench.Scale
 	switch *scaleFlag {

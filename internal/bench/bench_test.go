@@ -21,6 +21,7 @@ var runners = map[string]func(Scale, uint64) (*Table, error){
 	"E10": RunE10,
 	"E11": RunE11,
 	"E12": RunE12,
+	"PAR": func(s Scale, seed uint64) (*Table, error) { return RunParallel(s, seed, 4, 4) },
 }
 
 func TestAllExperimentsRunAtSmallScale(t *testing.T) {

@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/collection"
 	"repro/internal/index"
@@ -100,16 +101,17 @@ type Result struct {
 
 // Engine is the fragmented top-N retrieval engine.
 //
-// An Engine reuses one score accumulator across searches, so a single
-// Engine must not run Search concurrently from multiple goroutines; build
-// one Engine per worker instead (they can share the fragmented index,
-// whose reads are thread-safe through the buffer pool).
+// All mutable per-query state (the score accumulator) lives in a
+// per-Search context drawn from an internal pool, so a single Engine is
+// safe for concurrent Search from multiple goroutines: the index,
+// lexicon, and collection statistics it reads are immutable after build,
+// and the buffer pool underneath serializes page access.
 type Engine struct {
 	FX     *index.Fragmented
 	Scorer rank.Scorer
 
 	corpus rank.CorpusStat
-	acc    *rank.Accumulator
+	accs   sync.Pool // of *rank.Accumulator, sized for the corpus
 }
 
 // NewEngine builds an engine over a fragmented index with the given
@@ -122,7 +124,7 @@ func NewEngine(fx *index.Fragmented, scorer rank.Scorer) (*Engine, error) {
 	for id := 0; id < fx.Lex.Size(); id++ {
 		totalTokens += fx.Lex.Stats(lexicon.TermID(id)).CollFreq
 	}
-	return &Engine{
+	e := &Engine{
 		FX:     fx,
 		Scorer: scorer,
 		corpus: rank.CorpusStat{
@@ -130,8 +132,21 @@ func NewEngine(fx *index.Fragmented, scorer rank.Scorer) (*Engine, error) {
 			AvgDocLen:   fx.Stats.AvgDocLen,
 			TotalTokens: totalTokens,
 		},
-		acc: rank.NewAccumulator(fx.Stats.NumDocs),
-	}, nil
+	}
+	numDocs := fx.Stats.NumDocs
+	e.accs.New = func() interface{} { return rank.NewAccumulator(numDocs) }
+	return e, nil
+}
+
+// acquireAcc draws a clean accumulator from the pool; releaseAcc returns
+// it for the next search.
+func (e *Engine) acquireAcc() *rank.Accumulator {
+	return e.accs.Get().(*rank.Accumulator)
+}
+
+func (e *Engine) releaseAcc(acc *rank.Accumulator) {
+	acc.Reset()
+	e.accs.Put(acc)
 }
 
 // Corpus exposes the collection statistics the engine ranks with.
@@ -195,7 +210,8 @@ func (e *Engine) Search(q collection.Query, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("core: unknown mode %d", opts.Mode)
 	}
 
-	e.acc.Reset()
+	acc := e.acquireAcc()
+	defer e.releaseAcc(acc)
 
 	// Pass 1: small-fragment terms, always streamed in full (they are
 	// cheap by construction).
@@ -206,7 +222,7 @@ func (e *Engine) Search(q collection.Query, opts Options) (Result, error) {
 			continue
 		}
 		if e.FX.Small.Has(t) {
-			if err := e.streamTerm(e.FX.Small, t, ts); err != nil {
+			if err := e.streamTerm(acc, e.FX.Small, t, ts); err != nil {
 				return Result{}, err
 			}
 			res.TermsProcessed++
@@ -223,14 +239,14 @@ func (e *Engine) Search(q collection.Query, opts Options) (Result, error) {
 	// restricts scoring to documents the small pass surfaced; when that
 	// pass produced no candidates (a query of only frequent terms), the
 	// sound fallback is streaming.
-	probe := opts.ProbeLarge && opts.Mode == ModeSafe && e.acc.Touched() > 0
+	probe := opts.ProbeLarge && opts.Mode == ModeSafe && acc.Touched() > 0
 	for _, t := range largeTerms {
 		ts := e.termStat(t)
 		var err error
 		if probe {
-			err = e.probeTerm(t, ts)
+			err = e.probeTerm(acc, t, ts)
 		} else {
-			err = e.streamTerm(e.FX.Large, t, ts)
+			err = e.streamTerm(acc, e.FX.Large, t, ts)
 		}
 		if err != nil {
 			return Result{}, err
@@ -238,13 +254,13 @@ func (e *Engine) Search(q collection.Query, opts Options) (Result, error) {
 		res.TermsProcessed++
 	}
 
-	res.DocsTouched = e.acc.Touched()
-	res.Top = topk.SelectTop(e.acc.Results(), opts.N)
+	res.DocsTouched = acc.Touched()
+	res.Top = topk.SelectTop(acc.Results(), opts.N)
 	return res, nil
 }
 
 // streamTerm accumulates one full postings list.
-func (e *Engine) streamTerm(frag *index.Fragment, t lexicon.TermID, ts rank.TermStat) error {
+func (e *Engine) streamTerm(acc *rank.Accumulator, frag *index.Fragment, t lexicon.TermID, ts rank.TermStat) error {
 	it, ok, err := frag.Reader(t)
 	if err != nil {
 		return fmt.Errorf("core: term %d: %w", t, err)
@@ -255,7 +271,7 @@ func (e *Engine) streamTerm(frag *index.Fragment, t lexicon.TermID, ts rank.Term
 	for it.Next() {
 		p := it.At()
 		docLen := e.FX.Stats.DocLen(p.DocID)
-		e.acc.Add(p.DocID, e.Scorer.Score(int32(p.TF), docLen, ts, e.corpus))
+		acc.Add(p.DocID, e.Scorer.Score(int32(p.TF), docLen, ts, e.corpus))
 	}
 	return it.Err()
 }
@@ -266,8 +282,8 @@ func (e *Engine) streamTerm(frag *index.Fragment, t lexicon.TermID, ts rank.Term
 // sparse index that performs "extra computations while still decreasing
 // execution time": the extra computations are the per-candidate seeks, and
 // the saving is the skipped decoding between candidates.
-func (e *Engine) probeTerm(t lexicon.TermID, ts rank.TermStat) error {
-	candidates := e.candidateDocs()
+func (e *Engine) probeTerm(acc *rank.Accumulator, t lexicon.TermID, ts rank.TermStat) error {
+	candidates := candidateDocs(acc)
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -284,7 +300,7 @@ func (e *Engine) probeTerm(t lexicon.TermID, ts rank.TermStat) error {
 		}
 		if p := it.At(); p.DocID == doc {
 			docLen := e.FX.Stats.DocLen(doc)
-			e.acc.Add(doc, e.Scorer.Score(int32(p.TF), docLen, ts, e.corpus))
+			acc.Add(doc, e.Scorer.Score(int32(p.TF), docLen, ts, e.corpus))
 		}
 	}
 	return it.Err()
@@ -292,8 +308,8 @@ func (e *Engine) probeTerm(t lexicon.TermID, ts rank.TermStat) error {
 
 // candidateDocs returns the accumulator's touched documents in ascending
 // id order (the order SeekGE requires).
-func (e *Engine) candidateDocs() []uint32 {
-	res := e.acc.Results()
+func candidateDocs(acc *rank.Accumulator) []uint32 {
+	res := acc.Results()
 	out := make([]uint32, len(res))
 	for i, r := range res {
 		out[i] = r.DocID

@@ -25,7 +25,8 @@ import (
 // strategy — quantifying what the fragmented design buys is experiment
 // E12.
 //
-// Like Engine, a MaxScoreEngine is not safe for concurrent Search.
+// A MaxScoreEngine keeps all evaluation state (cursors, heap) on the
+// Search stack, so like Engine it is safe for concurrent Search.
 type MaxScoreEngine struct {
 	Idx    *index.Index
 	Scorer rank.Scorer

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/collection"
 	"repro/internal/index"
@@ -19,16 +20,19 @@ import (
 // line of work, with the top-N operator deciding *how much* of the
 // physical design a query needs to touch.
 //
-// Like Engine, a Progressive instance is not safe for concurrent Search.
+// Like Engine, a Progressive keeps all mutable per-query state in a
+// per-Search context drawn from an internal pool, so one instance is safe
+// for concurrent Search from multiple goroutines.
 type Progressive struct {
 	MX     *index.MultiFragmented
 	Scorer rank.Scorer
 
 	corpus rank.CorpusStat
-	acc    *rank.Accumulator
+	accs   sync.Pool // of *rank.Accumulator, sized for the corpus
 }
 
-// NewProgressive builds a progressive engine over a fragment chain.
+// NewProgressive builds a progressive engine over a fragment chain,
+// deriving the corpus statistics from the chain's own collection.
 func NewProgressive(mx *index.MultiFragmented, scorer rank.Scorer) (*Progressive, error) {
 	if mx == nil || scorer == nil {
 		return nil, fmt.Errorf("core: nil index or scorer")
@@ -37,16 +41,27 @@ func NewProgressive(mx *index.MultiFragmented, scorer rank.Scorer) (*Progressive
 	for id := 0; id < mx.Lex.Size(); id++ {
 		totalTokens += mx.Lex.Stats(lexicon.TermID(id)).CollFreq
 	}
-	return &Progressive{
-		MX:     mx,
-		Scorer: scorer,
-		corpus: rank.CorpusStat{
-			NumDocs:     mx.Stats.NumDocs,
-			AvgDocLen:   mx.Stats.AvgDocLen,
-			TotalTokens: totalTokens,
-		},
-		acc: rank.NewAccumulator(mx.Stats.NumDocs),
-	}, nil
+	return NewProgressiveWithCorpus(mx, scorer, rank.CorpusStat{
+		NumDocs:     mx.Stats.NumDocs,
+		AvgDocLen:   mx.Stats.AvgDocLen,
+		TotalTokens: totalTokens,
+	})
+}
+
+// NewProgressiveWithCorpus builds a progressive engine that ranks with
+// the given corpus statistics instead of deriving them from the index.
+// A sharded deployment uses this to rank every shard with the *global*
+// corpus statistics, so per-shard scores are identical to what a single
+// unsharded engine would compute (the classical distributed-IR global
+// statistics requirement) — without paying a lexicon scan per shard.
+func NewProgressiveWithCorpus(mx *index.MultiFragmented, scorer rank.Scorer, corpus rank.CorpusStat) (*Progressive, error) {
+	if mx == nil || scorer == nil {
+		return nil, fmt.Errorf("core: nil index or scorer")
+	}
+	p := &Progressive{MX: mx, Scorer: scorer, corpus: corpus}
+	numDocs := mx.Stats.NumDocs
+	p.accs.New = func() interface{} { return rank.NewAccumulator(numDocs) }
+	return p, nil
 }
 
 // ProgressiveResult reports the answer and how far along the chain the
@@ -62,6 +77,14 @@ type ProgressiveResult struct {
 	// document's score can grow by more than this if processing had
 	// continued.
 	RemainingBound float64
+	// DocsTouched counts accumulator entries — the "objects taken into
+	// consideration", reported for work accounting.
+	DocsTouched int
+	// Truncated reports whether the accumulator held more candidates than
+	// the N returned (shard merging needs this for its bound
+	// administration: a truncated shard may hide documents scoring up to
+	// its weakest returned score plus RemainingBound).
+	Truncated bool
 }
 
 // ProgressiveOptions configures a progressive search.
@@ -83,7 +106,11 @@ func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (Progr
 	if opts.Epsilon < 0 {
 		return ProgressiveResult{}, fmt.Errorf("core: epsilon %v must be non-negative", opts.Epsilon)
 	}
-	p.acc.Reset()
+	acc := p.accs.Get().(*rank.Accumulator)
+	defer func() {
+		acc.Reset()
+		p.accs.Put(acc)
+	}()
 
 	// Group query terms by fragment and precompute each term's score
 	// upper bound for the remaining-mass administration.
@@ -120,10 +147,12 @@ func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (Progr
 		// Stop check before touching this fragment: can any document
 		// still displace the current top N?
 		bound := remaining[fi]
-		if p.stopSafe(opts.N, bound, opts.Epsilon) {
+		if p.stopSafe(acc, opts.N, bound, opts.Epsilon) {
 			res.Exact = opts.Epsilon == 0
 			res.RemainingBound = bound
-			res.Top = topk.SelectTop(p.acc.Results(), opts.N)
+			res.DocsTouched = acc.Touched()
+			res.Top = topk.SelectTop(acc.Results(), opts.N)
+			res.Truncated = res.DocsTouched > len(res.Top)
 			res.FragmentsUsed = fi
 			return res, nil
 		}
@@ -139,7 +168,7 @@ func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (Progr
 			for it.Next() {
 				pst := it.At()
 				docLen := p.MX.Stats.DocLen(pst.DocID)
-				p.acc.Add(pst.DocID, p.Scorer.Score(int32(pst.TF), docLen, qt.ts, p.corpus))
+				acc.Add(pst.DocID, p.Scorer.Score(int32(pst.TF), docLen, qt.ts, p.corpus))
 			}
 			if err := it.Err(); err != nil {
 				return ProgressiveResult{}, err
@@ -149,7 +178,9 @@ func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (Progr
 	}
 	res.Exact = true
 	res.RemainingBound = 0
-	res.Top = topk.SelectTop(p.acc.Results(), opts.N)
+	res.DocsTouched = acc.Touched()
+	res.Top = topk.SelectTop(acc.Results(), opts.N)
+	res.Truncated = res.DocsTouched > len(res.Top)
 	return res, nil
 }
 
@@ -159,11 +190,11 @@ func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (Progr
 // (N+1)-th current score plus the bound for seen documents, or the bound
 // alone for unseen ones. Relaxed rule: the bound is at most epsilon times
 // the N-th score.
-func (p *Progressive) stopSafe(n int, bound, epsilon float64) bool {
+func (p *Progressive) stopSafe(acc *rank.Accumulator, n int, bound, epsilon float64) bool {
 	if bound == 0 {
 		return true
 	}
-	results := p.acc.Results()
+	results := acc.Results()
 	if len(results) < n {
 		return false
 	}

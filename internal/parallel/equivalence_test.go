@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/rank"
+	"repro/internal/storage"
+	"repro/internal/xrand"
+)
+
+// TestShardedMatchesSequentialFull is the sharding correctness anchor:
+// across seeded random workloads, shard counts, and scorers, the sharded
+// searcher must return the same top-N set (modulo tie order at the score
+// boundary) as the sequential engine's exact ModeFull evaluation.
+//
+// Score equality holds because every shard ranks with global corpus and
+// term statistics; only floating-point summation order differs, which
+// the comparison tolerates.
+func TestShardedMatchesSequentialFull(t *testing.T) {
+	rng := xrand.New(99)
+	scorers := []rank.Scorer{rank.NewBM25(), rank.NewLM(), rank.TFIDF{}}
+	for wl := 0; wl < 3; wl++ {
+		seed := rng.Uint64()
+		col, err := collection.Generate(collection.Config{
+			NumDocs:    600 + rng.Intn(900),
+			VocabSize:  8000 + rng.Intn(12000),
+			MeanDocLen: 80 + rng.Intn(120),
+			Seed:       seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries, err := collection.GenerateQueries(col, collection.QueryConfig{
+			NumQueries: 12, MinTerms: 2, MaxTerms: 6,
+			MaxDocFreqFrac: 0.05, Seed: seed + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scorer := scorers[wl%len(scorers)]
+		fx, err := index.BuildFragmented(col, pool, 0.10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine, err := core.NewEngine(fx, scorer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 5 + rng.Intn(15)
+		for _, shards := range []int{1, 2, 5} {
+			s, err := NewSearcher(col, pool, scorer, Config{Shards: shards, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range queries {
+				want, err := engine.Search(q, core.Options{N: n, Mode: core.ModeFull})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.Search(q, Options{N: n})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Exact {
+					t.Fatalf("workload %d shards %d query %d: epsilon 0 not certified exact",
+						wl, shards, q.ID)
+				}
+				label := fmt.Sprintf("workload %d (%s) shards %d query %d n %d",
+					wl, scorer.Name(), shards, q.ID, n)
+				sameTopN(t, label, got.Top, want.Top)
+			}
+		}
+	}
+}

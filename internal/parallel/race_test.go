@@ -1,0 +1,157 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rank"
+)
+
+// TestConcurrentSearchRace hammers one shared Searcher from many
+// goroutines, mixing Search and SearchBatch, and checks every answer
+// against a baseline computed up front. Run under -race this proves the
+// shared-index/per-query-state split: the only shared mutable state left
+// (buffer pool, decode counters) is synchronized.
+func TestConcurrentSearchRace(t *testing.T) {
+	f := fix(t)
+	s := newSearcher(t, f, 4)
+	opts := Options{N: 10}
+
+	baseline := make([]Result, len(f.queries))
+	for i, q := range f.queries {
+		res, err := s.Search(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[i] = res
+	}
+
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				qi := (g*iters + it) % len(f.queries)
+				res, err := s.Search(f.queries[qi], opts)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !sameRanking(res.Top, baseline[qi].Top) {
+					t.Errorf("goroutine %d iter %d query %d: concurrent result diverged", g, it, qi)
+					return
+				}
+				// Every few iterations, push a whole batch through the
+				// bounded worker pool too.
+				if it%5 == 0 {
+					batch, err := s.SearchBatch(f.queries[:6], opts)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for j := range batch.Results {
+						if !sameRanking(batch.Results[j].Top, baseline[j].Top) {
+							t.Errorf("goroutine %d iter %d: batch query %d diverged", g, it, j)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentEngineRace hammers the underlying core engines directly:
+// one Engine and one Progressive instance each serving many goroutines.
+// This pins down the per-Search accumulator extraction, independent of
+// the sharding layer above.
+func TestConcurrentEngineRace(t *testing.T) {
+	f := fix(t)
+	s := newSearcher(t, f, 2)
+
+	engineBaseline := make([]core.Result, len(f.queries))
+	for i, q := range f.queries {
+		res, err := f.engine.Search(q, core.Options{N: 10, Mode: core.ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engineBaseline[i] = res
+	}
+	progressive := s.shards[0].engine
+	progBaseline := make([]core.ProgressiveResult, len(f.queries))
+	for i, q := range f.queries {
+		res, err := progressive.Search(q, core.ProgressiveOptions{N: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		progBaseline[i] = res
+	}
+
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				qi := (g + it) % len(f.queries)
+				mode := []core.Mode{core.ModeFull, core.ModeUnsafe, core.ModeSafe}[it%3]
+				res, err := f.engine.Search(f.queries[qi], core.Options{N: 10, Mode: mode})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if mode == core.ModeFull && !sameRanking(res.Top, engineBaseline[qi].Top) {
+					t.Errorf("goroutine %d iter %d: concurrent Engine result diverged", g, it)
+					return
+				}
+			}
+		}(g)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				qi := (g + 2*it) % len(f.queries)
+				res, err := progressive.Search(f.queries[qi], core.ProgressiveOptions{N: 10})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !sameRanking(res.Top, progBaseline[qi].Top) {
+					t.Errorf("goroutine %d iter %d: concurrent Progressive result diverged", g, it)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// sameRanking compares two result lists exactly (same engine, same
+// summation order, so no tolerance is needed).
+func sameRanking(a, b []rank.DocScore) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

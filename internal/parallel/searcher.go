@@ -1,0 +1,254 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/rank"
+	"repro/internal/storage"
+	"repro/internal/topk"
+)
+
+// Config sizes a Searcher.
+type Config struct {
+	// Shards is the number of contiguous document-range shards (clamped
+	// to the collection size). Default 1.
+	Shards int
+	// Workers bounds the goroutines one Search call spends on shard
+	// fan-out and one SearchBatch call spends on queries. The bound is
+	// per call: concurrent callers each get their own pool, so a shared
+	// Searcher serving C callers runs up to C×Workers goroutines.
+	// Default runtime.GOMAXPROCS(0).
+	Workers int
+	// Cuts are the cumulative postings-volume fractions splitting each
+	// shard's fragment chain (see index.BuildMulti). Default {0.05, 0.25}.
+	Cuts []float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(c.Cuts) == 0 {
+		c.Cuts = []float64{0.05, 0.25}
+	}
+}
+
+// Options configures one (or one batch of) sharded search(es).
+type Options struct {
+	// N is the number of results. Required.
+	N int
+	// Epsilon relaxes each shard's progressive stopping rule, exactly as
+	// in core.ProgressiveOptions. With 0 every shard computes its exact
+	// local top N and the merged answer is certified exact.
+	Epsilon float64
+	// Workers overrides the searcher's configured worker-pool bound for
+	// this call (0 keeps Config.Workers). Benchmarks use it to sweep
+	// worker counts over one set of shards without rebuilding indexes.
+	Workers int
+}
+
+// Result is the merged outcome of a sharded search.
+type Result struct {
+	// Top is the global top N, with global document ids.
+	Top []rank.DocScore
+	// Exact is the merge's certificate that Top is provably the true
+	// global top N (always true when Epsilon == 0).
+	Exact bool
+	// FragmentsUsed sums the chain links processed across shards — the
+	// sharded counterpart of core.ProgressiveResult.FragmentsUsed.
+	FragmentsUsed int
+	// Stats accounts the work in the operator-algebra vocabulary:
+	// RowsScanned counts accumulator entries across shards (the paper's
+	// "objects taken into consideration"), Comparisons counts merge-heap
+	// offers. PredEvals and Restarts are unused here.
+	Stats exec.Stats
+}
+
+// Searcher evaluates top-N queries over K document-range shards
+// concurrently. It is safe for concurrent use: all per-query state lives
+// on the call stack or inside the per-search contexts of the shard
+// engines.
+type Searcher struct {
+	cfg    Config
+	shards []*shard
+}
+
+// NewSearcher partitions col into cfg.Shards document ranges, builds one
+// fragment chain per range on pool, and returns the sharded searcher.
+func NewSearcher(col *collection.Collection, pool *storage.Pool, scorer rank.Scorer, cfg Config) (*Searcher, error) {
+	if col == nil || pool == nil || scorer == nil {
+		return nil, fmt.Errorf("parallel: nil collection, pool, or scorer")
+	}
+	cfg.fillDefaults()
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("parallel: shard count %d must be positive", cfg.Shards)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("parallel: worker count %d must be positive", cfg.Workers)
+	}
+	shards, err := buildShards(col, pool, scorer, cfg.Shards, cfg.Cuts)
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{cfg: cfg, shards: shards}, nil
+}
+
+// NumShards reports how many shards the searcher actually built (the
+// configured count clamped to the collection size).
+func (s *Searcher) NumShards() int { return len(s.shards) }
+
+// Workers reports the configured worker-pool bound.
+func (s *Searcher) Workers() int { return s.cfg.Workers }
+
+// workersFor resolves the effective worker bound for one call.
+func (s *Searcher) workersFor(opts Options) int {
+	if opts.Workers > 0 {
+		return opts.Workers
+	}
+	return s.cfg.Workers
+}
+
+// Search evaluates q, fanning the shards out over the worker pool and
+// merging their answers with bound administration.
+func (s *Searcher) Search(q collection.Query, opts Options) (Result, error) {
+	workers := s.workersFor(opts)
+	if len(s.shards) == 1 || workers == 1 {
+		return s.searchSequential(q, opts)
+	}
+	if opts.N <= 0 {
+		return Result{}, fmt.Errorf("parallel: N = %d must be positive", opts.N)
+	}
+	shardRes := make([]core.ProgressiveResult, len(s.shards))
+	shardErr := make([]error, len(s.shards))
+	popts := core.ProgressiveOptions{N: opts.N, Epsilon: opts.Epsilon}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, sh := range s.shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			shardRes[i], shardErr[i] = sh.engine.Search(q, popts)
+		}(i, sh)
+	}
+	wg.Wait()
+	return s.merge(shardRes, shardErr, opts.N)
+}
+
+// searchSequential evaluates q shard by shard on the calling goroutine.
+// SearchBatch uses it so parallelism comes from the query dimension
+// without multiplying goroutines per query.
+func (s *Searcher) searchSequential(q collection.Query, opts Options) (Result, error) {
+	if opts.N <= 0 {
+		return Result{}, fmt.Errorf("parallel: N = %d must be positive", opts.N)
+	}
+	shardRes := make([]core.ProgressiveResult, len(s.shards))
+	shardErr := make([]error, len(s.shards))
+	popts := core.ProgressiveOptions{N: opts.N, Epsilon: opts.Epsilon}
+	for i, sh := range s.shards {
+		shardRes[i], shardErr[i] = sh.engine.Search(q, popts)
+	}
+	return s.merge(shardRes, shardErr, opts.N)
+}
+
+// merge remaps shard-local document ids to global ids and runs the
+// bound-aware top-N merge.
+func (s *Searcher) merge(shardRes []core.ProgressiveResult, shardErr []error, n int) (Result, error) {
+	for _, err := range shardErr {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	var res Result
+	tops := make([]topk.ShardTop, len(s.shards))
+	for i, r := range shardRes {
+		base := s.shards[i].base
+		top := make([]rank.DocScore, len(r.Top))
+		for j, ds := range r.Top {
+			top[j] = rank.DocScore{DocID: ds.DocID + base, Score: ds.Score}
+		}
+		tops[i] = topk.ShardTop{Top: top, Bound: r.RemainingBound, Truncated: r.Truncated}
+		res.FragmentsUsed += r.FragmentsUsed
+		res.Stats.RowsScanned += int64(r.DocsTouched)
+		res.Stats.Comparisons += int64(len(r.Top))
+	}
+	res.Top, res.Exact = topk.MergeShards(tops, n)
+	return res, nil
+}
+
+// BatchResult bundles a batch's per-query answers with the aggregated
+// work accounting.
+type BatchResult struct {
+	Results []Result
+	// Total sums the per-query Stats — the batch-level exec.Stats
+	// aggregation experiments report next to wall-clock.
+	Total exec.Stats
+}
+
+// SearchBatch evaluates queries through a bounded worker pool of
+// Workers goroutines. Each worker processes whole queries (shards
+// evaluated sequentially within the worker), so a batch saturates the
+// pool without goroutine multiplication; per-query results come back in
+// input order. A shard error aborts the batch: queries not yet started
+// when the error surfaces are skipped, and the earliest (by input
+// order) error is returned.
+func (s *Searcher) SearchBatch(queries []collection.Query, opts Options) (BatchResult, error) {
+	if opts.N <= 0 {
+		return BatchResult{}, fmt.Errorf("parallel: N = %d must be positive", opts.N)
+	}
+	out := BatchResult{Results: make([]Result, len(queries))}
+	if len(queries) == 0 {
+		return out, nil
+	}
+	workers := s.workersFor(opts)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	errs := make([]error, len(queries))
+	jobs := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue // drain without evaluating
+				}
+				out.Results[i], errs[i] = s.searchSequential(queries[i], opts)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return BatchResult{}, err
+		}
+	}
+	for i := range out.Results {
+		st := out.Results[i].Stats
+		out.Total.RowsScanned += st.RowsScanned
+		out.Total.PredEvals += st.PredEvals
+		out.Total.Comparisons += st.Comparisons
+		out.Total.Restarts += st.Restarts
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/rank"
+	"repro/internal/storage"
+)
+
+type fixture struct {
+	col     *collection.Collection
+	pool    *storage.Pool
+	queries []collection.Query
+	engine  *core.Engine // sequential ModeFull ground truth
+}
+
+var cached *fixture
+
+func fix(t *testing.T) *fixture {
+	t.Helper()
+	if cached != nil {
+		return cached
+	}
+	col, err := collection.Generate(collection.Config{
+		NumDocs: 1800, VocabSize: 25000, MeanDocLen: 160, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := collection.GenerateQueries(col, collection.QueryConfig{
+		NumQueries: 25, MinTerms: 2, MaxTerms: 6, Seed: 32, MaxDocFreqFrac: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := index.BuildFragmented(col, pool, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(fx, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached = &fixture{col: col, pool: pool, queries: queries, engine: engine}
+	return cached
+}
+
+func newSearcher(t *testing.T, f *fixture, shards int) *Searcher {
+	t.Helper()
+	s, err := NewSearcher(f.col, f.pool, rank.NewBM25(), Config{Shards: shards, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSearcherValidation(t *testing.T) {
+	f := fix(t)
+	if _, err := NewSearcher(nil, f.pool, rank.NewBM25(), Config{}); err == nil {
+		t.Error("nil collection accepted")
+	}
+	if _, err := NewSearcher(f.col, nil, rank.NewBM25(), Config{}); err == nil {
+		t.Error("nil pool accepted")
+	}
+	if _, err := NewSearcher(f.col, f.pool, nil, Config{}); err == nil {
+		t.Error("nil scorer accepted")
+	}
+	if _, err := NewSearcher(f.col, f.pool, rank.NewBM25(), Config{Shards: -2}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	f := fix(t)
+	s := newSearcher(t, f, 2)
+	if _, err := s.Search(f.queries[0], Options{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := s.SearchBatch(f.queries, Options{N: -1}); err == nil {
+		t.Error("negative N accepted for batch")
+	}
+}
+
+// TestShardClamp: more shards than documents must clamp, not break.
+func TestShardClamp(t *testing.T) {
+	col, err := collection.Generate(collection.Config{
+		NumDocs: 7, VocabSize: 500, MeanDocLen: 40, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSearcher(col, pool, rank.NewBM25(), Config{Shards: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 7 {
+		t.Fatalf("shards = %d, want clamp to 7", s.NumShards())
+	}
+	queries, err := collection.GenerateQueries(col, collection.QueryConfig{
+		NumQueries: 3, MinTerms: 1, MaxTerms: 3, Seed: 6, MaxDocFreqFrac: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		res, err := s.Search(q, Options{N: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact {
+			t.Error("epsilon 0 search not certified exact")
+		}
+	}
+}
+
+// TestSearchBatchMatchesSearch: the batched API must return exactly what
+// query-at-a-time evaluation returns, in input order.
+func TestSearchBatchMatchesSearch(t *testing.T) {
+	f := fix(t)
+	s := newSearcher(t, f, 3)
+	opts := Options{N: 10}
+	batch, err := s.SearchBatch(f.queries, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != len(f.queries) {
+		t.Fatalf("batch returned %d results for %d queries", len(batch.Results), len(f.queries))
+	}
+	var wantScanned int64
+	for i, q := range f.queries {
+		one, err := s.Search(q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch.Results[i]
+		if len(got.Top) != len(one.Top) {
+			t.Fatalf("query %d: batch %d results, single %d", i, len(got.Top), len(one.Top))
+		}
+		for j := range got.Top {
+			if got.Top[j] != one.Top[j] {
+				t.Fatalf("query %d position %d: batch %v, single %v", i, j, got.Top[j], one.Top[j])
+			}
+		}
+		if got.Exact != one.Exact || got.Stats != one.Stats {
+			t.Fatalf("query %d: metadata diverged: %+v vs %+v", i, got, one)
+		}
+		wantScanned += one.Stats.RowsScanned
+	}
+	if batch.Total.RowsScanned != wantScanned {
+		t.Fatalf("aggregated RowsScanned %d, want %d", batch.Total.RowsScanned, wantScanned)
+	}
+	if _, err := s.SearchBatch(nil, opts); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestEpsilonRelaxation: positive epsilon may stop early; the result must
+// still carry a sound certificate, and epsilon 0 must always be exact.
+func TestEpsilonRelaxation(t *testing.T) {
+	f := fix(t)
+	s := newSearcher(t, f, 3)
+	for _, q := range f.queries[:8] {
+		exact, err := s.Search(q, Options{N: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact.Exact {
+			t.Fatalf("query %d: epsilon 0 not certified exact", q.ID)
+		}
+		relaxed, err := s.Search(q, Options{N: 10, Epsilon: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relaxed.FragmentsUsed > exact.FragmentsUsed {
+			t.Fatalf("query %d: relaxed run touched more chain links (%d) than exact (%d)",
+				q.ID, relaxed.FragmentsUsed, exact.FragmentsUsed)
+		}
+		// A certified-exact relaxed answer must actually equal the exact one.
+		if relaxed.Exact {
+			if len(relaxed.Top) != len(exact.Top) {
+				t.Fatalf("query %d: certified answer has %d results, exact %d",
+					q.ID, len(relaxed.Top), len(exact.Top))
+			}
+			for j := range relaxed.Top {
+				if relaxed.Top[j].DocID != exact.Top[j].DocID {
+					t.Fatalf("query %d position %d: certified %v, exact %v",
+						q.ID, j, relaxed.Top[j], exact.Top[j])
+				}
+			}
+		}
+	}
+}
+
+// scoreTol bounds the floating-point drift allowed between sequential
+// and sharded evaluation: the scoring formula inputs are identical, only
+// the summation order of per-term contributions differs.
+const scoreTol = 1e-9
+
+// sameTopN asserts two rankings agree as sets modulo ties at the cutoff:
+// matching positions must agree in score; a document present in only one
+// ranking must tie (within tolerance) with the boundary score.
+func sameTopN(t *testing.T, label string, got, want []rank.DocScore) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d results, want %d", label, len(got), len(want))
+	}
+	if len(want) == 0 {
+		return
+	}
+	inGot := make(map[uint32]float64, len(got))
+	for _, ds := range got {
+		inGot[ds.DocID] = ds.Score
+	}
+	inWant := make(map[uint32]float64, len(want))
+	for _, ds := range want {
+		inWant[ds.DocID] = ds.Score
+	}
+	boundary := want[len(want)-1].Score
+	for i := range want {
+		if math.Abs(got[i].Score-want[i].Score) > scoreTol {
+			t.Fatalf("%s position %d: score %v vs %v", label, i, got[i], want[i])
+		}
+		if _, ok := inGot[want[i].DocID]; !ok {
+			// Only boundary ties may differ between the two rankings.
+			if math.Abs(want[i].Score-boundary) > scoreTol {
+				t.Fatalf("%s: doc %d (score %g) missing from sharded result, boundary %g",
+					label, want[i].DocID, want[i].Score, boundary)
+			}
+		}
+		if _, ok := inWant[got[i].DocID]; !ok {
+			if math.Abs(got[i].Score-boundary) > scoreTol {
+				t.Fatalf("%s: doc %d (score %g) extra in sharded result, boundary %g",
+					label, got[i].DocID, got[i].Score, boundary)
+			}
+		}
+	}
+}

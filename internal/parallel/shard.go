@@ -1,0 +1,111 @@
+// Package parallel is the concurrency-safe, sharded query-execution
+// layer over the core engines. It partitions a collection into K
+// contiguous document-range shards, builds one fragment chain
+// (index.MultiFragmented) per shard, fans a query out to the shards
+// through a bounded worker pool, and merges the per-shard top-N answers
+// with the bound administration of internal/topk, so the early
+// termination of the progressive engine still holds globally.
+//
+// Two properties make the scatter/gather exact:
+//
+//  1. every shard ranks with the *global* corpus statistics (document
+//     frequencies come from the shared lexicon, collection size and
+//     average length are overridden onto each shard engine), so a
+//     document's score is identical to what one unsharded engine would
+//     compute — the classical distributed-IR global-statistics fix; and
+//  2. shards partition the documents, so the global top N is a subset of
+//     the union of per-shard top Ns and topk.MergeShards can certify
+//     exactness from the per-shard bounds.
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/rank"
+	"repro/internal/storage"
+)
+
+// shard is one document range with its private fragment chain and
+// progressive engine. Base maps shard-local document ids (0-based, what
+// the engine scores with) back to global ids.
+type shard struct {
+	base   uint32
+	docs   int
+	engine *core.Progressive
+}
+
+// buildShards splits col into k contiguous document ranges and builds a
+// fragment chain plus progressive engine per range. Every shard shares
+// the collection's lexicon (global term statistics) and the one buffer
+// pool underneath, and is forced onto the global corpus statistics so
+// scores match unsharded evaluation bit-for-bit in formula inputs.
+func buildShards(col *collection.Collection, pool *storage.Pool, scorer rank.Scorer, k int, cuts []float64) ([]*shard, error) {
+	numDocs := len(col.Docs)
+	if k > numDocs {
+		k = numDocs
+	}
+	if k < 1 {
+		k = 1
+	}
+	corpus := globalCorpus(col)
+	shards := make([]*shard, 0, k)
+	for i := 0; i < k; i++ {
+		// Even split with the remainder spread over the leading shards.
+		lo := i * numDocs / k
+		hi := (i + 1) * numDocs / k
+		sh, err := buildShard(col, pool, scorer, uint32(lo), hi-lo, cuts, corpus)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: shard %d [%d,%d): %w", i, lo, hi, err)
+		}
+		shards = append(shards, sh)
+	}
+	return shards, nil
+}
+
+// buildShard materializes one document range [base, base+count) as its
+// own sub-collection with shard-local document ids, indexes it, and
+// wraps it in a progressive engine pinned to the global corpus
+// statistics.
+func buildShard(col *collection.Collection, pool *storage.Pool, scorer rank.Scorer, base uint32, count int, cuts []float64, corpus rank.CorpusStat) (*shard, error) {
+	localDocs := make([]collection.Document, count)
+	for i := 0; i < count; i++ {
+		d := col.Docs[int(base)+i] // copy; Terms slices are shared read-only
+		d.ID = uint32(i)
+		localDocs[i] = d
+	}
+	sub := &collection.Collection{
+		Docs: localDocs,
+		Lex:  col.Lex, // shared: term statistics stay global
+		// Global aggregates, so index.Stats carries the global average
+		// document length into the ranking formulas.
+		TotalTokens: col.TotalTokens,
+		AvgDocLen:   col.AvgDocLen,
+	}
+	mx, err := index.BuildMulti(sub, pool, cuts)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.NewProgressiveWithCorpus(mx, scorer, corpus)
+	if err != nil {
+		return nil, err
+	}
+	return &shard{base: base, docs: count, engine: engine}, nil
+}
+
+// globalCorpus computes the collection-level statistics every shard must
+// rank with.
+func globalCorpus(col *collection.Collection) rank.CorpusStat {
+	var totalTokens int64
+	for id := 0; id < col.Lex.Size(); id++ {
+		totalTokens += col.Lex.Stats(lexicon.TermID(id)).CollFreq
+	}
+	return rank.CorpusStat{
+		NumDocs:     len(col.Docs),
+		AvgDocLen:   col.AvgDocLen,
+		TotalTokens: totalTokens,
+	}
+}

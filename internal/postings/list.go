@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -12,6 +13,11 @@ import (
 // They complement the storage layer's page counters: pages measure I/O,
 // these measure CPU-side decompression effort. Experiments reset and read
 // them per query.
+//
+// All mutations go through atomic operations, so iterators opened from
+// concurrent searches over one shared Store can count without racing.
+// Reading the fields directly is fine once the concurrent work has been
+// joined; use the Load* accessors to sample while searches are running.
 type Counters struct {
 	PostingsDecoded int64 // individual postings decompressed
 	SkipsTaken      int64 // sparse-index jumps that avoided decoding a block
@@ -19,7 +25,20 @@ type Counters struct {
 }
 
 // Reset zeroes all counters.
-func (c *Counters) Reset() { *c = Counters{} }
+func (c *Counters) Reset() {
+	atomic.StoreInt64(&c.PostingsDecoded, 0)
+	atomic.StoreInt64(&c.SkipsTaken, 0)
+	atomic.StoreInt64(&c.ListsOpened, 0)
+}
+
+// LoadPostingsDecoded atomically samples the decoded-postings counter.
+func (c *Counters) LoadPostingsDecoded() int64 { return atomic.LoadInt64(&c.PostingsDecoded) }
+
+// LoadSkipsTaken atomically samples the skip counter.
+func (c *Counters) LoadSkipsTaken() int64 { return atomic.LoadInt64(&c.SkipsTaken) }
+
+// LoadListsOpened atomically samples the lists-opened counter.
+func (c *Counters) LoadListsOpened() int64 { return atomic.LoadInt64(&c.ListsOpened) }
 
 // SkipEntry is one entry of a list's non-dense index: the first document
 // id of a block and the byte offset of that block within the encoded list
@@ -48,9 +67,13 @@ const BlockSize = 128
 
 // Store persists encoded postings lists in a storage.File and serves
 // readers over them. One Store backs one index fragment.
+//
+// Counters must stay the first field: Stores are heap-allocated, so the
+// struct's first word is 64-bit aligned, which the atomic int64
+// operations on the counters require on 32-bit platforms.
 type Store struct {
-	file     *storage.File
 	Counters Counters
+	file     *storage.File
 }
 
 // NewStore creates an empty list store writing into file.
@@ -107,8 +130,8 @@ func (s *Store) ReadAll(meta ListMeta) ([]Posting, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.Counters.ListsOpened++
-	s.Counters.PostingsDecoded += int64(len(ps))
+	atomic.AddInt64(&s.Counters.ListsOpened, 1)
+	atomic.AddInt64(&s.Counters.PostingsDecoded, int64(len(ps)))
 	return ps, nil
 }
 
@@ -134,7 +157,7 @@ func (s *Store) NewIterator(meta ListMeta) (*Iterator, error) {
 	if _, err := s.file.ReadAt(body, meta.Offset); err != nil && err != io.EOF {
 		return nil, err
 	}
-	s.Counters.ListsOpened++
+	atomic.AddInt64(&s.Counters.ListsOpened, 1)
 	it := &Iterator{store: s, meta: meta, body: body}
 	// Skip the count header.
 	_, n := uvarint(body)
@@ -170,7 +193,7 @@ func (it *Iterator) Next() bool {
 	doc := it.prevDoc + 1 + int64(gap)
 	it.prevDoc = doc
 	it.decoded++
-	it.store.Counters.PostingsDecoded++
+	atomic.AddInt64(&it.store.Counters.PostingsDecoded, 1)
 	it.cur = Posting{DocID: uint32(doc), TF: tf}
 	it.valid = true
 	return true
@@ -206,7 +229,7 @@ func (it *Iterator) SeekGE(doc uint32) bool {
 				// only if the stored gap were 0. It is not, so instead we
 				// decode the gap and overwrite: see below.
 				it.decoded = blockStartCount
-				it.store.Counters.SkipsTaken += int64(skipped) / BlockSize
+				atomic.AddInt64(&it.store.Counters.SkipsTaken, int64(skipped)/BlockSize)
 				// Decode the block's first posting with the known FirstDoc.
 				gap, n := uvarint(it.body[it.pos:])
 				_ = gap
@@ -222,7 +245,7 @@ func (it *Iterator) SeekGE(doc uint32) bool {
 				}
 				it.pos += n
 				it.decoded++
-				it.store.Counters.PostingsDecoded++
+				atomic.AddInt64(&it.store.Counters.PostingsDecoded, 1)
 				it.prevDoc = int64(it.meta.Skips[idx].FirstDoc)
 				it.cur = Posting{DocID: it.meta.Skips[idx].FirstDoc, TF: tf}
 				it.valid = true
