@@ -76,3 +76,8 @@ func (w *Workload) BuildEngine(smallFrac float64, scorer rank.Scorer) (*core.Eng
 func decoded(fx *index.Fragmented) int64 {
 	return fx.Small.Counters().PostingsDecoded + fx.Large.Counters().PostingsDecoded
 }
+
+// skipsTaken sums both fragments' block-skip counters.
+func skipsTaken(fx *index.Fragmented) int64 {
+	return fx.Small.Counters().SkipsTaken + fx.Large.Counters().SkipsTaken
+}

@@ -29,7 +29,7 @@ var cached *fixture
 // fragment with a df cap of 2% on query terms reproduces the regime the
 // paper measured on TREC FT with a 5% fragment (the fragment covers most
 // query terms; unsafe processing loses >30% quality for a large speedup).
-func fix(t *testing.T) *fixture {
+func fix(t testing.TB) *fixture {
 	t.Helper()
 	if cached != nil {
 		return cached

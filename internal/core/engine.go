@@ -120,18 +120,12 @@ func NewEngine(fx *index.Fragmented, scorer rank.Scorer) (*Engine, error) {
 	if fx == nil || scorer == nil {
 		return nil, fmt.Errorf("core: nil index or scorer")
 	}
-	var totalTokens int64
-	for id := 0; id < fx.Lex.Size(); id++ {
-		totalTokens += fx.Lex.Stats(lexicon.TermID(id)).CollFreq
-	}
 	e := &Engine{
 		FX:     fx,
 		Scorer: scorer,
-		corpus: rank.CorpusStat{
-			NumDocs:     fx.Stats.NumDocs,
-			AvgDocLen:   fx.Stats.AvgDocLen,
-			TotalTokens: totalTokens,
-		},
+		// Corpus statistics are recorded in index.Stats at build time, so
+		// no lexicon scan is needed here.
+		corpus: fx.Stats.Corpus(),
 	}
 	numDocs := fx.Stats.NumDocs
 	e.accs.New = func() interface{} { return rank.NewAccumulator(numDocs) }
@@ -268,6 +262,7 @@ func (e *Engine) streamTerm(acc *rank.Accumulator, frag *index.Fragment, t lexic
 	if !ok {
 		return nil
 	}
+	defer it.Close()
 	for it.Next() {
 		p := it.At()
 		docLen := e.FX.Stats.DocLen(p.DocID)
@@ -294,7 +289,21 @@ func (e *Engine) probeTerm(acc *rank.Accumulator, t lexicon.TermID, ts rank.Term
 	if !ok {
 		return nil
 	}
+	defer it.Close()
+	last, ok := it.LastDoc()
+	if !ok {
+		return nil
+	}
 	for _, doc := range candidates {
+		if doc > last {
+			break // ascending candidates have passed the list's end
+		}
+		// Block-bound membership check: when no block's id range covers
+		// the candidate, the term certainly does not occur in it, and the
+		// seek (and any block decode it would trigger) is skipped.
+		if it.BlockMaxTF(doc) == 0 {
+			continue
+		}
 		if !it.SeekGE(doc) {
 			break
 		}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/index"
-	"repro/internal/lexicon"
 	"repro/internal/postings"
 	"repro/internal/rank"
 	"repro/internal/topk"
@@ -19,6 +18,18 @@ import (
 // bounds; once the running top-N threshold exceeds the combined bound of
 // the weakest terms, those terms stop driving the document cursor and are
 // only probed for candidates that the strong terms surface.
+//
+// Two bound refinements from the block-aligned postings layout sharpen
+// the classic algorithm without changing its answer:
+//
+//   - term bounds use the list's recorded maximum TF
+//     (rank.UpperBoundTF), not the scorer's saturation limit, so the
+//     essential-cursor frontier advances sooner; and
+//   - before a non-essential cursor is probed for a candidate, the max
+//     TF of the block that would contain the candidate bounds the
+//     probe's best possible contribution — when even that cannot lift
+//     the candidate past the threshold, the whole block decode is
+//     skipped (Block-Max pruning, counted in SkipsTaken).
 //
 // MaxScore is the natural ablation against Step 1: it needs no physical
 // fragmentation, loses no quality, but saves less than the unsafe
@@ -34,36 +45,59 @@ type MaxScoreEngine struct {
 	corpus rank.CorpusStat
 }
 
-// NewMaxScore builds a MaxScore engine over an unfragmented index.
+// NewMaxScore builds a MaxScore engine over an unfragmented index. The
+// corpus statistics come straight from index.Stats — recorded at build
+// time, so no lexicon scan happens here.
 func NewMaxScore(idx *index.Index, scorer rank.Scorer) (*MaxScoreEngine, error) {
 	if idx == nil || scorer == nil {
 		return nil, fmt.Errorf("core: nil index or scorer")
 	}
-	var totalTokens int64
-	for id := 0; id < idx.Lex.Size(); id++ {
-		totalTokens += idx.Lex.Stats(lexicon.TermID(id)).CollFreq
-	}
 	return &MaxScoreEngine{
 		Idx:    idx,
 		Scorer: scorer,
-		corpus: rank.CorpusStat{
-			NumDocs:     idx.Stats.NumDocs,
-			AvgDocLen:   idx.Stats.AvgDocLen,
-			TotalTokens: totalTokens,
-		},
+		corpus: idx.Stats.Corpus(),
 	}, nil
 }
 
 // msCursor tracks one term's iterator state during DAAT evaluation.
+//
+// A cursor starts *unmaterialized*: cur.DocID is the list's first
+// document (known from the block index without decoding anything) and
+// loaded is false. The first block is decoded only when the cursor's TF
+// is actually needed — so a term that MaxScore never probes never
+// decodes a single posting.
 type msCursor struct {
 	it        *postings.Iterator
 	ts        rank.TermStat
 	ub        float64
 	cur       postings.Posting
+	loaded    bool // cur.TF valid; iterator positioned at cur
 	exhausted bool
 }
 
+// materialize decodes up to the cursor's logical position, filling in
+// the TF. Only called when cur.DocID is a document the caller must
+// score, so the decode is never wasted.
+func (c *msCursor) materialize() error {
+	if c.loaded || c.exhausted {
+		return nil
+	}
+	if !c.it.SeekGE(c.cur.DocID) {
+		c.exhausted = true
+		return c.it.Err()
+	}
+	c.cur = c.it.At()
+	c.loaded = true
+	return nil
+}
+
 func (c *msCursor) advance() error {
+	if err := c.materialize(); err != nil {
+		return err
+	}
+	if c.exhausted {
+		return nil
+	}
 	if c.it.Next() {
 		c.cur = c.it.At()
 		return nil
@@ -77,10 +111,11 @@ func (c *msCursor) seekGE(doc uint32) error {
 		return nil
 	}
 	if c.cur.DocID >= doc {
-		return nil
+		return c.materialize()
 	}
 	if c.it.SeekGE(doc) {
 		c.cur = c.it.At()
+		c.loaded = true
 		return nil
 	}
 	c.exhausted = true
@@ -93,8 +128,15 @@ func (m *MaxScoreEngine) Search(q collection.Query, n int) ([]rank.DocScore, err
 	if n <= 0 {
 		return nil, fmt.Errorf("core: N = %d must be positive", n)
 	}
-	// Open cursors, ascending by upper bound.
+	// Open cursors, ascending by upper bound. Nothing is decoded yet:
+	// each cursor starts on its list's first document, read from the
+	// block index.
 	cursors := make([]*msCursor, 0, len(q.Terms))
+	defer func() {
+		for _, c := range cursors {
+			c.it.Close()
+		}
+	}()
 	for _, t := range q.Terms {
 		s := m.Idx.Lex.Stats(t)
 		if s.DocFreq == 0 {
@@ -107,17 +149,18 @@ func (m *MaxScoreEngine) Search(q collection.Query, n int) ([]rank.DocScore, err
 		if !ok {
 			continue
 		}
+		first, ok := it.FirstDoc()
+		if !ok {
+			it.Close()
+			continue
+		}
 		c := &msCursor{
-			it: it,
-			ts: rank.TermStat{DocFreq: int(s.DocFreq), CollFreq: s.CollFreq},
+			it:  it,
+			ts:  rank.TermStat{DocFreq: int(s.DocFreq), CollFreq: s.CollFreq},
+			cur: postings.Posting{DocID: first},
 		}
-		c.ub = m.Scorer.UpperBound(c.ts, m.corpus)
-		if err := c.advance(); err != nil {
-			return nil, err
-		}
-		if !c.exhausted {
-			cursors = append(cursors, c)
-		}
+		c.ub = rank.UpperBoundTF(m.Scorer, int32(it.MaxTF()), c.ts, m.corpus)
+		cursors = append(cursors, c)
 	}
 	if len(cursors) == 0 {
 		return nil, nil
@@ -172,6 +215,12 @@ func (m *MaxScoreEngine) Search(q collection.Query, n int) ([]rank.DocScore, err
 		var score float64
 		for _, c := range cursors[first:] {
 			if !c.exhausted && c.cur.DocID == cand {
+				if err := c.materialize(); err != nil {
+					return nil, err
+				}
+				if c.exhausted || c.cur.DocID != cand {
+					continue
+				}
 				score += m.Scorer.Score(int32(c.cur.TF), docLen, c.ts, m.corpus)
 				if err := c.advance(); err != nil {
 					return nil, err
@@ -180,12 +229,39 @@ func (m *MaxScoreEngine) Search(q collection.Query, n int) ([]rank.DocScore, err
 		}
 		// Probe the non-essential terms strongest-first, aborting as soon
 		// as even their combined remainder cannot lift the candidate past
-		// the threshold.
+		// the threshold. Before paying for a probe, the block bound: the
+		// max TF of the block that would contain cand caps this term's
+		// contribution, so if score + blockBound + (all weaker bounds)
+		// still falls short of theta, the block is provably useless and
+		// its decode is skipped. The offered score then misses at most
+		// contributions of documents that cannot enter the heap, so the
+		// result is unchanged — same answer, less work.
 		for i := first - 1; i >= 0; i-- {
 			if score+prefixUB[i+1] < th {
 				break
 			}
 			c := cursors[i]
+			if c.exhausted {
+				continue
+			}
+			if c.cur.DocID > cand {
+				continue // already past cand: no contribution
+			}
+			if c.cur.DocID < cand || !c.loaded {
+				bmTF := c.it.BlockMaxTF(cand)
+				if bmTF == 0 {
+					// No block covers cand: the term certainly does not
+					// occur in it. Nothing to decode, nothing to score.
+					continue
+				}
+				blockUB := rank.UpperBoundTF(m.Scorer, int32(bmTF), c.ts, m.corpus)
+				if score+blockUB+prefixUB[i] < th {
+					// The block bound proves the probe useless before the
+					// block decode is paid: a Block-Max skip.
+					c.it.NoteBlockSkip()
+					continue
+				}
+			}
 			if err := c.seekGE(cand); err != nil {
 				return nil, err
 			}

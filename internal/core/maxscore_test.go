@@ -5,12 +5,13 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/index"
+	"repro/internal/postings"
 	"repro/internal/rank"
 	"repro/internal/storage"
 	"repro/internal/xrand"
 )
 
-func buildMaxScore(t *testing.T) (*MaxScoreEngine, *index.Index) {
+func buildMaxScore(t testing.TB) (*MaxScoreEngine, *index.Index) {
 	t.Helper()
 	f := fix(t)
 	pool, err := storage.NewPool(storage.NewDisk(), 1<<14)
@@ -117,6 +118,88 @@ func TestMaxScoreValidation(t *testing.T) {
 	}
 	if len(res) != 0 {
 		t.Error("empty query returned results")
+	}
+}
+
+// TestBlockMaxEquivalence is the block-max acceptance check: on
+// workloads whose lists span many blocks, the block-bound pruning must
+// actually fire (SkipsTaken > 0), must save decoding versus exhaustive
+// evaluation, and the results must stay byte-identical to full
+// evaluation — the "same answer, less work" guarantee extended one
+// level below whole-term MaxScore.
+func TestBlockMaxEquivalence(t *testing.T) {
+	f := fix(t)
+	ms, idx := buildMaxScore(t)
+	multiBlock := 0
+	for id := 0; id < f.col.Lex.Size(); id++ {
+		if idx.DocFreq(lexTermIDT(id)) > postings.BlockSize {
+			multiBlock++
+		}
+	}
+	if multiBlock == 0 {
+		t.Fatal("fixture has no multi-block lists; the test would prove nothing")
+	}
+	idx.Counters().Reset()
+	var exhaustive int64
+	for _, q := range f.freqQueries {
+		for _, term := range q.Terms {
+			exhaustive += int64(idx.DocFreq(term))
+		}
+		want, err := f.engine.Search(q, Options{N: 10, Mode: ModeFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ms.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want.Top) {
+			t.Fatalf("query %d: %d results, want %d", q.ID, len(got), len(want.Top))
+		}
+		for i := range want.Top {
+			if got[i].DocID != want.Top[i].DocID {
+				t.Fatalf("query %d: rank %d is doc %d, want %d",
+					q.ID, i, got[i].DocID, want.Top[i].DocID)
+			}
+		}
+	}
+	if skips := idx.Counters().LoadSkipsTaken(); skips == 0 {
+		t.Error("block-max pruning never fired on the frequent-terms workload")
+	}
+	if dec := idx.Counters().LoadPostingsDecoded(); dec >= exhaustive {
+		t.Errorf("block-max MaxScore decoded %d >= exhaustive %d", dec, exhaustive)
+	}
+}
+
+// TestStatsTotalTokens: the build-time token total the engines now rank
+// with must equal what the old per-constructor lexicon scan computed.
+func TestStatsTotalTokens(t *testing.T) {
+	f := fix(t)
+	_, idx := buildMaxScore(t)
+	var scanned int64
+	for id := 0; id < f.col.Lex.Size(); id++ {
+		scanned += f.col.Lex.Stats(lexTermIDT(id)).CollFreq
+	}
+	if idx.Stats.TotalTokens != scanned {
+		t.Errorf("Stats.TotalTokens = %d, lexicon scan says %d", idx.Stats.TotalTokens, scanned)
+	}
+	if idx.Stats.TotalTokens != f.col.TotalTokens {
+		t.Errorf("Stats.TotalTokens = %d, collection says %d", idx.Stats.TotalTokens, f.col.TotalTokens)
+	}
+}
+
+// BenchmarkMaxScoreSearch tracks the DAAT hot path end to end: block
+// decoding, bound administration, and heap maintenance over the
+// frequent-terms workload.
+func BenchmarkMaxScoreSearch(b *testing.B) {
+	f := fix(b)
+	ms, _ := buildMaxScore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := f.freqQueries[i%len(f.freqQueries)]
+		if _, err := ms.Search(q, 10); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

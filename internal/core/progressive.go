@@ -37,15 +37,9 @@ func NewProgressive(mx *index.MultiFragmented, scorer rank.Scorer) (*Progressive
 	if mx == nil || scorer == nil {
 		return nil, fmt.Errorf("core: nil index or scorer")
 	}
-	var totalTokens int64
-	for id := 0; id < mx.Lex.Size(); id++ {
-		totalTokens += mx.Lex.Stats(lexicon.TermID(id)).CollFreq
-	}
-	return NewProgressiveWithCorpus(mx, scorer, rank.CorpusStat{
-		NumDocs:     mx.Stats.NumDocs,
-		AvgDocLen:   mx.Stats.AvgDocLen,
-		TotalTokens: totalTokens,
-	})
+	// Corpus statistics are recorded in index.Stats at build time, so no
+	// lexicon scan is needed here.
+	return NewProgressiveWithCorpus(mx, scorer, mx.Stats.Corpus())
 }
 
 // NewProgressiveWithCorpus builds a progressive engine that ranks with
@@ -131,7 +125,11 @@ func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (Progr
 			id: t,
 			ts: rank.TermStat{DocFreq: int(s.DocFreq), CollFreq: s.CollFreq},
 		}
-		qt.ub = p.Scorer.UpperBound(qt.ts, p.corpus)
+		// The list's recorded maximum TF tightens the term's score bound
+		// below the scorer's saturation limit, so the remaining-mass
+		// administration stops chains earlier — still provably safe,
+		// because no posting in the list can exceed the recorded TF.
+		qt.ub = rank.UpperBoundTF(p.Scorer, int32(p.MX.MaxTF(t)), qt.ts, p.corpus)
 		byFrag[fi] = append(byFrag[fi], qt)
 	}
 	for fi := len(p.MX.Fragments) - 1; fi >= 0; fi-- {
@@ -170,7 +168,9 @@ func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (Progr
 				docLen := p.MX.Stats.DocLen(pst.DocID)
 				acc.Add(pst.DocID, p.Scorer.Score(int32(pst.TF), docLen, qt.ts, p.corpus))
 			}
-			if err := it.Err(); err != nil {
+			err = it.Err()
+			it.Close()
+			if err != nil {
 				return ProgressiveResult{}, err
 			}
 		}

@@ -52,6 +52,13 @@ func (f *Fragment) DocFreq(term lexicon.TermID) int {
 	return int(f.metas[term].DocFreq)
 }
 
+// MaxTF returns the largest within-document frequency of term in this
+// fragment (0 when absent) — the list-level input to TF-bounded score
+// bounds.
+func (f *Fragment) MaxTF(term lexicon.TermID) uint32 {
+	return f.metas[term].MaxTF
+}
+
 // NumTerms returns how many terms the fragment holds.
 func (f *Fragment) NumTerms() int { return len(f.metas) }
 

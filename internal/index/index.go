@@ -22,6 +22,7 @@ import (
 	"repro/internal/collection"
 	"repro/internal/lexicon"
 	"repro/internal/postings"
+	"repro/internal/rank"
 	"repro/internal/storage"
 )
 
@@ -29,7 +30,19 @@ import (
 type Stats struct {
 	NumDocs   int
 	AvgDocLen float64
-	DocLens   []int32 // indexed by document id
+	// TotalTokens is the collection's total token count, recorded once at
+	// build time so engine constructors never rescan the lexicon for it.
+	TotalTokens int64
+	DocLens     []int32 // indexed by document id
+}
+
+// Corpus packages the statistics as the ranking layer's CorpusStat.
+func (s *Stats) Corpus() rank.CorpusStat {
+	return rank.CorpusStat{
+		NumDocs:     s.NumDocs,
+		AvgDocLen:   s.AvgDocLen,
+		TotalTokens: s.TotalTokens,
+	}
 }
 
 // DocLen returns the token count of document id (0 when out of range).
@@ -74,7 +87,7 @@ func Build(col *collection.Collection, pool *storage.Pool) (*Index, error) {
 
 // statsOf extracts ranking statistics from a collection.
 func statsOf(col *collection.Collection) Stats {
-	s := Stats{NumDocs: len(col.Docs), AvgDocLen: col.AvgDocLen}
+	s := Stats{NumDocs: len(col.Docs), AvgDocLen: col.AvgDocLen, TotalTokens: col.TotalTokens}
 	s.DocLens = make([]int32, len(col.Docs))
 	for i := range col.Docs {
 		s.DocLens[i] = col.Docs[i].Len
@@ -122,6 +135,16 @@ func (ix *Index) DocFreq(term lexicon.TermID) int {
 		return 0
 	}
 	return int(ix.metas[term].DocFreq)
+}
+
+// MaxTF returns the largest within-document frequency of term anywhere
+// in the index (0 when the term has no postings) — the list-level score
+// bound input.
+func (ix *Index) MaxTF(term lexicon.TermID) uint32 {
+	if int(term) >= len(ix.metas) {
+		return 0
+	}
+	return ix.metas[term].MaxTF
 }
 
 // Counters exposes the decoding-work counters of the backing store.

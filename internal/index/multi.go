@@ -131,6 +131,16 @@ func (mx *MultiFragmented) DocFreq(term lexicon.TermID) int {
 	return mx.Fragments[fi].DocFreq(term)
 }
 
+// MaxTF returns the largest within-document frequency of term anywhere
+// in the chain (0 when the term has no postings).
+func (mx *MultiFragmented) MaxTF(term lexicon.TermID) uint32 {
+	fi := mx.FragmentIndexOf(term)
+	if fi < 0 {
+		return 0
+	}
+	return mx.Fragments[fi].MaxTF(term)
+}
+
 // TotalPostings sums the chain's postings.
 func (mx *MultiFragmented) TotalPostings() int64 {
 	var n int64
@@ -152,6 +162,15 @@ func (mx *MultiFragmented) Decoded() int64 {
 	var n int64
 	for _, f := range mx.Fragments {
 		n += f.store.Counters.PostingsDecoded
+	}
+	return n
+}
+
+// SkipsTaken sums the chain's block-skip counters.
+func (mx *MultiFragmented) SkipsTaken() int64 {
+	var n int64
+	for _, f := range mx.Fragments {
+		n += f.store.Counters.SkipsTaken
 	}
 	return n
 }

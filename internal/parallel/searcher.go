@@ -121,42 +121,44 @@ func (s *Searcher) workersFor(opts Options) int {
 // merging their answers with bound administration.
 func (s *Searcher) Search(q collection.Query, opts Options) (Result, error) {
 	workers := s.workersFor(opts)
-	if len(s.shards) == 1 || workers == 1 {
-		return s.searchSequential(q, opts)
-	}
-	if opts.N <= 0 {
-		return Result{}, fmt.Errorf("parallel: N = %d must be positive", opts.N)
-	}
-	shardRes := make([]core.ProgressiveResult, len(s.shards))
-	shardErr := make([]error, len(s.shards))
-	popts := core.ProgressiveOptions{N: opts.N, Epsilon: opts.Epsilon}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, sh := range s.shards {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, sh *shard) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			shardRes[i], shardErr[i] = sh.engine.Search(q, popts)
-		}(i, sh)
-	}
-	wg.Wait()
-	return s.merge(shardRes, shardErr, opts.N)
+	return s.search(q, opts, workers > 1 && len(s.shards) > 1, workers)
 }
 
 // searchSequential evaluates q shard by shard on the calling goroutine.
 // SearchBatch uses it so parallelism comes from the query dimension
 // without multiplying goroutines per query.
 func (s *Searcher) searchSequential(q collection.Query, opts Options) (Result, error) {
+	return s.search(q, opts, false, 1)
+}
+
+// search runs q over every shard — concurrently through a pool of
+// workers goroutines when fanOut is set, inline otherwise — and merges
+// the per-shard answers. One body for both paths, so validation,
+// option plumbing, and merge inputs cannot diverge.
+func (s *Searcher) search(q collection.Query, opts Options, fanOut bool, workers int) (Result, error) {
 	if opts.N <= 0 {
 		return Result{}, fmt.Errorf("parallel: N = %d must be positive", opts.N)
 	}
 	shardRes := make([]core.ProgressiveResult, len(s.shards))
 	shardErr := make([]error, len(s.shards))
 	popts := core.ProgressiveOptions{N: opts.N, Epsilon: opts.Epsilon}
-	for i, sh := range s.shards {
-		shardRes[i], shardErr[i] = sh.engine.Search(q, popts)
+	if fanOut {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, sh := range s.shards {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, sh *shard) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				shardRes[i], shardErr[i] = sh.engine.Search(q, popts)
+			}(i, sh)
+		}
+		wg.Wait()
+	} else {
+		for i, sh := range s.shards {
+			shardRes[i], shardErr[i] = sh.engine.Search(q, popts)
+		}
 	}
 	return s.merge(shardRes, shardErr, opts.N)
 }

@@ -24,7 +24,6 @@ import (
 	"repro/internal/collection"
 	"repro/internal/core"
 	"repro/internal/index"
-	"repro/internal/lexicon"
 	"repro/internal/rank"
 	"repro/internal/storage"
 )
@@ -97,15 +96,12 @@ func buildShard(col *collection.Collection, pool *storage.Pool, scorer rank.Scor
 }
 
 // globalCorpus computes the collection-level statistics every shard must
-// rank with.
+// rank with. The collection tracks its token total as documents are
+// added, so no lexicon scan is needed.
 func globalCorpus(col *collection.Collection) rank.CorpusStat {
-	var totalTokens int64
-	for id := 0; id < col.Lex.Size(); id++ {
-		totalTokens += col.Lex.Stats(lexicon.TermID(id)).CollFreq
-	}
 	return rank.CorpusStat{
 		NumDocs:     len(col.Docs),
 		AvgDocLen:   col.AvgDocLen,
-		TotalTokens: totalTokens,
+		TotalTokens: col.TotalTokens,
 	}
 }

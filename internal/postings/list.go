@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/storage"
@@ -16,11 +17,15 @@ import (
 //
 // All mutations go through atomic operations, so iterators opened from
 // concurrent searches over one shared Store can count without racing.
-// Reading the fields directly is fine once the concurrent work has been
-// joined; use the Load* accessors to sample while searches are running.
+// Iterators accumulate their counts locally and flush in batches — once
+// per decoded block and on Close — so the hot decode loop performs one
+// atomic add per block instead of one per posting. Reading the fields
+// directly is fine once the concurrent work has been joined (and its
+// iterators closed); use the Load* accessors to sample while searches
+// are running.
 type Counters struct {
 	PostingsDecoded int64 // individual postings decompressed
-	SkipsTaken      int64 // sparse-index jumps that avoided decoding a block
+	SkipsTaken      int64 // blocks skipped or bounded away without decoding
 	ListsOpened     int64
 }
 
@@ -40,30 +45,55 @@ func (c *Counters) LoadSkipsTaken() int64 { return atomic.LoadInt64(&c.SkipsTake
 // LoadListsOpened atomically samples the lists-opened counter.
 func (c *Counters) LoadListsOpened() int64 { return atomic.LoadInt64(&c.ListsOpened) }
 
-// SkipEntry is one entry of a list's non-dense index: the first document
-// id of a block and the byte offset of that block within the encoded list
-// body. The paper proposes exactly this structure to make the large
-// (frequent-terms) fragment cheap to probe: a reader can jump to the block
-// that may contain a wanted document instead of decompressing the whole
-// list.
+// SkipEntry is one entry of a list's non-dense index, describing one
+// block: its document-id range, byte offset within the encoded body,
+// posting count, and the largest term frequency inside it. The paper
+// proposes exactly this structure to make the large (frequent-terms)
+// fragment cheap to probe; the max TF extends it with a per-block score
+// bound, so a reader can prove a whole block irrelevant — Block-Max
+// pruning — without decoding it.
 type SkipEntry struct {
-	FirstDoc uint32
-	Offset   uint32
+	FirstDoc uint32 // first document id in the block
+	LastDoc  uint32 // last document id in the block
+	Offset   uint32 // byte offset of the block header within the body
+	Count    int32  // postings in the block (1..BlockSize)
+	MaxTF    uint32 // largest term frequency in the block
 }
 
 // ListMeta describes a stored list: where it lives in the file, its
-// document frequency, and its sparse index (nil when the list is short).
+// document frequency, its list-wide maximum TF, and its block index
+// (one SkipEntry per block; nil only for empty lists).
 type ListMeta struct {
 	Offset  int64       // byte offset of the encoded body in the file
 	Length  int32       // encoded body length in bytes
 	DocFreq int32       // number of postings
-	Skips   []SkipEntry // non-dense index over blocks of BlockSize postings
+	MaxTF   uint32      // largest term frequency in the list
+	Skips   []SkipEntry // non-dense index, one entry per block
 }
 
-// BlockSize is the number of postings per skip block. 128 keeps the sparse
+// BlockSize is the number of postings per block. 128 keeps the block
 // index below 1% of list size while making a block a few hundred bytes —
 // about the granularity of a cache line fetch in the simulated model.
 const BlockSize = 128
+
+// bodyPool recycles the per-iterator encoded-body buffers. Bodies vary
+// in length, so the pool holds capacity-grown slices that callers
+// re-slice to the length they need.
+var bodyPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
+// getBody draws a buffer of length n from the pool.
+func getBody(n int) []byte {
+	p := bodyPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	return (*p)[:n]
+}
+
+// putBody returns a buffer to the pool.
+func putBody(b []byte) {
+	bodyPool.Put(&b)
+}
 
 // Store persists encoded postings lists in a storage.File and serves
 // readers over them. One Store backs one index fragment.
@@ -84,10 +114,11 @@ func NewStore(file *storage.File) *Store {
 // File exposes the backing file (for size reporting).
 func (s *Store) File() *storage.File { return s.file }
 
-// Put encodes and appends a posting list, returning its metadata. Lists
-// with more than 2×BlockSize postings get a sparse index.
+// Put encodes and appends a posting list, returning its metadata. The
+// encoding pass itself emits the block index and the max-TF bounds, so
+// nothing is walked twice.
 func (s *Store) Put(ps []Posting) (ListMeta, error) {
-	body, err := Encode(ps)
+	body, skips, maxTF, err := EncodeBlocks(ps)
 	if err != nil {
 		return ListMeta{}, err
 	}
@@ -95,36 +126,27 @@ func (s *Store) Put(ps []Posting) (ListMeta, error) {
 	if err != nil {
 		return ListMeta{}, err
 	}
-	meta := ListMeta{Offset: off, Length: int32(len(body)), DocFreq: int32(len(ps))}
-	if len(ps) >= 2*BlockSize {
-		meta.Skips = buildSkips(ps)
-	}
-	return meta, nil
-}
-
-// buildSkips computes the sparse index by re-walking the encoding and
-// recording each block's first document and byte offset within the body.
-func buildSkips(ps []Posting) []SkipEntry {
-	var skips []SkipEntry
-	// Reproduce the byte positions Encode generates.
-	buf := putUvarint(nil, uint32(len(ps)))
-	prev := int64(-1)
-	for i, p := range ps {
-		if i%BlockSize == 0 {
-			skips = append(skips, SkipEntry{FirstDoc: p.DocID, Offset: uint32(len(buf))})
-		}
-		buf = putUvarint(buf, uint32(int64(p.DocID)-prev-1))
-		buf = putUvarint(buf, p.TF)
-		prev = int64(p.DocID)
-	}
-	return skips
+	return ListMeta{
+		Offset:  off,
+		Length:  int32(len(body)),
+		DocFreq: int32(len(ps)),
+		MaxTF:   maxTF,
+		Skips:   skips,
+	}, nil
 }
 
 // ReadAll decodes an entire stored list.
 func (s *Store) ReadAll(meta ListMeta) ([]Posting, error) {
-	body := make([]byte, meta.Length)
-	if _, err := s.file.ReadAt(body, meta.Offset); err != nil && err != io.EOF {
+	body := getBody(int(meta.Length))
+	defer putBody(body)
+	n, err := s.file.ReadAt(body, meta.Offset)
+	if err != nil && err != io.EOF {
 		return nil, err
+	}
+	if n != len(body) {
+		// A short read into a recycled buffer would leave another list's
+		// stale bytes in the tail; fail fast instead of decoding them.
+		return nil, ErrCorrupt
 	}
 	ps, err := Decode(body)
 	if err != nil {
@@ -136,136 +158,291 @@ func (s *Store) ReadAll(meta ListMeta) ([]Posting, error) {
 }
 
 // Iterator streams a stored list in document-id order and supports
-// SeekGE via the sparse index. The iterator reads the full encoded body
-// once (the page fetches are accounted) but only decodes the blocks it
-// visits, which is where the sparse index saves CPU work.
+// SeekGE via the block index. The iterator reads the full encoded body
+// once (the page fetches are accounted) into a pooled buffer, then
+// decodes block-at-a-time: on the streaming path a whole block is
+// decoded as a unit into the docs/tfs arrays in one bulk loop, while a
+// seek decodes only the prefix of the target block up to the wanted
+// document and remembers the resume point — later streaming or seeking
+// continues from the saved byte position, so no posting is ever decoded
+// twice and a probe never pays for the tail of a block it does not
+// need. Callers must Close the iterator when done: Close flushes the
+// locally batched counters and returns the body buffer to the pool.
+// Using an iterator after Close is invalid.
 type Iterator struct {
-	store   *Store
-	meta    ListMeta
-	body    []byte
-	pos     int   // byte position within body
-	prevDoc int64 // last decoded doc id, -1 before the first
-	decoded int32 // postings decoded so far
-	cur     Posting
-	valid   bool
-	err     error
+	store *Store
+	meta  ListMeta
+	body  []byte // pooled; nil after Close
+
+	block  int // index of the open block in meta.Skips (-1 before the first)
+	bi     int // cursor within the decoded prefix of the open block
+	bn     int // postings decoded so far in the open block
+	bcnt   int // total postings in the open block
+	bstart int // body offset of the open block's payload
+	bpos   int // body offset of the next undecoded posting in the block
+	bend   int // body offset one past the open block's payload
+	bmax   uint32
+	docs  [BlockSize]uint32
+	tfs   [BlockSize]uint32
+
+	localDecoded int64 // counters batched locally, flushed per decode step / on Close
+	localSkips   int64
+
+	valid  bool
+	done   bool
+	closed bool
+	err    error
 }
 
 // NewIterator opens a streaming reader over the list described by meta.
 func (s *Store) NewIterator(meta ListMeta) (*Iterator, error) {
-	body := make([]byte, meta.Length)
-	if _, err := s.file.ReadAt(body, meta.Offset); err != nil && err != io.EOF {
+	body := getBody(int(meta.Length))
+	n, err := s.file.ReadAt(body, meta.Offset)
+	if err != nil && err != io.EOF {
+		putBody(body)
 		return nil, err
 	}
-	atomic.AddInt64(&s.Counters.ListsOpened, 1)
-	it := &Iterator{store: s, meta: meta, body: body}
-	// Skip the count header.
-	_, n := uvarint(body)
-	if n == 0 {
+	if n != len(body) {
+		// See ReadAll: never decode a recycled buffer's stale tail.
+		putBody(body)
 		return nil, ErrCorrupt
 	}
-	it.pos = n
-	it.prevDoc = -1
-	return it, nil
+	atomic.AddInt64(&s.Counters.ListsOpened, 1)
+	return &Iterator{store: s, meta: meta, body: body, block: -1}, nil
+}
+
+// Close flushes the iterator's batched counters and returns its buffer
+// to the pool. Closing twice is a no-op.
+func (it *Iterator) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	it.flush()
+	if it.body != nil {
+		putBody(it.body)
+		it.body = nil
+	}
+}
+
+// flush drains the locally accumulated counts into the store's shared
+// counters — one atomic add per non-zero counter.
+func (it *Iterator) flush() {
+	if it.localDecoded != 0 {
+		atomic.AddInt64(&it.store.Counters.PostingsDecoded, it.localDecoded)
+		it.localDecoded = 0
+	}
+	if it.localSkips != 0 {
+		atomic.AddInt64(&it.store.Counters.SkipsTaken, it.localSkips)
+		it.localSkips = 0
+	}
+}
+
+// openBlock parses block b's header and readies it for decoding,
+// without touching its payload. It returns false at end of list or on
+// corruption (check Err).
+func (it *Iterator) openBlock(b int) bool {
+	if b >= len(it.meta.Skips) {
+		it.done = true
+		return false
+	}
+	e := it.meta.Skips[b]
+	prevFirst := int64(-1)
+	if b > 0 {
+		prevFirst = int64(it.meta.Skips[b-1].FirstDoc)
+	}
+	firstDoc, count, payloadStart, payloadLen, maxTF, ok := decodeBlockHeader(it.body, int(e.Offset), prevFirst)
+	if !ok || firstDoc != e.FirstDoc || count != int(e.Count) {
+		it.err = ErrCorrupt
+		return false
+	}
+	it.block = b
+	it.bi = 0
+	it.bn = 0
+	it.bcnt = count
+	it.bstart = payloadStart
+	it.bpos = payloadStart
+	it.bend = payloadStart + payloadLen
+	it.bmax = maxTF
+	return true
+}
+
+// decodeTo resumes the open block's bulk decode loop (decodeBlockInto,
+// shared with the standalone Decode) from the saved byte position. It
+// decodes the whole remaining block when limit is nil, or stops after
+// materializing the first posting with DocID >= *limit. Newly decoded
+// postings are counted once, as one batched counter flush per call.
+// Returns false on corruption.
+func (it *Iterator) decodeTo(limit *uint32) bool {
+	payload := it.body[it.bstart:it.bend]
+	bn, rel, ok := decodeBlockInto(payload, it.bpos-it.bstart,
+		it.meta.Skips[it.block].FirstDoc, it.bn, it.bcnt, it.bmax, limit, &it.docs, &it.tfs)
+	pos := it.bstart + rel
+	if !ok || bn == it.bn {
+		it.err = ErrCorrupt
+		return false
+	}
+	if limit != nil {
+		if it.docs[bn-1] < *limit {
+			// Callers only pass a limit at most the block's indexed
+			// LastDoc, so a block that dries up below it is corrupt.
+			it.err = ErrCorrupt
+			return false
+		}
+	} else if bn < it.bcnt || pos != it.bend {
+		it.err = ErrCorrupt // payload ran dry before its declared count
+		return false
+	}
+	it.localDecoded += int64(bn - it.bn)
+	it.bn = bn
+	it.bpos = pos
+	it.flush() // batch boundary: one atomic add per decode step
+	return true
 }
 
 // Next advances to the next posting, returning false at end of list or on
 // error (check Err).
 func (it *Iterator) Next() bool {
-	if it.err != nil || it.decoded >= it.meta.DocFreq {
+	if it.err != nil || it.done {
 		it.valid = false
 		return false
 	}
-	gap, n := uvarint(it.body[it.pos:])
-	if n == 0 {
-		it.err = ErrCorrupt
+	if it.valid && it.bi+1 < it.bn {
+		it.bi++
+		return true
+	}
+	if it.block >= 0 && it.bn < it.bcnt {
+		// Resume the open block: decode its remainder as one bulk step.
+		next := it.bn
+		if !it.decodeTo(nil) {
+			it.valid = false
+			return false
+		}
+		it.bi = next
+		it.valid = true
+		return true
+	}
+	if !it.openBlock(it.block+1) || !it.decodeTo(nil) {
 		it.valid = false
 		return false
 	}
-	it.pos += n
-	tf, n := uvarint(it.body[it.pos:])
-	if n == 0 {
-		it.err = ErrCorrupt
-		it.valid = false
-		return false
-	}
-	it.pos += n
-	doc := it.prevDoc + 1 + int64(gap)
-	it.prevDoc = doc
-	it.decoded++
-	atomic.AddInt64(&it.store.Counters.PostingsDecoded, 1)
-	it.cur = Posting{DocID: uint32(doc), TF: tf}
+	it.bi = 0
 	it.valid = true
 	return true
 }
 
 // SeekGE positions the iterator at the first posting with DocID >= doc and
-// reports whether one exists. When the list has a sparse index, blocks
-// strictly before the target are skipped without decoding.
+// reports whether one exists. Blocks strictly before the target are
+// skipped without decoding, via the block index, and the target block is
+// decoded only up to the wanted document.
 func (it *Iterator) SeekGE(doc uint32) bool {
-	if it.err != nil {
+	if it.err != nil || it.done {
 		return false
 	}
-	if it.valid && it.cur.DocID >= doc {
+	if it.valid && it.docs[it.bi] >= doc {
 		return true
 	}
-	if len(it.meta.Skips) > 0 {
-		// Find the last block whose first doc is <= doc; it is the only
-		// block that can contain the target. sort.Search finds the first
-		// block with FirstDoc > doc.
-		idx := sort.Search(len(it.meta.Skips), func(i int) bool {
-			return it.meta.Skips[i].FirstDoc > doc
-		}) - 1
-		if idx >= 0 {
-			blockStartCount := int32(idx) * BlockSize
-			if blockStartCount > it.decoded {
-				// Jump forward: restart decoding at the block boundary.
-				skipped := blockStartCount - it.decoded
-				it.pos = int(it.meta.Skips[idx].Offset)
-				it.prevDoc = int64(it.meta.Skips[idx].FirstDoc) - 1
-				// The delta stored at a block boundary is relative to the
-				// previous posting; we reconstruct by treating FirstDoc-1
-				// as the previous doc, which makes gap+prev+1 == FirstDoc
-				// only if the stored gap were 0. It is not, so instead we
-				// decode the gap and overwrite: see below.
-				it.decoded = blockStartCount
-				atomic.AddInt64(&it.store.Counters.SkipsTaken, int64(skipped)/BlockSize)
-				// Decode the block's first posting with the known FirstDoc.
-				gap, n := uvarint(it.body[it.pos:])
-				_ = gap
-				if n == 0 {
-					it.err = ErrCorrupt
-					return false
-				}
-				it.pos += n
-				tf, n := uvarint(it.body[it.pos:])
-				if n == 0 {
-					it.err = ErrCorrupt
-					return false
-				}
-				it.pos += n
-				it.decoded++
-				atomic.AddInt64(&it.store.Counters.PostingsDecoded, 1)
-				it.prevDoc = int64(it.meta.Skips[idx].FirstDoc)
-				it.cur = Posting{DocID: it.meta.Skips[idx].FirstDoc, TF: tf}
-				it.valid = true
-				if it.cur.DocID >= doc {
-					return true
-				}
-			}
-		}
-	}
-	for it.Next() {
-		if it.cur.DocID >= doc {
+	if it.block >= 0 && it.meta.Skips[it.block].LastDoc >= doc {
+		// Target lives in the open block.
+		if it.bn > 0 && it.docs[it.bn-1] >= doc {
+			// Already decoded: binary search the prefix.
+			base := it.bi
+			it.bi = base + sort.Search(it.bn-base, func(i int) bool {
+				return it.docs[base+i] >= doc
+			})
+			it.valid = true
 			return true
 		}
+		if !it.decodeTo(&doc) {
+			it.valid = false
+			return false
+		}
+		it.bi = it.bn - 1
+		it.valid = true
+		return true
 	}
-	return false
+	// Find the first block whose last document reaches the target; every
+	// block before it is provably exhausted below doc.
+	lo := it.block + 1
+	skips := it.meta.Skips
+	nb := lo + sort.Search(len(skips)-lo, func(i int) bool {
+		return skips[lo+i].LastDoc >= doc
+	})
+	if nb >= len(skips) {
+		it.localSkips += int64(len(skips) - lo) // bypassed without decoding
+		it.done = true
+		it.valid = false
+		it.flush()
+		return false
+	}
+	it.localSkips += int64(nb - lo)
+	if !it.openBlock(nb) || !it.decodeTo(&doc) {
+		it.valid = false
+		return false
+	}
+	it.bi = it.bn - 1
+	it.valid = true
+	return true
 }
+
+// BlockMaxTF bounds this term's frequency in document doc without
+// decoding anything: it is the max TF of the block whose id range covers
+// doc, or 0 when no block can contain doc (the document is certainly
+// absent from the list). Callers combine it with a scorer bound to prove
+// a probe useless before paying for the block decode — Block-Max-style
+// pruning. doc must be at or beyond the iterator's current position (the
+// probing pattern: monotone candidates, cursor never ahead of them), so
+// the search starts at the open block instead of the list head.
+func (it *Iterator) BlockMaxTF(doc uint32) uint32 {
+	skips := it.meta.Skips
+	lo := it.block
+	if lo < 0 {
+		lo = 0
+	}
+	nb := lo + sort.Search(len(skips)-lo, func(i int) bool {
+		return skips[lo+i].LastDoc >= doc
+	})
+	if nb >= len(skips) || skips[nb].FirstDoc > doc {
+		return 0
+	}
+	return skips[nb].MaxTF
+}
+
+// NoteBlockSkip records that the caller proved a block (or a whole
+// probe) irrelevant via BlockMaxTF and avoided decoding it. The count is
+// batched with the iterator's other counters.
+func (it *Iterator) NoteBlockSkip() { it.localSkips++ }
+
+// FirstDoc returns the first document id of the list without decoding
+// any posting (it lives in the block index). ok is false for empty
+// lists.
+func (it *Iterator) FirstDoc() (uint32, bool) {
+	if len(it.meta.Skips) == 0 {
+		return 0, false
+	}
+	return it.meta.Skips[0].FirstDoc, true
+}
+
+// LastDoc returns the last document id of the list without decoding any
+// posting. ok is false for empty lists. Probing loops use it to stop
+// once their (ascending) candidates pass the list's end.
+func (it *Iterator) LastDoc() (uint32, bool) {
+	if len(it.meta.Skips) == 0 {
+		return 0, false
+	}
+	return it.meta.Skips[len(it.meta.Skips)-1].LastDoc, true
+}
+
+// MaxTF returns the largest term frequency anywhere in the list — the
+// list-level counterpart of the per-block bound, used to tighten a
+// term's score upper bound.
+func (it *Iterator) MaxTF() uint32 { return it.meta.MaxTF }
 
 // At returns the current posting. Only valid after Next or SeekGE returned
 // true.
-func (it *Iterator) At() Posting { return it.cur }
+func (it *Iterator) At() Posting {
+	return Posting{DocID: it.docs[it.bi], TF: it.tfs[it.bi]}
+}
 
 // Err reports any decoding error encountered.
 func (it *Iterator) Err() error {

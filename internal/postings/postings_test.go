@@ -123,7 +123,7 @@ func TestEncodeCompresses(t *testing.T) {
 	}
 }
 
-func newStore(t *testing.T) *Store {
+func newStore(t testing.TB) *Store {
 	t.Helper()
 	d := storage.NewDisk()
 	p, err := storage.NewPool(d, 256)
@@ -169,6 +169,7 @@ func TestIteratorSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer it.Close()
 	var got []Posting
 	for it.Next() {
 		got = append(got, it.At())
@@ -184,22 +185,119 @@ func TestIteratorSequential(t *testing.T) {
 	}
 }
 
-func TestSkipsBuiltOnlyForLongLists(t *testing.T) {
+// TestBlockIndexBuilt: every non-empty list gets one SkipEntry per block
+// (the last possibly partial), and each entry carries the block's exact
+// doc range, count, and max TF — the inputs of Block-Max pruning.
+func TestBlockIndexBuilt(t *testing.T) {
 	s := newStore(t)
 	rng := xrand.New(3)
-	short, err := s.Put(randomList(rng, 2*BlockSize-1))
+	for _, n := range []int{1, 2, BlockSize - 1, BlockSize, BlockSize + 1,
+		2*BlockSize - 1, 2 * BlockSize, 5*BlockSize + 17} {
+		ps := randomList(rng, n)
+		meta, err := s.Put(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBlocks := (n + BlockSize - 1) / BlockSize
+		if len(meta.Skips) != wantBlocks {
+			t.Fatalf("n=%d: %d skip entries, want %d", n, len(meta.Skips), wantBlocks)
+		}
+		var listMax uint32
+		for bi, e := range meta.Skips {
+			start := bi * BlockSize
+			end := start + int(e.Count)
+			if e.FirstDoc != ps[start].DocID || e.LastDoc != ps[end-1].DocID {
+				t.Fatalf("n=%d block %d: range [%d,%d], want [%d,%d]",
+					n, bi, e.FirstDoc, e.LastDoc, ps[start].DocID, ps[end-1].DocID)
+			}
+			var blockMax uint32
+			for _, p := range ps[start:end] {
+				if p.TF > blockMax {
+					blockMax = p.TF
+				}
+			}
+			if e.MaxTF != blockMax {
+				t.Fatalf("n=%d block %d: maxTF %d, want %d", n, bi, e.MaxTF, blockMax)
+			}
+			if blockMax > listMax {
+				listMax = blockMax
+			}
+		}
+		if meta.MaxTF != listMax {
+			t.Fatalf("n=%d: list maxTF %d, want %d", n, meta.MaxTF, listMax)
+		}
+	}
+}
+
+// TestBlockMaxTF: the bound must be exact for covered documents, zero
+// for documents provably absent, and never underestimate.
+func TestBlockMaxTF(t *testing.T) {
+	s := newStore(t)
+	rng := xrand.New(29)
+	ps := randomList(rng, 3*BlockSize+40)
+	meta, err := s.Put(ps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if short.Skips != nil {
-		t.Error("short list received a sparse index")
-	}
-	long, err := s.Put(randomList(rng, 2*BlockSize))
+	it, err := s.NewIterator(meta)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(long.Skips) != 2 {
-		t.Errorf("long list has %d skip entries, want 2", len(long.Skips))
+	defer it.Close()
+	present := make(map[uint32]uint32, len(ps))
+	for _, p := range ps {
+		present[p.DocID] = p.TF
+	}
+	for probe := uint32(0); probe < ps[len(ps)-1].DocID+5; probe += 3 {
+		bound := it.BlockMaxTF(probe)
+		if tf, ok := present[probe]; ok && bound < tf {
+			t.Fatalf("doc %d: bound %d below actual tf %d", probe, bound, tf)
+		}
+	}
+	if it.BlockMaxTF(ps[len(ps)-1].DocID+1) != 0 {
+		t.Error("bound past the last document must be 0")
+	}
+	if ps[0].DocID > 0 && it.BlockMaxTF(ps[0].DocID-1) != 0 {
+		t.Error("bound before the first document must be 0")
+	}
+}
+
+// TestIteratorClose: Close flushes the batched counters, double Close is
+// a no-op, and a closed iterator's buffer can be reused by a new one.
+func TestIteratorClose(t *testing.T) {
+	s := newStore(t)
+	rng := xrand.New(31)
+	ps := randomList(rng, 3*BlockSize)
+	meta, err := s.Put(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Counters.Reset()
+	it, err := s.NewIterator(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it.Next() {
+	}
+	it.NoteBlockSkip() // pending local count that only Close flushes
+	it.Close()
+	it.Close() // must be a no-op
+	if got := s.Counters.LoadPostingsDecoded(); got != int64(len(ps)) {
+		t.Errorf("decoded counter %d after close, want %d", got, len(ps))
+	}
+	if got := s.Counters.LoadSkipsTaken(); got != 1 {
+		t.Errorf("skips counter %d after close, want 1", got)
+	}
+	// The pooled buffer must be reusable without corrupting a new read.
+	it2, err := s.NewIterator(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it2.Close()
+	for i := 0; it2.Next(); i++ {
+		if it2.At() != ps[i] {
+			t.Fatalf("reused buffer diverged at %d", i)
+		}
 	}
 }
 
@@ -227,6 +325,7 @@ func TestSeekGEEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		ok := it.SeekGE(target)
+		defer it.Close()
 		// Reference answer by binary search on the decoded list.
 		idx := sort.Search(len(ps), func(i int) bool { return ps[i].DocID >= target })
 		if idx == len(ps) {
@@ -270,6 +369,7 @@ func TestSeekGESavesDecoding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer it.Close()
 	if !it.SeekGE(ps[n-1].DocID) {
 		t.Fatal("seek to last posting failed")
 	}
@@ -292,6 +392,7 @@ func TestSeekGEMonotoneCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer it.Close()
 	step := len(ps) / 37
 	for i := 0; i < len(ps); i += step {
 		target := ps[i].DocID
@@ -312,7 +413,7 @@ func TestIteratorPropertyAgainstDecode(t *testing.T) {
 		n := int(size)%2000 + 1
 		_ = seed
 		ps := randomList(rng, n)
-		s := newStore(&testing.T{})
+		s := newStore(t)
 		meta, err := s.Put(ps)
 		if err != nil {
 			return false
@@ -321,6 +422,7 @@ func TestIteratorPropertyAgainstDecode(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		defer it.Close()
 		i := 0
 		for it.Next() {
 			if i >= len(ps) || it.At() != ps[i] {
@@ -331,6 +433,122 @@ func TestIteratorPropertyAgainstDecode(t *testing.T) {
 		return i == len(ps) && it.Err() == nil
 	}, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBlockCodecProperty is the block codec's property test: for seeded
+// random lists — with sizes forced through the interesting boundaries
+// (exactly one block, partial blocks, one-past boundaries) — the
+// iterator must reproduce Decode(Encode(list)) posting for posting, and
+// SeekGE must land exactly where a naive reference search says, from
+// both fresh and monotonically advancing iterators.
+func TestBlockCodecProperty(t *testing.T) {
+	rng := xrand.New(97)
+	boundary := []int{1, BlockSize - 1, BlockSize, BlockSize + 1,
+		2*BlockSize - 1, 2 * BlockSize, 2*BlockSize + 1}
+	cfg := &quick.Config{MaxCount: 40}
+	trial := 0
+	if err := quick.Check(func(sizeSeed uint16) bool {
+		n := int(sizeSeed)%(5*BlockSize) + 1
+		if trial < len(boundary) {
+			n = boundary[trial]
+		}
+		trial++
+		ps := randomList(rng, n)
+		s := newStore(t)
+		meta, err := s.Put(ps)
+		if err != nil {
+			return false
+		}
+		// Round trip through the standalone decoder.
+		body, err := Encode(ps)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(body)
+		if err != nil || !reflect.DeepEqual(back, ps) {
+			return false
+		}
+		// Iterator equivalence with Decode.
+		it, err := s.NewIterator(meta)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < len(back); i++ {
+			if !it.Next() || it.At() != back[i] {
+				it.Close()
+				return false
+			}
+		}
+		if it.Next() || it.Err() != nil {
+			it.Close()
+			return false
+		}
+		it.Close()
+		// SeekGE against the naive reference, fresh iterator per target.
+		for k := 0; k < 12; k++ {
+			target := uint32(rng.Intn(1 << 22))
+			idx := sort.Search(len(ps), func(i int) bool { return ps[i].DocID >= target })
+			it, err := s.NewIterator(meta)
+			if err != nil {
+				return false
+			}
+			ok := it.SeekGE(target)
+			if idx == len(ps) {
+				if ok {
+					it.Close()
+					return false
+				}
+			} else if !ok || it.At() != ps[idx] {
+				it.Close()
+				return false
+			}
+			it.Close()
+		}
+		// Monotone SeekGE sequence on one iterator.
+		it, err = s.NewIterator(meta)
+		if err != nil {
+			return false
+		}
+		defer it.Close()
+		step := n/7 + 1
+		for i := 0; i < n; i += step {
+			if !it.SeekGE(ps[i].DocID) || it.At() != ps[i] {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkBlockDecode measures the bulk block decode on the hot path:
+// one full iterator pass over a long list, ns/posting being the number
+// to watch.
+func BenchmarkBlockDecode(b *testing.B) {
+	s := newStore(b)
+	rng := xrand.New(41)
+	ps := randomList(rng, 100*BlockSize)
+	meta, err := s.Put(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.SetBytes(int64(meta.Length))
+	for i := 0; i < b.N; i++ {
+		it, err := s.NewIterator(meta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sink uint64
+		for it.Next() {
+			sink += uint64(it.At().TF)
+		}
+		it.Close()
+		if sink == 0 {
+			b.Fatal("empty iteration")
+		}
 	}
 }
 
@@ -348,7 +566,7 @@ func BenchmarkDecode(b *testing.B) {
 }
 
 func BenchmarkSeekGEWithSkips(b *testing.B) {
-	s := newStore(&testing.T{})
+	s := newStore(b)
 	n := 200 * BlockSize
 	ps := make([]Posting, n)
 	for i := range ps {
@@ -360,5 +578,6 @@ func BenchmarkSeekGEWithSkips(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		it, _ := s.NewIterator(meta)
 		it.SeekGE(uint32(rng.Intn(2 * n)))
+		it.Close()
 	}
 }

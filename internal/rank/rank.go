@@ -60,6 +60,32 @@ func (TFIDF) Score(tf, docLen int32, t TermStat, c CorpusStat) float64 {
 	return float64(tf) / float64(docLen) * math.Log(1+float64(c.NumDocs)/float64(t.DocFreq))
 }
 
+// TFBoundedScorer is implemented by scorers whose per-term bound
+// tightens when the maximum within-document term frequency over some
+// posting range (a block, or a whole list) is known. The postings layer
+// records that maximum per block, which is what turns a term-level
+// MaxScore bound into a Block-Max bound: same answer, tighter pruning.
+type TFBoundedScorer interface {
+	Scorer
+	// UpperBoundTF returns the maximum possible Score over documents
+	// whose term frequency is at most maxTF. It must never exceed
+	// UpperBound and must be monotone non-decreasing in maxTF.
+	UpperBoundTF(maxTF int32, t TermStat, c CorpusStat) float64
+}
+
+// UpperBoundTF returns the tightest available bound for a term whose
+// frequency is known to be at most maxTF: the scorer's TF-bounded bound
+// when it implements TFBoundedScorer, its plain UpperBound otherwise.
+// Ratio-form scorers (TFIDF, LM) peak at tf == docLen regardless of the
+// absolute frequency, so for them the plain bound is already tight and
+// they deliberately do not implement the refinement.
+func UpperBoundTF(s Scorer, maxTF int32, t TermStat, c CorpusStat) float64 {
+	if b, ok := s.(TFBoundedScorer); ok {
+		return b.UpperBoundTF(maxTF, t, c)
+	}
+	return s.UpperBound(t, c)
+}
+
 // UpperBound implements Scorer: attained when the document consists solely
 // of the term (tf == docLen).
 func (TFIDF) UpperBound(t TermStat, c CorpusStat) float64 {
@@ -106,6 +132,20 @@ func (s BM25) Score(tf, docLen int32, t TermStat, c CorpusStat) float64 {
 // idf·(k1+1)·1/(1·...) — conservatively idf·(k1+1).
 func (s BM25) UpperBound(t TermStat, c CorpusStat) float64 {
 	return s.idf(t, c) * (s.K1 + 1)
+}
+
+// UpperBoundTF implements TFBoundedScorer. The tf factor
+// tf·(k1+1)/(tf+k1·norm) is increasing in tf and decreasing in norm, so
+// with tf ≤ maxTF and norm ≥ 1-b the supremum is
+// idf·(k1+1)·maxTF/(maxTF+k1·(1-b)) — strictly below the saturation
+// bound whenever maxTF is finite, which is what makes per-block max-TF
+// metadata worth storing.
+func (s BM25) UpperBoundTF(maxTF int32, t TermStat, c CorpusStat) float64 {
+	if maxTF <= 0 {
+		return 0
+	}
+	ftf := float64(maxTF)
+	return s.idf(t, c) * ftf * (s.K1 + 1) / (ftf + s.K1*(1-s.B))
 }
 
 // LM is Hiemstra's linearly interpolated language model, the ranking
