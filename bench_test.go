@@ -440,3 +440,48 @@ func BenchmarkParallelSearch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDiskPagedSearch is the wall-clock view of the DISK
+// experiment's central comparison: block-max MaxScore over the in-memory
+// index vs over a persisted segment served through a buffer pool smaller
+// than the index. The paged side pays block faults and pool misses; the
+// decode plan is identical by construction.
+func BenchmarkDiskPagedSearch(b *testing.B) {
+	f := getFixtures(b)
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := index.Build(f.col, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	if err := idx.Persist(dir); err != nil {
+		b.Fatal(err)
+	}
+	segPool, fd, err := index.OpenPool(dir, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fd.Close()
+	opened, err := index.Open(dir, segPool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, ix := range map[string]*index.Index{"memory": idx, "paged": opened} {
+		ms, err := core.NewMaxScore(ix, rank.NewBM25())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range f.queries {
+					if _, err := ms.Search(q, 10); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

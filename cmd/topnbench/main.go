@@ -4,13 +4,29 @@
 //
 // Usage:
 //
-//	topnbench [-exp all|F1|E1..E12|PAR] [-scale small|full] [-seed N]
+//	topnbench [-exp all|F1|E1..E12|PAR|DISK] [-scale small|full] [-seed N]
 //	          [-shards K] [-workers W]
+//	          [-persist DIR] [-from DIR] [-pool-pages K]
+//	          [-json out.json]
 //
 // The PAR experiment exercises the sharded concurrent search layer
 // (internal/parallel): -shards picks the document-range shard count and
 // -workers the worker-pool bound; the table reports sequential vs.
 // parallel wall-clock and the speedup.
+//
+// The DISK experiment exercises the pluggable storage backend: it
+// persists the workload's index as an on-disk segment (or reuses one
+// written earlier with -persist via -from DIR), reopens it through a
+// buffer pool of -pool-pages frames — deliberately smaller than the
+// segment — and verifies the paged engine answers byte-identically to
+// the in-memory one while reporting hit rate, page faults, and block
+// faults.
+//
+// -persist DIR builds the workload index at the chosen scale/seed,
+// writes it under DIR, and exits; a later `-exp DISK -from DIR` serves
+// queries from that segment. -json writes the machine-readable report
+// (per-experiment wall-clock, rows, and headline metrics) alongside the
+// rendered tables; CI uploads it as an artifact.
 //
 // Results print as aligned text tables with the paper's claim noted under
 // each; EXPERIMENTS.md records a full-scale run.
@@ -25,9 +41,13 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/rank"
+	"repro/internal/storage"
 )
 
-var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR"}
+var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK"}
 
 var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
 	"F1":  bench.RunF1,
@@ -45,16 +65,71 @@ var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
 	"E12": bench.RunE12,
 }
 
+// persistIndex builds the workload index and writes it as a segment
+// under dir, reporting the segment geometry.
+func persistIndex(scale bench.Scale, seed uint64, dir string) error {
+	w, err := bench.NewWorkload(scale, seed)
+	if err != nil {
+		return err
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	idx, err := index.Build(w.Col, pool)
+	if err != nil {
+		return err
+	}
+	if err := idx.Persist(dir); err != nil {
+		return err
+	}
+
+	// Reopen and spot-check one query end to end before telling the
+	// user the segment is good; the same FileDisk reports the geometry.
+	segPool, fd, err := index.OpenPool(dir, 8)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	opened, err := index.Open(dir, segPool)
+	if err != nil {
+		return fmt.Errorf("verification reopen failed: %w", err)
+	}
+	ms, err := core.NewMaxScore(opened, rank.NewBM25())
+	if err != nil {
+		return err
+	}
+	if len(w.Queries) > 0 {
+		if _, err := ms.Search(w.Queries[0], 10); err != nil {
+			return fmt.Errorf("verification query failed: %w", err)
+		}
+	}
+	fmt.Printf("persisted %s: %d docs, %d terms, %d postings (%d bytes compressed) in %d pages, %s\n",
+		index.SegmentPath(dir), idx.Stats.NumDocs, idx.Lex.Size(), idx.TotalPostings(),
+		idx.SizeBytes(), fd.NumPages(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("serve it with: topnbench -exp DISK -scale %s -seed %d -from %s -pool-pages K\n",
+		scale, seed, dir)
+	return nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK) or 'all'")
 	scaleFlag := flag.String("scale", "small", "workload scale: small or full")
 	seed := flag.Uint64("seed", 42, "deterministic workload seed")
 	shards := flag.Int("shards", 4, "PAR: number of document-range shards")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "PAR: worker-pool size")
+	persistDir := flag.String("persist", "", "persist the workload index as a segment under DIR and exit")
+	fromDir := flag.String("from", "", "DISK: serve the segment persisted under DIR (same scale/seed) instead of rebuilding")
+	poolPages := flag.Int("pool-pages", 0, "DISK: buffer pool capacity in pages (0 = 1/8 of the segment)")
+	jsonPath := flag.String("json", "", "write the machine-readable report to this file")
 	flag.Parse()
 
 	runners["PAR"] = func(s bench.Scale, seed uint64) (*bench.Table, error) {
 		return bench.RunParallel(s, seed, *shards, *workers)
+	}
+	runners["DISK"] = func(s bench.Scale, seed uint64) (*bench.Table, error) {
+		return bench.RunDisk(s, seed, *poolPages, *fromDir)
 	}
 
 	var scale bench.Scale
@@ -68,6 +143,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *persistDir != "" {
+		if err := persistIndex(scale, *seed, *persistDir); err != nil {
+			fmt.Fprintf(os.Stderr, "topnbench: persist: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	ids := order
 	if *exp != "all" {
 		id := strings.ToUpper(*exp)
@@ -79,6 +162,7 @@ func main() {
 		ids = []string{id}
 	}
 
+	report := &bench.Report{Scale: scale.String(), Seed: *seed}
 	fmt.Printf("topnbench: scale=%s seed=%d\n", scale, *seed)
 	for _, id := range ids {
 		start := time.Now()
@@ -87,7 +171,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "topnbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		tbl.Render(os.Stdout)
-		fmt.Printf("  (%s in %s)\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (%s in %s)\n", id, elapsed.Round(time.Millisecond))
+		report.Add(tbl, elapsed)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topnbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "topnbench: write report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "topnbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote machine-readable report to %s\n", *jsonPath)
 	}
 }

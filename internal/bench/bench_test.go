@@ -2,9 +2,11 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // runners lists every experiment for the smoke tests.
@@ -22,6 +24,9 @@ var runners = map[string]func(Scale, uint64) (*Table, error){
 	"E11": RunE11,
 	"E12": RunE12,
 	"PAR": func(s Scale, seed uint64) (*Table, error) { return RunParallel(s, seed, 4, 4) },
+	"DISK": func(s Scale, seed uint64) (*Table, error) {
+		return RunDisk(s, seed, 0, "")
+	},
 }
 
 func TestAllExperimentsRunAtSmallScale(t *testing.T) {
@@ -162,5 +167,68 @@ func TestE3MonotoneSwitching(t *testing.T) {
 			t.Errorf("decode cost not monotone in threshold")
 		}
 		prevSwitched, prevDecodes = sw, dec
+	}
+}
+
+// TestDiskBackendInvariants runs the DISK experiment (whose runner
+// internally asserts byte-identical top-N across backends — it errors on
+// any divergence) and checks the acceptance shape: the pool is genuinely
+// smaller than the segment, page faults are reported, and the decode
+// plan is backend-independent.
+func TestDiskBackendInvariants(t *testing.T) {
+	tbl, err := RunDisk(ScaleSmall, 42, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Metrics["pool_pages"] >= tbl.Metrics["segment_pages"] {
+		t.Fatalf("pool %v pages not smaller than segment %v pages",
+			tbl.Metrics["pool_pages"], tbl.Metrics["segment_pages"])
+	}
+	if tbl.Metrics["page_faults_cold"] <= 0 {
+		t.Error("cold pass reported no page faults despite an empty pool")
+	}
+	if tbl.Metrics["block_faults_cold"] <= 0 {
+		t.Error("cold pass reported no block faults")
+	}
+	if hr := tbl.Metrics["hit_rate_warm"]; hr <= 0 || hr > 1 {
+		t.Errorf("warm hit rate %v out of (0,1]", hr)
+	}
+	memDecodes := cell(t, tbl, "memory", "decodes")
+	for _, pass := range []string{"paged/cold", "paged/warm"} {
+		if got := cell(t, tbl, pass, "decodes"); got != memDecodes {
+			t.Errorf("%s decoded %s postings, memory decoded %s — decode plan must be backend-independent", pass, got, memDecodes)
+		}
+	}
+}
+
+// TestReportJSONRoundTrips: the machine-readable report must carry the
+// tables and metrics faithfully through JSON.
+func TestReportJSONRoundTrips(t *testing.T) {
+	tbl, err := RunDisk(ScaleSmall, 7, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Scale: "small", Seed: 7}
+	rep.Add(tbl, 1500*time.Microsecond)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Experiments) != 1 || back.Experiments[0].ID != "DISK" {
+		t.Fatalf("round-trip lost the experiment: %+v", back)
+	}
+	e := back.Experiments[0]
+	if e.WallMS != 1.5 {
+		t.Errorf("wall_ms = %v, want 1.5", e.WallMS)
+	}
+	if len(e.Rows) != len(tbl.Rows) || len(e.Metrics) != len(tbl.Metrics) {
+		t.Error("rows or metrics dropped in JSON round trip")
+	}
+	if e.Metrics["hit_rate_warm"] != tbl.Metrics["hit_rate_warm"] {
+		t.Error("metric value changed in JSON round trip")
 	}
 }

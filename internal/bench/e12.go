@@ -69,6 +69,8 @@ func RunE12(s Scale, seed uint64) (*Table, error) {
 	addRow := func(name string, decodes, skips int64, sum quality.Summary, exact bool) {
 		t.AddRow(name, decodes, skips, 100*float64(decodes)/float64(exhaustive),
 			sum.MeanPrecision, sum.MAP, exact)
+		t.SetMetric("decodes."+name, float64(decodes))
+		t.SetMetric("skips."+name, float64(skips))
 	}
 
 	// Exhaustive full evaluation (baseline).

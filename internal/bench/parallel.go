@@ -43,8 +43,8 @@ func RunParallel(s Scale, seed uint64, shards, workers int) (*Table, error) {
 	seqElapsed := time.Since(seqStart)
 
 	t := &Table{
-		ID:    "PAR",
-		Title: fmt.Sprintf("sharded concurrent search vs sequential (%d queries, N=%d)", len(w.Queries), n),
+		ID:      "PAR",
+		Title:   fmt.Sprintf("sharded concurrent search vs sequential (%d queries, N=%d)", len(w.Queries), n),
 		Columns: []string{"config", "shards", "workers", "wall", "queries/s", "speedup", "allExact"},
 	}
 	qps := func(d time.Duration) float64 {

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Report is the machine-readable counterpart of the rendered tables:
+// one entry per experiment run, with wall-clock and the runner's
+// headline metrics (decodes, skips, hit rate, ...) alongside the full
+// row grid. topnbench -json writes one Report per invocation; CI
+// uploads it as an artifact so benchmark trajectories accumulate across
+// commits.
+type Report struct {
+	Scale       string             `json:"scale"`
+	Seed        uint64             `json:"seed"`
+	Experiments []ReportExperiment `json:"experiments"`
+}
+
+// ReportExperiment is one experiment's machine-readable record.
+type ReportExperiment struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	WallMS  float64            `json:"wall_ms"`
+	Columns []string           `json:"columns"`
+	Rows    [][]string         `json:"rows"`
+	Notes   []string           `json:"notes,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Add records one finished experiment.
+func (r *Report) Add(t *Table, wall time.Duration) {
+	r.Experiments = append(r.Experiments, ReportExperiment{
+		ID:      t.ID,
+		Title:   t.Title,
+		WallMS:  float64(wall.Microseconds()) / 1000,
+		Columns: t.Columns,
+		Rows:    t.Rows,
+		Notes:   t.Notes,
+		Metrics: t.Metrics,
+	})
+}
+
+// WriteJSON serializes the report, indented for artifact diffing.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -20,12 +20,25 @@ import (
 
 // Table is one experiment's output: a titled grid plus free-form notes
 // (observations the experiment asserts, e.g. "crossover at k=...").
+// Metrics carries the experiment's headline numbers in machine-readable
+// form for the JSON report (decodes, skips, hit rate, ...); nil when a
+// runner has none beyond its rows.
 type Table struct {
 	ID      string // experiment id, e.g. "E1"
 	Title   string
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	Metrics map[string]float64
+}
+
+// SetMetric records one machine-readable metric, allocating the map on
+// first use.
+func (t *Table) SetMetric(key string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[key] = v
 }
 
 // AddRow appends a formatted row; values are Sprint-ed.

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/rank"
+	"repro/internal/storage"
+)
+
+// These tests are the engine-level half of the pluggable-backend
+// contract: every engine — Engine over the two-fragment index, MaxScore
+// over the plain index, Progressive over the chain — must return
+// byte-identical top-N answers whether the postings live in RAM or in a
+// persisted segment served through a deliberately small buffer pool.
+
+func pagedWorkload(t *testing.T) (*collection.Collection, []collection.Query) {
+	t.Helper()
+	col, err := collection.Generate(collection.Config{
+		NumDocs: 300, VocabSize: 6000, MeanDocLen: 100, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := collection.GenerateQueries(col, collection.QueryConfig{
+		NumQueries: 25, MinTerms: 2, MaxTerms: 5, MaxDocFreqFrac: 0.5, Seed: 78,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, queries
+}
+
+func memPool(t *testing.T) *storage.Pool {
+	t.Helper()
+	p, err := storage.NewPool(storage.NewDisk(), 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// tinyPool reopens dir with a pool smaller than the segment.
+func tinyPool(t *testing.T, dir string) *storage.Pool {
+	t.Helper()
+	pool, fd, err := index.OpenPool(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fd.Close() })
+	if fd.NumPages() <= pool.Capacity() {
+		t.Fatalf("segment %d pages not larger than %d-frame pool", fd.NumPages(), pool.Capacity())
+	}
+	return pool
+}
+
+func sameTop(t *testing.T, label string, want, got []rank.DocScore) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: rank %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestMaxScorePagedEquivalence(t *testing.T) {
+	col, queries := pagedWorkload(t)
+	idx, err := index.Build(col, memPool(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := idx.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := index.Open(dir, tinyPool(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memMS, err := NewMaxScore(idx, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pagedMS, err := NewMaxScore(opened, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		want, err := memMS.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pagedMS.Search(q, 10)
+		if err != nil {
+			t.Fatalf("query %d over paged backend: %v", qi, err)
+		}
+		sameTop(t, "maxscore", want, got)
+	}
+	if opened.Counters().BlocksFaulted == 0 {
+		t.Error("paged search faulted zero blocks")
+	}
+}
+
+func TestEnginePagedEquivalence(t *testing.T) {
+	col, queries := pagedWorkload(t)
+	fx, err := index.BuildFragmented(col, memPool(t), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := fx.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := index.OpenFragmented(dir, tinyPool(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memEng, err := NewEngine(fx, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pagedEng, err := NewEngine(opened, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []Options{
+		{N: 10, Mode: ModeFull},
+		{N: 10, Mode: ModeUnsafe},
+		{N: 10, Mode: ModeSafe, SwitchThreshold: 0.8},
+		{N: 10, Mode: ModeSafe, SwitchThreshold: 2, ProbeLarge: true},
+	}
+	for qi, q := range queries {
+		for mi, opts := range modes {
+			want, err := memEng.Search(q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pagedEng.Search(q, opts)
+			if err != nil {
+				t.Fatalf("query %d mode %d over paged backend: %v", qi, mi, err)
+			}
+			if want.Coverage != got.Coverage || want.Switched != got.Switched {
+				t.Fatalf("query %d mode %d: plan diverged across backends", qi, mi)
+			}
+			sameTop(t, "engine", want.Top, got.Top)
+		}
+	}
+}
+
+func TestProgressivePagedEquivalence(t *testing.T) {
+	col, queries := pagedWorkload(t)
+	mx, err := index.BuildMulti(col, memPool(t), []float64{0.05, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := mx.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := index.OpenMulti(dir, tinyPool(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	memProg, err := NewProgressive(mx, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pagedProg, err := NewProgressive(opened, rank.NewBM25())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		want, err := memProg.Search(q, ProgressiveOptions{N: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pagedProg.Search(q, ProgressiveOptions{N: 10})
+		if err != nil {
+			t.Fatalf("query %d over paged backend: %v", qi, err)
+		}
+		if want.FragmentsUsed != got.FragmentsUsed || want.Exact != got.Exact {
+			t.Fatalf("query %d: stopping behaviour diverged across backends", qi)
+		}
+		sameTop(t, "progressive", want.Top, got.Top)
+	}
+}

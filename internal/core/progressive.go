@@ -58,6 +58,11 @@ func NewProgressiveWithCorpus(mx *index.MultiFragmented, scorer rank.Scorer, cor
 	return p, nil
 }
 
+// Corpus exposes the collection statistics the engine ranks with — the
+// global statistics in a sharded deployment, which shard persistence
+// must carry to disk so reopened shards rank identically.
+func (p *Progressive) Corpus() rank.CorpusStat { return p.corpus }
+
 // ProgressiveResult reports the answer and how far along the chain the
 // query had to go.
 type ProgressiveResult struct {

@@ -66,7 +66,7 @@ func (f *Fragment) NumTerms() int { return len(f.metas) }
 func (f *Fragment) TotalPostings() int64 { return f.postings }
 
 // SizeBytes returns the compressed byte size of the fragment.
-func (f *Fragment) SizeBytes() int64 { return f.store.File().Size() }
+func (f *Fragment) SizeBytes() int64 { return f.store.Size() }
 
 // Counters exposes the fragment's decoding-work counters.
 func (f *Fragment) Counters() *postings.Counters { return &f.store.Counters }

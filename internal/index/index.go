@@ -151,7 +151,7 @@ func (ix *Index) MaxTF(term lexicon.TermID) uint32 {
 func (ix *Index) Counters() *postings.Counters { return &ix.store.Counters }
 
 // SizeBytes reports the compressed size of all lists.
-func (ix *Index) SizeBytes() int64 { return ix.store.File().Size() }
+func (ix *Index) SizeBytes() int64 { return ix.store.Size() }
 
 // TotalPostings returns the number of postings stored.
 func (ix *Index) TotalPostings() int64 {

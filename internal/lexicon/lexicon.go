@@ -47,6 +47,24 @@ func (l *Lexicon) Intern(term string) TermID {
 	return id
 }
 
+// Restore rebuilds a lexicon from persisted names and per-term
+// statistics, in term-id order: names[i] becomes TermID(i). It is the
+// inverse of walking Name/Stats over [0, Size()) — the segment reader
+// uses it to reopen an on-disk index without replaying the collection.
+func Restore(names []string, stats []Stats) (*Lexicon, error) {
+	if len(names) != len(stats) {
+		return nil, fmt.Errorf("lexicon: %d names but %d stat records", len(names), len(stats))
+	}
+	l := New()
+	for i, name := range names {
+		if id := l.Intern(name); int(id) != i {
+			return nil, fmt.Errorf("lexicon: duplicate term %q at ids %d and %d", name, id, i)
+		}
+		l.stats[i] = stats[i]
+	}
+	return l, nil
+}
+
 // Lookup returns the id for term, or InvalidTerm when absent.
 func (l *Lexicon) Lookup(term string) TermID {
 	if id, ok := l.byName[term]; ok {

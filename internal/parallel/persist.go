@@ -1,0 +1,153 @@
+// Shard persistence: a built Searcher can be written to disk as one
+// segment per shard plus a small JSON manifest, and reopened later with
+// every shard's postings served through its own buffer pool — the
+// sharded layer's half of the pluggable-backend contract. A reopened
+// Searcher answers byte-identically to the built one: shard bases, the
+// global corpus statistics, and each shard's fragment chain all ride
+// along in the manifest and segments.
+package parallel
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/rank"
+)
+
+// manifestFile is the Searcher-level metadata next to the shard
+// segment directories.
+const manifestFile = "searcher.json"
+
+// manifest is the JSON document tying the shard segments together.
+type manifest struct {
+	Version int             `json:"version"`
+	Corpus  rank.CorpusStat `json:"corpus"`
+	Shards  []manifestShard `json:"shards"`
+}
+
+type manifestShard struct {
+	Base uint32 `json:"base"`
+	Docs int    `json:"docs"`
+	Dir  string `json:"dir"` // relative to the manifest's directory
+}
+
+// shardDirName names shard i's segment directory.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// Persist writes the searcher's shards into dir: one segment directory
+// per shard (each shard's fragment chain via index.Persist) and the
+// manifest recording shard bases and the global corpus statistics.
+func (s *Searcher) Persist(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("parallel: persist: %w", err)
+	}
+	m := manifest{Version: 1}
+	if len(s.shards) > 0 {
+		m.Corpus = s.shards[0].engine.Corpus()
+	}
+	for i, sh := range s.shards {
+		sub := shardDirName(i)
+		if err := sh.engine.MX.Persist(filepath.Join(dir, sub)); err != nil {
+			return fmt.Errorf("parallel: persist shard %d: %w", i, err)
+		}
+		m.Shards = append(m.Shards, manifestShard{Base: sh.base, Docs: sh.docs, Dir: sub})
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("parallel: persist manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestFile+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("parallel: persist manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
+		return fmt.Errorf("parallel: persist manifest: %w", err)
+	}
+	return nil
+}
+
+// OpenSearcher reopens a persisted searcher. Each shard gets its own
+// FileDisk and a buffer pool of poolPagesPerShard frames, so the whole
+// searcher's resident postings working set is bounded by
+// shards × poolPagesPerShard pages. cfg supplies the runtime knobs that
+// are not part of the persisted state (worker-pool bound; Shards and
+// Cuts are fixed by the on-disk layout and ignored). Close the returned
+// searcher to release the shard files.
+//
+// Each in-flight block fault transiently pins one pool page, so a pool
+// must hold at least as many frames as the queries concurrently
+// faulting from it or Fetch can find every frame pinned. OpenSearcher
+// therefore raises poolPagesPerShard to cfg.Workers+2 when it is set
+// lower; callers that override Options.Workers per call above
+// cfg.Workers should size poolPagesPerShard for that ceiling
+// themselves.
+func OpenSearcher(dir string, poolPagesPerShard int, scorer rank.Scorer, cfg Config) (*Searcher, error) {
+	if scorer == nil {
+		return nil, fmt.Errorf("parallel: nil scorer")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("parallel: open manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("parallel: manifest %s is not valid JSON (corrupt?): %w",
+			filepath.Join(dir, manifestFile), err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("parallel: manifest version %d, this build reads version 1", m.Version)
+	}
+	if len(m.Shards) == 0 {
+		return nil, fmt.Errorf("parallel: manifest lists no shards")
+	}
+	cfg.Shards = len(m.Shards)
+	cfg.fillDefaults()
+	if floor := cfg.Workers + 2; poolPagesPerShard < floor {
+		poolPagesPerShard = floor
+	}
+	s := &Searcher{cfg: cfg}
+	ok := false
+	defer func() {
+		if !ok {
+			s.Close()
+		}
+	}()
+	for i, ms := range m.Shards {
+		pool, fd, err := index.OpenPool(filepath.Join(dir, ms.Dir), poolPagesPerShard)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: open shard %d: %w", i, err)
+		}
+		s.closers = append(s.closers, fd)
+		mx, err := index.OpenMulti(filepath.Join(dir, ms.Dir), pool)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: open shard %d: %w", i, err)
+		}
+		if got := mx.Stats.NumDocs; got != ms.Docs {
+			return nil, fmt.Errorf("parallel: shard %d holds %d documents, manifest says %d (corrupt?)", i, got, ms.Docs)
+		}
+		engine, err := core.NewProgressiveWithCorpus(mx, scorer, m.Corpus)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: open shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, &shard{base: ms.Base, docs: ms.Docs, engine: engine})
+	}
+	ok = true
+	return s, nil
+}
+
+// Close releases the shard segment files of a searcher opened with
+// OpenSearcher. It is a no-op for searchers built in memory.
+func (s *Searcher) Close() error {
+	var first error
+	for _, c := range s.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.closers = nil
+	return first
+}

@@ -1,0 +1,102 @@
+package parallel
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/rank"
+	"repro/internal/storage"
+)
+
+// TestSearcherPersistRoundTrip persists a sharded searcher and reopens
+// it with small per-shard pools, demanding byte-identical merged top-N
+// answers, identical exactness certificates, and that the disk-resident
+// shards actually page (pools smaller than their segments).
+func TestSearcherPersistRoundTrip(t *testing.T) {
+	col, err := collection.Generate(collection.Config{
+		NumDocs: 400, VocabSize: 6000, MeanDocLen: 100, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := collection.GenerateQueries(col, collection.QueryConfig{
+		NumQueries: 20, MinTerms: 2, MaxTerms: 5, MaxDocFreqFrac: 0.5, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := NewSearcher(col, pool, rank.NewBM25(), Config{Shards: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := built.Persist(dir); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenSearcher(dir, 4, rank.NewBM25(), Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if opened.NumShards() != built.NumShards() {
+		t.Fatalf("%d shards, want %d", opened.NumShards(), built.NumShards())
+	}
+
+	for qi, q := range queries {
+		want, err := built.Search(q, Options{N: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := opened.Search(q, Options{N: 10})
+		if err != nil {
+			t.Fatalf("query %d over reopened searcher: %v", qi, err)
+		}
+		if want.Exact != got.Exact || len(want.Top) != len(got.Top) {
+			t.Fatalf("query %d: shape diverged across backends", qi)
+		}
+		for i := range want.Top {
+			if want.Top[i] != got.Top[i] {
+				t.Fatalf("query %d rank %d: %+v, want %+v", qi, i, got.Top[i], want.Top[i])
+			}
+		}
+	}
+
+	// Batch path over the reopened searcher.
+	wb, err := built.SearchBatch(queries, Options{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := opened.SearchBatch(queries, Options{N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range wb.Results {
+		for i := range wb.Results[qi].Top {
+			if wb.Results[qi].Top[i] != gb.Results[qi].Top[i] {
+				t.Fatalf("batch query %d rank %d diverged", qi, i)
+			}
+		}
+	}
+}
+
+// TestOpenSearcherRejectsBadManifest: a garbled or missing manifest must
+// fail with a clear error, not panic or return an empty searcher.
+func TestOpenSearcherRejectsBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenSearcher(dir, 4, rank.NewBM25(), Config{}); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSearcher(dir, 4, rank.NewBM25(), Config{}); err == nil {
+		t.Error("garbled manifest accepted")
+	}
+}

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -80,6 +81,10 @@ type Result struct {
 type Searcher struct {
 	cfg    Config
 	shards []*shard
+
+	// closers holds the per-shard segment files of a searcher reopened
+	// from disk (see OpenSearcher); nil for searchers built in memory.
+	closers []io.Closer
 }
 
 // NewSearcher partitions col into cfg.Shards document ranges, builds one

@@ -27,6 +27,7 @@ type Counters struct {
 	PostingsDecoded int64 // individual postings decompressed
 	SkipsTaken      int64 // blocks skipped or bounded away without decoding
 	ListsOpened     int64
+	BlocksFaulted   int64 // blocks assembled from paged storage (0 on the memory path)
 }
 
 // Reset zeroes all counters.
@@ -34,6 +35,7 @@ func (c *Counters) Reset() {
 	atomic.StoreInt64(&c.PostingsDecoded, 0)
 	atomic.StoreInt64(&c.SkipsTaken, 0)
 	atomic.StoreInt64(&c.ListsOpened, 0)
+	atomic.StoreInt64(&c.BlocksFaulted, 0)
 }
 
 // LoadPostingsDecoded atomically samples the decoded-postings counter.
@@ -44,6 +46,9 @@ func (c *Counters) LoadSkipsTaken() int64 { return atomic.LoadInt64(&c.SkipsTake
 
 // LoadListsOpened atomically samples the lists-opened counter.
 func (c *Counters) LoadListsOpened() int64 { return atomic.LoadInt64(&c.ListsOpened) }
+
+// LoadBlocksFaulted atomically samples the block-fault counter.
+func (c *Counters) LoadBlocksFaulted() int64 { return atomic.LoadInt64(&c.BlocksFaulted) }
 
 // SkipEntry is one entry of a list's non-dense index, describing one
 // block: its document-id range, byte offset within the encoded body,
@@ -60,11 +65,11 @@ type SkipEntry struct {
 	MaxTF    uint32 // largest term frequency in the block
 }
 
-// ListMeta describes a stored list: where it lives in the file, its
-// document frequency, its list-wide maximum TF, and its block index
+// ListMeta describes a stored list: where it lives in the backing store,
+// its document frequency, its list-wide maximum TF, and its block index
 // (one SkipEntry per block; nil only for empty lists).
 type ListMeta struct {
-	Offset  int64       // byte offset of the encoded body in the file
+	Offset  int64       // byte offset of the encoded body in the store
 	Length  int32       // encoded body length in bytes
 	DocFreq int32       // number of postings
 	MaxTF   uint32      // largest term frequency in the list
@@ -95,15 +100,28 @@ func putBody(b []byte) {
 	bodyPool.Put(&b)
 }
 
-// Store persists encoded postings lists in a storage.File and serves
-// readers over them. One Store backs one index fragment.
+// Store persists encoded postings lists and serves readers over them.
+// One Store backs one index fragment. It has two backings:
+//
+//   - a build-time storage.File (NewStore): lists are appended during
+//     indexing and iterators read a list's whole body into one pooled
+//     buffer up front (MemorySource) — the in-RAM hot path;
+//   - a read-only paged region of a persisted segment (NewPagedStore):
+//     iterators fault individual blocks in through the buffer pool on
+//     demand (PagedSource), so the pool capacity — not the index size —
+//     bounds resident memory.
 //
 // Counters must stay the first field: Stores are heap-allocated, so the
 // struct's first word is 64-bit aligned, which the atomic int64
 // operations on the counters require on 32-bit platforms.
 type Store struct {
 	Counters Counters
-	file     *storage.File
+
+	file *storage.File // build backing; nil for paged stores
+
+	pool *storage.Pool // paged backing; nil for file stores
+	base int64         // absolute device byte offset of the postings region
+	size int64         // region length in bytes
 }
 
 // NewStore creates an empty list store writing into file.
@@ -111,13 +129,41 @@ func NewStore(file *storage.File) *Store {
 	return &Store{file: file}
 }
 
-// File exposes the backing file (for size reporting).
+// NewPagedStore opens a read-only store over an existing postings region
+// of a persisted segment: size bytes starting at the page-aligned device
+// page firstPage, served block-at-a-time through pool. ListMeta offsets
+// are relative to the region, exactly as Put assigned them at build time.
+func NewPagedStore(pool *storage.Pool, firstPage storage.PageID, size int64) (*Store, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("postings: nil pool")
+	}
+	if firstPage == storage.InvalidPage || size < 0 {
+		return nil, fmt.Errorf("postings: invalid paged region (page %d, %d bytes)", firstPage, size)
+	}
+	return &Store{pool: pool, base: int64(firstPage-1) * storage.PageSize, size: size}, nil
+}
+
+// Paged reports whether the store serves a persisted segment region.
+func (s *Store) Paged() bool { return s.pool != nil }
+
+// File exposes the backing file (nil for paged stores).
 func (s *Store) File() *storage.File { return s.file }
+
+// Size reports the byte volume of the stored lists.
+func (s *Store) Size() int64 {
+	if s.file != nil {
+		return s.file.Size()
+	}
+	return s.size
+}
 
 // Put encodes and appends a posting list, returning its metadata. The
 // encoding pass itself emits the block index and the max-TF bounds, so
-// nothing is walked twice.
+// nothing is walked twice. Paged stores are read-only.
 func (s *Store) Put(ps []Posting) (ListMeta, error) {
+	if s.file == nil {
+		return ListMeta{}, fmt.Errorf("postings: Put on a read-only paged store")
+	}
 	body, skips, maxTF, err := EncodeBlocks(ps)
 	if err != nil {
 		return ListMeta{}, err
@@ -135,18 +181,43 @@ func (s *Store) Put(ps []Posting) (ListMeta, error) {
 	}, nil
 }
 
+// openSource opens the BlockSource for one stored list: a MemorySource
+// holding the whole body on the file backing, a PagedSource faulting
+// blocks through the pool on the paged backing.
+func (s *Store) openSource(meta ListMeta) (BlockSource, error) {
+	if s.file != nil {
+		body := getBody(int(meta.Length))
+		n, err := s.file.ReadAt(body, meta.Offset)
+		if err != nil && err != io.EOF {
+			putBody(body)
+			return nil, err
+		}
+		if n != len(body) {
+			// A short read into a recycled buffer would leave another
+			// list's stale bytes in the tail; fail fast instead of
+			// decoding them.
+			putBody(body)
+			return nil, ErrCorrupt
+		}
+		return &MemorySource{body: body, pooled: true}, nil
+	}
+	if meta.Offset < 0 || meta.Offset > s.size-int64(meta.Length) {
+		return nil, fmt.Errorf("%w: list body [%d,+%d) outside %d-byte postings region",
+			ErrCorrupt, meta.Offset, meta.Length, s.size)
+	}
+	return NewPagedSource(s.pool, s.base+meta.Offset, int(meta.Length))
+}
+
 // ReadAll decodes an entire stored list.
 func (s *Store) ReadAll(meta ListMeta) ([]Posting, error) {
-	body := getBody(int(meta.Length))
-	defer putBody(body)
-	n, err := s.file.ReadAt(body, meta.Offset)
-	if err != nil && err != io.EOF {
+	src, err := s.openSource(meta)
+	if err != nil {
 		return nil, err
 	}
-	if n != len(body) {
-		// A short read into a recycled buffer would leave another list's
-		// stale bytes in the tail; fail fast instead of decoding them.
-		return nil, ErrCorrupt
+	defer src.Close()
+	body, err := src.Range(0, int(meta.Length))
+	if err != nil {
+		return nil, err
 	}
 	ps, err := Decode(body)
 	if err != nil {
@@ -154,39 +225,44 @@ func (s *Store) ReadAll(meta ListMeta) ([]Posting, error) {
 	}
 	atomic.AddInt64(&s.Counters.ListsOpened, 1)
 	atomic.AddInt64(&s.Counters.PostingsDecoded, int64(len(ps)))
+	if f := src.Faults(); f != 0 {
+		atomic.AddInt64(&s.Counters.BlocksFaulted, f)
+	}
 	return ps, nil
 }
 
 // Iterator streams a stored list in document-id order and supports
-// SeekGE via the block index. The iterator reads the full encoded body
-// once (the page fetches are accounted) into a pooled buffer, then
-// decodes block-at-a-time: on the streaming path a whole block is
-// decoded as a unit into the docs/tfs arrays in one bulk loop, while a
-// seek decodes only the prefix of the target block up to the wanted
-// document and remembers the resume point — later streaming or seeking
-// continues from the saved byte position, so no posting is ever decoded
-// twice and a probe never pays for the tail of a block it does not
-// need. Callers must Close the iterator when done: Close flushes the
-// locally batched counters and returns the body buffer to the pool.
-// Using an iterator after Close is invalid.
+// SeekGE via the block index. Blocks are read through a BlockSource —
+// the iterator holds exactly one block's bytes at a time and decodes it
+// block-at-a-time: on the streaming path a whole block is decoded as a
+// unit into the docs/tfs arrays in one bulk loop, while a seek decodes
+// only the prefix of the target block up to the wanted document and
+// remembers the resume point — later streaming or seeking continues from
+// the saved byte position, so no posting is ever decoded twice and a
+// probe never pays for the tail of a block it does not need. Callers
+// must Close the iterator when done: Close flushes the locally batched
+// counters and releases the source. Using an iterator after Close is
+// invalid.
 type Iterator struct {
-	store *Store
-	meta  ListMeta
-	body  []byte // pooled; nil after Close
+	counters *Counters
+	src      BlockSource
+	meta     ListMeta
+	blk      []byte // the open block's bytes (header + payload); source-owned
 
 	block  int // index of the open block in meta.Skips (-1 before the first)
 	bi     int // cursor within the decoded prefix of the open block
 	bn     int // postings decoded so far in the open block
 	bcnt   int // total postings in the open block
-	bstart int // body offset of the open block's payload
-	bpos   int // body offset of the next undecoded posting in the block
-	bend   int // body offset one past the open block's payload
+	bstart int // offset of the open block's payload within blk
+	bpos   int // offset of the next undecoded posting within blk
+	bend   int // offset one past the open block's payload within blk
 	bmax   uint32
-	docs  [BlockSize]uint32
-	tfs   [BlockSize]uint32
+	docs   [BlockSize]uint32
+	tfs    [BlockSize]uint32
 
 	localDecoded int64 // counters batched locally, flushed per decode step / on Close
 	localSkips   int64
+	flushedFault int64 // src.Faults() already folded into counters
 
 	valid  bool
 	done   bool
@@ -196,49 +272,74 @@ type Iterator struct {
 
 // NewIterator opens a streaming reader over the list described by meta.
 func (s *Store) NewIterator(meta ListMeta) (*Iterator, error) {
-	body := getBody(int(meta.Length))
-	n, err := s.file.ReadAt(body, meta.Offset)
-	if err != nil && err != io.EOF {
-		putBody(body)
+	src, err := s.openSource(meta)
+	if err != nil {
 		return nil, err
 	}
-	if n != len(body) {
-		// See ReadAll: never decode a recycled buffer's stale tail.
-		putBody(body)
-		return nil, ErrCorrupt
-	}
 	atomic.AddInt64(&s.Counters.ListsOpened, 1)
-	return &Iterator{store: s, meta: meta, body: body, block: -1}, nil
+	return NewIteratorOver(src, meta, &s.Counters), nil
 }
 
-// Close flushes the iterator's batched counters and returns its buffer
-// to the pool. Closing twice is a no-op.
+// NewIteratorOver opens an iterator reading blocks from an arbitrary
+// BlockSource. The iterator takes ownership of src (Close closes it) and
+// batches its decode/skip/fault counts into counters, which must be
+// non-nil.
+func NewIteratorOver(src BlockSource, meta ListMeta, counters *Counters) *Iterator {
+	return &Iterator{counters: counters, src: src, meta: meta, block: -1}
+}
+
+// Close flushes the iterator's batched counters and releases the block
+// source. Closing twice is a no-op.
 func (it *Iterator) Close() {
 	if it.closed {
 		return
 	}
 	it.closed = true
 	it.flush()
-	if it.body != nil {
-		putBody(it.body)
-		it.body = nil
+	if it.src != nil {
+		it.src.Close()
+		it.src = nil
 	}
+	it.blk = nil
 }
 
 // flush drains the locally accumulated counts into the store's shared
 // counters — one atomic add per non-zero counter.
 func (it *Iterator) flush() {
 	if it.localDecoded != 0 {
-		atomic.AddInt64(&it.store.Counters.PostingsDecoded, it.localDecoded)
+		atomic.AddInt64(&it.counters.PostingsDecoded, it.localDecoded)
 		it.localDecoded = 0
 	}
 	if it.localSkips != 0 {
-		atomic.AddInt64(&it.store.Counters.SkipsTaken, it.localSkips)
+		atomic.AddInt64(&it.counters.SkipsTaken, it.localSkips)
 		it.localSkips = 0
+	}
+	if it.src != nil {
+		if f := it.src.Faults(); f != it.flushedFault {
+			atomic.AddInt64(&it.counters.BlocksFaulted, f-it.flushedFault)
+			it.flushedFault = f
+		}
 	}
 }
 
-// openBlock parses block b's header and readies it for decoding,
+// blockExtent returns the byte range [start, end) of block b within the
+// body: from its skip-index offset to the next block's (or the body
+// end). ok is false when the skip index is inconsistent with the body
+// length — corruption, never a programming error.
+func (it *Iterator) blockExtent(b int) (start, end int, ok bool) {
+	skips := it.meta.Skips
+	start = int(skips[b].Offset)
+	end = int(it.meta.Length)
+	if b+1 < len(skips) {
+		end = int(skips[b+1].Offset)
+	}
+	if start <= 0 || end <= start || end > int(it.meta.Length) {
+		return 0, 0, false
+	}
+	return start, end, true
+}
+
+// openBlock fetches block b through the source and parses its header,
 // without touching its payload. It returns false at end of list or on
 // corruption (check Err).
 func (it *Iterator) openBlock(b int) bool {
@@ -246,16 +347,27 @@ func (it *Iterator) openBlock(b int) bool {
 		it.done = true
 		return false
 	}
+	start, end, ok := it.blockExtent(b)
+	if !ok {
+		it.err = ErrCorrupt
+		return false
+	}
+	blk, err := it.src.Range(start, end-start)
+	if err != nil {
+		it.err = err
+		return false
+	}
 	e := it.meta.Skips[b]
 	prevFirst := int64(-1)
 	if b > 0 {
 		prevFirst = int64(it.meta.Skips[b-1].FirstDoc)
 	}
-	firstDoc, count, payloadStart, payloadLen, maxTF, ok := decodeBlockHeader(it.body, int(e.Offset), prevFirst)
-	if !ok || firstDoc != e.FirstDoc || count != int(e.Count) {
+	firstDoc, count, payloadStart, payloadLen, maxTF, ok := decodeBlockHeader(blk, 0, prevFirst)
+	if !ok || firstDoc != e.FirstDoc || count != int(e.Count) || payloadStart+payloadLen != len(blk) {
 		it.err = ErrCorrupt
 		return false
 	}
+	it.blk = blk
 	it.block = b
 	it.bi = 0
 	it.bn = 0
@@ -274,7 +386,7 @@ func (it *Iterator) openBlock(b int) bool {
 // postings are counted once, as one batched counter flush per call.
 // Returns false on corruption.
 func (it *Iterator) decodeTo(limit *uint32) bool {
-	payload := it.body[it.bstart:it.bend]
+	payload := it.blk[it.bstart:it.bend]
 	bn, rel, ok := decodeBlockInto(payload, it.bpos-it.bstart,
 		it.meta.Skips[it.block].FirstDoc, it.bn, it.bcnt, it.bmax, limit, &it.docs, &it.tfs)
 	pos := it.bstart + rel
@@ -333,8 +445,8 @@ func (it *Iterator) Next() bool {
 
 // SeekGE positions the iterator at the first posting with DocID >= doc and
 // reports whether one exists. Blocks strictly before the target are
-// skipped without decoding, via the block index, and the target block is
-// decoded only up to the wanted document.
+// skipped without decoding (or fetching), via the block index, and the
+// target block is decoded only up to the wanted document.
 func (it *Iterator) SeekGE(doc uint32) bool {
 	if it.err != nil || it.done {
 		return false
@@ -392,7 +504,9 @@ func (it *Iterator) SeekGE(doc uint32) bool {
 // a probe useless before paying for the block decode — Block-Max-style
 // pruning. doc must be at or beyond the iterator's current position (the
 // probing pattern: monotone candidates, cursor never ahead of them), so
-// the search starts at the open block instead of the list head.
+// the search starts at the open block instead of the list head. The
+// bound lives entirely in the in-memory skip index, so on the paged
+// backend a pruned probe costs zero page faults.
 func (it *Iterator) BlockMaxTF(doc uint32) uint32 {
 	skips := it.meta.Skips
 	lo := it.block

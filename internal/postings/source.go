@@ -1,0 +1,141 @@
+package postings
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// BlockSource serves byte ranges of one encoded list body. It is the
+// seam that makes the storage backend a swappable axis: iterators decode
+// blocks through this interface and never assume the body is a resident
+// []byte. Two implementations exist — MemorySource (the whole body held
+// in one buffer, today's in-RAM path) and PagedSource (blocks faulted in
+// from a storage.Pool on demand, the disk-resident path).
+//
+// The contract: Range(off, n) returns the body bytes [off, off+n), and
+// the returned slice is only valid until the next Range or Close call on
+// the same source — an iterator holds exactly one block at a time, so a
+// paged implementation may reuse one scratch buffer (or repin pages) per
+// call. Sources are single-goroutine, like the iterators that own them;
+// concurrency comes from opening one iterator per goroutine.
+type BlockSource interface {
+	// Range returns body bytes [off, off+n). Out-of-bounds requests are
+	// corruption (the skip index pointed outside the body) and must
+	// return an error, never panic.
+	Range(off, n int) ([]byte, error)
+	// Faults reports how many Range calls were served by faulting blocks
+	// in from paged storage; a memory source reports 0. Iterators fold
+	// the tally into Counters.BlocksFaulted.
+	Faults() int64
+	// Close releases the source's buffers or pages. Range must not be
+	// called after Close.
+	Close()
+}
+
+// MemorySource is a BlockSource over a fully resident body. The buffer
+// may come from the package's internal pool (iterator open path), in
+// which case Close recycles it.
+type MemorySource struct {
+	body   []byte
+	pooled bool
+}
+
+// NewMemorySource wraps a caller-owned body slice. The source never
+// recycles the slice; the caller keeps ownership after Close.
+func NewMemorySource(body []byte) *MemorySource {
+	return &MemorySource{body: body}
+}
+
+// Range returns body[off : off+n].
+func (m *MemorySource) Range(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off > len(m.body)-n {
+		return nil, fmt.Errorf("%w: range [%d,%d) outside %d-byte body", ErrCorrupt, off, off+n, len(m.body))
+	}
+	return m.body[off : off+n], nil
+}
+
+// Faults reports 0: nothing is ever faulted in.
+func (m *MemorySource) Faults() int64 { return 0 }
+
+// Close recycles the buffer when it came from the internal pool.
+func (m *MemorySource) Close() {
+	if m.pooled && m.body != nil {
+		putBody(m.body)
+	}
+	m.body = nil
+}
+
+// PagedSource is a BlockSource over a body resident in a page device
+// (a persisted segment) served through a buffer pool. Each Range call
+// fetches the page-aligned run of pages covering the requested block,
+// copies the block's bytes into a reusable scratch buffer, and unpins
+// every page before returning — no pin is ever held between calls, so
+// iterators work at any pool capacity ≥ 1 and concurrent iterators
+// cannot deadlock the pool. Whether a fetch hits the pool cache or goes
+// to disk is the pool's working-set policy; the source counts one fault
+// per Range regardless (the block had to be assembled from paged
+// storage), while the pool's own hit/miss counters attribute the
+// physical I/O.
+type PagedSource struct {
+	pool    *storage.Pool
+	base    int64 // absolute byte offset of the body on the device
+	length  int   // body length in bytes
+	scratch []byte
+	faults  int64
+}
+
+// NewPagedSource opens a source over the body at absolute device byte
+// offset base, spanning length bytes. The device must map page id k to
+// bytes [(k-1)*PageSize, k*PageSize), as storage.FileDisk does.
+func NewPagedSource(pool *storage.Pool, base int64, length int) (*PagedSource, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("postings: nil pool")
+	}
+	if base < 0 || length < 0 {
+		return nil, fmt.Errorf("postings: invalid paged body [%d,+%d)", base, length)
+	}
+	return &PagedSource{pool: pool, base: base, length: length}, nil
+}
+
+// Range assembles body bytes [off, off+n) from the covering pages.
+func (p *PagedSource) Range(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off > p.length-n {
+		return nil, fmt.Errorf("%w: range [%d,%d) outside %d-byte body", ErrCorrupt, off, off+n, p.length)
+	}
+	if cap(p.scratch) < n {
+		if p.scratch != nil {
+			putBody(p.scratch)
+		}
+		p.scratch = getBody(n)
+	}
+	buf := p.scratch[:n]
+	abs := p.base + int64(off)
+	for filled := 0; filled < n; {
+		pid := storage.PageID(abs/storage.PageSize) + 1
+		poff := int(abs % storage.PageSize)
+		pg, err := p.pool.Fetch(pid)
+		if err != nil {
+			return nil, fmt.Errorf("postings: fault page %d: %w", pid, err)
+		}
+		c := copy(buf[filled:], pg.Data()[poff:])
+		if err := p.pool.Unpin(pg, false); err != nil {
+			return nil, fmt.Errorf("postings: unpin page %d: %w", pid, err)
+		}
+		filled += c
+		abs += int64(c)
+	}
+	p.faults++
+	return buf, nil
+}
+
+// Faults reports how many block ranges were faulted in so far.
+func (p *PagedSource) Faults() int64 { return p.faults }
+
+// Close recycles the scratch buffer.
+func (p *PagedSource) Close() {
+	if p.scratch != nil {
+		putBody(p.scratch)
+		p.scratch = nil
+	}
+}

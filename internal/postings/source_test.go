@@ -1,0 +1,173 @@
+package postings
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/xrand"
+)
+
+// pagedFixture builds a file-backed store with random lists, dumps its
+// bytes page-aligned to a real file, and reopens them as a paged store
+// served through a pool of poolPages frames.
+func pagedFixture(t *testing.T, seed uint64, lists, maxLen, poolPages int) (mem, paged *Store, metas []ListMeta) {
+	t.Helper()
+	buildPool, err := storage.NewPool(storage.NewDisk(), 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem = NewStore(storage.NewFile(buildPool))
+	rng := xrand.New(seed)
+	for i := 0; i < lists; i++ {
+		n := rng.Intn(maxLen)
+		ps := make([]Posting, n)
+		doc := uint32(0)
+		for j := range ps {
+			doc += uint32(rng.Intn(20)) + 1
+			ps[j] = Posting{DocID: doc, TF: uint32(rng.Intn(9)) + 1}
+		}
+		meta, err := mem.Put(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metas = append(metas, meta)
+	}
+
+	raw, err := io.ReadAll(mem.File().Reader(0, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pad := len(raw) % storage.PageSize; pad != 0 {
+		raw = append(raw, make([]byte, storage.PageSize-pad)...)
+	}
+	path := filepath.Join(t.TempDir(), "postings.bin")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := storage.OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fd.Close() })
+	pool, err := storage.NewPool(fd, poolPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged, err = NewPagedStore(pool, 1, mem.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, paged, metas
+}
+
+// TestPagedIteratorEquivalence drives the memory and paged backends over
+// identical lists — full streaming, ReadAll, and a deterministic seek
+// workload — and demands identical postings, identical decode/skip
+// counters, and a non-zero fault count only on the paged side. Pool
+// capacity 1 is the adversarial case: every block fetch may evict the
+// previous page.
+func TestPagedIteratorEquivalence(t *testing.T) {
+	for _, poolPages := range []int{1, 2, 8} {
+		mem, paged, metas := pagedFixture(t, 7, 12, 4*BlockSize, poolPages)
+		for li, meta := range metas {
+			want, err := mem.ReadAll(meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := paged.ReadAll(meta)
+			if err != nil {
+				t.Fatalf("pool=%d list %d: paged ReadAll: %v", poolPages, li, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("pool=%d list %d: %d postings, want %d", poolPages, li, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("pool=%d list %d posting %d: %v, want %v", poolPages, li, i, got[i], want[i])
+				}
+			}
+
+			// Streaming equivalence.
+			mi, err := mem.NewIterator(meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pi, err := paged.NewIterator(meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for mi.Next() {
+				if !pi.Next() {
+					t.Fatalf("pool=%d list %d: paged iterator ended early", poolPages, li)
+				}
+				if mi.At() != pi.At() {
+					t.Fatalf("pool=%d list %d: %v vs %v", poolPages, li, mi.At(), pi.At())
+				}
+			}
+			if pi.Next() {
+				t.Fatalf("pool=%d list %d: paged iterator ran long", poolPages, li)
+			}
+			if err := pi.Err(); err != nil {
+				t.Fatal(err)
+			}
+			mi.Close()
+			pi.Close()
+
+			// Seek equivalence: stride through the doc space.
+			mi, _ = mem.NewIterator(meta)
+			pi, _ = paged.NewIterator(meta)
+			for doc := uint32(0); ; doc += 37 {
+				mok := mi.SeekGE(doc)
+				pok := pi.SeekGE(doc)
+				if mok != pok {
+					t.Fatalf("pool=%d list %d SeekGE(%d): %v vs %v", poolPages, li, doc, mok, pok)
+				}
+				if !mok {
+					break
+				}
+				if mi.At() != pi.At() {
+					t.Fatalf("pool=%d list %d SeekGE(%d): %v vs %v", poolPages, li, doc, mi.At(), pi.At())
+				}
+				doc = mi.At().DocID
+			}
+			if err := pi.Err(); err != nil {
+				t.Fatal(err)
+			}
+			mi.Close()
+			pi.Close()
+		}
+		if mem.Counters.PostingsDecoded != paged.Counters.PostingsDecoded {
+			t.Errorf("pool=%d: decoded %d (paged) != %d (memory)",
+				poolPages, paged.Counters.PostingsDecoded, mem.Counters.PostingsDecoded)
+		}
+		if mem.Counters.SkipsTaken != paged.Counters.SkipsTaken {
+			t.Errorf("pool=%d: skips %d (paged) != %d (memory)",
+				poolPages, paged.Counters.SkipsTaken, mem.Counters.SkipsTaken)
+		}
+		if mem.Counters.BlocksFaulted != 0 {
+			t.Errorf("memory path faulted %d blocks, want 0", mem.Counters.BlocksFaulted)
+		}
+		if paged.Counters.BlocksFaulted == 0 {
+			t.Errorf("pool=%d: paged path reported zero block faults", poolPages)
+		}
+	}
+}
+
+// TestPagedStoreReadOnly verifies the paged backing rejects writes and
+// out-of-region metadata instead of serving garbage.
+func TestPagedStoreReadOnly(t *testing.T) {
+	_, paged, metas := pagedFixture(t, 3, 4, 64, 4)
+	if _, err := paged.Put([]Posting{{DocID: 1, TF: 1}}); err == nil {
+		t.Error("Put on a paged store succeeded")
+	}
+	bad := metas[len(metas)-1]
+	bad.Offset = paged.Size() // body starts past the region
+	bad.Length = 16
+	if _, err := paged.ReadAll(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("out-of-region meta: err = %v, want ErrCorrupt", err)
+	}
+}

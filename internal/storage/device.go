@@ -1,0 +1,42 @@
+package storage
+
+import "errors"
+
+// Device is the page-addressed medium beneath a Pool. Two implementations
+// exist: the simulated in-memory Disk (the build-time medium, where pages
+// are allocated as structures are built) and the read-only FileDisk (a
+// persisted segment file served page by page). The methods are unexported
+// on purpose: a Device is a storage-internal contract between the pool
+// and its media, not an extension point for other packages.
+type Device interface {
+	// readPage fills buf with page id's contents, counting one physical
+	// read.
+	readPage(id PageID, buf *[PageSize]byte) error
+	// writePage persists buf as page id's contents, counting one physical
+	// write. Read-only devices return ErrReadOnlyDevice.
+	writePage(id PageID, buf *[PageSize]byte) error
+	// allocatePage reserves a fresh zeroed page. Read-only devices return
+	// ErrReadOnlyDevice.
+	allocatePage() (PageID, error)
+	// noteLogicalRead counts one page request the pool received,
+	// regardless of whether it hit the cache.
+	noteLogicalRead()
+}
+
+// ErrReadOnlyDevice is returned when a page allocation or write reaches a
+// device that cannot grow or change, such as a persisted segment file.
+var ErrReadOnlyDevice = errors.New("storage: device is read-only")
+
+// Disk's Device implementation: thin wrappers over its existing
+// counted read/write/allocate paths.
+
+func (d *Disk) readPage(id PageID, buf *[PageSize]byte) error  { return d.read(id, buf) }
+func (d *Disk) writePage(id PageID, buf *[PageSize]byte) error { return d.write(id, buf) }
+
+func (d *Disk) allocatePage() (PageID, error) { return d.Allocate(), nil }
+
+func (d *Disk) noteLogicalRead() {
+	d.mu.Lock()
+	d.stats.LogicalReads++
+	d.mu.Unlock()
+}

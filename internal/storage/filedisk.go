@@ -1,0 +1,90 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileDisk serves a persisted segment file as a read-only page device:
+// page id k (1-based, like Disk's ids) is the byte range
+// [(k-1)*PageSize, k*PageSize) of the file. Layered under a Pool it
+// turns the pool into the working-set governor of a disk-resident index:
+// every page the index touches is either a pool hit or one counted
+// physical read against the file.
+//
+// A FileDisk is safe for concurrent use. It never writes: allocation and
+// write attempts fail with ErrReadOnlyDevice, so a pool over a FileDisk
+// can only cache, never mutate, the segment.
+type FileDisk struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages int
+	stats Stats
+}
+
+// OpenFileDisk opens path as a page device. The file must be a non-empty
+// whole number of pages — segment writers pad every section to a page
+// boundary, so a remainder means truncation or a foreign file.
+func OpenFileDisk(path string) (*FileDisk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat segment: %w", err)
+	}
+	if st.Size() == 0 || st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: segment %s has size %d, not a positive multiple of the %d-byte page size (truncated or not a segment)",
+			path, st.Size(), PageSize)
+	}
+	return &FileDisk{f: f, pages: int(st.Size() / PageSize)}, nil
+}
+
+// NumPages reports how many pages the backing file holds.
+func (d *FileDisk) NumPages() int { return d.pages }
+
+// Stats returns a snapshot of the access counters.
+func (d *FileDisk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the access counters so an experiment can measure a
+// query window in isolation.
+func (d *FileDisk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// Close releases the underlying file. The owning pool must be done with
+// the device first.
+func (d *FileDisk) Close() error { return d.f.Close() }
+
+func (d *FileDisk) readPage(id PageID, buf *[PageSize]byte) error {
+	if id == InvalidPage || int(id) > d.pages {
+		return fmt.Errorf("%w: %d", ErrNoSuchPage, id)
+	}
+	if _, err := d.f.ReadAt(buf[:], int64(id-1)*PageSize); err != nil {
+		return fmt.Errorf("storage: segment page %d: %w", id, err)
+	}
+	d.mu.Lock()
+	d.stats.PhysicalReads++
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *FileDisk) writePage(PageID, *[PageSize]byte) error { return ErrReadOnlyDevice }
+
+func (d *FileDisk) allocatePage() (PageID, error) { return InvalidPage, ErrReadOnlyDevice }
+
+func (d *FileDisk) noteLogicalRead() {
+	d.mu.Lock()
+	d.stats.LogicalReads++
+	d.mu.Unlock()
+}

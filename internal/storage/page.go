@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageSize is the size of every page in bytes. 8 KiB matches the unit used
@@ -35,7 +36,7 @@ const InvalidPage PageID = 0
 type Page struct {
 	id    PageID
 	data  [PageSize]byte
-	dirty bool
+	dirty atomic.Bool // atomic: pinners MarkDirty outside the pool lock
 	pins  int
 }
 
@@ -43,11 +44,17 @@ type Page struct {
 func (p *Page) ID() PageID { return p.id }
 
 // Data returns the page's byte payload. Mutating it requires calling
-// MarkDirty so the pool writes the page back on eviction.
+// MarkDirty so the pool writes the page back on eviction. The pool
+// serializes page loads and eviction against pins, but concurrent
+// pinners of the same page coordinate their own reads vs writes — the
+// usual buffer-manager contract (a page latch, or write-once-then-read
+// usage as the index builders do).
 func (p *Page) Data() *[PageSize]byte { return &p.data }
 
 // MarkDirty records that the page's contents changed and must be flushed.
-func (p *Page) MarkDirty() { p.dirty = true }
+// It may be called while the page is pinned, concurrently with pool
+// maintenance, hence the atomic flag.
+func (p *Page) MarkDirty() { p.dirty.Store(true) }
 
 // Stats aggregates the physical access counters of a Disk. All experiment
 // cost reporting is derived from these numbers.

@@ -7,14 +7,18 @@ import (
 	"sync"
 )
 
-// Pool is a buffer pool caching disk pages with LRU replacement. Pages are
-// pinned while in use; only unpinned pages are eviction candidates. The
-// pool distinguishes logical reads (hits plus misses) from the physical
-// reads it forwards to the disk, so experiments can report both the
-// work a plan requests and the I/O the storage layer actually performs.
+// Pool is a buffer pool caching device pages with LRU replacement. Pages
+// are pinned while in use; only unpinned pages are eviction candidates.
+// The pool distinguishes logical reads (hits plus misses) from the
+// physical reads it forwards to the device, so experiments can report
+// both the work a plan requests and the I/O the storage layer actually
+// performs. The device may be the simulated in-memory Disk (build-time
+// media) or a read-only FileDisk over a persisted segment, in which case
+// the pool's capacity bounds the resident working set of a disk-backed
+// index.
 type Pool struct {
 	mu       sync.Mutex
-	disk     *Disk
+	dev      Device
 	capacity int
 	frames   map[PageID]*frame
 	lru      *list.List // front = most recently used; holds *frame
@@ -25,15 +29,27 @@ type Pool struct {
 type frame struct {
 	page Page
 	elem *list.Element
+
+	// Miss loads run outside the pool lock so cache hits on other pages
+	// never wait behind device I/O. While loading is set the frame is
+	// pinned (hence unevictable) and concurrent fetchers of the same
+	// page wait on ready instead of issuing a second read; loadErr
+	// carries a failed read to those waiters.
+	loading bool
+	loadErr error
+	ready   chan struct{}
 }
 
-// NewPool creates a buffer pool over disk holding at most capacity pages.
-func NewPool(disk *Disk, capacity int) (*Pool, error) {
+// NewPool creates a buffer pool over dev holding at most capacity pages.
+func NewPool(dev Device, capacity int) (*Pool, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("storage: pool capacity %d must be positive", capacity)
 	}
+	if dev == nil {
+		return nil, fmt.Errorf("storage: nil device")
+	}
 	return &Pool{
-		disk:     disk,
+		dev:      dev,
 		capacity: capacity,
 		frames:   make(map[PageID]*frame),
 		lru:      list.New(),
@@ -44,41 +60,79 @@ func NewPool(disk *Disk, capacity int) (*Pool, error) {
 // requested; callers hold too many pages at once.
 var ErrPoolFull = errors.New("storage: all buffer frames pinned")
 
-// Fetch pins the page with the given ID, reading it from disk on a miss,
-// and returns it. The caller must call Unpin when done.
+// Fetch pins the page with the given ID, reading it from the device on a
+// miss, and returns it. The caller must call Unpin when done.
+//
+// The pool lock is NOT held across the miss read: the frame is
+// published in a loading state (pinned, so eviction cannot reclaim it)
+// and the device read runs unlocked, so concurrent hits — and misses on
+// other pages — proceed while a physical read is in flight. A second
+// Fetch of the same page during the load waits for that one read
+// instead of issuing its own.
 func (p *Pool) Fetch(id PageID) (*Page, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.disk.mu.Lock()
-	p.disk.stats.LogicalReads++
-	p.disk.mu.Unlock()
+	p.dev.noteLogicalRead()
 
 	if f, ok := p.frames[id]; ok {
 		p.hits++
 		f.page.pins++
 		p.lru.MoveToFront(f.elem)
+		if !f.loading {
+			p.mu.Unlock()
+			return &f.page, nil
+		}
+		ready := f.ready
+		p.mu.Unlock()
+		<-ready
+		// The loader has published the outcome; on failure it already
+		// removed the frame, so the optimistic pin dies with it.
+		if err := f.loadErr; err != nil {
+			return nil, err
+		}
 		return &f.page, nil
 	}
 	p.misses++
 	f, err := p.allocFrameLocked()
 	if err != nil {
+		p.mu.Unlock()
 		return nil, err
 	}
 	f.page.id = id
-	f.page.dirty = false
+	f.page.dirty.Store(false)
 	f.page.pins = 1
-	if err := p.disk.read(id, &f.page.data); err != nil {
-		// Roll the frame back out so the pool stays consistent.
-		p.lru.Remove(f.elem)
-		return nil, err
-	}
+	f.loading = true
+	f.loadErr = nil
+	f.ready = make(chan struct{})
 	p.frames[id] = f
+	p.mu.Unlock()
+
+	rerr := p.dev.readPage(id, &f.page.data)
+
+	p.mu.Lock()
+	f.loading = false
+	if rerr != nil {
+		// Roll the frame back out so the pool stays consistent; waiters
+		// observe the error through loadErr.
+		f.loadErr = rerr
+		delete(p.frames, id)
+		p.lru.Remove(f.elem)
+	}
+	close(f.ready)
+	p.mu.Unlock()
+	if rerr != nil {
+		return nil, rerr
+	}
 	return &f.page, nil
 }
 
-// NewPage allocates a fresh page on disk, pins it, and returns it zeroed.
+// NewPage allocates a fresh page on the device, pins it, and returns it
+// zeroed. It fails with ErrReadOnlyDevice when the device cannot grow
+// (a persisted segment).
 func (p *Pool) NewPage() (*Page, error) {
-	id := p.disk.Allocate()
+	id, err := p.dev.allocatePage()
+	if err != nil {
+		return nil, err
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	f, err := p.allocFrameLocked()
@@ -87,7 +141,7 @@ func (p *Pool) NewPage() (*Page, error) {
 	}
 	f.page.id = id
 	f.page.data = [PageSize]byte{}
-	f.page.dirty = true
+	f.page.dirty.Store(true)
 	f.page.pins = 1
 	p.frames[id] = f
 	return &f.page, nil
@@ -108,8 +162,8 @@ func (p *Pool) allocFrameLocked() (*frame, error) {
 		if f.page.pins > 0 {
 			continue
 		}
-		if f.page.dirty {
-			if err := p.disk.write(f.page.id, &f.page.data); err != nil {
+		if f.page.dirty.Load() {
+			if err := p.dev.writePage(f.page.id, &f.page.data); err != nil {
 				return nil, err
 			}
 		}
@@ -133,22 +187,25 @@ func (p *Pool) Unpin(pg *Page, dirty bool) error {
 		return fmt.Errorf("storage: unpin of unpinned page %d", pg.id)
 	}
 	if dirty {
-		f.page.dirty = true
+		f.page.dirty.Store(true)
 	}
 	f.page.pins--
 	return nil
 }
 
-// FlushAll writes every dirty page back to disk. Pages remain cached.
+// FlushAll writes every unpinned dirty page back to the device. Pages
+// remain cached. Pinned pages are skipped — their holders may still be
+// mutating the contents, so writing them here would race; they are
+// flushed on eviction or a later FlushAll once unpinned.
 func (p *Pool) FlushAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, f := range p.frames {
-		if f.page.dirty {
-			if err := p.disk.write(f.page.id, &f.page.data); err != nil {
+		if f.page.pins == 0 && f.page.dirty.Load() {
+			if err := p.dev.writePage(f.page.id, &f.page.data); err != nil {
 				return err
 			}
-			f.page.dirty = false
+			f.page.dirty.Store(false)
 		}
 	}
 	return nil
@@ -164,8 +221,8 @@ func (p *Pool) DropAll() error {
 		if f.page.pins > 0 {
 			return fmt.Errorf("storage: page %d still pinned", id)
 		}
-		if f.page.dirty {
-			if err := p.disk.write(f.page.id, &f.page.data); err != nil {
+		if f.page.dirty.Load() {
+			if err := p.dev.writePage(f.page.id, &f.page.data); err != nil {
 				return err
 			}
 		}
@@ -185,6 +242,16 @@ func (p *Pool) HitRate() float64 {
 		return 0
 	}
 	return float64(p.hits) / float64(total)
+}
+
+// Counts returns the hit and miss tallies behind HitRate. Every Fetch is
+// exactly one hit or one miss, so hits+misses equals the fetches issued
+// since the last ResetCounters — the invariant the race stress test
+// asserts.
+func (p *Pool) Counts() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
 }
 
 // ResetCounters zeroes the hit/miss counters.
