@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	topnbench [-exp all|F1|E1..E12|PAR|DISK] [-scale small|full] [-seed N]
+//	topnbench [-exp all|F1|E1..E12|PAR|DISK|LIVE] [-scale small|full] [-seed N]
 //	          [-shards K] [-workers W]
 //	          [-persist DIR] [-from DIR] [-pool-pages K]
-//	          [-json out.json]
+//	          [-live-seal-docs N] [-live-fanin K]
+//	          [-json out.json] [-compare BASELINE.json] [-wall-tol X]
 //
 // The PAR experiment exercises the sharded concurrent search layer
 // (internal/parallel): -shards picks the document-range shard count and
@@ -22,17 +23,41 @@
 // the in-memory one while reporting hit rate, page faults, and block
 // faults.
 //
+// The LIVE experiment exercises the live-index layer (internal/live):
+// an interleaved insert/search workload through live.Writer —
+// incremental sealing, deterministic tiered merging, hot-swap snapshots
+// — verified byte-identical to a one-shot build at the end.
+// -live-seal-docs and -live-fanin override the seal threshold and merge
+// fan-in (0 = scale defaults).
+//
 // -persist DIR builds the workload index at the chosen scale/seed,
 // writes it under DIR, and exits; a later `-exp DISK -from DIR` serves
 // queries from that segment. -json writes the machine-readable report
 // (per-experiment wall-clock, rows, and headline metrics) alongside the
-// rendered tables; CI uploads it as an artifact.
+// rendered tables; CI uploads it as an artifact, stamped with commit
+// SHA, timestamp, and scale so each artifact is a self-describing
+// trajectory point.
+//
+// -compare BASELINE.json is the regression gate: after the run, the
+// fresh report is diffed against the committed baseline — experiment
+// set, table shapes, exactness flags, and deterministic counters
+// (decodes, skips, faults, hit rates) must match exactly, wall-clock
+// within a factor of -wall-tol — and any drift exits nonzero. Refresh
+// the baseline deliberately with
+// `go run ./cmd/topnbench -exp all -scale small -shards 4 -workers 2 -json BENCH_baseline.json`.
+//
+// With -exp all, an experiment whose prerequisites are missing (e.g.
+// DISK with a -from directory that was never persisted) is skipped with
+// a note instead of aborting the suite; requesting it directly still
+// fails loudly.
 //
 // Results print as aligned text tables with the paper's claim noted under
 // each; EXPERIMENTS.md records a full-scale run.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,7 +72,7 @@ import (
 	"repro/internal/storage"
 )
 
-var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK"}
+var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE"}
 
 var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
 	"F1":  bench.RunF1,
@@ -114,7 +139,7 @@ func persistIndex(scale bench.Scale, seed uint64, dir string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK, LIVE) or 'all'")
 	scaleFlag := flag.String("scale", "small", "workload scale: small or full")
 	seed := flag.Uint64("seed", 42, "deterministic workload seed")
 	shards := flag.Int("shards", 4, "PAR: number of document-range shards")
@@ -122,7 +147,11 @@ func main() {
 	persistDir := flag.String("persist", "", "persist the workload index as a segment under DIR and exit")
 	fromDir := flag.String("from", "", "DISK: serve the segment persisted under DIR (same scale/seed) instead of rebuilding")
 	poolPages := flag.Int("pool-pages", 0, "DISK: buffer pool capacity in pages (0 = 1/8 of the segment)")
+	liveSealDocs := flag.Int("live-seal-docs", 0, "LIVE: seal the write buffer every N documents (0 = scale default)")
+	liveFanIn := flag.Int("live-fanin", 0, "LIVE: tiered merge fan-in (0 = default 4)")
 	jsonPath := flag.String("json", "", "write the machine-readable report to this file")
+	comparePath := flag.String("compare", "", "regression gate: diff this run against the baseline report FILE and exit nonzero on drift")
+	wallTol := flag.Float64("wall-tol", 25, "compare: wall-clock regression factor tolerated before the gate trips (<=0 skips timing checks)")
 	flag.Parse()
 
 	runners["PAR"] = func(s bench.Scale, seed uint64) (*bench.Table, error) {
@@ -130,6 +159,9 @@ func main() {
 	}
 	runners["DISK"] = func(s bench.Scale, seed uint64) (*bench.Table, error) {
 		return bench.RunDisk(s, seed, *poolPages, *fromDir)
+	}
+	runners["LIVE"] = func(s bench.Scale, seed uint64) (*bench.Table, error) {
+		return bench.RunLive(s, seed, *liveSealDocs, *liveFanIn)
 	}
 
 	var scale bench.Scale
@@ -151,8 +183,9 @@ func main() {
 		return
 	}
 
+	runAll := *exp == "all"
 	ids := order
-	if *exp != "all" {
+	if !runAll {
 		id := strings.ToUpper(*exp)
 		if _, ok := runners[id]; !ok {
 			fmt.Fprintf(os.Stderr, "topnbench: unknown experiment %q (want one of %s)\n",
@@ -163,11 +196,20 @@ func main() {
 	}
 
 	report := &bench.Report{Scale: scale.String(), Seed: *seed}
-	fmt.Printf("topnbench: scale=%s seed=%d\n", scale, *seed)
+	report.Stamp()
+	fmt.Printf("topnbench: scale=%s seed=%d commit=%s\n", scale, *seed, report.GitSHA)
+	skipped := map[string]bool{}
 	for _, id := range ids {
 		start := time.Now()
 		tbl, err := runners[id](scale, *seed)
 		if err != nil {
+			if runAll && errors.Is(err, bench.ErrSkipped) {
+				// A missing prerequisite must not take the whole suite
+				// down; the note tells the user how to enable it.
+				fmt.Printf("\n== %s: skipped ==\n  note: %v\n", id, err)
+				skipped[id] = true
+				continue
+			}
 			fmt.Fprintf(os.Stderr, "topnbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -194,4 +236,56 @@ func main() {
 		}
 		fmt.Printf("wrote machine-readable report to %s\n", *jsonPath)
 	}
+
+	if *comparePath != "" {
+		baseline, err := readReport(*comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topnbench: compare: %v\n", err)
+			os.Exit(1)
+		}
+		if !runAll || len(skipped) > 0 {
+			// The gate covers only what actually ran: a single -exp run
+			// gates itself, and an experiment skipped for a missing
+			// prerequisite is no drift either (its counters were never
+			// produced, not regressed).
+			ran := make(map[string]bool, len(report.Experiments))
+			for _, e := range report.Experiments {
+				ran[e.ID] = true
+			}
+			kept := baseline.Experiments[:0]
+			for _, e := range baseline.Experiments {
+				if ran[e.ID] {
+					kept = append(kept, e)
+				}
+			}
+			baseline.Experiments = kept
+			fmt.Printf("compare: gating the %d experiment(s) that ran against their baseline entries\n", len(kept))
+		}
+		diffs := bench.CompareReports(baseline, report, bench.CompareOptions{WallTolerance: *wallTol})
+		if len(diffs) > 0 {
+			fmt.Fprintf(os.Stderr, "topnbench: regression gate FAILED against %s (%d finding(s)):\n", *comparePath, len(diffs))
+			for _, d := range diffs {
+				fmt.Fprintf(os.Stderr, "  - %s\n", d)
+			}
+			fmt.Fprintf(os.Stderr, "if the change is intentional, refresh the baseline:\n"+
+				"  go run ./cmd/topnbench -exp all -scale %s -seed %d -shards 4 -workers 2 -json %s\n",
+				scale, *seed, *comparePath)
+			os.Exit(1)
+		}
+		fmt.Printf("regression gate passed against %s (deterministic counters exact, wall within %.0fx)\n",
+			*comparePath, *wallTol)
+	}
+}
+
+// readReport loads a machine-readable report written with -json.
+func readReport(path string) (*bench.Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s is not a topnbench report: %w", path, err)
+	}
+	return &r, nil
 }

@@ -1,0 +1,115 @@
+// Bench regression gate: CompareReports diffs a fresh run against a
+// committed baseline (BENCH_baseline.json). The deterministic outputs —
+// experiment set, table shapes, exactness flags, and the counter
+// metrics (postings decoded, blocks skipped, page/block faults, hit
+// rates) — must match *exactly*: they are machine-independent by
+// design, so any drift is a behaviour change that either needs a bug
+// fix or a deliberate baseline refresh. Wall-clock comparisons are
+// tolerance-based, since CI hardware varies run to run.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompareOptions tunes the gate.
+type CompareOptions struct {
+	// WallTolerance is the multiplicative factor a fresh timing may
+	// exceed its baseline by before the gate trips (fresh > baseline ×
+	// tolerance). Timings below FloorMS are never compared — they are
+	// scheduler noise. <= 0 disables timing checks entirely.
+	WallTolerance float64
+	// FloorMS is the minimum baseline milliseconds for a timing check to
+	// apply. Default 5ms when WallTolerance is set.
+	FloorMS float64
+}
+
+// timingMetric classifies metric keys whose values depend on the
+// machine: they are checked against WallTolerance instead of exactly.
+// The naming convention is enforced here — runners name timing metrics
+// with an "_ms" / "per_sec" component; everything else must be
+// deterministic.
+func timingMetric(key string) bool {
+	return strings.Contains(key, "_ms") || strings.Contains(key, "per_sec") ||
+		strings.Contains(key, "wall") || strings.Contains(key, "latency")
+}
+
+// CompareReports returns the list of regressions of fresh against
+// baseline; empty means the gate passes. GitSHA and Timestamp are
+// ignored (they differ by construction).
+func CompareReports(baseline, fresh *Report, opts CompareOptions) []string {
+	var diffs []string
+	add := func(format string, args ...interface{}) {
+		diffs = append(diffs, fmt.Sprintf(format, args...))
+	}
+	if opts.WallTolerance > 0 && opts.FloorMS == 0 {
+		opts.FloorMS = 5
+	}
+	if baseline.Scale != fresh.Scale {
+		add("scale: baseline %q vs fresh %q (rerun with the baseline's -scale)", baseline.Scale, fresh.Scale)
+	}
+	if baseline.Seed != fresh.Seed {
+		add("seed: baseline %d vs fresh %d (rerun with the baseline's -seed)", baseline.Seed, fresh.Seed)
+	}
+
+	freshByID := make(map[string]*ReportExperiment, len(fresh.Experiments))
+	for i := range fresh.Experiments {
+		freshByID[fresh.Experiments[i].ID] = &fresh.Experiments[i]
+	}
+	seen := map[string]bool{}
+	for i := range baseline.Experiments {
+		b := &baseline.Experiments[i]
+		seen[b.ID] = true
+		f, ok := freshByID[b.ID]
+		if !ok {
+			add("%s: in baseline but missing from the fresh run", b.ID)
+			continue
+		}
+		compareExperiment(b, f, opts, add)
+	}
+	for i := range fresh.Experiments {
+		if !seen[fresh.Experiments[i].ID] {
+			add("%s: ran fresh but absent from the baseline (refresh BENCH_baseline.json)", fresh.Experiments[i].ID)
+		}
+	}
+	return diffs
+}
+
+func compareExperiment(b, f *ReportExperiment, opts CompareOptions, add func(string, ...interface{})) {
+	if len(b.Columns) != len(f.Columns) {
+		add("%s: %d columns, baseline has %d", b.ID, len(f.Columns), len(b.Columns))
+	} else {
+		for i := range b.Columns {
+			if b.Columns[i] != f.Columns[i] {
+				add("%s: column %d is %q, baseline %q", b.ID, i, f.Columns[i], b.Columns[i])
+			}
+		}
+	}
+	if len(b.Rows) != len(f.Rows) {
+		add("%s: %d rows, baseline has %d", b.ID, len(f.Rows), len(b.Rows))
+	}
+
+	for key, bv := range b.Metrics {
+		fv, ok := f.Metrics[key]
+		if !ok {
+			add("%s: metric %q in baseline but not in the fresh run", b.ID, key)
+			continue
+		}
+		if timingMetric(key) {
+			continue // machine-dependent; only WallMS is tolerance-checked below
+		}
+		if bv != fv {
+			add("%s: metric %q = %v, baseline %v (deterministic counter drift)", b.ID, key, fv, bv)
+		}
+	}
+	for key := range f.Metrics {
+		if _, ok := b.Metrics[key]; !ok {
+			add("%s: new metric %q not in the baseline (refresh BENCH_baseline.json)", b.ID, key)
+		}
+	}
+
+	if opts.WallTolerance > 0 && b.WallMS >= opts.FloorMS && f.WallMS > b.WallMS*opts.WallTolerance {
+		add("%s: wall %.1fms exceeds baseline %.1fms × %.0f tolerance", b.ID, f.WallMS, b.WallMS, opts.WallTolerance)
+	}
+}

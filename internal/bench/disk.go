@@ -28,6 +28,12 @@ import (
 // seed, or the equality check fails. poolPages <= 0 picks a capacity of
 // 1/8th of the segment (at least 4 pages).
 func RunDisk(s Scale, seed uint64, poolPages int, fromDir string) (*Table, error) {
+	if fromDir != "" {
+		if _, err := os.Stat(index.SegmentPath(fromDir)); err != nil {
+			return nil, fmt.Errorf("%w: DISK needs the segment persisted under -from %s (run topnbench -persist first): %v",
+				ErrSkipped, fromDir, err)
+		}
+	}
 	w, err := NewWorkload(s, seed)
 	if err != nil {
 		return nil, err

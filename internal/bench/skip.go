@@ -1,0 +1,11 @@
+package bench
+
+import "errors"
+
+// ErrSkipped marks an experiment whose prerequisites are missing (for
+// example, DISK pointed at a -from directory that does not exist).
+// Runners wrap it with context via fmt.Errorf("%w: ...", ErrSkipped);
+// the topnbench driver running "-exp all" prints the note and moves on
+// instead of crashing, while a directly requested experiment still
+// fails loudly.
+var ErrSkipped = errors.New("bench: experiment skipped")

@@ -52,11 +52,20 @@ func NewMaxScore(idx *index.Index, scorer rank.Scorer) (*MaxScoreEngine, error) 
 	if idx == nil || scorer == nil {
 		return nil, fmt.Errorf("core: nil index or scorer")
 	}
-	return &MaxScoreEngine{
-		Idx:    idx,
-		Scorer: scorer,
-		corpus: idx.Stats.Corpus(),
-	}, nil
+	return NewMaxScoreWithCorpus(idx, scorer, idx.Stats.Corpus())
+}
+
+// NewMaxScoreWithCorpus builds a MaxScore engine that ranks with the
+// given corpus statistics instead of the index's own. The live layer
+// uses this the way parallel uses NewProgressiveWithCorpus: every sealed
+// segment is scored with the *global* collection statistics, so a
+// document's score is identical to what one index over the whole
+// collection would compute.
+func NewMaxScoreWithCorpus(idx *index.Index, scorer rank.Scorer, corpus rank.CorpusStat) (*MaxScoreEngine, error) {
+	if idx == nil || scorer == nil {
+		return nil, fmt.Errorf("core: nil index or scorer")
+	}
+	return &MaxScoreEngine{Idx: idx, Scorer: scorer, corpus: corpus}, nil
 }
 
 // msCursor tracks one term's iterator state during DAAT evaluation.

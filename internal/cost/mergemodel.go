@@ -1,0 +1,84 @@
+// Merge planning model: the live store's tiered compaction policy asks
+// this package whether replacing a run of small adjacent segments by one
+// merged segment pays for itself — the explicit write-cost / read-cost /
+// space trade-off of the multi-objective view in PAPERS.md, applied to
+// index maintenance debt: every extra segment a query term must visit
+// costs at least one page touch and one list open, so fragmentation taxes
+// every future query until a merge retires it.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// SegmentStats summarizes one live segment for merge planning — the
+// aggregates the manifest layer has on hand without opening postings.
+type SegmentStats struct {
+	Docs     int   // documents in the segment
+	Postings int64 // stored postings across all lists
+	Bytes    int64 // compressed postings bytes
+}
+
+// MergeEstimate is the model's verdict on one candidate merge.
+type MergeEstimate struct {
+	// QueryGain is the predicted weighted cost saved per query by serving
+	// one merged segment instead of the run: each query term pays the
+	// one-page list floor and a list open in every fragment segment that
+	// holds it, and pays them once after the merge.
+	QueryGain float64
+	// MergeCost is the one-time weighted cost of performing the merge:
+	// every input page is read, every output page written, every posting
+	// re-encoded.
+	MergeCost float64
+}
+
+// Worthwhile reports whether the merge amortizes within the given query
+// horizon: the one-time merge cost is recovered after at most horizon
+// queries enjoy the per-query gain.
+func (e MergeEstimate) Worthwhile(horizon int) bool {
+	if horizon <= 0 {
+		return false
+	}
+	return e.QueryGain*float64(horizon) >= e.MergeCost
+}
+
+// EstimateMerge prices merging a run of adjacent segments, using the
+// weighted page/decode currency of IRPlanCost. termsPerQuery is the
+// expected number of query terms (the fan-out multiplier on the per-
+// segment page floor); pageWeight converts page touches into decode
+// units (DefaultPageWeight when unsure).
+func EstimateMerge(run []SegmentStats, termsPerQuery int, pageWeight float64) (MergeEstimate, error) {
+	if len(run) < 2 {
+		return MergeEstimate{}, fmt.Errorf("cost: a merge needs at least two segments, got %d", len(run))
+	}
+	if termsPerQuery < 1 {
+		termsPerQuery = 1
+	}
+	if pageWeight <= 0 {
+		pageWeight = DefaultPageWeight
+	}
+	var pages, decodes float64
+	for _, s := range run {
+		if s.Docs < 0 || s.Postings < 0 || s.Bytes < 0 {
+			return MergeEstimate{}, fmt.Errorf("cost: negative segment stats %+v", s)
+		}
+		pages += float64((s.Bytes + storage.PageSize - 1) / storage.PageSize)
+		decodes += float64(s.Postings)
+	}
+	// Per-query gain: (K-1) spared page floors and list opens per term.
+	// A list open is priced as one decode batch (BlockSize-ish) — small
+	// against the page weight, kept for the decode currency's honesty.
+	gain := IRPlanCost{
+		Pages:   float64(termsPerQuery) * float64(len(run)-1),
+		Decodes: float64(termsPerQuery) * float64(len(run)-1),
+	}
+	// One-time cost: read every input page, write the merged output
+	// (approximately the same volume), re-encode every posting.
+	cost := IRPlanCost{Pages: 2 * pages, Decodes: decodes}
+	return MergeEstimate{
+		QueryGain: gain.Weighted(pageWeight),
+		MergeCost: cost.Weighted(pageWeight),
+	}, nil
+}

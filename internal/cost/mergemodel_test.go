@@ -1,0 +1,60 @@
+package cost
+
+import "testing"
+
+// TestEstimateMerge: many small segments amortize quickly; the verdict
+// scales with the horizon and rejects degenerate input.
+func TestEstimateMerge(t *testing.T) {
+	small := []SegmentStats{
+		{Docs: 100, Postings: 5000, Bytes: 20000},
+		{Docs: 100, Postings: 5000, Bytes: 20000},
+		{Docs: 110, Postings: 5500, Bytes: 22000},
+		{Docs: 90, Postings: 4500, Bytes: 18000},
+	}
+	est, err := EstimateMerge(small, 4, DefaultPageWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.QueryGain <= 0 || est.MergeCost <= 0 {
+		t.Fatalf("degenerate estimate %+v", est)
+	}
+	// 4 terms × 3 spared page floors × weight 1000 = 12000/query; the
+	// one-time cost is a few dozen weighted pages — worthwhile within a
+	// thousand queries, not within one.
+	if !est.Worthwhile(1000) {
+		t.Fatalf("small-segment merge rejected at horizon 1000: %+v", est)
+	}
+	if est.Worthwhile(1) {
+		t.Fatalf("merge amortized after a single query: %+v", est)
+	}
+	if est.Worthwhile(0) {
+		t.Fatal("zero horizon accepted")
+	}
+
+	if _, err := EstimateMerge(small[:1], 4, DefaultPageWeight); err == nil {
+		t.Fatal("single-segment run accepted")
+	}
+	if _, err := EstimateMerge([]SegmentStats{{Docs: -1}, {}}, 4, DefaultPageWeight); err == nil {
+		t.Fatal("negative stats accepted")
+	}
+}
+
+// TestEstimateMergeMonotone: a wider run saves more per query but costs
+// more to perform.
+func TestEstimateMergeMonotone(t *testing.T) {
+	seg := SegmentStats{Docs: 100, Postings: 5000, Bytes: 20000}
+	two, err := EstimateMerge([]SegmentStats{seg, seg}, 4, DefaultPageWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := EstimateMerge([]SegmentStats{seg, seg, seg, seg}, 4, DefaultPageWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.QueryGain <= two.QueryGain {
+		t.Fatalf("gain not monotone in run length: %+v vs %+v", two, four)
+	}
+	if four.MergeCost <= two.MergeCost {
+		t.Fatalf("cost not monotone in run length: %+v vs %+v", two, four)
+	}
+}

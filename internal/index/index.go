@@ -108,6 +108,36 @@ func invert(col *collection.Collection) [][]postings.Posting {
 	return byTerm
 }
 
+// WithLexicon returns a shallow view of the index that reads term
+// statistics from lex instead of the index's own lexicon. lex must be an
+// append-only extension of the build-time lexicon (same ids for every
+// term the index knows — the contract lexicon.Clone snapshots preserve);
+// the live layer uses this to rank an immutable sealed segment with the
+// current global statistics. Postings, metadata, and counters are shared
+// with the receiver; only the statistics source changes. Query terms
+// interned after the segment was sealed have ids beyond the segment's
+// meta table and simply resolve to "no postings here".
+func (ix *Index) WithLexicon(lex *lexicon.Lexicon) (*Index, error) {
+	if lex == nil {
+		return nil, fmt.Errorf("index: nil lexicon")
+	}
+	if lex.Size() < ix.Lex.Size() {
+		return nil, fmt.Errorf("index: lexicon with %d terms cannot cover an index of %d terms",
+			lex.Size(), ix.Lex.Size())
+	}
+	// Spot-check the extension contract at the id-space boundaries; a full
+	// scan would be O(vocabulary) per generation for a pure programming-
+	// error guard.
+	if n := ix.Lex.Size(); n > 0 {
+		if lex.Name(0) != ix.Lex.Name(0) || lex.Name(lexicon.TermID(n-1)) != ix.Lex.Name(lexicon.TermID(n-1)) {
+			return nil, fmt.Errorf("index: lexicon is not an extension of the index's own (term ids diverge)")
+		}
+	}
+	cp := *ix
+	cp.Lex = lex
+	return &cp, nil
+}
+
 // Reader opens an iterator over the postings of term. It returns ok=false
 // when the term has no postings.
 func (ix *Index) Reader(term lexicon.TermID) (*postings.Iterator, bool, error) {

@@ -1,0 +1,94 @@
+// Segment compaction: Merge concatenates the postings of adjacent
+// document-range indexes into one, the index-layer half of the live
+// store's background merge. Inputs hold local document ids over disjoint
+// contiguous ranges (input i covering [offset_i, offset_i+NumDocs_i) of
+// the merged space, offsets being the running document total); the output
+// re-encodes every list block-aligned over the merged id space, so it is
+// indistinguishable from an index built over the concatenated documents
+// in one shot — the property the live equivalence tests pin down.
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/lexicon"
+	"repro/internal/postings"
+	"repro/internal/storage"
+)
+
+// Merge builds one index holding the postings of inputs, in input order,
+// with document ids shifted onto a shared contiguous space. lex is the
+// lexicon the merged index reads statistics from; it must be an
+// append-only extension of every input's build-time lexicon (the live
+// writer passes a frozen clone of its master lexicon). Lists are stored
+// in ascending term-id order, exactly as Build lays them out.
+func Merge(inputs []*Index, lex *lexicon.Lexicon, pool *storage.Pool) (*Index, error) {
+	if len(inputs) < 2 {
+		return nil, fmt.Errorf("index: merge needs at least two inputs, got %d", len(inputs))
+	}
+	if lex == nil || pool == nil {
+		return nil, fmt.Errorf("index: merge: nil lexicon or pool")
+	}
+	out := &Index{
+		Lex:   lex,
+		store: postings.NewStore(storage.NewFile(pool)),
+		metas: make([]postings.ListMeta, lex.Size()),
+	}
+	offsets := make([]uint32, len(inputs))
+	var docs int64
+	maxTerms := 0
+	for i, in := range inputs {
+		if in == nil {
+			return nil, fmt.Errorf("index: merge: nil input %d", i)
+		}
+		if in.Lex.Size() > lex.Size() {
+			return nil, fmt.Errorf("index: merge: input %d knows %d terms, lexicon only %d",
+				i, in.Lex.Size(), lex.Size())
+		}
+		if in.Lex.Size() > maxTerms {
+			maxTerms = in.Lex.Size()
+		}
+		offsets[i] = uint32(docs)
+		docs += int64(in.Stats.NumDocs)
+		out.Stats.NumDocs += in.Stats.NumDocs
+		out.Stats.TotalTokens += in.Stats.TotalTokens
+		out.Stats.DocLens = append(out.Stats.DocLens, in.Stats.DocLens...)
+	}
+	if docs > int64(^uint32(0)) {
+		return nil, fmt.Errorf("index: merge: %d documents overflow the id space", docs)
+	}
+	if out.Stats.NumDocs > 0 {
+		out.Stats.AvgDocLen = float64(out.Stats.TotalTokens) / float64(out.Stats.NumDocs)
+	}
+
+	// One term at a time, ascending: decode each input's list (inputs may
+	// be paged segments; ReadAll streams through their pools), shift the
+	// ids, re-encode. Input ranges are disjoint and ordered, so the
+	// concatenation is already docID-sorted. Terms interned after the
+	// newest input was sealed (ids beyond every input's lexicon) cannot
+	// have postings here, so the loop stops at the inputs' bound, not
+	// the master's — on a long-lived index the master can dwarf the
+	// small early segments a merge compacts.
+	merged := make([]postings.Posting, 0, postings.BlockSize)
+	for t := 0; t < maxTerms; t++ {
+		merged = merged[:0]
+		for i, in := range inputs {
+			ps, err := in.Postings(lexicon.TermID(t))
+			if err != nil {
+				return nil, fmt.Errorf("index: merge input %d term %d: %w", i, t, err)
+			}
+			for _, p := range ps {
+				merged = append(merged, postings.Posting{DocID: p.DocID + offsets[i], TF: p.TF})
+			}
+		}
+		if len(merged) == 0 {
+			continue
+		}
+		meta, err := out.store.Put(merged)
+		if err != nil {
+			return nil, fmt.Errorf("index: merge term %d: %w", t, err)
+		}
+		out.metas[t] = meta
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package index
+
+import (
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/lexicon"
+	"repro/internal/storage"
+)
+
+// splitCollection cuts col into contiguous document-range parts with
+// local ids, sharing the lexicon (the live layer's seal shape).
+func splitCollection(col *collection.Collection, cuts ...int) []*collection.Collection {
+	var parts []*collection.Collection
+	prev := 0
+	bounds := append(append([]int{}, cuts...), len(col.Docs))
+	for _, hi := range bounds {
+		docs := make([]collection.Document, hi-prev)
+		var tokens int64
+		for i := range docs {
+			d := col.Docs[prev+i]
+			d.ID = uint32(i)
+			docs[i] = d
+			tokens += int64(d.Len)
+		}
+		part := &collection.Collection{Docs: docs, Lex: col.Lex, TotalTokens: tokens}
+		if len(docs) > 0 {
+			part.AvgDocLen = float64(tokens) / float64(len(docs))
+		}
+		parts = append(parts, part)
+		prev = hi
+	}
+	return parts
+}
+
+// TestMergeMatchesOneShot: merging adjacent document-range indexes must
+// reproduce a one-shot build over the concatenated documents exactly —
+// postings, metadata, statistics, and encoded bytes.
+func TestMergeMatchesOneShot(t *testing.T) {
+	col, err := collection.Generate(collection.Config{NumDocs: 240, VocabSize: 3000, MeanDocLen: 60, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := splitCollection(col, 70, 150)
+	inputs := make([]*Index, len(parts))
+	for i, p := range parts {
+		if inputs[i], err = Build(p, pool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := Merge(inputs, col.Lex, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := Build(col, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if merged.Stats.NumDocs != oneShot.Stats.NumDocs ||
+		merged.Stats.TotalTokens != oneShot.Stats.TotalTokens ||
+		merged.Stats.AvgDocLen != oneShot.Stats.AvgDocLen {
+		t.Fatalf("stats diverge: %+v vs %+v", merged.Stats, oneShot.Stats)
+	}
+	for i, dl := range oneShot.Stats.DocLens {
+		if merged.Stats.DocLens[i] != dl {
+			t.Fatalf("doc %d length %d, want %d", i, merged.Stats.DocLens[i], dl)
+		}
+	}
+	if merged.SizeBytes() != oneShot.SizeBytes() {
+		t.Fatalf("compressed size %d, want %d", merged.SizeBytes(), oneShot.SizeBytes())
+	}
+	if merged.TotalPostings() != oneShot.TotalPostings() {
+		t.Fatalf("postings %d, want %d", merged.TotalPostings(), oneShot.TotalPostings())
+	}
+	for id := 0; id < col.Lex.Size(); id++ {
+		term := lexicon.TermID(id)
+		if merged.DocFreq(term) != oneShot.DocFreq(term) || merged.MaxTF(term) != oneShot.MaxTF(term) {
+			t.Fatalf("term %d meta diverges: df %d/%d maxTF %d/%d", id,
+				merged.DocFreq(term), oneShot.DocFreq(term), merged.MaxTF(term), oneShot.MaxTF(term))
+		}
+		if merged.DocFreq(term) == 0 {
+			continue
+		}
+		a, err := merged.Postings(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := oneShot.Postings(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("term %d: %d postings, want %d", id, len(a), len(b))
+		}
+		for i := range b {
+			if a[i] != b[i] {
+				t.Fatalf("term %d posting %d: %+v vs %+v", id, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestMergeValidation: degenerate inputs fail cleanly.
+func TestMergeValidation(t *testing.T) {
+	col, err := collection.Generate(collection.Config{NumDocs: 20, VocabSize: 200, MeanDocLen: 30, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(col, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge([]*Index{idx}, col.Lex, pool); err == nil {
+		t.Fatal("single-input merge accepted")
+	}
+	if _, err := Merge([]*Index{idx, nil}, col.Lex, pool); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	small := lexicon.New()
+	if _, err := Merge([]*Index{idx, idx}, small, pool); err == nil {
+		t.Fatal("undersized lexicon accepted")
+	}
+}
+
+// TestWithLexicon: the statistics-override view shares postings but
+// reads term stats from the extension; non-extensions are rejected.
+func TestWithLexicon(t *testing.T) {
+	col, err := collection.Generate(collection.Config{NumDocs: 30, VocabSize: 300, MeanDocLen: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Build(col, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := col.Lex.Clone()
+	extra := ext.Intern("brand-new-term")
+	if err := ext.Record(extra, 3); err != nil {
+		t.Fatal(err)
+	}
+	view, err := idx.WithLexicon(ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Lex != ext {
+		t.Fatal("view does not read the extension lexicon")
+	}
+	if _, ok, err := view.Reader(extra); err != nil || ok {
+		t.Fatalf("term beyond the segment's meta table must read as absent (ok=%v err=%v)", ok, err)
+	}
+	if view.TotalPostings() != idx.TotalPostings() {
+		t.Fatal("view does not share the postings")
+	}
+	if _, err := idx.WithLexicon(nil); err == nil {
+		t.Fatal("nil lexicon accepted")
+	}
+	foreign := lexicon.New()
+	foreign.Intern("zzz")
+	if _, err := idx.WithLexicon(foreign); err == nil {
+		t.Fatal("non-extension lexicon accepted")
+	}
+}

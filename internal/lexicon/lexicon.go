@@ -65,6 +65,24 @@ func Restore(names []string, stats []Stats) (*Lexicon, error) {
 	return l, nil
 }
 
+// Clone returns an independent copy of the lexicon: the name strings are
+// shared (they are immutable), the statistics and the name→id map are
+// copied. A live index freezes one clone per generation so searches read
+// a consistent statistics snapshot while the master lexicon keeps
+// absorbing writes; term ids are assigned append-only, so every clone
+// agrees with every later clone on the ids it knows.
+func (l *Lexicon) Clone() *Lexicon {
+	cp := &Lexicon{
+		byName: make(map[string]TermID, len(l.byName)),
+		names:  append([]string(nil), l.names...),
+		stats:  append([]Stats(nil), l.stats...),
+	}
+	for name, id := range l.byName {
+		cp.byName[name] = id
+	}
+	return cp
+}
+
 // Lookup returns the id for term, or InvalidTerm when absent.
 func (l *Lexicon) Lookup(term string) TermID {
 	if id, ok := l.byName[term]; ok {

@@ -1,0 +1,159 @@
+// Package live turns the batch index into a serving system: it accepts
+// document writes while queries run, with no full rebuild and no stop-
+// the-world swap.
+//
+// The lifecycle is buffer → seal → merge → swap:
+//
+//	buffer  Writer.Add interns terms into the master lexicon, records
+//	        global term statistics, and appends the document to an
+//	        in-memory buffer. Buffered documents become searchable at
+//	        the next seal (near-real-time semantics).
+//	seal    When the buffer trips a size threshold (documents or
+//	        tokens), or Flush is called, the buffer is built into an
+//	        immutable block-max index, persisted as an on-disk segment
+//	        (index.Persist), reopened through its own buffer pool, and
+//	        appended to the active segment chain.
+//	merge   A background Merger picks runs of small adjacent segments
+//	        (tiered policy, priced by internal/cost) and compacts them
+//	        into one block-max segment (index.Merge), retiring the
+//	        inputs.
+//	swap    Every seal and merge commits atomically: the manifest is
+//	        written via temp-file + rename, and a new immutable
+//	        generation (segment set + frozen lexicon + corpus
+//	        statistics + per-segment engines) is installed with one
+//	        pointer swap.
+//
+// The snapshot/refcount contract: a search acquires the current
+// generation (refcount +1) and evaluates against it end to end, so a
+// merge committing mid-query never invalidates the segments the query
+// is reading. Segments are refcounted by the generations that contain
+// them; when the last generation referencing a merged-away segment is
+// released, its file is closed and its directory deleted. A crash
+// between the manifest swap and that deferred deletion leaves stale
+// segment directories behind — Open treats the manifest as the root of
+// truth and garbage-collects any seg-* directory it does not list.
+//
+// Scoring is globally consistent: each generation ranks every segment
+// with the latest seal's frozen lexicon snapshot plus the generation's
+// corpus statistics — both covering exactly the sealed, searchable
+// documents (the same global-statistics fix the parallel layer applies
+// to shards) — so the merged top N is byte-identical to a one-shot
+// build over the same documents.
+// Durability is seal-grained: documents still in the buffer at a crash
+// are lost along with their statistics — the master lexicon reopens
+// from the segment persisting the newest lexicon snapshot (highest
+// capture ordinal), which covers exactly the sealed documents. A live
+// directory is single-writer: Open takes an advisory flock (released
+// by the kernel on process death), so a second process fails cleanly
+// instead of interleaving manifests.
+package live
+
+import (
+	"errors"
+	"runtime"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/rank"
+)
+
+// ErrClosed is returned by operations on a closed Writer.
+var ErrClosed = errors.New("live: writer is closed")
+
+// Config sizes a live index. Zero values take the documented defaults.
+type Config struct {
+	// Dir is the live index directory (manifest + segment directories).
+	// Required.
+	Dir string
+	// SealDocs seals the buffer when it holds this many documents.
+	// Default 512.
+	SealDocs int
+	// SealTokens seals the buffer when it holds this many tokens.
+	// Default 1<<20.
+	SealTokens int64
+	// FlushEvery seals a non-empty buffer at this interval from a
+	// background goroutine, bounding search-visibility latency under
+	// trickle writes. 0 (default) disables the timer; Flush remains
+	// available.
+	FlushEvery time.Duration
+	// PoolPages is the buffer-pool capacity, in pages, each open segment
+	// is served through. Default 64, floor 8.
+	PoolPages int
+	// Scorer ranks searches. Default rank.NewBM25().
+	Scorer rank.Scorer
+	// Workers bounds the per-search segment fan-out. Default
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// MergeFanIn is the run length the tiered merge policy looks for.
+	// Default 4.
+	MergeFanIn int
+	// MergeTierFactor is the size spread a run may have: every segment in
+	// a merged run holds at most this factor times the run's smallest
+	// segment's documents. Default 3.
+	MergeTierFactor float64
+	// MaxMergeDocs caps the document count of a merged segment; runs that
+	// would exceed it are not merged. 0 (default) means no cap.
+	MaxMergeDocs int
+	// MergeHorizon is the amortization horizon, in queries, the cost
+	// model uses to decide whether a merge pays for itself
+	// (cost.MergeEstimate.Worthwhile). Default 1000.
+	MergeHorizon int
+	// PageWeight converts page touches into decode units for the merge
+	// cost model. Default cost.DefaultPageWeight.
+	PageWeight float64
+	// BackgroundMerge starts the merger goroutine. When false, merges
+	// only run through MergeAll — the deterministic mode the benchmark
+	// harness uses.
+	BackgroundMerge bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.SealDocs == 0 {
+		c.SealDocs = 512
+	}
+	if c.SealTokens == 0 {
+		c.SealTokens = 1 << 20
+	}
+	if c.PoolPages == 0 {
+		c.PoolPages = 64
+	}
+	if c.PoolPages < 8 {
+		c.PoolPages = 8
+	}
+	if c.Scorer == nil {
+		c.Scorer = rank.NewBM25()
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MergeFanIn == 0 {
+		c.MergeFanIn = 4
+	}
+	if c.MergeTierFactor == 0 {
+		c.MergeTierFactor = 3
+	}
+	if c.MergeHorizon == 0 {
+		c.MergeHorizon = 1000
+	}
+	if c.PageWeight == 0 {
+		c.PageWeight = cost.DefaultPageWeight
+	}
+}
+
+// TermCount is one distinct term of an incoming document with its
+// within-document frequency.
+type TermCount struct {
+	Term string
+	TF   int32
+}
+
+// WriterStats is a point-in-time snapshot of the writer's accounting.
+type WriterStats struct {
+	DocsAdded    int64  // documents accepted by Add
+	DocsSealed   int64  // documents made durable in segments
+	BufferedDocs int    // documents awaiting the next seal
+	Seals        int64  // segments sealed
+	Merges       int64  // background merges committed
+	Segments     int    // active segments in the current generation
+	Generation   uint64 // current manifest generation
+}

@@ -1,0 +1,27 @@
+//go:build !unix
+
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockFileName is the advisory inter-process lock inside a live
+// directory (not seg-* prefixed, so GC never touches it).
+const lockFileName = "live.lock"
+
+// lockDir on non-Unix platforms has no flock; the lock file is still
+// created (so the directory layout matches) but the single-writer
+// guarantee is the operator's responsibility. The best-effort
+// alternative — O_EXCL creation — would wedge the directory after a
+// crash, which is worse than no lock for this package's crash-recovery
+// contract.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("live: lock: %w", err)
+	}
+	return f, nil
+}

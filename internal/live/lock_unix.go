@@ -1,0 +1,28 @@
+//go:build unix
+
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName is the advisory inter-process lock inside a live
+// directory (not seg-* prefixed, so GC never touches it).
+const lockFileName = "live.lock"
+
+// lockDir takes the exclusive advisory flock on dir. The kernel
+// releases it on process death, so a crash never wedges the directory.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("live: lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("live: %s is already in use by another process: %w", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,119 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ManifestFile is the name of the manifest inside a live index
+// directory. The manifest is the root of truth: a segment directory not
+// listed here does not exist as far as the index is concerned (it is a
+// leftover of a crash between a commit and a deferred deletion) and is
+// garbage-collected on Open.
+const ManifestFile = "live.json"
+
+// manifest is the on-disk registry of active segments. It is rewritten
+// atomically (temp file + rename) on every seal and merge commit.
+type manifest struct {
+	Version    int               `json:"version"`
+	Generation uint64            `json:"generation"`
+	NextSeq    uint64            `json:"next_seq"`
+	Segments   []manifestSegment `json:"segments"`
+}
+
+// manifestSegment records one active segment. Base/Docs are duplicated
+// from the segment's own stats so Open can validate the chain partitions
+// the document space before serving it. Snap is the ordinal of the
+// persisted lexicon snapshot; the max-snap segment restores the master
+// lexicon on reopen.
+type manifestSegment struct {
+	Name string `json:"name"`
+	Seq  uint64 `json:"seq"`
+	Snap uint64 `json:"snap"`
+	Base uint32 `json:"base"`
+	Docs int    `json:"docs"`
+}
+
+// writeManifest atomically replaces the manifest under dir.
+func writeManifest(dir string, m manifest) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("live: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, ManifestFile+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("live: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("live: swap manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads and validates the manifest under dir. A missing
+// manifest returns (nil, nil): a fresh directory.
+func readManifest(dir string) (*manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("live: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("live: manifest %s is not valid JSON (corrupt?): %w",
+			filepath.Join(dir, ManifestFile), err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("live: manifest version %d, this build reads version 1", m.Version)
+	}
+	// The chain must partition [0, totalDocs) in base order.
+	sort.Slice(m.Segments, func(a, b int) bool { return m.Segments[a].Base < m.Segments[b].Base })
+	var next uint32
+	for i, s := range m.Segments {
+		if s.Base != next {
+			return nil, fmt.Errorf("live: manifest segment %d (%s) starts at doc %d, expected %d: corrupt manifest",
+				i, s.Name, s.Base, next)
+		}
+		if s.Docs <= 0 {
+			return nil, fmt.Errorf("live: manifest segment %s holds %d documents: corrupt manifest", s.Name, s.Docs)
+		}
+		if s.Seq >= m.NextSeq {
+			return nil, fmt.Errorf("live: manifest segment %s has seq %d >= next_seq %d: corrupt manifest",
+				s.Name, s.Seq, m.NextSeq)
+		}
+		next += uint32(s.Docs)
+	}
+	return &m, nil
+}
+
+// gcStale removes every seg-* directory under dir that the manifest does
+// not list — leftovers of a crash between a commit and the deferred
+// deletion of merged-away inputs. It returns the removed names.
+func gcStale(dir string, m *manifest) ([]string, error) {
+	known := make(map[string]bool, len(m.Segments))
+	for _, s := range m.Segments {
+		known[s.Name] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("live: scan %s: %w", dir, err)
+	}
+	var removed []string
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "seg-") || known[e.Name()] {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return removed, fmt.Errorf("live: gc stale segment %s: %w", e.Name(), err)
+		}
+		removed = append(removed, e.Name())
+	}
+	return removed, nil
+}

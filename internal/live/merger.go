@@ -1,0 +1,243 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cost"
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/storage"
+)
+
+// defaultTermsPerQuery is the expected query fan-out the merge cost
+// model prices the per-segment page floor against.
+const defaultTermsPerQuery = 4
+
+// kickMerger nudges the background merger; a kick already pending is
+// enough (the merger drains to a fixpoint per kick).
+func (w *Writer) kickMerger() {
+	if !w.cfg.BackgroundMerge {
+		return
+	}
+	select {
+	case w.mergeKick <- struct{}{}:
+	default:
+	}
+}
+
+// mergerLoop is the background merger: on every kick it runs merges
+// until the policy finds nothing worthwhile.
+func (w *Writer) mergerLoop() {
+	defer w.bgDone.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.mergeKick:
+			for {
+				select {
+				case <-w.stop:
+					return
+				default:
+				}
+				did, err := w.mergeOnce()
+				if err != nil || !did {
+					break // the failure is sticky in w.failed
+				}
+			}
+		}
+	}
+}
+
+// MergeAll runs the merge policy to fixpoint on the calling goroutine —
+// the deterministic counterpart of the background merger, used by the
+// benchmark harness (where segment layout must be reproducible) and by
+// tests.
+func (w *Writer) MergeAll() error {
+	for {
+		did, err := w.mergeOnce()
+		if err != nil || !did {
+			return err
+		}
+	}
+}
+
+// WaitMergeIdle blocks until no seal or merge is in flight and the
+// policy has no merge left to run — the quiescent point tests assert
+// equivalence at. It returns immediately on a closed or failed writer.
+func (w *Writer) WaitMergeIdle() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for !w.closed && w.failed == nil &&
+		(w.sealing || w.mergeBusy || (w.cfg.BackgroundMerge && w.planLocked() != nil)) {
+		w.cond.Wait()
+	}
+}
+
+// mergeOnce plans and runs at most one merge. It reports whether a
+// merge was committed. Merges serialize on mergeBusy, so MergeAll and
+// the background merger can coexist.
+func (w *Writer) mergeOnce() (bool, error) {
+	w.mu.Lock()
+	for w.mergeBusy && !w.closed && w.failed == nil {
+		w.cond.Wait()
+	}
+	if w.closed || w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return false, err
+	}
+	run := w.planLocked()
+	if run == nil {
+		w.mu.Unlock()
+		return false, nil
+	}
+	w.mergeBusy = true
+	// The merged segment persists the latest *committed seal* snapshot,
+	// not the master: the master's statistics already include buffered
+	// documents, which a crash (or Close without Flush) discards — if
+	// the merged segment carried them and became the reopen authority,
+	// phantom statistics would survive the crash. The seal snapshot
+	// covers exactly the sealed documents and is a superset of every
+	// input's lexicon; it rides with its capture ordinal, so reopen's
+	// max-ordinal rule stays correct even when a seal that captured
+	// earlier commits after this merge.
+	frozen := w.sealedSnap
+	snap := w.sealedSnapID
+	seq := w.seq
+	w.seq++
+	for _, s := range run {
+		s.acquire() // hold the inputs across the unlocked build
+	}
+	w.mu.Unlock()
+
+	seg, err := mergeSegments(w.cfg, run, seq, snap, frozen)
+
+	w.mu.Lock()
+	w.mergeBusy = false
+	spliced := false
+	if err == nil {
+		w.spliceLocked(run, seg)
+		spliced = true
+		w.merges++
+		// The current sealedSnap (not the merge's capture-time one):
+		// seals committing during the build advanced it past every
+		// segment now in the chain.
+		err = w.commitLocked(w.sealedSnap)
+		if err == nil {
+			for _, s := range run {
+				s.dead.Store(true)
+			}
+		}
+	}
+	if err != nil && w.failed == nil {
+		w.failed = err
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, s := range run {
+		s.release() // the merger's temporary hold
+		if spliced {
+			s.release() // the chain's reference: the input left w.segs
+		}
+	}
+	return err == nil, err
+}
+
+// planLocked picks the next run to merge: the smallest window of
+// MergeFanIn adjacent segments whose sizes sit within one tier
+// (max ≤ TierFactor × min), capped by MaxMergeDocs, and worth its
+// one-time cost per the internal/cost model. Returns nil when nothing
+// qualifies.
+func (w *Writer) planLocked() []*segment {
+	k := w.cfg.MergeFanIn
+	if k < 2 || len(w.segs) < k {
+		return nil
+	}
+	var best []*segment
+	bestDocs := int64(math.MaxInt64)
+	for i := 0; i+k <= len(w.segs); i++ {
+		run := w.segs[i : i+k]
+		minDocs, maxDocs, total := run[0].docs, run[0].docs, int64(0)
+		for _, s := range run {
+			if s.docs < minDocs {
+				minDocs = s.docs
+			}
+			if s.docs > maxDocs {
+				maxDocs = s.docs
+			}
+			total += int64(s.docs)
+		}
+		if float64(maxDocs) > w.cfg.MergeTierFactor*float64(minDocs) {
+			continue // size spread too wide: not one tier
+		}
+		if w.cfg.MaxMergeDocs > 0 && total > int64(w.cfg.MaxMergeDocs) {
+			continue
+		}
+		if total >= bestDocs {
+			continue
+		}
+		stats := make([]cost.SegmentStats, len(run))
+		for j, s := range run {
+			stats[j] = cost.SegmentStats{Docs: s.docs, Postings: s.postings, Bytes: s.bytes}
+		}
+		est, err := cost.EstimateMerge(stats, defaultTermsPerQuery, w.cfg.PageWeight)
+		if err != nil || !est.Worthwhile(w.cfg.MergeHorizon) {
+			continue
+		}
+		best = append([]*segment(nil), run...)
+		bestDocs = total
+	}
+	return best
+}
+
+// spliceLocked replaces the contiguous run in the chain by the merged
+// segment. Seals only append and merges serialize, so the run is still
+// present and contiguous.
+func (w *Writer) spliceLocked(run []*segment, merged *segment) {
+	i := 0
+	for ; i < len(w.segs); i++ {
+		if w.segs[i] == run[0] {
+			break
+		}
+	}
+	out := make([]*segment, 0, len(w.segs)-len(run)+1)
+	out = append(out, w.segs[:i]...)
+	out = append(out, merged)
+	out = append(out, w.segs[i+len(run):]...)
+	w.segs = out
+}
+
+// mergeSegments compacts a run of adjacent segments into one block-max
+// segment: concatenate via index.Merge, persist, reopen through a fresh
+// pool.
+func mergeSegments(cfg Config, run []*segment, seq, snap uint64, frozen *lexicon.Lexicon) (*segment, error) {
+	inputs := make([]*index.Index, len(run))
+	for i, s := range run {
+		inputs[i] = s.idx
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+	if err != nil {
+		return nil, fmt.Errorf("live: merge: %w", err)
+	}
+	merged, err := index.Merge(inputs, frozen, pool)
+	if err != nil {
+		return nil, fmt.Errorf("live: merge: %w", err)
+	}
+	name := segmentName(seq)
+	if err := merged.Persist(filepath.Join(cfg.Dir, name)); err != nil {
+		return nil, fmt.Errorf("live: merge: %w", err)
+	}
+	seg, err := openSegment(cfg.Dir, name, seq, snap, run[0].base, cfg.PoolPages)
+	if err != nil {
+		os.RemoveAll(filepath.Join(cfg.Dir, name))
+		return nil, err
+	}
+	return seg, nil
+}

@@ -1,0 +1,203 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/collection"
+	"repro/internal/lexicon"
+	"repro/internal/rank"
+	"repro/internal/topk"
+)
+
+// Result is the merged outcome of one live search.
+type Result struct {
+	// Top is the global top N (global document ids, in arrival order of
+	// the documents).
+	Top []rank.DocScore
+	// Exact is the merge's certificate that Top is provably the true top
+	// N over the snapshot (always true here: every segment evaluates
+	// exactly, so the scatter/gather loses nothing).
+	Exact bool
+	// Segments is the snapshot's segment count — the fragmentation the
+	// query paid for.
+	Segments int
+	// Generation identifies the snapshot served.
+	Generation uint64
+}
+
+// Snapshot is one acquired generation: an immutable view of the live
+// index a query (or a batch of queries) evaluates against. Merges and
+// seals committing concurrently never change or invalidate it; the
+// segments it references stay on disk until the snapshot is closed.
+// Close it promptly — a held snapshot pins merged-away segments' disk
+// space. A Snapshot is safe for concurrent Search calls, and Close
+// synchronizes with them: it blocks until in-flight searches drain, so
+// the generation reference (and with it the segment files) cannot be
+// released under a search that already started.
+type Snapshot struct {
+	g       *generation
+	workers int
+
+	mu       sync.RWMutex // searches hold it shared; Close exclusively
+	released bool
+}
+
+// Acquire takes a refcounted snapshot of the current generation.
+func (w *Writer) Acquire() (*Snapshot, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.cur == nil {
+		return nil, ErrClosed
+	}
+	w.cur.refs.Add(1)
+	return &Snapshot{g: w.cur, workers: w.cfg.Workers}, nil
+}
+
+// Close releases the snapshot's generation reference, waiting out any
+// in-flight Search first. Closing twice is a no-op.
+func (s *Snapshot) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.released {
+		s.released = true
+		s.g.release()
+	}
+}
+
+// Generation identifies the snapshot.
+func (s *Snapshot) Generation() uint64 { return s.g.id }
+
+// Segments reports how many segments the snapshot serves from.
+func (s *Snapshot) Segments() int { return len(s.g.segs) }
+
+// NumDocs reports the searchable document count.
+func (s *Snapshot) NumDocs() int { return s.g.corpus.NumDocs }
+
+// ResetCounters zeroes the decode/skip/fault counters of every segment
+// in the snapshot (the benchmark harness brackets probe batches with
+// this).
+func (s *Snapshot) ResetCounters() {
+	for _, seg := range s.g.segs {
+		seg.idx.Counters().Reset()
+	}
+}
+
+// Counters sums the decode/skip/fault counters across the snapshot's
+// segments.
+func (s *Snapshot) Counters() (decoded, skips, faulted int64) {
+	for _, seg := range s.g.segs {
+		c := seg.idx.Counters()
+		decoded += c.LoadPostingsDecoded()
+		skips += c.LoadSkipsTaken()
+		faulted += c.LoadBlocksFaulted()
+	}
+	return decoded, skips, faulted
+}
+
+// Search evaluates the term-string query against the snapshot: each
+// segment runs the block-max MaxScore engine (exact, with the
+// generation's global statistics), local ids are remapped through the
+// segment base, and the per-segment answers merge with the bound
+// administration of topk.MergeShards — the same scatter/gather contract
+// the parallel layer uses for document-range shards, which is exactly
+// what the segment chain is.
+func (s *Snapshot) Search(terms []string, n int) (Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.released {
+		return Result{}, fmt.Errorf("live: search on a closed snapshot")
+	}
+	if n <= 0 {
+		return Result{}, fmt.Errorf("live: N = %d must be positive", n)
+	}
+	g := s.g
+	// Resolve names against the generation's frozen lexicon; unknown
+	// terms match nothing, duplicates collapse.
+	seen := make(map[lexicon.TermID]bool, len(terms))
+	ids := make([]lexicon.TermID, 0, len(terms))
+	for _, t := range terms {
+		id := g.lex.Lookup(t)
+		if id == lexicon.InvalidTerm || seen[id] {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	res := Result{Exact: true, Segments: len(g.segs), Generation: g.id}
+	if len(ids) == 0 || len(g.segs) == 0 {
+		return res, nil
+	}
+	q := collection.Query{Terms: ids}
+
+	tops := make([][]rank.DocScore, len(g.segs))
+	errs := make([]error, len(g.segs))
+	searchSeg := func(i int) {
+		top, err := g.engines[i].Search(q, n)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		base := g.segs[i].base
+		for j := range top {
+			top[j].DocID += base
+		}
+		tops[i] = top
+	}
+	if s.workers > 1 && len(g.segs) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, s.workers)
+		for i := range g.segs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				searchSeg(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range g.segs {
+			searchSeg(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	shards := make([]topk.ShardTop, len(tops))
+	for i, top := range tops {
+		// Each segment evaluated exactly (Bound 0). Truncated is
+		// conservative: a full top list may have displaced candidates.
+		shards[i] = topk.ShardTop{Top: top, Truncated: len(top) == n}
+	}
+	res.Top, res.Exact = topk.MergeShards(shards, n)
+	return res, nil
+}
+
+// Searcher is the query-side handle of a live index: every Search
+// acquires the current generation, evaluates against that consistent
+// snapshot, and releases it — the hot-swap contract that lets seals and
+// merges commit mid-stream without ever invalidating an in-flight
+// query. A Searcher is safe for concurrent use.
+type Searcher struct {
+	w *Writer
+}
+
+// Searcher returns the query-side handle of the writer's live index.
+func (w *Writer) Searcher() *Searcher { return &Searcher{w: w} }
+
+// Search evaluates one query against a fresh snapshot.
+func (ls *Searcher) Search(terms []string, n int) (Result, error) {
+	snap, err := ls.w.Acquire()
+	if err != nil {
+		return Result{}, err
+	}
+	defer snap.Close()
+	return snap.Search(terms, n)
+}

@@ -1,0 +1,140 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/rank"
+	"repro/internal/storage"
+)
+
+// segment is one immutable on-disk segment of the live index, opened
+// through its own buffer pool. Segments are shared across generations
+// and refcounted by them: release drops one reference, and the last
+// release closes the file — and deletes the directory when the segment
+// was merged away (dead).
+type segment struct {
+	seq uint64 // creation sequence; names the directory, unique forever
+	// snap is the ordinal of the lexicon snapshot the segment persists:
+	// seals increment it at buffer capture, merges inherit the ordinal
+	// of the seal snapshot they re-persist. The max-snap segment's
+	// lexicon is authoritative on reopen — seq cannot play that role,
+	// because a merge can take a higher seq than a concurrently in-
+	// flight seal while persisting an older snapshot.
+	snap uint64
+	name string // directory name under the live dir, e.g. "seg-000007"
+	dir  string // absolute directory path
+	base uint32 // global id of the segment's first document
+	docs int
+
+	// postings/bytes cache the merge planner's cost-model inputs so
+	// planning never rescans the meta table under the writer lock.
+	postings int64
+	bytes    int64
+
+	idx  *index.Index
+	fd   *storage.FileDisk
+	refs atomic.Int32
+	dead atomic.Bool // merged away: delete the directory on last release
+}
+
+// segmentName formats the directory name for sequence number seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("seg-%06d", seq) }
+
+// openSegment opens the persisted segment named name under liveDir with
+// a private pool of poolPages frames. The returned segment holds one
+// reference (the opener's).
+func openSegment(liveDir, name string, seq, snap uint64, base uint32, poolPages int) (*segment, error) {
+	dir := filepath.Join(liveDir, name)
+	pool, fd, err := index.OpenPool(dir, poolPages)
+	if err != nil {
+		return nil, fmt.Errorf("live: open segment %s: %w", name, err)
+	}
+	idx, err := index.Open(dir, pool)
+	if err != nil {
+		fd.Close()
+		return nil, fmt.Errorf("live: open segment %s: %w", name, err)
+	}
+	s := &segment{
+		seq: seq, snap: snap, name: name, dir: dir, base: base,
+		docs:     idx.Stats.NumDocs,
+		postings: idx.TotalPostings(),
+		bytes:    idx.SizeBytes(),
+		idx:      idx, fd: fd,
+	}
+	s.refs.Store(1)
+	return s, nil
+}
+
+// acquire takes one reference.
+func (s *segment) acquire() { s.refs.Add(1) }
+
+// release drops one reference; the last reference closes the backing
+// file and, for merged-away segments, deletes the directory. Errors are
+// best-effort: a failed delete leaves a stale directory that the next
+// Open garbage-collects.
+func (s *segment) release() {
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	s.fd.Close()
+	if s.dead.Load() {
+		os.RemoveAll(s.dir)
+	}
+}
+
+// generation is one immutable searchable state: the segment chain at a
+// commit point, the frozen lexicon snapshot providing term statistics,
+// the corpus statistics over all sealed documents, and one MaxScore
+// engine per segment ranking with both. Searches acquire a generation,
+// evaluate, and release; the writer holds one reference for as long as
+// the generation is current.
+type generation struct {
+	id      uint64
+	lex     *lexicon.Lexicon
+	corpus  rank.CorpusStat
+	segs    []*segment
+	engines []*core.MaxScoreEngine
+	refs    atomic.Int64
+}
+
+// newGeneration assembles a generation over segs, acquiring one segment
+// reference each and building the per-segment engines against the
+// frozen lexicon and corpus. On error the acquired references are
+// returned.
+func newGeneration(id uint64, lex *lexicon.Lexicon, corpus rank.CorpusStat, segs []*segment, scorer rank.Scorer) (*generation, error) {
+	g := &generation{id: id, lex: lex, corpus: corpus, segs: segs}
+	g.refs.Store(1)
+	for i, s := range segs {
+		view, err := s.idx.WithLexicon(lex)
+		if err == nil {
+			var e *core.MaxScoreEngine
+			e, err = core.NewMaxScoreWithCorpus(view, scorer, corpus)
+			g.engines = append(g.engines, e)
+		}
+		if err != nil {
+			for _, held := range segs[:i] {
+				held.release()
+			}
+			return nil, fmt.Errorf("live: generation %d segment %s: %w", id, s.name, err)
+		}
+		s.acquire()
+	}
+	return g, nil
+}
+
+// release drops one reference; the last reference releases every
+// segment.
+func (g *generation) release() {
+	if g.refs.Add(-1) != 0 {
+		return
+	}
+	for _, s := range g.segs {
+		s.release()
+	}
+}

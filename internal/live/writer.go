@@ -1,0 +1,489 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/rank"
+	"repro/internal/storage"
+)
+
+// Writer is the mutable front of a live index: it buffers incoming
+// documents in memory, seals the buffer into immutable on-disk segments,
+// and (with BackgroundMerge) compacts small segments in the background.
+// All methods are safe for concurrent use; searches go through Acquire /
+// Searcher and never block writes beyond the shared mutex's critical
+// sections.
+//
+// Failure model: an error while sealing or merging poisons the writer
+// (Err returns it, further writes fail) but never corrupts what is
+// already committed — the manifest swap is atomic, so the on-disk index
+// is always a consistent earlier state.
+type Writer struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	lex *lexicon.Lexicon // master lexicon; guarded by mu
+	// sealedSnap is the immutable snapshot of the most recent committed
+	// seal (or of reopen): it covers *exactly* the sealed documents,
+	// unlike the master, whose statistics already include buffered
+	// ones. It is what merges persist into their output segment, so a
+	// crash can never resurrect statistics of documents that were lost
+	// with the buffer. sealedSnapID is its capture ordinal (snapID
+	// counts captures); segments record the ordinal they persist, and
+	// reopen restores the master from the max-ordinal segment.
+	sealedSnap   *lexicon.Lexicon
+	sealedSnapID uint64
+	snapID       uint64
+	scratch      map[lexicon.TermID]int32
+	buf          []collection.Document // local ids 0..len-1; global id = base + local
+	bufTokens    int64
+	base         uint32 // global id of buf[0] == documents sealed or sealing
+
+	seq         uint64 // next segment sequence number
+	genID       uint64
+	totalTokens int64 // tokens across sealed segments
+	segs        []*segment
+	cur         *generation
+
+	sealing   bool
+	mergeBusy bool
+	closed    bool
+	failed    error // sticky background failure
+
+	docsAdded int64
+	seals     int64
+	merges    int64
+
+	mergeKick chan struct{}
+	stop      chan struct{}
+	bgDone    sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+
+	// lockFile holds the flock on Dir for the writer's lifetime, so a
+	// second process opening the same directory fails cleanly instead
+	// of silently interleaving manifests and GC-ing the other's
+	// segments. The kernel drops the lock on process death, so a crash
+	// never wedges the directory. See lock_unix.go / lock_other.go.
+	lockFile *os.File
+}
+
+// Open opens (or creates) the live index under cfg.Dir: it reads the
+// manifest, garbage-collects stale segment directories, opens every
+// listed segment through its own buffer pool, restores the master
+// lexicon from the newest segment's persisted snapshot, and installs the
+// initial searchable generation. Close the writer to release the
+// segment files.
+func Open(cfg Config) (*Writer, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("live: Config.Dir is required")
+	}
+	cfg.fillDefaults()
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	lock, err := lockDir(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			lock.Close()
+		}
+	}()
+	m, err := readManifest(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		// Fresh directory: establish the root of truth before GC, so a
+		// half-copied directory of segments without a manifest reads as
+		// empty rather than as garbage results.
+		m = &manifest{Version: 1}
+		if err := writeManifest(cfg.Dir, *m); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := gcStale(cfg.Dir, m); err != nil {
+		return nil, err
+	}
+
+	w := &Writer{
+		cfg:       cfg,
+		scratch:   make(map[lexicon.TermID]int32),
+		seq:       m.NextSeq,
+		genID:     m.Generation,
+		mergeKick: make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		lockFile:  lock,
+	}
+	w.cond = sync.NewCond(&w.mu)
+
+	defer func() {
+		if !ok {
+			for _, s := range w.segs {
+				s.release()
+			}
+		}
+	}()
+	var newest *segment
+	for _, ms := range m.Segments {
+		seg, err := openSegment(cfg.Dir, ms.Name, ms.Seq, ms.Snap, ms.Base, cfg.PoolPages)
+		if err != nil {
+			return nil, err
+		}
+		w.segs = append(w.segs, seg)
+		if seg.docs != ms.Docs {
+			return nil, fmt.Errorf("live: segment %s holds %d documents, manifest says %d (corrupt?)",
+				ms.Name, seg.docs, ms.Docs)
+		}
+		w.totalTokens += seg.idx.Stats.TotalTokens
+		w.base += uint32(seg.docs)
+		if newest == nil || seg.snap > newest.snap {
+			newest = seg
+		}
+	}
+	// The max-snapshot-ordinal segment's lexicon covers every sealed
+	// document (every document's statistics are recorded before the
+	// capture of the seal that sealed it, and captures are ordered by
+	// ordinal), so it restores the master exactly. Buffered documents
+	// lost in a crash left no statistics behind either — the reopened
+	// state is self-consistent.
+	if newest != nil {
+		w.lex = newest.idx.Lex.Clone()
+		w.snapID = newest.snap
+	} else {
+		w.lex = lexicon.New()
+	}
+	w.sealedSnap = w.lex.Clone() // buffer is empty: sealed == everything
+	w.sealedSnapID = w.snapID
+
+	w.mu.Lock()
+	err = w.installLocked(w.sealedSnap) // immutable; buffer is empty, so it covers everything
+	w.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.BackgroundMerge {
+		w.bgDone.Add(1)
+		go w.mergerLoop()
+		w.kickMerger() // pre-existing segments may already warrant a merge
+	}
+	if cfg.FlushEvery > 0 {
+		w.bgDone.Add(1)
+		go w.flushLoop()
+	}
+	ok = true
+	return w, nil
+}
+
+// Add accepts one document as a bag of term counts (duplicate terms are
+// coalesced) and returns its global document id. Ids are assigned in
+// arrival order. When the buffer trips a seal threshold, Add seals it
+// synchronously before returning — the caller pays the seal, keeping
+// ingestion self-throttling.
+func (w *Writer) Add(terms []TermCount) (uint32, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		return 0, err
+	}
+	if len(terms) == 0 {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("live: empty document")
+	}
+	// Validation is all-or-nothing: per-term statistics are recorded
+	// into the master lexicon only after the whole document checks out,
+	// so a rejected document leaves no phantom DocFreq/CollFreq behind.
+	// (Intern alone is safe — a name without statistics is inert.)
+	clear(w.scratch)
+	var docLen int64
+	for _, tc := range terms {
+		if tc.TF <= 0 {
+			w.mu.Unlock()
+			return 0, fmt.Errorf("live: non-positive tf %d for term %q", tc.TF, tc.Term)
+		}
+		id := w.lex.Intern(tc.Term)
+		if w.scratch[id] > math.MaxInt32-tc.TF {
+			w.mu.Unlock()
+			return 0, fmt.Errorf("live: term %q frequency overflows int32", tc.Term)
+		}
+		w.scratch[id] += tc.TF
+		docLen += int64(tc.TF)
+	}
+	if docLen > math.MaxInt32 {
+		w.mu.Unlock()
+		return 0, fmt.Errorf("live: document length %d overflows int32", docLen)
+	}
+	doc := collection.Document{ID: uint32(len(w.buf))}
+	doc.Terms = make([]collection.TermFreq, 0, len(w.scratch))
+	for id, tf := range w.scratch {
+		doc.Terms = append(doc.Terms, collection.TermFreq{Term: id, TF: tf})
+		doc.Len += tf
+	}
+	sort.Slice(doc.Terms, func(a, b int) bool { return doc.Terms[a].Term < doc.Terms[b].Term })
+	for _, tf := range doc.Terms {
+		if err := w.lex.Record(tf.Term, int(tf.TF)); err != nil {
+			w.mu.Unlock()
+			return 0, err
+		}
+	}
+	global := w.base + doc.ID
+	w.buf = append(w.buf, doc)
+	w.bufTokens += int64(doc.Len)
+	w.docsAdded++
+	need := len(w.buf) >= w.cfg.SealDocs || w.bufTokens >= w.cfg.SealTokens
+	w.mu.Unlock()
+
+	if need {
+		if err := w.Flush(); err != nil {
+			return global, err
+		}
+	}
+	return global, nil
+}
+
+// Flush seals the buffered documents into a new on-disk segment and
+// commits it, making them searchable. A no-op on an empty buffer.
+// Concurrent flushes serialize; writes proceed while the segment is
+// being built (only the buffer capture holds the lock).
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	for w.sealing && !w.closed && w.failed == nil {
+		w.cond.Wait()
+	}
+	if w.closed || w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	if len(w.buf) == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	docs := w.buf
+	tokens := w.bufTokens
+	w.buf = nil
+	w.bufTokens = 0
+	segBase := w.base
+	w.base += uint32(len(docs))
+	// The snapshot is taken in the same critical section that drains the
+	// buffer, so it covers exactly the documents sealed so far — the
+	// invariant both the persisted segment lexicon and the committed
+	// generation rely on (see commitLocked for why reusing it at commit
+	// is sound even when merges interleave).
+	frozen := w.lex.Clone()
+	w.snapID++
+	snap := w.snapID
+	seq := w.seq
+	w.seq++
+	w.sealing = true
+	w.mu.Unlock()
+
+	seg, err := buildSegment(w.cfg, docs, tokens, seq, snap, segBase, frozen)
+
+	w.mu.Lock()
+	w.sealing = false
+	if err == nil {
+		w.segs = append(w.segs, seg)
+		w.totalTokens += tokens
+		w.seals++
+		w.sealedSnap = frozen // newest exactly-sealed-docs snapshot
+		w.sealedSnapID = snap
+		err = w.commitLocked(frozen)
+	}
+	if err != nil && w.failed == nil {
+		w.failed = err
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	w.kickMerger()
+	return nil
+}
+
+// buildSegment builds the buffered documents into a block-max index,
+// persists it as segment seq, and reopens it through its own pool.
+func buildSegment(cfg Config, docs []collection.Document, tokens int64, seq, snap uint64, base uint32, frozen *lexicon.Lexicon) (*segment, error) {
+	sub := &collection.Collection{Docs: docs, Lex: frozen, TotalTokens: tokens}
+	if len(docs) > 0 {
+		sub.AvgDocLen = float64(tokens) / float64(len(docs))
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+	if err != nil {
+		return nil, fmt.Errorf("live: seal: %w", err)
+	}
+	idx, err := index.Build(sub, pool)
+	if err != nil {
+		return nil, fmt.Errorf("live: seal: %w", err)
+	}
+	name := segmentName(seq)
+	if err := idx.Persist(filepath.Join(cfg.Dir, name)); err != nil {
+		return nil, fmt.Errorf("live: seal: %w", err)
+	}
+	seg, err := openSegment(cfg.Dir, name, seq, snap, base, cfg.PoolPages)
+	if err != nil {
+		// The persisted directory is not yet in the manifest; remove it so
+		// it cannot linger as a stale orphan.
+		os.RemoveAll(filepath.Join(cfg.Dir, name))
+		return nil, err
+	}
+	return seg, nil
+}
+
+// commitLocked writes the manifest for the current chain and installs a
+// new searchable generation ranking with the frozen snapshot. frozen
+// must extend every segment's persisted lexicon; both commit paths
+// guarantee it without cloning the master again: a seal passes its
+// capture-time snapshot (every segment in the chain persists either an
+// earlier seal's snapshot or — for merges — the sealedSnap of a seal
+// no later than this one, all subsets of this capture), and a merge
+// passes the current sealedSnap read under this same lock (which a
+// seal committing during the merge's build has already advanced past
+// every segment in the chain). Either way the generation's statistics
+// cover exactly the sealed, searchable documents.
+func (w *Writer) commitLocked(frozen *lexicon.Lexicon) error {
+	w.genID++
+	m := manifest{Version: 1, Generation: w.genID, NextSeq: w.seq}
+	for _, s := range w.segs {
+		m.Segments = append(m.Segments, manifestSegment{
+			Name: s.name, Seq: s.seq, Snap: s.snap, Base: s.base, Docs: s.docs,
+		})
+	}
+	if err := writeManifest(w.cfg.Dir, m); err != nil {
+		return err
+	}
+	return w.installLocked(frozen)
+}
+
+// installLocked swaps in a new generation over the current chain.
+func (w *Writer) installLocked(frozen *lexicon.Lexicon) error {
+	g, err := newGeneration(w.genID, frozen, w.corpusLocked(),
+		append([]*segment(nil), w.segs...), w.cfg.Scorer)
+	if err != nil {
+		return err
+	}
+	old := w.cur
+	w.cur = g
+	if old != nil {
+		old.release()
+	}
+	return nil
+}
+
+// corpusLocked computes the corpus statistics over all sealed documents
+// — the global statistics every generation ranks with.
+func (w *Writer) corpusLocked() rank.CorpusStat {
+	var docs int
+	for _, s := range w.segs {
+		docs += s.docs
+	}
+	c := rank.CorpusStat{NumDocs: docs, TotalTokens: w.totalTokens}
+	if docs > 0 {
+		c.AvgDocLen = float64(w.totalTokens) / float64(docs)
+	}
+	return c
+}
+
+// flushLoop seals a non-empty buffer every cfg.FlushEvery.
+func (w *Writer) flushLoop() {
+	defer w.bgDone.Done()
+	t := time.NewTicker(w.cfg.FlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			n := len(w.buf)
+			bad := w.closed || w.failed != nil
+			w.mu.Unlock()
+			if n > 0 && !bad {
+				w.Flush() // a failure is sticky in w.failed
+			}
+		}
+	}
+}
+
+// Stats samples the writer's accounting.
+func (w *Writer) Stats() WriterStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var sealed int64
+	for _, s := range w.segs {
+		sealed += int64(s.docs)
+	}
+	return WriterStats{
+		DocsAdded:    w.docsAdded,
+		DocsSealed:   sealed,
+		BufferedDocs: len(w.buf),
+		Seals:        w.seals,
+		Merges:       w.merges,
+		Segments:     len(w.segs),
+		Generation:   w.genID,
+	}
+}
+
+// Err reports the sticky background failure, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// Close stops the background goroutines, waits for in-flight seal and
+// merge work, and releases the writer's generation reference. Buffered
+// documents that were never flushed are discarded (call Flush first for
+// durability). Segments held by outstanding Snapshots stay open until
+// those snapshots are closed. Close returns the sticky background
+// failure, if any; closing twice is a no-op.
+func (w *Writer) Close() error {
+	w.closeOnce.Do(func() {
+		close(w.stop)
+		w.bgDone.Wait()
+		w.mu.Lock()
+		for w.sealing || w.mergeBusy {
+			w.cond.Wait()
+		}
+		w.closed = true
+		g := w.cur
+		w.cur = nil
+		segs := w.segs
+		w.segs = nil
+		w.closeErr = w.failed
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		if g != nil {
+			g.release()
+		}
+		for _, s := range segs {
+			s.release() // the chain's reference
+		}
+		w.lockFile.Close() // drops the flock; the directory is reusable
+	})
+	return w.closeErr
+}
