@@ -7,7 +7,7 @@
 //	topnbench [-exp all|F1|E1..E12|PAR|DISK|LIVE] [-scale small|full] [-seed N]
 //	          [-shards K] [-workers W]
 //	          [-persist DIR] [-from DIR] [-pool-pages K]
-//	          [-live-seal-docs N] [-live-fanin K]
+//	          [-live-seal-docs N] [-live-fanin K] [-live-churn X]
 //	          [-json out.json] [-compare BASELINE.json] [-wall-tol X]
 //
 // The PAR experiment exercises the sharded concurrent search layer
@@ -24,11 +24,15 @@
 // faults.
 //
 // The LIVE experiment exercises the live-index layer (internal/live):
-// an interleaved insert/search workload through live.Writer —
-// incremental sealing, deterministic tiered merging, hot-swap snapshots
-// — verified byte-identical to a one-shot build at the end.
-// -live-seal-docs and -live-fanin override the seal threshold and merge
-// fan-in (0 = scale defaults).
+// an interleaved insert/delete/update/search workload through
+// live.Writer — incremental sealing, tombstoned deletes and updates,
+// deterministic tiered merging with dead-document purging, hot-swap
+// snapshots — verified byte-identical to a one-shot build over the
+// *surviving* documents at the end. -live-seal-docs and -live-fanin
+// override the seal threshold and merge fan-in (0 = scale defaults);
+// -live-churn sets the per-batch tombstone fraction (half deletes,
+// half updates re-ingesting the same content under fresh ids; 0
+// disables churn, default 0.2).
 //
 // -persist DIR builds the workload index at the chosen scale/seed,
 // writes it under DIR, and exits; a later `-exp DISK -from DIR` serves
@@ -149,6 +153,7 @@ func main() {
 	poolPages := flag.Int("pool-pages", 0, "DISK: buffer pool capacity in pages (0 = 1/8 of the segment)")
 	liveSealDocs := flag.Int("live-seal-docs", 0, "LIVE: seal the write buffer every N documents (0 = scale default)")
 	liveFanIn := flag.Int("live-fanin", 0, "LIVE: tiered merge fan-in (0 = default 4)")
+	liveChurn := flag.Float64("live-churn", -1, "LIVE: fraction of each batch tombstoned (half deletes, half updates); 0 disables churn, negative = default 0.2")
 	jsonPath := flag.String("json", "", "write the machine-readable report to this file")
 	comparePath := flag.String("compare", "", "regression gate: diff this run against the baseline report FILE and exit nonzero on drift")
 	wallTol := flag.Float64("wall-tol", 25, "compare: wall-clock regression factor tolerated before the gate trips (<=0 skips timing checks)")
@@ -161,7 +166,7 @@ func main() {
 		return bench.RunDisk(s, seed, *poolPages, *fromDir)
 	}
 	runners["LIVE"] = func(s bench.Scale, seed uint64) (*bench.Table, error) {
-		return bench.RunLive(s, seed, *liveSealDocs, *liveFanIn)
+		return bench.RunLive(s, seed, *liveSealDocs, *liveFanIn, *liveChurn)
 	}
 
 	var scale bench.Scale

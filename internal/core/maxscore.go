@@ -160,7 +160,15 @@ func (m *MaxScoreEngine) Search(q collection.Query, n int) ([]rank.DocScore, err
 		}
 		first, ok := it.FirstDoc()
 		if !ok {
+			// On a filtered iterator FirstDoc may have had to decode past a
+			// tombstoned head, so ok=false can be a read failure rather
+			// than an empty list — dropping the term on an error would
+			// silently change the answer.
+			err := it.Err()
 			it.Close()
+			if err != nil {
+				return nil, fmt.Errorf("core: term %d: %w", t, err)
+			}
 			continue
 		}
 		c := &msCursor{

@@ -1,0 +1,75 @@
+// Alive-bitmap sidecars. A segment's tombstones are persisted next to
+// its postings as a small versioned file — magic, document count, the
+// bitmap words, and a trailing CRC-32 — written atomically (temp file +
+// rename, fsync'd). The live layer writes a new version on every
+// deletion commit and records the version in its manifest; a file the
+// manifest does not reference is a crash leftover and is garbage-
+// collected on reopen, exactly like an unreferenced segment directory.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"repro/internal/postings"
+	"repro/internal/storage"
+)
+
+var aliveMagic = [8]byte{'T', 'O', 'P', 'N', 'A', 'L', 'V', '1'}
+
+// WriteAlive persists bm durably at path (temp file + fsync + rename +
+// directory fsync — a tombstone must survive power loss once its commit
+// returns).
+func WriteAlive(path string, bm *postings.AliveBitmap) error {
+	words := bm.Words()
+	buf := make([]byte, 0, 16+8*len(words)+4)
+	buf = append(buf, aliveMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(bm.Len()))
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if err := storage.AtomicWriteFile(path, buf); err != nil {
+		return fmt.Errorf("index: write alive bitmap: %w", err)
+	}
+	return nil
+}
+
+// ReadAlive loads and verifies a bitmap persisted with WriteAlive. The
+// caller states how many documents it must cover; any mismatch,
+// truncation, or checksum failure is reported as corruption rather than
+// served as a wrong deletion view.
+func ReadAlive(path string, wantDocs int) (*postings.AliveBitmap, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: read alive bitmap: %w", err)
+	}
+	if len(raw) < 20 || string(raw[:8]) != string(aliveMagic[:]) {
+		return nil, fmt.Errorf("index: %s is not an alive bitmap (corrupt?)", path)
+	}
+	body, sum := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("index: alive bitmap %s fails its checksum: corrupt", path)
+	}
+	n := binary.LittleEndian.Uint64(body[8:16])
+	if n != uint64(wantDocs) {
+		return nil, fmt.Errorf("index: alive bitmap %s covers %d documents, segment holds %d: corrupt",
+			path, n, wantDocs)
+	}
+	wordBytes := body[16:]
+	if len(wordBytes) != 8*((wantDocs+63)/64) {
+		return nil, fmt.Errorf("index: alive bitmap %s has %d payload bytes for %d documents: corrupt",
+			path, len(wordBytes), wantDocs)
+	}
+	words := make([]uint64, len(wordBytes)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(wordBytes[8*i:])
+	}
+	bm, ok := postings.RestoreAliveBitmap(wantDocs, words)
+	if !ok {
+		return nil, fmt.Errorf("index: alive bitmap %s sets bits beyond its document space: corrupt", path)
+	}
+	return bm, nil
+}

@@ -60,6 +60,12 @@ type Index struct {
 
 	store *postings.Store
 	metas []postings.ListMeta // indexed by TermID; DocFreq==0 means no list
+
+	// alive, when set (WithAlive), filters every Reader and Postings call
+	// down to live documents. The per-term metadata (DocFreq, MaxTF,
+	// block bounds) deliberately stays unfiltered: those numbers are only
+	// ever used as upper bounds, and a superset bound is still a bound.
+	alive *postings.AliveBitmap
 }
 
 // Build constructs an unfragmented index over col, storing lists in a file
@@ -138,8 +144,28 @@ func (ix *Index) WithLexicon(lex *lexicon.Lexicon) (*Index, error) {
 	return &cp, nil
 }
 
+// WithAlive returns a shallow view of the index whose readers skip
+// documents dead in alive — the deletion seam of the live layer. The
+// bitmap must cover exactly the index's document space. Like
+// WithLexicon, postings, metadata, and counters are shared with the
+// receiver; a nil bitmap returns an unfiltered view.
+func (ix *Index) WithAlive(alive *postings.AliveBitmap) (*Index, error) {
+	cp := *ix
+	if alive == nil {
+		cp.alive = nil
+		return &cp, nil
+	}
+	if alive.Len() != ix.Stats.NumDocs {
+		return nil, fmt.Errorf("index: alive bitmap covers %d documents, index holds %d",
+			alive.Len(), ix.Stats.NumDocs)
+	}
+	cp.alive = alive
+	return &cp, nil
+}
+
 // Reader opens an iterator over the postings of term. It returns ok=false
-// when the term has no postings.
+// when the term has no postings. On a WithAlive view the iterator skips
+// tombstoned documents.
 func (ix *Index) Reader(term lexicon.TermID) (*postings.Iterator, bool, error) {
 	if int(term) >= len(ix.metas) || ix.metas[term].DocFreq == 0 {
 		return nil, false, nil
@@ -148,15 +174,27 @@ func (ix *Index) Reader(term lexicon.TermID) (*postings.Iterator, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	it.Filter(ix.alive)
 	return it, true, nil
 }
 
-// Postings decodes the full list of term (nil when absent).
+// Postings decodes the full list of term (nil when absent), filtered to
+// alive documents on a WithAlive view.
 func (ix *Index) Postings(term lexicon.TermID) ([]postings.Posting, error) {
 	if int(term) >= len(ix.metas) || ix.metas[term].DocFreq == 0 {
 		return nil, nil
 	}
-	return ix.store.ReadAll(ix.metas[term])
+	ps, err := ix.store.ReadAll(ix.metas[term])
+	if err != nil || ix.alive == nil {
+		return ps, err
+	}
+	out := ps[:0]
+	for _, p := range ps {
+		if ix.alive.Alive(p.DocID) {
+			out = append(out, p)
+		}
+	}
+	return out, nil
 }
 
 // DocFreq returns the document frequency of term in the index.

@@ -6,6 +6,14 @@
 // re-encodes every list block-aligned over the merged id space, so it is
 // indistinguishable from an index built over the concatenated documents
 // in one shot — the property the live equivalence tests pin down.
+//
+// Merge is also the purge point of the delete path: tombstoned documents
+// (dead in the per-input alive bitmaps) are dropped from every output
+// list and their document lengths zeroed, which reclaims their postings
+// space and re-tightens every block-max / list-max-TF bound the pruning
+// engines read. Purged documents leave holes in the id space — the
+// output's NumDocs stays the full span, so surviving documents keep
+// their ids forever and the live layer's base arithmetic never shifts.
 package index
 
 import (
@@ -16,23 +24,35 @@ import (
 	"repro/internal/storage"
 )
 
-// Merge builds one index holding the postings of inputs, in input order,
-// with document ids shifted onto a shared contiguous space. lex is the
-// lexicon the merged index reads statistics from; it must be an
-// append-only extension of every input's build-time lexicon (the live
-// writer passes a frozen clone of its master lexicon). Lists are stored
-// in ascending term-id order, exactly as Build lays them out.
-func Merge(inputs []*Index, lex *lexicon.Lexicon, pool *storage.Pool) (*Index, error) {
-	if len(inputs) < 2 {
-		return nil, fmt.Errorf("index: merge needs at least two inputs, got %d", len(inputs))
+// Merge builds one index holding the alive postings of inputs, in input
+// order, with document ids shifted onto a shared contiguous space.
+// alive[i] filters input i (nil bitmap — or a nil slice — keeps every
+// document). lex is the lexicon the merged index reads statistics from;
+// it must be an append-only extension of every input's build-time
+// lexicon (the live writer passes a frozen clone of its master
+// lexicon). Lists are stored in ascending term-id order, exactly as
+// Build lays them out. A single input is allowed: that is a purge
+// rewrite, compacting one segment's tombstones in place.
+func Merge(inputs []*Index, alive []*postings.AliveBitmap, lex *lexicon.Lexicon, pool *storage.Pool) (*Index, error) {
+	if len(inputs) < 1 {
+		return nil, fmt.Errorf("index: merge needs at least one input")
 	}
 	if lex == nil || pool == nil {
 		return nil, fmt.Errorf("index: merge: nil lexicon or pool")
+	}
+	if alive != nil && len(alive) != len(inputs) {
+		return nil, fmt.Errorf("index: merge: %d inputs but %d alive bitmaps", len(inputs), len(alive))
 	}
 	out := &Index{
 		Lex:   lex,
 		store: postings.NewStore(storage.NewFile(pool)),
 		metas: make([]postings.ListMeta, lex.Size()),
+	}
+	bm := func(i int) *postings.AliveBitmap {
+		if alive == nil {
+			return nil
+		}
+		return alive[i]
 	}
 	offsets := make([]uint32, len(inputs))
 	var docs int64
@@ -45,14 +65,27 @@ func Merge(inputs []*Index, lex *lexicon.Lexicon, pool *storage.Pool) (*Index, e
 			return nil, fmt.Errorf("index: merge: input %d knows %d terms, lexicon only %d",
 				i, in.Lex.Size(), lex.Size())
 		}
+		if b := bm(i); b != nil && b.Len() != in.Stats.NumDocs {
+			return nil, fmt.Errorf("index: merge: input %d bitmap covers %d documents, index holds %d",
+				i, b.Len(), in.Stats.NumDocs)
+		}
 		if in.Lex.Size() > maxTerms {
 			maxTerms = in.Lex.Size()
 		}
 		offsets[i] = uint32(docs)
 		docs += int64(in.Stats.NumDocs)
 		out.Stats.NumDocs += in.Stats.NumDocs
-		out.Stats.TotalTokens += in.Stats.TotalTokens
-		out.Stats.DocLens = append(out.Stats.DocLens, in.Stats.DocLens...)
+		// Document lengths of purged documents are zeroed — the marker
+		// later opens use to tell "purged hole" from "deleted but still
+		// stored". TotalTokens counts alive tokens only.
+		b := bm(i)
+		for id, dl := range in.Stats.DocLens {
+			if b != nil && !b.Alive(uint32(id)) {
+				dl = 0
+			}
+			out.Stats.DocLens = append(out.Stats.DocLens, dl)
+			out.Stats.TotalTokens += int64(dl)
+		}
 	}
 	if docs > int64(^uint32(0)) {
 		return nil, fmt.Errorf("index: merge: %d documents overflow the id space", docs)
@@ -62,13 +95,13 @@ func Merge(inputs []*Index, lex *lexicon.Lexicon, pool *storage.Pool) (*Index, e
 	}
 
 	// One term at a time, ascending: decode each input's list (inputs may
-	// be paged segments; ReadAll streams through their pools), shift the
-	// ids, re-encode. Input ranges are disjoint and ordered, so the
-	// concatenation is already docID-sorted. Terms interned after the
-	// newest input was sealed (ids beyond every input's lexicon) cannot
-	// have postings here, so the loop stops at the inputs' bound, not
-	// the master's — on a long-lived index the master can dwarf the
-	// small early segments a merge compacts.
+	// be paged segments; ReadAll streams through their pools), drop the
+	// dead, shift the ids, re-encode. Input ranges are disjoint and
+	// ordered, so the concatenation is already docID-sorted. Terms
+	// interned after the newest input was sealed (ids beyond every
+	// input's lexicon) cannot have postings here, so the loop stops at
+	// the inputs' bound, not the master's — on a long-lived index the
+	// master can dwarf the small early segments a merge compacts.
 	merged := make([]postings.Posting, 0, postings.BlockSize)
 	for t := 0; t < maxTerms; t++ {
 		merged = merged[:0]
@@ -77,7 +110,11 @@ func Merge(inputs []*Index, lex *lexicon.Lexicon, pool *storage.Pool) (*Index, e
 			if err != nil {
 				return nil, fmt.Errorf("index: merge input %d term %d: %w", i, t, err)
 			}
+			b := bm(i)
 			for _, p := range ps {
+				if b != nil && !b.Alive(p.DocID) {
+					continue
+				}
 				merged = append(merged, postings.Posting{DocID: p.DocID + offsets[i], TF: p.TF})
 			}
 		}

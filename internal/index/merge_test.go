@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/lexicon"
+	"repro/internal/postings"
 	"repro/internal/storage"
 )
 
@@ -52,7 +53,7 @@ func TestMergeMatchesOneShot(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	merged, err := Merge(inputs, col.Lex, pool)
+	merged, err := Merge(inputs, nil, col.Lex, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,15 +120,110 @@ func TestMergeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Merge([]*Index{idx}, col.Lex, pool); err == nil {
-		t.Fatal("single-input merge accepted")
+	if _, err := Merge(nil, nil, col.Lex, pool); err == nil {
+		t.Fatal("zero-input merge accepted")
 	}
-	if _, err := Merge([]*Index{idx, nil}, col.Lex, pool); err == nil {
+	if _, err := Merge([]*Index{idx, nil}, nil, col.Lex, pool); err == nil {
 		t.Fatal("nil input accepted")
 	}
 	small := lexicon.New()
-	if _, err := Merge([]*Index{idx, idx}, small, pool); err == nil {
+	if _, err := Merge([]*Index{idx, idx}, nil, small, pool); err == nil {
 		t.Fatal("undersized lexicon accepted")
+	}
+	if _, err := Merge([]*Index{idx, idx}, make([]*postings.AliveBitmap, 1), col.Lex, pool); err == nil {
+		t.Fatal("bitmap count mismatch accepted")
+	}
+	if _, err := Merge([]*Index{idx}, []*postings.AliveBitmap{postings.NewAliveBitmap(3)}, col.Lex, pool); err == nil {
+		t.Fatal("undersized bitmap accepted")
+	}
+}
+
+// TestMergePurge: merging with alive bitmaps must drop tombstoned
+// documents' postings and zero their lengths while keeping every
+// surviving document's id — byte-identical to a one-shot build over the
+// same collection with the dead documents replaced by empty slots.
+func TestMergePurge(t *testing.T) {
+	col, err := collection.Generate(collection.Config{NumDocs: 240, VocabSize: 3000, MeanDocLen: 60, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := splitCollection(col, 70, 150)
+	inputs := make([]*Index, len(parts))
+	for i, p := range parts {
+		if inputs[i], err = Build(p, pool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tombstone a deterministic scatter of documents, including a run at
+	// a part boundary; part 1 keeps everything (nil bitmap allowed).
+	alives := make([]*postings.AliveBitmap, len(parts))
+	holed := *col
+	holed.Docs = append([]collection.Document(nil), col.Docs...)
+	killGlobal := func(g uint32) {
+		d := collection.Document{ID: holed.Docs[g].ID}
+		holed.TotalTokens -= int64(holed.Docs[g].Len)
+		holed.Docs[g] = d
+	}
+	offsets := []uint32{0, 70, 150}
+	for pi, kills := range [][]uint32{{0, 3, 17, 68, 69}, nil, {0, 1, 2, 44, 89}} {
+		if kills == nil {
+			continue
+		}
+		alives[pi] = postings.NewAliveBitmap(len(parts[pi].Docs))
+		for _, local := range kills {
+			alives[pi].Kill(local)
+			killGlobal(offsets[pi] + local)
+		}
+	}
+	holed.AvgDocLen = float64(holed.TotalTokens) / float64(len(holed.Docs))
+
+	merged, err := Merge(inputs, alives, col.Lex, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := Build(&holed, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Stats.NumDocs != oneShot.Stats.NumDocs ||
+		merged.Stats.TotalTokens != oneShot.Stats.TotalTokens ||
+		merged.Stats.AvgDocLen != oneShot.Stats.AvgDocLen {
+		t.Fatalf("stats diverge: %+v vs %+v", merged.Stats, oneShot.Stats)
+	}
+	for i, dl := range oneShot.Stats.DocLens {
+		if merged.Stats.DocLens[i] != dl {
+			t.Fatalf("doc %d length %d, want %d", i, merged.Stats.DocLens[i], dl)
+		}
+	}
+	if merged.SizeBytes() != oneShot.SizeBytes() {
+		t.Fatalf("compressed size %d, want %d (purge must reclaim dead postings)", merged.SizeBytes(), oneShot.SizeBytes())
+	}
+	for id := 0; id < col.Lex.Size(); id++ {
+		term := lexicon.TermID(id)
+		if merged.DocFreq(term) != oneShot.DocFreq(term) || merged.MaxTF(term) != oneShot.MaxTF(term) {
+			t.Fatalf("term %d meta diverges: df %d/%d maxTF %d/%d", id,
+				merged.DocFreq(term), oneShot.DocFreq(term), merged.MaxTF(term), oneShot.MaxTF(term))
+		}
+		a, err := merged.Postings(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := oneShot.Postings(term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("term %d: %d postings, want %d", id, len(a), len(b))
+		}
+		for i := range b {
+			if a[i] != b[i] {
+				t.Fatalf("term %d posting %d: %+v vs %+v", id, i, a[i], b[i])
+			}
+		}
 	}
 }
 

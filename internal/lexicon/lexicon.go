@@ -112,6 +112,38 @@ func (l *Lexicon) Record(id TermID, tf int) error {
 	return nil
 }
 
+// Subtract removes previously recorded statistics for a term — the
+// delete path's inverse of Record. Underflow means the caller is
+// subtracting occurrences that were never recorded (a corrupt tombstone
+// ledger), so it fails instead of leaving negative frequencies for the
+// ranking formulas to divide by.
+func (l *Lexicon) Subtract(id TermID, s Stats) error {
+	if int(id) >= len(l.stats) {
+		return fmt.Errorf("lexicon: unknown term id %d", id)
+	}
+	if s.DocFreq < 0 || s.CollFreq < 0 {
+		return fmt.Errorf("lexicon: negative subtraction for term %d", id)
+	}
+	st := &l.stats[id]
+	if st.DocFreq < s.DocFreq || st.CollFreq < s.CollFreq {
+		return fmt.Errorf("lexicon: term %d statistics underflow (have df=%d cf=%d, subtracting df=%d cf=%d)",
+			id, st.DocFreq, st.CollFreq, s.DocFreq, s.CollFreq)
+	}
+	st.DocFreq -= s.DocFreq
+	st.CollFreq -= s.CollFreq
+	return nil
+}
+
+// Unrecord removes one document's worth of occurrences for a term — the
+// exact inverse of Record, used when a buffered (never-sealed) document
+// is deleted before it reaches a snapshot.
+func (l *Lexicon) Unrecord(id TermID, tf int) error {
+	if tf <= 0 {
+		return fmt.Errorf("lexicon: non-positive tf %d for term %d", tf, id)
+	}
+	return l.Subtract(id, Stats{DocFreq: 1, CollFreq: int64(tf)})
+}
+
 // Stats returns the statistics of a term id.
 func (l *Lexicon) Stats(id TermID) Stats { return l.stats[id] }
 

@@ -1,0 +1,29 @@
+package live
+
+import "time"
+
+// Clock abstracts the timer source of the writer's background flush
+// loop, so seal-timer behavior is deterministically testable: tests
+// inject a fake clock and fire ticks explicitly instead of sleeping.
+type Clock interface {
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the minimal surface of time.Ticker the flush loop uses.
+type Ticker interface {
+	// Chan returns the channel ticks are delivered on.
+	Chan() <-chan time.Time
+	// Stop releases the ticker's resources.
+	Stop()
+}
+
+// wallClock is the production Clock, backed by time.NewTicker.
+type wallClock struct{}
+
+func (wallClock) NewTicker(d time.Duration) Ticker { return wallTicker{time.NewTicker(d)} }
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) Chan() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()                  { w.t.Stop() }

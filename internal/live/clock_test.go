@@ -1,0 +1,107 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock delivers ticks only when the test fires them, making the
+// flush timer's behavior deterministic — no sleeps, no flaky timing.
+type fakeClock struct {
+	ch      chan time.Time
+	started chan time.Duration // delivers the interval NewTicker was asked for
+	stopped chan struct{}
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{ch: make(chan time.Time), started: make(chan time.Duration, 1), stopped: make(chan struct{})}
+}
+
+func (f *fakeClock) NewTicker(d time.Duration) Ticker {
+	f.started <- d
+	return f
+}
+
+func (f *fakeClock) Chan() <-chan time.Time { return f.ch }
+func (f *fakeClock) Stop()                  { close(f.stopped) }
+
+// tick fires one tick, blocking until the flush loop receives it — the
+// synchronization that makes the test deterministic: once a second tick
+// is accepted, the flush triggered by the first has completed (the loop
+// handles ticks strictly in sequence).
+func (f *fakeClock) tick(t *testing.T) {
+	t.Helper()
+	select {
+	case f.ch <- time.Time{}:
+	case <-time.After(10 * time.Second):
+		t.Fatal("flush loop never received the tick")
+	}
+}
+
+// TestFlushTimerDeterministic drives the seal timer with an injected
+// clock: buffered documents must become searchable exactly when a tick
+// fires (and the buffer is non-empty), never spontaneously.
+func TestFlushTimerDeterministic(t *testing.T) {
+	col := genCollection(t, 40, 77)
+	clk := newFakeClock()
+	w, err := Open(Config{
+		Dir:        t.TempDir(),
+		SealDocs:   1 << 20, // only the timer can seal
+		FlushEvery: time.Hour,
+		Clock:      clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-clk.started:
+		if d != time.Hour {
+			t.Fatalf("flush loop asked for a %v ticker, want FlushEvery", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("flush loop never created its ticker")
+	}
+	streamInto(t, w, col)
+
+	snap, err := w.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumDocs() != 0 {
+		t.Fatalf("documents visible before any tick: %d", snap.NumDocs())
+	}
+	snap.Close()
+
+	// First tick starts the flush; a second tick being accepted proves
+	// it finished (the loop is sequential), so no polling is needed.
+	clk.tick(t)
+	clk.tick(t)
+	snap2, err := w.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.NumDocs() != len(col.Docs) {
+		t.Fatalf("after tick %d docs visible, want %d", snap2.NumDocs(), len(col.Docs))
+	}
+	snap2.Close()
+	if st := w.Stats(); st.Seals == 0 || st.BufferedDocs != 0 {
+		t.Fatalf("tick did not seal: %+v", st)
+	}
+
+	// Ticks over an empty buffer must not seal empty segments.
+	seals := w.Stats().Seals
+	clk.tick(t)
+	clk.tick(t)
+	if st := w.Stats(); st.Seals != seals {
+		t.Fatalf("empty-buffer tick sealed a segment: %+v", st)
+	}
+
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-clk.stopped:
+	default:
+		t.Fatal("Close did not stop the injected ticker")
+	}
+}

@@ -1,0 +1,239 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/postings"
+)
+
+// ErrNotFound is returned by Delete and Update for a document id that
+// was never assigned or is already deleted.
+var ErrNotFound = errors.New("live: no such live document")
+
+// Delete tombstones document id. For a sealed document the tombstone is
+// durable before Delete returns: a new alive-bitmap version is written
+// next to the document's segment and the manifest referencing it is
+// swapped atomically — crash on either side of the swap leaves a
+// consistent state (the bitmap file alone is garbage-collected on
+// reopen; the swapped manifest alone is the committed delete). A new
+// searchable generation is installed with the document filtered out and
+// its exact term statistics subtracted, so later searches rank as if
+// the document had never been added — while snapshots acquired before
+// the delete keep their view (a delete committed mid-query is invisible
+// to in-flight searches). For a still-buffered document the delete is
+// memory-only, matching the document's own seal-grained durability.
+//
+// Deleting an unknown or already-deleted id fails with ErrNotFound and
+// changes nothing. The document's postings remain on disk until a merge
+// or purge rewrite reclaims them; until then every bound they inflate
+// is still a valid upper bound.
+//
+// Cost: a sealed-document delete is commit-grained — one lexicon clone
+// (the tightened snapshot is copy-on-write because generations share
+// it), one fsync'd bitmap write, one fsync'd manifest swap, and a
+// generation install, all under the writer lock. That is the price of
+// per-document durability and immediate visibility; workloads deleting
+// in bulk amortize only the seal today. Group-committed tombstone
+// batches are the known follow-up if churn-bound ingest ever dominates.
+func (w *Writer) Delete(id uint32) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.deleteLocked(id)
+}
+
+// deleteLocked dispatches a delete to the buffered or sealed path,
+// first waiting out an in-flight seal that holds the document (it is
+// in neither the buffer nor any segment while the build runs).
+func (w *Writer) deleteLocked(id uint32) error {
+	for {
+		if w.closed {
+			return ErrClosed
+		}
+		if w.failed != nil {
+			return w.failed
+		}
+		if w.sealing && id >= w.sealLo && id < w.sealHi {
+			w.cond.Wait()
+			continue
+		}
+		break
+	}
+	if id >= w.base {
+		return w.deleteBufferedLocked(id)
+	}
+	return w.deleteSealedLocked(id)
+}
+
+// deleteBufferedLocked removes a never-sealed document: its statistics
+// are un-recorded from the master lexicon (they never reached any
+// persisted snapshot, so the tombstone ledger must not know them) and
+// its buffer slot becomes a hole that seals as an empty document.
+func (w *Writer) deleteBufferedLocked(id uint32) error {
+	local := int(id - w.base)
+	if local >= len(w.buf) {
+		return fmt.Errorf("%w: id %d was never assigned", ErrNotFound, id)
+	}
+	d := &w.buf[local]
+	if len(d.Terms) == 0 {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	for _, tf := range d.Terms {
+		if err := w.lex.Unrecord(tf.Term, int(tf.TF)); err != nil {
+			// Unrecording exactly what Add recorded cannot underflow; an
+			// error here means corrupted in-memory state.
+			w.failed = err
+			return err
+		}
+	}
+	w.bufTokens -= int64(d.Len)
+	d.Terms = nil
+	d.Len = 0
+	w.bufDead++
+	w.docsDeleted++
+	return nil
+}
+
+// deleteSealedLocked tombstones a sealed document: clone-and-kill the
+// segment's alive bitmap, persist the new version, fold the document's
+// term statistics into the tombstone ledger, and commit (manifest swap
+// + generation install).
+func (w *Writer) deleteSealedLocked(id uint32) error {
+	seg := w.segOfLocked(id)
+	if seg == nil {
+		return fmt.Errorf("%w: id %d has no segment", ErrNotFound, id)
+	}
+	local := id - seg.base
+	if seg.alive != nil && !seg.alive.Alive(local) {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	terms, err := seg.fwd.terms(local)
+	if err != nil {
+		if w.failed == nil {
+			w.failed = err // a corrupt sidecar poisons: the ledger would drift
+		}
+		return err
+	}
+	if len(terms) == 0 {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id) // an id hole
+	}
+
+	bm := seg.alive
+	if bm == nil {
+		bm = postings.NewAliveBitmap(seg.docs)
+	} else {
+		bm = bm.Clone()
+	}
+	bm.Kill(local)
+	ver := seg.aliveVer + 1
+	if err := index.WriteAlive(filepath.Join(seg.dir, aliveName(ver)), bm); err != nil {
+		return err // nothing mutated yet: the failed write is retryable
+	}
+	// The incremental half of the tightened-snapshot maintenance: clone
+	// the current tight clone and subtract just this document's terms —
+	// O(vocabulary) for the clone, not O(ledger) — while the ledger
+	// itself (used for rebuilds at seal and reopen) accumulates the same
+	// delta. The clone happens before any state mutation so a failure
+	// leaves the writer consistent.
+	tight := w.tight.Clone()
+	for _, tf := range terms {
+		if err := tight.Unrecord(tf.Term, int(tf.TF)); err != nil {
+			if w.failed == nil {
+				w.failed = fmt.Errorf("live: tombstone ledger: %w", err)
+			}
+			return w.failed
+		}
+	}
+
+	oldVer := seg.aliveVer
+	seg.alive = bm
+	seg.aliveVer = ver
+	dl := seg.idx.Stats.DocLen(local)
+	seg.aliveDocs--
+	seg.aliveTokens -= int64(dl)
+	if dl > 0 {
+		seg.purgeable++
+	}
+	for _, tf := range terms {
+		w.deadStats[tf.Term] = addStat(w.deadStats[tf.Term], 1, int64(tf.TF))
+	}
+	w.tight = tight
+	w.docsDeleted++
+	if err := w.commitLocked(); err != nil {
+		if w.failed == nil {
+			w.failed = err
+		}
+		return err
+	}
+	if oldVer > 0 {
+		// Superseded version: best-effort delete; a leftover is
+		// garbage-collected on the next Open.
+		os.Remove(filepath.Join(seg.dir, aliveName(oldVer)))
+	}
+	if float64(seg.purgeable) >= w.cfg.PurgeDeadFrac*float64(seg.aliveDocs+seg.purgeable) {
+		w.kickMerger()
+	}
+	return nil
+}
+
+// segOfLocked finds the segment whose id range contains global id.
+func (w *Writer) segOfLocked(id uint32) *segment {
+	i := sort.Search(len(w.segs), func(i int) bool {
+		return w.segs[i].base > id
+	})
+	if i == 0 {
+		return nil
+	}
+	s := w.segs[i-1]
+	if id >= s.base+uint32(s.docs) {
+		return nil
+	}
+	return s
+}
+
+// Update replaces document id with a new version of its content under
+// one critical section: tombstone the old document, buffer the new one
+// under a fresh global id (returned). The two halves follow their own
+// visibility rules — the delete is searchable (and durable)
+// immediately, the new version at its seal — so between commit and
+// seal a search sees neither, exactly the state a crash would recover
+// to. The replacement is validated (through the same normalization Add
+// uses) before the original is touched: a malformed replacement fails
+// with the old version intact, and if id does not name a live
+// document, Update fails with ErrNotFound and adds nothing.
+func (w *Writer) Update(id uint32, terms []TermCount) (uint32, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if w.failed != nil {
+		err := w.failed
+		w.mu.Unlock()
+		return 0, err
+	}
+	doc, err := w.normalizeLocked(terms)
+	if err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	if err := w.deleteLocked(id); err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	global, need, err := w.recordLocked(doc)
+	w.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if need {
+		if err := w.Flush(); err != nil {
+			return global, err
+		}
+	}
+	return global, nil
+}

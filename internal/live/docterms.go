@@ -1,0 +1,237 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/collection"
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/storage"
+)
+
+// DocTermsFile is the name of the forward-index sidecar inside a
+// segment directory: one compact (term, tf) list per local document id.
+// It exists for the delete path — Delete(id) must subtract exactly the
+// dead document's term statistics from the searchable view, and on
+// reopen the tombstone ledger is rebuilt by reading the entries of every
+// dead document. Entries are retained across merges even for purged
+// documents (their statistics stay subtractable forever); documents
+// deleted while still buffered are sealed as empty entries, because
+// their statistics never entered any persisted snapshot and so must
+// never be subtracted from one.
+const DocTermsFile = "docterms.fwd"
+
+var fwdMagic = [8]byte{'T', 'O', 'P', 'N', 'F', 'W', 'D', '1'}
+
+// encodeDocEntry serializes one document's sorted term list: the first
+// term id raw, then ascending deltas, each followed by its tf.
+func encodeDocEntry(terms []collection.TermFreq) []byte {
+	if len(terms) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, 2*len(terms))
+	prev := uint64(0)
+	for i, tf := range terms {
+		v := uint64(tf.Term)
+		if i > 0 {
+			v = v - prev - 1 // strictly ascending: delta-1 packs tighter
+		}
+		buf = binary.AppendUvarint(buf, v)
+		buf = binary.AppendUvarint(buf, uint64(tf.TF))
+		prev = uint64(tf.Term)
+	}
+	return buf
+}
+
+// decodeDocEntry is the inverse of encodeDocEntry.
+func decodeDocEntry(blob []byte) ([]collection.TermFreq, error) {
+	var out []collection.TermFreq
+	prev := uint64(0)
+	for pos := 0; pos < len(blob); {
+		v, n := binary.Uvarint(blob[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("live: corrupt docterms entry at byte %d", pos)
+		}
+		pos += n
+		tf, n := binary.Uvarint(blob[pos:])
+		if n <= 0 || tf == 0 || tf > 1<<31-1 {
+			return nil, fmt.Errorf("live: corrupt docterms entry at byte %d", pos)
+		}
+		pos += n
+		term := v
+		if len(out) > 0 {
+			term = prev + 1 + v
+		}
+		if term > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("live: docterms term id overflow")
+		}
+		out = append(out, collection.TermFreq{Term: lexicon.TermID(term), TF: int32(tf)})
+		prev = term
+	}
+	return out, nil
+}
+
+// writeDocTerms persists one raw blob per local document id durably
+// under dir. Layout: magic, u32 count, (count+1) little-endian u64
+// offsets into the blob region, the blobs, and a trailing CRC-32 over
+// everything before it.
+func writeDocTerms(dir string, blobs [][]byte) error {
+	var buf []byte
+	buf = append(buf, fwdMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blobs)))
+	var off uint64
+	for _, b := range blobs {
+		buf = binary.LittleEndian.AppendUint64(buf, off)
+		off += uint64(len(b))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, off)
+	for _, b := range blobs {
+		buf = append(buf, b...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	if err := storage.AtomicWriteFile(filepath.Join(dir, DocTermsFile), buf); err != nil {
+		return fmt.Errorf("live: write docterms: %w", err)
+	}
+	return nil
+}
+
+// rebuildFwdSidecar writes dir's forward sidecar from the segment's
+// inverted lists — the upgrade path for segments persisted before the
+// delete path existed. Walking terms in ascending id order appends each
+// document's terms already sorted, exactly the order encodeDocEntry
+// expects.
+func rebuildFwdSidecar(dir string, idx *index.Index) error {
+	perDoc := make([][]collection.TermFreq, idx.Stats.NumDocs)
+	for t := 0; t < idx.Lex.Size(); t++ {
+		ps, err := idx.Postings(lexicon.TermID(t))
+		if err != nil {
+			return fmt.Errorf("live: rebuild docterms: %w", err)
+		}
+		for _, p := range ps {
+			if int(p.DocID) >= len(perDoc) {
+				return fmt.Errorf("live: rebuild docterms: posting doc %d outside %d-doc segment",
+					p.DocID, len(perDoc))
+			}
+			perDoc[p.DocID] = append(perDoc[p.DocID], collection.TermFreq{
+				Term: lexicon.TermID(t), TF: int32(p.TF),
+			})
+		}
+	}
+	blobs := make([][]byte, len(perDoc))
+	for i, terms := range perDoc {
+		blobs[i] = encodeDocEntry(terms)
+	}
+	return writeDocTerms(dir, blobs)
+}
+
+// docTerms is the read handle of a segment's forward sidecar: the
+// offset table stays resident, entries are read on demand.
+type fwdSidecar struct {
+	f        *os.File
+	offs     []uint64
+	blobBase int64
+}
+
+// openDocTerms opens and verifies dir's sidecar, which must cover
+// exactly wantDocs documents.
+func openDocTerms(dir string, wantDocs int) (*fwdSidecar, error) {
+	path := filepath.Join(dir, DocTermsFile)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("live: open docterms: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+		}
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("live: open docterms: %w", err)
+	}
+	size := st.Size()
+	if size < int64(12+8+4) {
+		return nil, fmt.Errorf("live: docterms %s truncated (%d bytes): corrupt", path, size)
+	}
+	// One streaming pass verifies the checksum up front, so a flipped
+	// bit fails the open instead of surfacing as a wrong ledger. The CRC
+	// covers everything before itself.
+	crc := crc32.NewIEEE()
+	if _, err := io.CopyN(crc, f, size-4); err != nil {
+		return nil, fmt.Errorf("live: open docterms: %w", err)
+	}
+	var tail [4]byte
+	if _, err := f.ReadAt(tail[:], size-4); err != nil {
+		return nil, fmt.Errorf("live: open docterms: %w", err)
+	}
+	if crc.Sum32() != binary.LittleEndian.Uint32(tail[:]) {
+		return nil, fmt.Errorf("live: docterms %s fails its checksum: corrupt", path)
+	}
+
+	head := make([]byte, 12)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("live: open docterms: %w", err)
+	}
+	if string(head[:8]) != string(fwdMagic[:]) {
+		return nil, fmt.Errorf("live: %s is not a docterms sidecar (corrupt?)", path)
+	}
+	count := int(binary.LittleEndian.Uint32(head[8:12]))
+	if count != wantDocs {
+		return nil, fmt.Errorf("live: docterms %s covers %d documents, segment holds %d: corrupt",
+			path, count, wantDocs)
+	}
+	offBytes := make([]byte, 8*(count+1))
+	if _, err := f.ReadAt(offBytes, 12); err != nil {
+		return nil, fmt.Errorf("live: open docterms: %w", err)
+	}
+	d := &fwdSidecar{f: f, offs: make([]uint64, count+1), blobBase: int64(12 + 8*(count+1))}
+	prev := uint64(0)
+	for i := range d.offs {
+		d.offs[i] = binary.LittleEndian.Uint64(offBytes[8*i:])
+		if d.offs[i] < prev || d.blobBase+int64(d.offs[i]) > size-4 {
+			return nil, fmt.Errorf("live: docterms %s offset table out of order or range: corrupt", path)
+		}
+		prev = d.offs[i]
+	}
+	ok = true
+	return d, nil
+}
+
+// raw returns the undecoded entry blob of local document id (nil for
+// empty entries).
+func (d *fwdSidecar) raw(local uint32) ([]byte, error) {
+	if int(local) >= len(d.offs)-1 {
+		return nil, fmt.Errorf("live: docterms entry %d out of range", local)
+	}
+	lo, hi := d.offs[local], d.offs[local+1]
+	if lo == hi {
+		return nil, nil
+	}
+	blob := make([]byte, hi-lo)
+	if _, err := d.f.ReadAt(blob, d.blobBase+int64(lo)); err != nil {
+		return nil, fmt.Errorf("live: docterms entry %d: %w", local, err)
+	}
+	return blob, nil
+}
+
+// terms returns the decoded term list of local document id.
+func (d *fwdSidecar) terms(local uint32) ([]collection.TermFreq, error) {
+	blob, err := d.raw(local)
+	if err != nil || blob == nil {
+		return nil, err
+	}
+	return decodeDocEntry(blob)
+}
+
+func (d *fwdSidecar) close() {
+	if d.f != nil {
+		d.f.Close()
+		d.f = nil
+	}
+}

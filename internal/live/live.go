@@ -1,8 +1,8 @@
 // Package live turns the batch index into a serving system: it accepts
-// document writes while queries run, with no full rebuild and no stop-
-// the-world swap.
+// document writes — adds, deletes, and updates — while queries run,
+// with no full rebuild and no stop-the-world swap.
 //
-// The lifecycle is buffer → seal → merge → swap:
+// The write lifecycle is buffer → seal → merge → swap:
 //
 //	buffer  Writer.Add interns terms into the master lexicon, records
 //	        global term statistics, and appends the document to an
@@ -23,15 +23,38 @@
 //	        statistics + per-segment engines) is installed with one
 //	        pointer swap.
 //
+// The delete lifecycle is tombstone → filtered search → merge purge:
+//
+//	tombstone  Writer.Delete clones the segment's alive bitmap, kills
+//	           the bit, persists the new bitmap version next to the
+//	           segment, and commits by manifest swap — crash-atomic
+//	           like every other commit. Update is delete + re-add
+//	           under a fresh global id.
+//	filter     Generations read each segment through index.WithAlive:
+//	           iterators skip dead postings, engines run unmodified,
+//	           and the unfiltered block/list bounds stay valid upper
+//	           bounds. A tombstone ledger (the deleted documents' term
+//	           statistics, recovered from per-segment forward
+//	           sidecars) is subtracted from the frozen lexicon at
+//	           install, so ranking statistics cover exactly the
+//	           survivors — results stay byte-identical to a one-shot
+//	           build over the surviving documents.
+//	purge      Merges drop dead documents' postings (ids stay as holes
+//	           so global ids never shift) and re-tighten every bound;
+//	           a segment whose stored-dead fraction reaches
+//	           PurgeDeadFrac is rewritten alone.
+//
 // The snapshot/refcount contract: a search acquires the current
 // generation (refcount +1) and evaluates against it end to end, so a
-// merge committing mid-query never invalidates the segments the query
-// is reading. Segments are refcounted by the generations that contain
+// merge — or a delete — committing mid-query never invalidates the
+// view the query is reading: bitmaps are immutable values, swapped per
+// commit. Segments are refcounted by the generations that contain
 // them; when the last generation referencing a merged-away segment is
 // released, its file is closed and its directory deleted. A crash
 // between the manifest swap and that deferred deletion leaves stale
 // segment directories behind — Open treats the manifest as the root of
-// truth and garbage-collects any seg-* directory it does not list.
+// truth and garbage-collects any seg-* directory (or alive-bitmap
+// version file) it does not list.
 //
 // Scoring is globally consistent: each generation ranks every segment
 // with the latest seal's frozen lexicon snapshot plus the generation's
@@ -105,6 +128,17 @@ type Config struct {
 	// only run through MergeAll — the deterministic mode the benchmark
 	// harness uses.
 	BackgroundMerge bool
+	// PurgeDeadFrac triggers a single-segment purge rewrite when at
+	// least this fraction of a segment's stored documents are tombstoned
+	// (dead but still occupying postings). The rewrite drops their
+	// postings and re-tightens the block bounds. Default 0.5; values
+	// above 1 disable purge rewrites (tombstones are then only reclaimed
+	// when a tiered merge happens to cover the segment).
+	PurgeDeadFrac float64
+	// Clock supplies the flush timer, injectable so seal-timer behavior
+	// is deterministically testable. Default: the wall clock
+	// (time.NewTicker).
+	Clock Clock
 }
 
 func (c *Config) fillDefaults() {
@@ -138,6 +172,12 @@ func (c *Config) fillDefaults() {
 	if c.PageWeight == 0 {
 		c.PageWeight = cost.DefaultPageWeight
 	}
+	if c.PurgeDeadFrac == 0 {
+		c.PurgeDeadFrac = 0.5
+	}
+	if c.Clock == nil {
+		c.Clock = wallClock{}
+	}
 }
 
 // TermCount is one distinct term of an incoming document with its
@@ -150,10 +190,12 @@ type TermCount struct {
 // WriterStats is a point-in-time snapshot of the writer's accounting.
 type WriterStats struct {
 	DocsAdded    int64  // documents accepted by Add
-	DocsSealed   int64  // documents made durable in segments
-	BufferedDocs int    // documents awaiting the next seal
+	DocsSealed   int64  // documents made durable in segments (dead ones included)
+	DocsDeleted  int64  // documents tombstoned by Delete/Update
+	DocsAlive    int64  // sealed documents currently alive
+	BufferedDocs int    // documents awaiting the next seal (dead ones excluded)
 	Seals        int64  // segments sealed
-	Merges       int64  // background merges committed
+	Merges       int64  // background merges committed (purge rewrites included)
 	Segments     int    // active segments in the current generation
 	Generation   uint64 // current manifest generation
 }

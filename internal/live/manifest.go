@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/storage"
 )
 
 // ManifestFile is the name of the manifest inside a live index
@@ -30,27 +32,33 @@ type manifest struct {
 // the document space before serving it. Snap is the ordinal of the
 // persisted lexicon snapshot; the max-snap segment restores the master
 // lexicon on reopen.
+//
+// Tomb is the version of the segment's alive-bitmap sidecar
+// (alive-%06d.bm): 0 means no bitmap — every stored document alive —
+// and a tombstone is committed exactly when the manifest referencing
+// its bitmap version lands, the same swap-is-commit rule segments
+// follow. Alive duplicates the bitmap's population count so a torn or
+// stale sidecar is detected on reopen.
 type manifestSegment struct {
-	Name string `json:"name"`
-	Seq  uint64 `json:"seq"`
-	Snap uint64 `json:"snap"`
-	Base uint32 `json:"base"`
-	Docs int    `json:"docs"`
+	Name  string `json:"name"`
+	Seq   uint64 `json:"seq"`
+	Snap  uint64 `json:"snap"`
+	Base  uint32 `json:"base"`
+	Docs  int    `json:"docs"`
+	Alive int    `json:"alive"`
+	Tomb  uint64 `json:"tomb,omitempty"`
 }
 
-// writeManifest atomically replaces the manifest under dir.
+// writeManifest atomically and durably replaces the manifest under dir
+// (fsync'd file + directory: the swap is every commit's durability
+// point — a Delete that returned must survive power loss).
 func writeManifest(dir string, m manifest) error {
 	raw, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("live: encode manifest: %w", err)
 	}
-	tmp := filepath.Join(dir, ManifestFile+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if err := storage.AtomicWriteFile(filepath.Join(dir, ManifestFile), raw); err != nil {
 		return fmt.Errorf("live: write manifest: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, ManifestFile)); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("live: swap manifest: %w", err)
 	}
 	return nil
 }
@@ -88,18 +96,29 @@ func readManifest(dir string) (*manifest, error) {
 			return nil, fmt.Errorf("live: manifest segment %s has seq %d >= next_seq %d: corrupt manifest",
 				s.Name, s.Seq, m.NextSeq)
 		}
+		if s.Tomb == 0 {
+			// No bitmap: every stored document is alive. Manifests written
+			// before the delete path record no Alive field; normalize.
+			m.Segments[i].Alive = s.Docs
+		} else if s.Alive < 0 || s.Alive > s.Docs {
+			return nil, fmt.Errorf("live: manifest segment %s claims %d alive of %d documents: corrupt manifest",
+				s.Name, s.Alive, s.Docs)
+		}
 		next += uint32(s.Docs)
 	}
 	return &m, nil
 }
 
-// gcStale removes every seg-* directory under dir that the manifest does
-// not list — leftovers of a crash between a commit and the deferred
-// deletion of merged-away inputs. It returns the removed names.
+// gcStale removes every seg-* directory under dir that the manifest
+// does not list — leftovers of a crash between a commit and the
+// deferred deletion of merged-away inputs — and, inside listed segment
+// directories, every alive-bitmap version file the manifest does not
+// reference (a tombstone written but never committed, or superseded and
+// not yet deleted). It returns the removed names.
 func gcStale(dir string, m *manifest) ([]string, error) {
-	known := make(map[string]bool, len(m.Segments))
+	known := make(map[string]uint64, len(m.Segments))
 	for _, s := range m.Segments {
-		known[s.Name] = true
+		known[s.Name] = s.Tomb
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -107,13 +126,35 @@ func gcStale(dir string, m *manifest) ([]string, error) {
 	}
 	var removed []string
 	for _, e := range entries {
-		if !e.IsDir() || !strings.HasPrefix(e.Name(), "seg-") || known[e.Name()] {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "seg-") {
 			continue
 		}
-		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
-			return removed, fmt.Errorf("live: gc stale segment %s: %w", e.Name(), err)
+		tomb, ok := known[e.Name()]
+		if !ok {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return removed, fmt.Errorf("live: gc stale segment %s: %w", e.Name(), err)
+			}
+			removed = append(removed, e.Name())
+			continue
 		}
-		removed = append(removed, e.Name())
+		segDir := filepath.Join(dir, e.Name())
+		files, err := os.ReadDir(segDir)
+		if err != nil {
+			return removed, fmt.Errorf("live: scan %s: %w", segDir, err)
+		}
+		for _, f := range files {
+			name := f.Name()
+			if f.IsDir() || !strings.HasPrefix(name, "alive-") {
+				continue
+			}
+			if tomb != 0 && name == aliveName(tomb) {
+				continue
+			}
+			if err := os.Remove(filepath.Join(segDir, name)); err != nil {
+				return removed, fmt.Errorf("live: gc stale bitmap %s/%s: %w", e.Name(), name, err)
+			}
+			removed = append(removed, e.Name()+"/"+name)
+		}
 	}
 	return removed, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/index"
 	"repro/internal/lexicon"
+	"repro/internal/postings"
 	"repro/internal/storage"
 )
 
@@ -77,7 +78,8 @@ func (w *Writer) WaitMergeIdle() {
 	}
 }
 
-// mergeOnce plans and runs at most one merge. It reports whether a
+// mergeOnce plans and runs at most one merge (a multi-segment tiered
+// compaction or a single-segment purge rewrite). It reports whether a
 // merge was committed. Merges serialize on mergeBusy, so MergeAll and
 // the background merger can coexist.
 func (w *Writer) mergeOnce() (bool, error) {
@@ -107,34 +109,56 @@ func (w *Writer) mergeOnce() (bool, error) {
 	// covers exactly the sealed documents and is a superset of every
 	// input's lexicon; it rides with its capture ordinal, so reopen's
 	// max-ordinal rule stays correct even when a seal that captured
-	// earlier commits after this merge.
+	// earlier commits after this merge. (Snapshots are purge-agnostic:
+	// the documents this merge purges stay counted, and the tombstone
+	// ledger — rebuilt on reopen from the bitmaps and retained forward
+	// entries — subtracts them at every install.)
 	frozen := w.sealedSnap
 	snap := w.sealedSnapID
 	seq := w.seq
 	w.seq++
-	for _, s := range run {
+	// Capture the deletion view the build will purge. Deletions
+	// committing during the build mutate the segments' pointers, not
+	// these captured values; the commit below folds any such late
+	// tombstones into the merged segment's bitmap.
+	alives := make([]*postings.AliveBitmap, len(run))
+	for i, s := range run {
+		alives[i] = s.alive
 		s.acquire() // hold the inputs across the unlocked build
 	}
 	w.mu.Unlock()
 
-	seg, err := mergeSegments(w.cfg, run, seq, snap, frozen)
+	seg, err := mergeSegments(w.cfg, run, alives, seq, snap, frozen)
 
 	w.mu.Lock()
 	w.mergeBusy = false
 	spliced := false
 	if err == nil {
+		// Carry forward tombstones committed while the build ran: the
+		// merged segment still stores those documents' postings (the
+		// build purged only the captured bitmaps), so they must be dead
+		// in its bitmap — and purgeable by a later pass. The concat of
+		// the inputs' *current* bitmaps is exactly that view.
+		err = w.adoptMergedBitmapLocked(seg, run)
+	}
+	if err == nil {
 		w.spliceLocked(run, seg)
 		spliced = true
 		w.merges++
-		// The current sealedSnap (not the merge's capture-time one):
-		// seals committing during the build advanced it past every
-		// segment now in the chain.
-		err = w.commitLocked(w.sealedSnap)
+		// commitLocked installs with the *current* tightened snapshot
+		// (not the merge's capture-time one): seals committing during
+		// the build advanced it past every segment now in the chain,
+		// and a purge changes no statistics — the ledger already
+		// subtracted its documents when they were tombstoned.
+		err = w.commitLocked()
 		if err == nil {
 			for _, s := range run {
 				s.dead.Store(true)
 			}
 		}
+	} else if seg != nil {
+		seg.release() // never entered the chain; drop the opener's ref
+		os.RemoveAll(seg.dir)
 	}
 	if err != nil && w.failed == nil {
 		w.failed = err
@@ -150,12 +174,60 @@ func (w *Writer) mergeOnce() (bool, error) {
 	return err == nil, err
 }
 
-// planLocked picks the next run to merge: the smallest window of
-// MergeFanIn adjacent segments whose sizes sit within one tier
-// (max ≤ TierFactor × min), capped by MaxMergeDocs, and worth its
-// one-time cost per the internal/cost model. Returns nil when nothing
-// qualifies.
+// adoptMergedBitmapLocked installs the merged segment's deletion view:
+// the concatenation of the inputs' current alive bitmaps, persisted as
+// the segment's first bitmap version when any document is dead. Called
+// under the writer mutex before the merged segment is spliced in.
+func (w *Writer) adoptMergedBitmapLocked(merged *segment, run []*segment) error {
+	anyDead := false
+	for _, s := range run {
+		if s.alive != nil && !s.alive.AllAlive() {
+			anyDead = true
+			break
+		}
+	}
+	if !anyDead {
+		return nil
+	}
+	bm := postings.NewAliveBitmap(merged.docs)
+	off := uint32(0)
+	for _, s := range run {
+		if s.alive != nil {
+			for id := 0; id < s.docs; id++ {
+				if !s.alive.Alive(uint32(id)) {
+					bm.Kill(off + uint32(id))
+				}
+			}
+		}
+		off += uint32(s.docs)
+	}
+	if err := index.WriteAlive(filepath.Join(merged.dir, aliveName(1)), bm); err != nil {
+		return err
+	}
+	merged.alive = bm
+	merged.aliveVer = 1
+	merged.recountAlive()
+	return nil
+}
+
+// planLocked picks the next run to merge. Tiered compaction first: the
+// smallest window of MergeFanIn adjacent segments whose sizes sit
+// within one tier (max ≤ TierFactor × min), capped by MaxMergeDocs, and
+// worth its one-time cost per the internal/cost model. When no tiered
+// run qualifies, the purge rule applies: the segment with the highest
+// fraction of tombstoned-but-still-stored documents, once that fraction
+// reaches PurgeDeadFrac, is rewritten alone to reclaim the dead
+// postings and re-tighten its block bounds (no cost-model gate — the
+// rewrite is how deleted space is ever returned). Returns nil when
+// nothing qualifies.
 func (w *Writer) planLocked() []*segment {
+	if run := w.planTieredLocked(); run != nil {
+		return run
+	}
+	return w.planPurgeLocked()
+}
+
+func (w *Writer) planTieredLocked() []*segment {
 	k := w.cfg.MergeFanIn
 	if k < 2 || len(w.segs) < k {
 		return nil
@@ -197,6 +269,29 @@ func (w *Writer) planLocked() []*segment {
 	return best
 }
 
+func (w *Writer) planPurgeLocked() []*segment {
+	var best *segment
+	var bestFrac float64
+	for _, s := range w.segs {
+		if s.purgeable == 0 {
+			continue
+		}
+		// Fraction of *stored* documents (alive + tombstoned-but-stored).
+		// The full id span would count long-purged holes in the
+		// denominator, making old segments need ever more tombstones to
+		// requalify — dead space would stop being reclaimed.
+		frac := float64(s.purgeable) / float64(s.aliveDocs+s.purgeable)
+		if frac >= w.cfg.PurgeDeadFrac && frac > bestFrac {
+			best = s
+			bestFrac = frac
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return []*segment{best}
+}
+
 // spliceLocked replaces the contiguous run in the chain by the merged
 // segment. Seals only append and merges serialize, so the run is still
 // present and contiguous.
@@ -215,29 +310,51 @@ func (w *Writer) spliceLocked(run []*segment, merged *segment) {
 }
 
 // mergeSegments compacts a run of adjacent segments into one block-max
-// segment: concatenate via index.Merge, persist, reopen through a fresh
-// pool.
-func mergeSegments(cfg Config, run []*segment, seq, snap uint64, frozen *lexicon.Lexicon) (*segment, error) {
+// segment: concatenate-and-purge via index.Merge (dropping documents
+// dead in the captured bitmaps), copy the forward sidecar entries of
+// every document — dead ones included, so the tombstone ledger stays
+// reconstructible after their postings are gone — persist, and reopen
+// through a fresh pool.
+func mergeSegments(cfg Config, run []*segment, alives []*postings.AliveBitmap, seq, snap uint64, frozen *lexicon.Lexicon) (*segment, error) {
 	inputs := make([]*index.Index, len(run))
+	total := 0
 	for i, s := range run {
 		inputs[i] = s.idx
+		total += s.docs
 	}
 	pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
 	if err != nil {
 		return nil, fmt.Errorf("live: merge: %w", err)
 	}
-	merged, err := index.Merge(inputs, frozen, pool)
+	merged, err := index.Merge(inputs, alives, frozen, pool)
 	if err != nil {
 		return nil, fmt.Errorf("live: merge: %w", err)
 	}
 	name := segmentName(seq)
-	if err := merged.Persist(filepath.Join(cfg.Dir, name)); err != nil {
-		return nil, fmt.Errorf("live: merge: %w", err)
-	}
-	seg, err := openSegment(cfg.Dir, name, seq, snap, run[0].base, cfg.PoolPages)
-	if err != nil {
-		os.RemoveAll(filepath.Join(cfg.Dir, name))
+	dir := filepath.Join(cfg.Dir, name)
+	cleanup := func(err error) (*segment, error) {
+		os.RemoveAll(dir)
 		return nil, err
+	}
+	if err := merged.Persist(dir); err != nil {
+		return cleanup(fmt.Errorf("live: merge: %w", err))
+	}
+	blobs := make([][]byte, 0, total)
+	for _, s := range run {
+		for id := 0; id < s.docs; id++ {
+			raw, err := s.fwd.raw(uint32(id))
+			if err != nil {
+				return cleanup(fmt.Errorf("live: merge: %w", err))
+			}
+			blobs = append(blobs, raw)
+		}
+	}
+	if err := writeDocTerms(dir, blobs); err != nil {
+		return cleanup(err)
+	}
+	seg, err := openSegment(cfg.Dir, name, seq, snap, run[0].base, cfg.PoolPages, 0)
+	if err != nil {
+		return cleanup(err)
 	}
 	return seg, nil
 }

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/lexicon"
+	"repro/internal/postings"
 	"repro/internal/rank"
 	"repro/internal/storage"
 )
@@ -16,8 +18,15 @@ import (
 // segment is one immutable on-disk segment of the live index, opened
 // through its own buffer pool. Segments are shared across generations
 // and refcounted by them: release drops one reference, and the last
-// release closes the file — and deletes the directory when the segment
+// release closes the files — and deletes the directory when the segment
 // was merged away (dead).
+//
+// The postings and sidecar files never change after the segment is
+// persisted, with one exception: deletions write a new alive-bitmap
+// version file next to them and swap the in-memory pointer (alive /
+// aliveVer, guarded by the writer mutex). The bitmap value itself is
+// immutable — a deletion clones it — so generations that captured an
+// older pointer keep their deletion view.
 type segment struct {
 	seq uint64 // creation sequence; names the directory, unique forever
 	// snap is the ordinal of the lexicon snapshot the segment persists:
@@ -25,11 +34,16 @@ type segment struct {
 	// of the seal snapshot they re-persist. The max-snap segment's
 	// lexicon is authoritative on reopen — seq cannot play that role,
 	// because a merge can take a higher seq than a concurrently in-
-	// flight seal while persisting an older snapshot.
+	// flight seal while persisting an older snapshot. Snapshots are
+	// purge-agnostic: they count every document ever sealed, and the
+	// tombstone ledger subtracts the dead at generation install.
 	snap uint64
 	name string // directory name under the live dir, e.g. "seg-000007"
 	dir  string // absolute directory path
 	base uint32 // global id of the segment's first document
+	// docs is the segment's document-id span — including tombstoned and
+	// purged ids, which stay as holes so surviving documents keep their
+	// global ids forever.
 	docs int
 
 	// postings/bytes cache the merge planner's cost-model inputs so
@@ -37,7 +51,20 @@ type segment struct {
 	postings int64
 	bytes    int64
 
+	// Deletion state, guarded by the writer mutex. alive is nil when
+	// every stored document is alive; aliveVer is the persisted bitmap
+	// version the manifest references (0 = none). aliveDocs/aliveTokens
+	// are the corpus-statistics contribution of the survivors, and
+	// purgeable counts documents that are dead but still physically
+	// stored (DocLen > 0) — what a purge rewrite would reclaim.
+	alive       *postings.AliveBitmap
+	aliveVer    uint64
+	aliveDocs   int
+	aliveTokens int64
+	purgeable   int
+
 	idx  *index.Index
+	fwd  *fwdSidecar
 	fd   *storage.FileDisk
 	refs atomic.Int32
 	dead atomic.Bool // merged away: delete the directory on last release
@@ -46,42 +73,99 @@ type segment struct {
 // segmentName formats the directory name for sequence number seq.
 func segmentName(seq uint64) string { return fmt.Sprintf("seg-%06d", seq) }
 
+// aliveName formats the alive-bitmap sidecar file name for version ver.
+func aliveName(ver uint64) string { return fmt.Sprintf("alive-%06d.bm", ver) }
+
 // openSegment opens the persisted segment named name under liveDir with
-// a private pool of poolPages frames. The returned segment holds one
-// reference (the opener's).
-func openSegment(liveDir, name string, seq, snap uint64, base uint32, poolPages int) (*segment, error) {
+// a private pool of poolPages frames, loading its alive bitmap (version
+// tomb; 0 means all stored documents are alive) and forward sidecar.
+// The returned segment holds one reference (the opener's).
+func openSegment(liveDir, name string, seq, snap uint64, base uint32, poolPages int, tomb uint64) (*segment, error) {
 	dir := filepath.Join(liveDir, name)
 	pool, fd, err := index.OpenPool(dir, poolPages)
 	if err != nil {
 		return nil, fmt.Errorf("live: open segment %s: %w", name, err)
 	}
+	ok := false
+	defer func() {
+		if !ok {
+			fd.Close()
+		}
+	}()
 	idx, err := index.Open(dir, pool)
 	if err != nil {
-		fd.Close()
 		return nil, fmt.Errorf("live: open segment %s: %w", name, err)
 	}
+	fwd, err := openDocTerms(dir, idx.Stats.NumDocs)
+	if errors.Is(err, os.ErrNotExist) && tomb == 0 {
+		// A segment persisted before the delete path existed has no
+		// forward sidecar (and, with no bitmap version, no tombstones
+		// whose statistics could depend on one). Upgrade in place: the
+		// inverted lists hold exactly the information the sidecar
+		// inverts, so one scan rebuilds it and the directory becomes a
+		// current-format segment.
+		if err = rebuildFwdSidecar(dir, idx); err == nil {
+			fwd, err = openDocTerms(dir, idx.Stats.NumDocs)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("live: open segment %s: %w", name, err)
+	}
+	defer func() {
+		if !ok {
+			fwd.close()
+		}
+	}()
 	s := &segment{
 		seq: seq, snap: snap, name: name, dir: dir, base: base,
 		docs:     idx.Stats.NumDocs,
 		postings: idx.TotalPostings(),
 		bytes:    idx.SizeBytes(),
-		idx:      idx, fd: fd,
+		idx:      idx, fwd: fwd, fd: fd,
 	}
+	if tomb > 0 {
+		bm, err := index.ReadAlive(filepath.Join(dir, aliveName(tomb)), s.docs)
+		if err != nil {
+			return nil, fmt.Errorf("live: open segment %s: %w", name, err)
+		}
+		s.alive = bm
+		s.aliveVer = tomb
+	}
+	s.recountAlive()
 	s.refs.Store(1)
+	ok = true
 	return s, nil
+}
+
+// recountAlive derives aliveDocs/aliveTokens/purgeable from the current
+// bitmap and the document lengths. A zero document length marks a hole
+// (purged, or deleted while still buffered) whose postings no longer
+// exist; a dead document with a positive length still stores postings
+// and is purgeable. Callers hold the writer mutex.
+func (s *segment) recountAlive() {
+	s.aliveDocs, s.aliveTokens, s.purgeable = 0, 0, 0
+	for id, dl := range s.idx.Stats.DocLens {
+		if s.alive == nil || s.alive.Alive(uint32(id)) {
+			s.aliveDocs++
+			s.aliveTokens += int64(dl)
+		} else if dl > 0 {
+			s.purgeable++
+		}
+	}
 }
 
 // acquire takes one reference.
 func (s *segment) acquire() { s.refs.Add(1) }
 
 // release drops one reference; the last reference closes the backing
-// file and, for merged-away segments, deletes the directory. Errors are
-// best-effort: a failed delete leaves a stale directory that the next
-// Open garbage-collects.
+// files and, for merged-away segments, deletes the directory. Errors
+// are best-effort: a failed delete leaves a stale directory that the
+// next Open garbage-collects.
 func (s *segment) release() {
 	if s.refs.Add(-1) != 0 {
 		return
 	}
+	s.fwd.close()
 	s.fd.Close()
 	if s.dead.Load() {
 		os.RemoveAll(s.dir)
@@ -89,11 +173,12 @@ func (s *segment) release() {
 }
 
 // generation is one immutable searchable state: the segment chain at a
-// commit point, the frozen lexicon snapshot providing term statistics,
-// the corpus statistics over all sealed documents, and one MaxScore
-// engine per segment ranking with both. Searches acquire a generation,
-// evaluate, and release; the writer holds one reference for as long as
-// the generation is current.
+// commit point, the frozen lexicon snapshot (tombstone ledger already
+// subtracted, so it covers exactly the alive documents), the corpus
+// statistics over those documents, the per-segment deletion views
+// captured at install, and one MaxScore engine per segment ranking with
+// all of it. Searches acquire a generation, evaluate, and release; the
+// writer holds one reference for as long as the generation is current.
 type generation struct {
 	id      uint64
 	lex     *lexicon.Lexicon
@@ -105,13 +190,18 @@ type generation struct {
 
 // newGeneration assembles a generation over segs, acquiring one segment
 // reference each and building the per-segment engines against the
-// frozen lexicon and corpus. On error the acquired references are
+// frozen lexicon, corpus, and each segment's current alive bitmap (the
+// capture that makes a deletion committed after install invisible to
+// this generation's searches). On error the acquired references are
 // returned.
 func newGeneration(id uint64, lex *lexicon.Lexicon, corpus rank.CorpusStat, segs []*segment, scorer rank.Scorer) (*generation, error) {
 	g := &generation{id: id, lex: lex, corpus: corpus, segs: segs}
 	g.refs.Store(1)
 	for i, s := range segs {
 		view, err := s.idx.WithLexicon(lex)
+		if err == nil {
+			view, err = view.WithAlive(s.alive)
+		}
 		if err == nil {
 			var e *core.MaxScoreEngine
 			e, err = core.NewMaxScoreWithCorpus(view, scorer, corpus)

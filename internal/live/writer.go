@@ -7,11 +7,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/collection"
 	"repro/internal/index"
 	"repro/internal/lexicon"
+	"repro/internal/postings"
 	"repro/internal/rank"
 	"repro/internal/storage"
 )
@@ -48,22 +48,42 @@ type Writer struct {
 	scratch      map[lexicon.TermID]int32
 	buf          []collection.Document // local ids 0..len-1; global id = base + local
 	bufTokens    int64
+	bufDead      int    // buffered documents deleted before sealing (id holes)
 	base         uint32 // global id of buf[0] == documents sealed or sealing
 
-	seq         uint64 // next segment sequence number
-	genID       uint64
-	totalTokens int64 // tokens across sealed segments
-	segs        []*segment
-	cur         *generation
+	// deadStats is the tombstone ledger: the summed term statistics of
+	// every sealed document that has been deleted, purged or not. The
+	// persisted lexicon snapshots are purge-agnostic (they count every
+	// document ever sealed), so subtracting this ledger from the frozen
+	// snapshot at generation install yields statistics over exactly the
+	// surviving documents — the invariant that keeps live results
+	// byte-identical to a one-shot build over the survivors. On reopen
+	// the ledger is rebuilt from the alive bitmaps plus the forward
+	// sidecars, whose entries are retained even after a purge.
+	deadStats map[lexicon.TermID]lexicon.Stats
+	// tight is sealedSnap with the ledger already subtracted — the
+	// statistics every generation ranks with. It is maintained
+	// incrementally (rebuilt per seal, cloned-and-decremented per
+	// delete) so a deletion commit costs one lexicon clone plus the
+	// dead document's terms, not a replay of the whole ledger. Like
+	// sealedSnap it is immutable once installed: generations share it.
+	tight *lexicon.Lexicon
 
-	sealing   bool
-	mergeBusy bool
-	closed    bool
-	failed    error // sticky background failure
+	seq   uint64 // next segment sequence number
+	genID uint64
+	segs  []*segment
+	cur   *generation
 
-	docsAdded int64
-	seals     int64
-	merges    int64
+	sealing        bool
+	sealLo, sealHi uint32 // global id range of the in-flight seal's documents
+	mergeBusy      bool
+	closed         bool
+	failed         error // sticky background failure
+
+	docsAdded   int64
+	docsDeleted int64
+	seals       int64
+	merges      int64
 
 	mergeKick chan struct{}
 	stop      chan struct{}
@@ -123,6 +143,7 @@ func Open(cfg Config) (*Writer, error) {
 	w := &Writer{
 		cfg:       cfg,
 		scratch:   make(map[lexicon.TermID]int32),
+		deadStats: make(map[lexicon.TermID]lexicon.Stats),
 		seq:       m.NextSeq,
 		genID:     m.Generation,
 		mergeKick: make(chan struct{}, 1),
@@ -140,7 +161,7 @@ func Open(cfg Config) (*Writer, error) {
 	}()
 	var newest *segment
 	for _, ms := range m.Segments {
-		seg, err := openSegment(cfg.Dir, ms.Name, ms.Seq, ms.Snap, ms.Base, cfg.PoolPages)
+		seg, err := openSegment(cfg.Dir, ms.Name, ms.Seq, ms.Snap, ms.Base, cfg.PoolPages, ms.Tomb)
 		if err != nil {
 			return nil, err
 		}
@@ -149,7 +170,31 @@ func Open(cfg Config) (*Writer, error) {
 			return nil, fmt.Errorf("live: segment %s holds %d documents, manifest says %d (corrupt?)",
 				ms.Name, seg.docs, ms.Docs)
 		}
-		w.totalTokens += seg.idx.Stats.TotalTokens
+		if seg.aliveDocs != ms.Alive {
+			return nil, fmt.Errorf("live: segment %s bitmap leaves %d documents alive, manifest says %d (corrupt?)",
+				ms.Name, seg.aliveDocs, ms.Alive)
+		}
+		// Rebuild the tombstone ledger: every dead document with a
+		// non-empty forward entry was sealed (its statistics live in the
+		// persisted snapshots) and must be subtracted. Documents deleted
+		// while buffered sealed as empty entries and never entered a
+		// snapshot; purged documents keep their entries exactly so this
+		// reconstruction stays possible after compaction.
+		if seg.alive != nil {
+			for id := 0; id < seg.docs; id++ {
+				if seg.alive.Alive(uint32(id)) {
+					continue
+				}
+				terms, err := seg.fwd.terms(uint32(id))
+				if err != nil {
+					return nil, fmt.Errorf("live: segment %s: %w", ms.Name, err)
+				}
+				for _, tf := range terms {
+					w.deadStats[tf.Term] = addStat(w.deadStats[tf.Term], 1, int64(tf.TF))
+				}
+				w.docsDeleted++
+			}
+		}
 		w.base += uint32(seg.docs)
 		if newest == nil || seg.snap > newest.snap {
 			newest = seg
@@ -169,9 +214,12 @@ func Open(cfg Config) (*Writer, error) {
 	}
 	w.sealedSnap = w.lex.Clone() // buffer is empty: sealed == everything
 	w.sealedSnapID = w.snapID
+	if w.tight, err = tightenLexicon(w.sealedSnap, w.deadStats); err != nil {
+		return nil, err
+	}
 
 	w.mu.Lock()
-	err = w.installLocked(w.sealedSnap) // immutable; buffer is empty, so it covers everything
+	err = w.installLocked()
 	w.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -206,59 +254,79 @@ func (w *Writer) Add(terms []TermCount) (uint32, error) {
 		w.mu.Unlock()
 		return 0, err
 	}
-	if len(terms) == 0 {
+	doc, err := w.normalizeLocked(terms)
+	if err != nil {
 		w.mu.Unlock()
-		return 0, fmt.Errorf("live: empty document")
+		return 0, err
 	}
-	// Validation is all-or-nothing: per-term statistics are recorded
-	// into the master lexicon only after the whole document checks out,
-	// so a rejected document leaves no phantom DocFreq/CollFreq behind.
-	// (Intern alone is safe — a name without statistics is inert.)
-	clear(w.scratch)
-	var docLen int64
-	for _, tc := range terms {
-		if tc.TF <= 0 {
-			w.mu.Unlock()
-			return 0, fmt.Errorf("live: non-positive tf %d for term %q", tc.TF, tc.Term)
-		}
-		id := w.lex.Intern(tc.Term)
-		if w.scratch[id] > math.MaxInt32-tc.TF {
-			w.mu.Unlock()
-			return 0, fmt.Errorf("live: term %q frequency overflows int32", tc.Term)
-		}
-		w.scratch[id] += tc.TF
-		docLen += int64(tc.TF)
-	}
-	if docLen > math.MaxInt32 {
-		w.mu.Unlock()
-		return 0, fmt.Errorf("live: document length %d overflows int32", docLen)
-	}
-	doc := collection.Document{ID: uint32(len(w.buf))}
-	doc.Terms = make([]collection.TermFreq, 0, len(w.scratch))
-	for id, tf := range w.scratch {
-		doc.Terms = append(doc.Terms, collection.TermFreq{Term: id, TF: tf})
-		doc.Len += tf
-	}
-	sort.Slice(doc.Terms, func(a, b int) bool { return doc.Terms[a].Term < doc.Terms[b].Term })
-	for _, tf := range doc.Terms {
-		if err := w.lex.Record(tf.Term, int(tf.TF)); err != nil {
-			w.mu.Unlock()
-			return 0, err
-		}
-	}
-	global := w.base + doc.ID
-	w.buf = append(w.buf, doc)
-	w.bufTokens += int64(doc.Len)
-	w.docsAdded++
-	need := len(w.buf) >= w.cfg.SealDocs || w.bufTokens >= w.cfg.SealTokens
+	global, need, err := w.recordLocked(doc)
 	w.mu.Unlock()
-
+	if err != nil {
+		return 0, err
+	}
 	if need {
 		if err := w.Flush(); err != nil {
 			return global, err
 		}
 	}
 	return global, nil
+}
+
+// normalizeLocked validates one incoming document and normalizes it
+// into the buffer representation: duplicate terms coalesced, term ids
+// interned against the master lexicon, ascending term order. It is the
+// single validation path — Add and Update share it, so their document
+// contracts cannot drift. Validation is all-or-nothing: nothing is
+// recorded here, so a rejected document leaves no phantom
+// DocFreq/CollFreq behind. (Intern alone is safe — a name without
+// statistics is inert.)
+func (w *Writer) normalizeLocked(terms []TermCount) (collection.Document, error) {
+	var doc collection.Document
+	if len(terms) == 0 {
+		return doc, fmt.Errorf("live: empty document")
+	}
+	clear(w.scratch)
+	var docLen int64
+	for _, tc := range terms {
+		if tc.TF <= 0 {
+			return doc, fmt.Errorf("live: non-positive tf %d for term %q", tc.TF, tc.Term)
+		}
+		id := w.lex.Intern(tc.Term)
+		if w.scratch[id] > math.MaxInt32-tc.TF {
+			return doc, fmt.Errorf("live: term %q frequency overflows int32", tc.Term)
+		}
+		w.scratch[id] += tc.TF
+		docLen += int64(tc.TF)
+	}
+	if docLen > math.MaxInt32 {
+		return doc, fmt.Errorf("live: document length %d overflows int32", docLen)
+	}
+	doc.Terms = make([]collection.TermFreq, 0, len(w.scratch))
+	for id, tf := range w.scratch {
+		doc.Terms = append(doc.Terms, collection.TermFreq{Term: id, TF: tf})
+		doc.Len += tf
+	}
+	sort.Slice(doc.Terms, func(a, b int) bool { return doc.Terms[a].Term < doc.Terms[b].Term })
+	return doc, nil
+}
+
+// recordLocked appends a normalized document to the buffer, recording
+// its statistics into the master lexicon and assigning its global id.
+// need reports whether the buffer tripped a seal threshold (the caller
+// runs Flush after unlocking).
+func (w *Writer) recordLocked(doc collection.Document) (global uint32, need bool, err error) {
+	doc.ID = uint32(len(w.buf))
+	for _, tf := range doc.Terms {
+		if err := w.lex.Record(tf.Term, int(tf.TF)); err != nil {
+			return 0, false, err
+		}
+	}
+	global = w.base + doc.ID
+	w.buf = append(w.buf, doc)
+	w.bufTokens += int64(doc.Len)
+	w.docsAdded++
+	need = len(w.buf) >= w.cfg.SealDocs || w.bufTokens >= w.cfg.SealTokens
+	return global, need, nil
 }
 
 // Flush seals the buffered documents into a new on-disk segment and
@@ -286,8 +354,13 @@ func (w *Writer) Flush() error {
 	tokens := w.bufTokens
 	w.buf = nil
 	w.bufTokens = 0
+	w.bufDead = 0
 	segBase := w.base
 	w.base += uint32(len(docs))
+	// Publish the in-flight seal's id range: a Delete targeting one of
+	// these documents waits until the seal commits (the document is in
+	// neither the buffer nor any segment while the build runs).
+	w.sealLo, w.sealHi = segBase, w.base
 	// The snapshot is taken in the same critical section that drains the
 	// buffer, so it covers exactly the documents sealed so far — the
 	// invariant both the persisted segment lexicon and the committed
@@ -307,11 +380,15 @@ func (w *Writer) Flush() error {
 	w.sealing = false
 	if err == nil {
 		w.segs = append(w.segs, seg)
-		w.totalTokens += tokens
 		w.seals++
 		w.sealedSnap = frozen // newest exactly-sealed-docs snapshot
 		w.sealedSnapID = snap
-		err = w.commitLocked(frozen)
+		// A new snapshot means a fresh tightened clone: the one full
+		// ledger replay each seal pays, so deletions don't have to.
+		w.tight, err = tightenLexicon(frozen, w.deadStats)
+		if err == nil {
+			err = w.commitLocked()
+		}
 	}
 	if err != nil && w.failed == nil {
 		w.failed = err
@@ -326,7 +403,12 @@ func (w *Writer) Flush() error {
 }
 
 // buildSegment builds the buffered documents into a block-max index,
-// persists it as segment seq, and reopens it through its own pool.
+// persists it as segment seq together with its forward sidecar (one
+// term-list entry per document, empty for documents deleted while still
+// buffered) and — when such deletions left holes — an alive bitmap, and
+// reopens it through its own pool. A buffered document deleted before
+// the seal is a Document with no terms: it keeps its id slot (a hole)
+// but contributes no postings, no length, and no statistics anywhere.
 func buildSegment(cfg Config, docs []collection.Document, tokens int64, seq, snap uint64, base uint32, frozen *lexicon.Lexicon) (*segment, error) {
 	sub := &collection.Collection{Docs: docs, Lex: frozen, TotalTokens: tokens}
 	if len(docs) > 0 {
@@ -341,47 +423,74 @@ func buildSegment(cfg Config, docs []collection.Document, tokens int64, seq, sna
 		return nil, fmt.Errorf("live: seal: %w", err)
 	}
 	name := segmentName(seq)
-	if err := idx.Persist(filepath.Join(cfg.Dir, name)); err != nil {
-		return nil, fmt.Errorf("live: seal: %w", err)
-	}
-	seg, err := openSegment(cfg.Dir, name, seq, snap, base, cfg.PoolPages)
-	if err != nil {
+	dir := filepath.Join(cfg.Dir, name)
+	cleanup := func(err error) (*segment, error) {
 		// The persisted directory is not yet in the manifest; remove it so
 		// it cannot linger as a stale orphan.
-		os.RemoveAll(filepath.Join(cfg.Dir, name))
+		os.RemoveAll(dir)
 		return nil, err
+	}
+	if err := idx.Persist(dir); err != nil {
+		return cleanup(fmt.Errorf("live: seal: %w", err))
+	}
+	blobs := make([][]byte, len(docs))
+	var bm *postings.AliveBitmap
+	for i := range docs {
+		if len(docs[i].Terms) == 0 {
+			if bm == nil {
+				bm = postings.NewAliveBitmap(len(docs))
+			}
+			bm.Kill(uint32(i))
+			continue
+		}
+		blobs[i] = encodeDocEntry(docs[i].Terms)
+	}
+	if err := writeDocTerms(dir, blobs); err != nil {
+		return cleanup(err)
+	}
+	var tomb uint64
+	if bm != nil {
+		tomb = 1
+		if err := index.WriteAlive(filepath.Join(dir, aliveName(tomb)), bm); err != nil {
+			return cleanup(err)
+		}
+	}
+	seg, err := openSegment(cfg.Dir, name, seq, snap, base, cfg.PoolPages, tomb)
+	if err != nil {
+		return cleanup(err)
 	}
 	return seg, nil
 }
 
 // commitLocked writes the manifest for the current chain and installs a
-// new searchable generation ranking with the frozen snapshot. frozen
-// must extend every segment's persisted lexicon; both commit paths
-// guarantee it without cloning the master again: a seal passes its
-// capture-time snapshot (every segment in the chain persists either an
-// earlier seal's snapshot or — for merges — the sealedSnap of a seal
-// no later than this one, all subsets of this capture), and a merge
-// passes the current sealedSnap read under this same lock (which a
-// seal committing during the merge's build has already advanced past
-// every segment in the chain). Either way the generation's statistics
-// cover exactly the sealed, searchable documents.
-func (w *Writer) commitLocked(frozen *lexicon.Lexicon) error {
+// new searchable generation ranking with w.tight — the current sealed
+// snapshot with the tombstone ledger subtracted. The snapshot under it
+// (sealedSnap) extends every segment's persisted lexicon: every segment
+// in the chain persists either an earlier seal's snapshot or — for
+// merges — the sealedSnap of a seal no later than the current one, and
+// a seal committing during a merge's build has already advanced
+// sealedSnap (and rebuilt tight) past every segment in the chain. So
+// the generation's statistics cover exactly the sealed, searchable,
+// non-deleted documents.
+func (w *Writer) commitLocked() error {
 	w.genID++
 	m := manifest{Version: 1, Generation: w.genID, NextSeq: w.seq}
 	for _, s := range w.segs {
 		m.Segments = append(m.Segments, manifestSegment{
 			Name: s.name, Seq: s.seq, Snap: s.snap, Base: s.base, Docs: s.docs,
+			Alive: s.aliveDocs, Tomb: s.aliveVer,
 		})
 	}
 	if err := writeManifest(w.cfg.Dir, m); err != nil {
 		return err
 	}
-	return w.installLocked(frozen)
+	return w.installLocked()
 }
 
-// installLocked swaps in a new generation over the current chain.
-func (w *Writer) installLocked(frozen *lexicon.Lexicon) error {
-	g, err := newGeneration(w.genID, frozen, w.corpusLocked(),
+// installLocked swaps in a new generation over the current chain,
+// ranking with the maintained ledger-tightened snapshot.
+func (w *Writer) installLocked() error {
+	g, err := newGeneration(w.genID, w.tight, w.corpusLocked(),
 		append([]*segment(nil), w.segs...), w.cfg.Scorer)
 	if err != nil {
 		return err
@@ -394,32 +503,61 @@ func (w *Writer) installLocked(frozen *lexicon.Lexicon) error {
 	return nil
 }
 
-// corpusLocked computes the corpus statistics over all sealed documents
-// — the global statistics every generation ranks with.
+// tightenLexicon returns frozen with the tombstone ledger subtracted —
+// a fresh clone when the ledger is non-empty, frozen itself otherwise
+// (it is immutable either way). Underflow means the ledger claims
+// deletions the snapshot never recorded: corruption, never a valid
+// state.
+func tightenLexicon(frozen *lexicon.Lexicon, dead map[lexicon.TermID]lexicon.Stats) (*lexicon.Lexicon, error) {
+	if len(dead) == 0 {
+		return frozen, nil
+	}
+	tight := frozen.Clone()
+	for id, s := range dead {
+		if err := tight.Subtract(id, s); err != nil {
+			return nil, fmt.Errorf("live: tombstone ledger: %w", err)
+		}
+	}
+	return tight, nil
+}
+
+// addStat accumulates one document's contribution into a ledger entry.
+func addStat(s lexicon.Stats, docs int32, coll int64) lexicon.Stats {
+	s.DocFreq += docs
+	s.CollFreq += coll
+	return s
+}
+
+// corpusLocked computes the corpus statistics over the alive sealed
+// documents — the global statistics every generation ranks with, equal
+// by construction to what a one-shot build over the survivors records.
 func (w *Writer) corpusLocked() rank.CorpusStat {
 	var docs int
+	var tokens int64
 	for _, s := range w.segs {
-		docs += s.docs
+		docs += s.aliveDocs
+		tokens += s.aliveTokens
 	}
-	c := rank.CorpusStat{NumDocs: docs, TotalTokens: w.totalTokens}
+	c := rank.CorpusStat{NumDocs: docs, TotalTokens: tokens}
 	if docs > 0 {
-		c.AvgDocLen = float64(w.totalTokens) / float64(docs)
+		c.AvgDocLen = float64(tokens) / float64(docs)
 	}
 	return c
 }
 
-// flushLoop seals a non-empty buffer every cfg.FlushEvery.
+// flushLoop seals a non-empty buffer every cfg.FlushEvery, on ticks of
+// the injected clock.
 func (w *Writer) flushLoop() {
 	defer w.bgDone.Done()
-	t := time.NewTicker(w.cfg.FlushEvery)
+	t := w.cfg.Clock.NewTicker(w.cfg.FlushEvery)
 	defer t.Stop()
 	for {
 		select {
 		case <-w.stop:
 			return
-		case <-t.C:
+		case <-t.Chan():
 			w.mu.Lock()
-			n := len(w.buf)
+			n := len(w.buf) - w.bufDead
 			bad := w.closed || w.failed != nil
 			w.mu.Unlock()
 			if n > 0 && !bad {
@@ -433,14 +571,17 @@ func (w *Writer) flushLoop() {
 func (w *Writer) Stats() WriterStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	var sealed int64
+	var sealed, alive int64
 	for _, s := range w.segs {
 		sealed += int64(s.docs)
+		alive += int64(s.aliveDocs)
 	}
 	return WriterStats{
 		DocsAdded:    w.docsAdded,
 		DocsSealed:   sealed,
-		BufferedDocs: len(w.buf),
+		DocsDeleted:  w.docsDeleted,
+		DocsAlive:    alive,
+		BufferedDocs: len(w.buf) - w.bufDead,
 		Seals:        w.seals,
 		Merges:       w.merges,
 		Segments:     len(w.segs),

@@ -1,0 +1,90 @@
+package postings
+
+import "math/bits"
+
+// AliveBitmap tracks which local document ids of a segment are alive.
+// It is the delete side of the live index: a tombstoned document stays
+// physically present in the segment's postings but is filtered out at
+// the iterator seam, so every engine built on Iterator serves only
+// surviving documents without any change to its evaluation loop.
+//
+// A bitmap is immutable once it is visible to searches: the live layer
+// mutates a private Clone and swaps the pointer at commit, so an
+// in-flight query keeps the deletion view it started with (snapshot
+// consistency). The zero id space is [0, Len()); ids outside it read as
+// dead.
+type AliveBitmap struct {
+	n     int
+	alive int
+	words []uint64
+}
+
+// NewAliveBitmap returns a bitmap over n documents, all alive.
+func NewAliveBitmap(n int) *AliveBitmap {
+	b := &AliveBitmap{n: n, alive: n, words: make([]uint64, (n+63)/64)}
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if r := n % 64; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << r) - 1
+	}
+	return b
+}
+
+// RestoreAliveBitmap rebuilds a bitmap from its word image (the
+// persisted form). The tail bits beyond n must be zero.
+func RestoreAliveBitmap(n int, words []uint64) (*AliveBitmap, bool) {
+	if n < 0 || len(words) != (n+63)/64 {
+		return nil, false
+	}
+	b := &AliveBitmap{n: n, words: words}
+	if r := n % 64; r != 0 && len(words) > 0 {
+		if words[len(words)-1]&^((1<<r)-1) != 0 {
+			return nil, false // set bits beyond the document space
+		}
+	}
+	for _, w := range words {
+		b.alive += bits.OnesCount64(w)
+	}
+	return b, true
+}
+
+// Len returns the size of the id space the bitmap covers.
+func (b *AliveBitmap) Len() int { return b.n }
+
+// AliveCount returns the number of alive documents.
+func (b *AliveBitmap) AliveCount() int { return b.alive }
+
+// DeadCount returns the number of dead documents.
+func (b *AliveBitmap) DeadCount() int { return b.n - b.alive }
+
+// AllAlive reports whether no document is dead.
+func (b *AliveBitmap) AllAlive() bool { return b.alive == b.n }
+
+// Alive reports whether id is alive. Ids outside [0, Len()) are dead.
+func (b *AliveBitmap) Alive(id uint32) bool {
+	if int(id) >= b.n {
+		return false
+	}
+	return b.words[id>>6]&(1<<(id&63)) != 0
+}
+
+// Kill marks id dead, reporting whether it was alive before.
+func (b *AliveBitmap) Kill(id uint32) bool {
+	if !b.Alive(id) {
+		return false
+	}
+	b.words[id>>6] &^= 1 << (id & 63)
+	b.alive--
+	return true
+}
+
+// Clone returns an independent copy (the copy-on-write step of a
+// deletion commit).
+func (b *AliveBitmap) Clone() *AliveBitmap {
+	return &AliveBitmap{n: b.n, alive: b.alive, words: append([]uint64(nil), b.words...)}
+}
+
+// Words exposes the backing word image for persistence. Callers must
+// not mutate it.
+func (b *AliveBitmap) Words() []uint64 { return b.words }

@@ -1,0 +1,113 @@
+package postings
+
+import (
+	"testing"
+)
+
+// FuzzBlockDecode fuzzes the block codec's decode path: arbitrary bytes
+// must never panic or allocate unboundedly — corrupt input fails with
+// ErrCorrupt — and any stream that does decode must round-trip: its
+// canonical re-encoding decodes to the identical postings, and the
+// skip-index metadata emitted alongside agrees with the payload.
+func FuzzBlockDecode(f *testing.F) {
+	seed := func(ps []Posting) {
+		body, _, _, err := EncodeBlocks(ps)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	seed(nil)
+	seed([]Posting{{DocID: 0, TF: 1}})
+	seed([]Posting{{DocID: 3, TF: 2}, {DocID: 4, TF: 1}, {DocID: 900, TF: 7}})
+	long := make([]Posting, 3*BlockSize+5)
+	for i := range long {
+		long[i] = Posting{DocID: uint32(i * 3), TF: uint32(i%9 + 1)}
+	}
+	seed(long)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}) // huge declared count, no blocks
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := Decode(data)
+		if err != nil {
+			return // corrupt input must fail cleanly, which it just did
+		}
+		// Decoded postings must satisfy the invariants Encode enforces —
+		// otherwise Decode accepted a stream Encode could never produce.
+		for i, p := range ps {
+			if p.TF == 0 {
+				t.Fatalf("decoded zero TF at %d", i)
+			}
+			if i > 0 && p.DocID <= ps[i-1].DocID {
+				t.Fatalf("decoded non-increasing doc ids at %d", i)
+			}
+		}
+		body, skips, maxTF, err := EncodeBlocks(ps)
+		if err != nil {
+			t.Fatalf("re-encode of decoded postings failed: %v", err)
+		}
+		back, err := Decode(body)
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		if len(back) != len(ps) {
+			t.Fatalf("round-trip lost postings: %d != %d", len(back), len(ps))
+		}
+		var wantMax uint32
+		for i := range ps {
+			if back[i] != ps[i] {
+				t.Fatalf("round-trip posting %d: %+v != %+v", i, back[i], ps[i])
+			}
+			if ps[i].TF > wantMax {
+				wantMax = ps[i].TF
+			}
+		}
+		if maxTF != wantMax {
+			t.Fatalf("list max TF %d, postings say %d", maxTF, wantMax)
+		}
+		total := 0
+		for _, sk := range skips {
+			total += int(sk.Count)
+		}
+		if total != len(ps) {
+			t.Fatalf("skip index counts %d postings, list has %d", total, len(ps))
+		}
+	})
+}
+
+// FuzzIteratorSeek drives the skipping iterator over fuzzed (body,
+// target) pairs through a caller-owned memory source: a corrupt body
+// must surface as Err, never a panic, and on valid bodies SeekGE must
+// agree with linear iteration.
+func FuzzIteratorSeek(f *testing.F) {
+	ps := make([]Posting, BlockSize+40)
+	for i := range ps {
+		ps[i] = Posting{DocID: uint32(i * 5), TF: uint32(i%4 + 1)}
+	}
+	body, skips, maxTF, err := EncodeBlocks(ps)
+	if err != nil {
+		f.Fatal(err)
+	}
+	meta := ListMeta{Length: int32(len(body)), DocFreq: int32(len(ps)), MaxTF: maxTF, Skips: skips}
+	f.Add(body, uint32(37))
+	f.Add(body, uint32(0))
+	f.Add(append([]byte(nil), body[:len(body)/2]...), uint32(100))
+
+	f.Fuzz(func(t *testing.T, data []byte, target uint32) {
+		if len(data) != len(body) {
+			return // the skip index describes exactly this body length
+		}
+		var counters Counters
+		it := NewIteratorOver(NewMemorySource(data), meta, &counters)
+		defer it.Close()
+		if it.SeekGE(target) {
+			if got := it.At(); got.DocID < target {
+				t.Fatalf("SeekGE(%d) landed before the target: %d", target, got.DocID)
+			}
+		}
+		for it.Next() {
+		}
+		_ = it.Err() // corrupt bodies must end here, not in a panic
+	})
+}

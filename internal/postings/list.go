@@ -264,6 +264,14 @@ type Iterator struct {
 	localSkips   int64
 	flushedFault int64 // src.Faults() already folded into counters
 
+	// alive, when set, filters the stream down to live documents: Next
+	// and SeekGE step over tombstoned postings, and FirstDoc reports the
+	// first alive document. The list-level bounds (MaxTF, BlockMaxTF,
+	// LastDoc, DocFreq) deliberately stay unfiltered — they remain valid
+	// *upper* bounds over the filtered stream, which is all the pruning
+	// machinery requires.
+	alive *AliveBitmap
+
 	valid  bool
 	done   bool
 	closed bool
@@ -412,9 +420,27 @@ func (it *Iterator) decodeTo(limit *uint32) bool {
 	return true
 }
 
-// Next advances to the next posting, returning false at end of list or on
-// error (check Err).
+// Filter restricts the iterator to documents alive in bm (nil clears
+// the filter). It must be set before the first Next/SeekGE/FirstDoc
+// call; the live layer wires it through index.Index.WithAlive.
+func (it *Iterator) Filter(bm *AliveBitmap) { it.alive = bm }
+
+// Next advances to the next alive posting, returning false at end of
+// list or on error (check Err). Without a Filter bitmap every posting
+// is alive.
 func (it *Iterator) Next() bool {
+	for {
+		if !it.nextRaw() {
+			return false
+		}
+		if it.alive == nil || it.alive.Alive(it.docs[it.bi]) {
+			return true
+		}
+	}
+}
+
+// nextRaw advances to the next stored posting, dead or alive.
+func (it *Iterator) nextRaw() bool {
 	if it.err != nil || it.done {
 		it.valid = false
 		return false
@@ -443,11 +469,26 @@ func (it *Iterator) Next() bool {
 	return true
 }
 
-// SeekGE positions the iterator at the first posting with DocID >= doc and
-// reports whether one exists. Blocks strictly before the target are
-// skipped without decoding (or fetching), via the block index, and the
-// target block is decoded only up to the wanted document.
+// SeekGE positions the iterator at the first alive posting with
+// DocID >= doc and reports whether one exists. Blocks strictly before
+// the target are skipped without decoding (or fetching), via the block
+// index, and the target block is decoded only up to the wanted
+// document; with a Filter bitmap the iterator then steps forward over
+// tombstoned postings.
 func (it *Iterator) SeekGE(doc uint32) bool {
+	if !it.seekRaw(doc) {
+		return false
+	}
+	for it.alive != nil && !it.alive.Alive(it.docs[it.bi]) {
+		if !it.nextRaw() {
+			return false
+		}
+	}
+	return true
+}
+
+// seekRaw is SeekGE without the aliveness filter.
+func (it *Iterator) seekRaw(doc uint32) bool {
 	if it.err != nil || it.done {
 		return false
 	}
@@ -527,14 +568,31 @@ func (it *Iterator) BlockMaxTF(doc uint32) uint32 {
 // batched with the iterator's other counters.
 func (it *Iterator) NoteBlockSkip() { it.localSkips++ }
 
-// FirstDoc returns the first document id of the list without decoding
-// any posting (it lives in the block index). ok is false for empty
-// lists.
+// FirstDoc returns the first alive document id of the list. On the
+// unfiltered path it costs nothing (the id lives in the block index);
+// with a Filter bitmap whose head document is dead, the iterator must
+// decode forward to the first survivor — engines treat the returned id
+// as a candidate, and a tombstoned candidate would re-enter results
+// with a zero score. ok is false for lists with no (alive) posting.
+// Call it before iterating: it may position the iterator.
 func (it *Iterator) FirstDoc() (uint32, bool) {
 	if len(it.meta.Skips) == 0 {
 		return 0, false
 	}
-	return it.meta.Skips[0].FirstDoc, true
+	first := it.meta.Skips[0].FirstDoc
+	if it.alive == nil {
+		return first, true
+	}
+	if it.valid {
+		return it.docs[it.bi], true // already positioned on an alive posting
+	}
+	if it.block < 0 && it.alive.Alive(first) {
+		return first, true
+	}
+	if !it.SeekGE(first) {
+		return 0, false
+	}
+	return it.docs[it.bi], true
 }
 
 // LastDoc returns the last document id of the list without decoding any
@@ -566,5 +624,7 @@ func (it *Iterator) Err() error {
 	return nil
 }
 
-// DocFreq returns the total number of postings in the underlying list.
+// DocFreq returns the total number of stored postings in the underlying
+// list — tombstoned documents included, so on a filtered iterator it is
+// an upper bound on what the stream yields.
 func (it *Iterator) DocFreq() int { return int(it.meta.DocFreq) }

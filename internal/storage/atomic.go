@@ -1,0 +1,49 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile persists data at path with the full crash-safe
+// sequence every sidecar and manifest in this repository relies on:
+// write to a temp file, fsync it, rename over the destination, and
+// fsync the parent directory so the rename itself survives power loss.
+// After it returns nil the content is durable; a crash at any earlier
+// point leaves either the old file or a stray .tmp, never a torn
+// destination. The shared helper exists so the crash behavior of every
+// atomically-written file stays identical by construction.
+func AtomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: atomic write %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: atomic write %s: %w", path, err)
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("storage: atomic write %s: %w", path, err)
+	}
+	err = dir.Sync()
+	if cerr := dir.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("storage: atomic write %s: sync dir: %w", path, err)
+	}
+	return nil
+}
