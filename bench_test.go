@@ -232,7 +232,15 @@ func BenchmarkE6Fagin(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sources := []topk.Source{data.Source(data.Vecs[3]), data.Source(data.Vecs[999])}
+	src1, err := data.Source(data.Vecs[3])
+	if err != nil {
+		b.Fatal(err)
+	}
+	src2, err := data.Source(data.Vecs[999])
+	if err != nil {
+		b.Fatal(err)
+	}
+	sources := []topk.Source{src1, src2}
 	algs := map[string]func([]topk.Source, topk.Agg, int) (topk.Result, error){
 		"naive": topk.Naive, "fa": topk.FA, "ta": topk.TA, "nra": topk.NRA,
 	}

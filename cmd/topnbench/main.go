@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	topnbench [-exp all|F1|E1..E12|PAR|DISK|LIVE] [-scale small|full] [-seed N]
+//	topnbench [-exp all|F1|E1..E12|PAR|DISK|LIVE|LOAD] [-scale small|full] [-seed N]
 //	          [-shards K] [-workers W]
 //	          [-persist DIR] [-from DIR] [-pool-pages K]
 //	          [-live-seal-docs N] [-live-fanin K] [-live-churn X]
+//	          [-load-rate R] [-load-requests N]
 //	          [-json out.json] [-compare BASELINE.json] [-wall-tol X]
 //
 // The PAR experiment exercises the sharded concurrent search layer
@@ -33,6 +34,17 @@
 // -live-churn sets the per-batch tombstone fraction (half deletes,
 // half updates re-ingesting the same content under fresh ids; 0
 // disables churn, default 0.2).
+//
+// The LOAD experiment exercises the serving layer (internal/server,
+// the engine behind cmd/topnserve): the workload is ingested into a
+// live index served over a real localhost HTTP listener, then an
+// open-loop client offers -load-requests requests at -load-rate
+// arrivals/second followed by an overload burst that exercises
+// admission shedding (429 + Retry-After). Latency quantiles and
+// served/shed splits are reported (machine-dependent, gate-exempt via
+// the load_ metric prefix); the gated facts are that every request is
+// answered and that an unloaded sweep gets answers byte-identical to
+// the in-process live.Searcher.
 //
 // -persist DIR builds the workload index at the chosen scale/seed,
 // writes it under DIR, and exits; a later `-exp DISK -from DIR` serves
@@ -76,7 +88,7 @@ import (
 	"repro/internal/storage"
 )
 
-var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE"}
+var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE", "LOAD"}
 
 var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
 	"F1":  bench.RunF1,
@@ -143,7 +155,7 @@ func persistIndex(scale bench.Scale, seed uint64, dir string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK, LIVE) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK, LIVE, LOAD) or 'all'")
 	scaleFlag := flag.String("scale", "small", "workload scale: small or full")
 	seed := flag.Uint64("seed", 42, "deterministic workload seed")
 	shards := flag.Int("shards", 4, "PAR: number of document-range shards")
@@ -154,6 +166,8 @@ func main() {
 	liveSealDocs := flag.Int("live-seal-docs", 0, "LIVE: seal the write buffer every N documents (0 = scale default)")
 	liveFanIn := flag.Int("live-fanin", 0, "LIVE: tiered merge fan-in (0 = default 4)")
 	liveChurn := flag.Float64("live-churn", -1, "LIVE: fraction of each batch tombstoned (half deletes, half updates); 0 disables churn, negative = default 0.2")
+	loadRate := flag.Float64("load-rate", 0, "LOAD: open-loop arrival rate in requests/second (0 = default 500)")
+	loadRequests := flag.Int("load-requests", 0, "LOAD: open-loop request count (0 = scale default)")
 	jsonPath := flag.String("json", "", "write the machine-readable report to this file")
 	comparePath := flag.String("compare", "", "regression gate: diff this run against the baseline report FILE and exit nonzero on drift")
 	wallTol := flag.Float64("wall-tol", 25, "compare: wall-clock regression factor tolerated before the gate trips (<=0 skips timing checks)")
@@ -167,6 +181,9 @@ func main() {
 	}
 	runners["LIVE"] = func(s bench.Scale, seed uint64) (*bench.Table, error) {
 		return bench.RunLive(s, seed, *liveSealDocs, *liveFanIn, *liveChurn)
+	}
+	runners["LOAD"] = func(s bench.Scale, seed uint64) (*bench.Table, error) {
+		return bench.RunLoad(s, seed, *loadRate, *loadRequests)
 	}
 
 	var scale bench.Scale

@@ -1,0 +1,167 @@
+// Command topnserve serves a live top-N index over HTTP: the network
+// front end of the reproduction's live layer (internal/server over
+// internal/live).
+//
+// Usage:
+//
+//	topnserve [-addr :8080] [-dir DIR]
+//	          [-seed-docs N] [-seed-vocab V] [-seed-mean-len L] [-seed N]
+//	          [-max-inflight K] [-queue-depth Q]
+//	          [-rate R] [-burst B]
+//	          [-timeout D] [-max-timeout D] [-max-n N]
+//	          [-drain-timeout D]
+//
+// -dir is the live index directory; a temporary directory is used (and
+// removed on exit) when omitted. -seed-docs > 0 ingests a synthetic
+// Zipf collection at startup so the server answers real queries out of
+// the box; with 0 the index starts empty.
+//
+// Endpoints:
+//
+//	POST /search   {"terms": ["t12", "t34"], "n": 10, "timeout_ms": 500}
+//	GET  /healthz  liveness (503 while draining)
+//	GET  /metrics  serving + index counters, JSON
+//
+// Overload is shed, not queued: beyond -max-inflight executing and
+// -queue-depth waiting requests, /search answers 429 with Retry-After.
+// -rate/-burst add a per-client token bucket. SIGINT/SIGTERM trigger a
+// graceful drain: in-flight queries finish (bounded by -drain-timeout),
+// then the index closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/live"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		dir          = flag.String("dir", "", "live index directory (default: fresh temp dir, removed on exit)")
+		seedDocs     = flag.Int("seed-docs", 0, "ingest a synthetic collection of this many documents at startup")
+		seedVocab    = flag.Int("seed-vocab", 5000, "vocabulary size of the seeded collection")
+		seedMeanLen  = flag.Int("seed-mean-len", 80, "mean document length of the seeded collection")
+		seed         = flag.Uint64("seed", 42, "seed of the synthetic collection")
+		sealDocs     = flag.Int("seal-docs", 0, "live index seal threshold in documents (0 = default)")
+		maxInFlight  = flag.Int("max-inflight", 16, "maximum concurrently executing searches")
+		queueDepth   = flag.Int("queue-depth", 64, "maximum searches queued for a slot before shedding")
+		rate         = flag.Float64("rate", 0, "per-client sustained requests/second (0 = unlimited)")
+		burst        = flag.Float64("burst", 0, "per-client burst allowance (default 2×rate)")
+		timeout      = flag.Duration("timeout", 2*time.Second, "default per-query deadline")
+		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "cap on the per-query deadline a request may ask for")
+		maxN         = flag.Int("max-n", 1000, "cap on the result count a request may ask for")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
+	)
+	flag.Parse()
+	if err := run(*addr, *dir, *seedDocs, *seedVocab, *seedMeanLen, *seed, *sealDocs,
+		*maxInFlight, *queueDepth, *rate, *burst, *timeout, *maxTimeout, *maxN, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "topnserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, seedDocs, seedVocab, seedMeanLen int, seed uint64, sealDocs,
+	maxInFlight, queueDepth int, rate, burst float64,
+	timeout, maxTimeout time.Duration, maxN int, drainTimeout time.Duration) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "topnserve-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	w, err := live.Open(live.Config{Dir: dir, SealDocs: sealDocs})
+	if err != nil {
+		return err
+	}
+	// From here on the writer's lifecycle belongs to the server:
+	// Shutdown closes it after the drain.
+
+	if seedDocs > 0 {
+		if err := ingest(w, seedDocs, seedVocab, seedMeanLen, seed); err != nil {
+			w.Close()
+			return err
+		}
+	}
+
+	srv, err := server.New(server.NewLiveBackend(w), server.Config{
+		MaxInFlight:    maxInFlight,
+		QueueDepth:     queueDepth,
+		DefaultTimeout: timeout,
+		MaxTimeout:     maxTimeout,
+		MaxN:           maxN,
+		RatePerClient:  rate,
+		Burst:          burst,
+	})
+	if err != nil {
+		w.Close()
+		return err
+	}
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		w.Close()
+		return err
+	}
+	stats := w.Stats()
+	fmt.Printf("topnserve: listening on %s (%d docs alive, generation %d, %d segments)\n",
+		l.Addr(), stats.DocsAlive, stats.Generation, stats.Segments)
+
+	// Serve until a signal arrives, then drain.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("topnserve: %v, draining (bound %v)\n", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		fmt.Println("topnserve: drained, index closed")
+		return nil
+	case err := <-errc:
+		w.Close()
+		return err
+	}
+}
+
+// ingest seeds the live index with a synthetic Zipf collection — the
+// same generator the benchmarks use, so term names ("t0", "t1", ...)
+// and score distributions match the rest of the reproduction.
+func ingest(w *live.Writer, docs, vocab, meanLen int, seed uint64) error {
+	col, err := collection.Generate(collection.Config{
+		NumDocs: docs, VocabSize: vocab, MeanDocLen: meanLen, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	for i := range col.Docs {
+		d := &col.Docs[i]
+		terms := make([]live.TermCount, len(d.Terms))
+		for j, tf := range d.Terms {
+			terms[j] = live.TermCount{Term: col.Lex.Name(tf.Term), TF: tf.TF}
+		}
+		if _, err := w.Add(terms); err != nil {
+			return fmt.Errorf("ingest doc %d: %w", i, err)
+		}
+	}
+	return w.Flush()
+}

@@ -28,11 +28,13 @@ type CompareOptions struct {
 // timingMetric classifies metric keys whose values depend on the
 // machine: they are checked against WallTolerance instead of exactly.
 // The naming convention is enforced here — runners name timing metrics
-// with an "_ms" / "per_sec" component; everything else must be
-// deterministic.
+// with an "_ms" / "per_sec" component, and the LOAD experiment prefixes
+// its scheduling-dependent counters (served/shed/timeout splits) with
+// "load_"; everything else must be deterministic.
 func timingMetric(key string) bool {
 	return strings.Contains(key, "_ms") || strings.Contains(key, "per_sec") ||
-		strings.Contains(key, "wall") || strings.Contains(key, "latency")
+		strings.Contains(key, "wall") || strings.Contains(key, "latency") ||
+		strings.HasPrefix(key, "load_")
 }
 
 // CompareReports returns the list of regressions of fresh against

@@ -38,7 +38,11 @@ func RunE6(s Scale, seed uint64) (*Table, error) {
 		// Query points drawn from the data so sources correlate.
 		sources := make([]topk.Source, m)
 		for i := range sources {
-			sources[i] = data.Source(data.Vecs[rng.Intn(numObj)])
+			src, err := data.Source(data.Vecs[rng.Intn(numObj)])
+			if err != nil {
+				return nil, err
+			}
+			sources[i] = src
 		}
 		for _, n := range []int{1, 10, 100} {
 			naive, err := topk.Naive(sources, topk.SumAgg(), n)

@@ -1,0 +1,30 @@
+package core
+
+import "context"
+
+// ctxPollMask throttles context polling on the evaluation hot paths:
+// ctx.Err() is consulted once every ctxPollMask+1 loop steps. The stride
+// matches postings.BlockSize, so a cancelled query stops within roughly
+// one postings block of work per open cursor — the "block granularity"
+// promise the serving layer's deadlines rely on — while the steady-state
+// cost is one counter increment per posting.
+const ctxPollMask = 127
+
+// ctxPoll is the throttled cancellation probe the engines thread through
+// their inner loops. The zero value (with ctx set) is ready to use; it is
+// deliberately value-embedded in per-Search stack state so polling never
+// allocates.
+type ctxPoll struct {
+	ctx  context.Context
+	tick uint32
+}
+
+// check returns the context's error on every (ctxPollMask+1)-th call,
+// nil otherwise.
+func (c *ctxPoll) check() error {
+	c.tick++
+	if c.tick&ctxPollMask != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}

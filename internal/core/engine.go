@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -182,11 +183,23 @@ func (e *Engine) Coverage(q collection.Query) float64 {
 	return smallUB / totalUB
 }
 
-// Search evaluates q with the configured strategy.
+// Search evaluates q with the configured strategy. It is
+// SearchContext without cancellation.
 func (e *Engine) Search(q collection.Query, opts Options) (Result, error) {
+	return e.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext evaluates q with the configured strategy, observing ctx:
+// a cancelled or deadline-expired context aborts the evaluation at
+// postings-block granularity and returns ctx.Err(), so a caller that has
+// gone away stops costing decode work almost immediately.
+func (e *Engine) SearchContext(ctx context.Context, q collection.Query, opts Options) (Result, error) {
 	opts.fillDefaults()
 	if opts.N <= 0 {
 		return Result{}, fmt.Errorf("core: N = %d must be positive", opts.N)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	var res Result
 	res.Coverage = e.Coverage(q)
@@ -206,6 +219,7 @@ func (e *Engine) Search(q collection.Query, opts Options) (Result, error) {
 
 	acc := e.acquireAcc()
 	defer e.releaseAcc(acc)
+	poll := ctxPoll{ctx: ctx}
 
 	// Pass 1: small-fragment terms, always streamed in full (they are
 	// cheap by construction).
@@ -216,7 +230,7 @@ func (e *Engine) Search(q collection.Query, opts Options) (Result, error) {
 			continue
 		}
 		if e.FX.Small.Has(t) {
-			if err := e.streamTerm(acc, e.FX.Small, t, ts); err != nil {
+			if err := e.streamTerm(&poll, acc, e.FX.Small, t, ts); err != nil {
 				return Result{}, err
 			}
 			res.TermsProcessed++
@@ -238,9 +252,9 @@ func (e *Engine) Search(q collection.Query, opts Options) (Result, error) {
 		ts := e.termStat(t)
 		var err error
 		if probe {
-			err = e.probeTerm(acc, t, ts)
+			err = e.probeTerm(&poll, acc, t, ts)
 		} else {
-			err = e.streamTerm(acc, e.FX.Large, t, ts)
+			err = e.streamTerm(&poll, acc, e.FX.Large, t, ts)
 		}
 		if err != nil {
 			return Result{}, err
@@ -254,7 +268,7 @@ func (e *Engine) Search(q collection.Query, opts Options) (Result, error) {
 }
 
 // streamTerm accumulates one full postings list.
-func (e *Engine) streamTerm(acc *rank.Accumulator, frag *index.Fragment, t lexicon.TermID, ts rank.TermStat) error {
+func (e *Engine) streamTerm(poll *ctxPoll, acc *rank.Accumulator, frag *index.Fragment, t lexicon.TermID, ts rank.TermStat) error {
 	it, ok, err := frag.Reader(t)
 	if err != nil {
 		return fmt.Errorf("core: term %d: %w", t, err)
@@ -264,6 +278,9 @@ func (e *Engine) streamTerm(acc *rank.Accumulator, frag *index.Fragment, t lexic
 	}
 	defer it.Close()
 	for it.Next() {
+		if err := poll.check(); err != nil {
+			return err
+		}
 		p := it.At()
 		docLen := e.FX.Stats.DocLen(p.DocID)
 		acc.Add(p.DocID, e.Scorer.Score(int32(p.TF), docLen, ts, e.corpus))
@@ -277,7 +294,7 @@ func (e *Engine) streamTerm(acc *rank.Accumulator, frag *index.Fragment, t lexic
 // sparse index that performs "extra computations while still decreasing
 // execution time": the extra computations are the per-candidate seeks, and
 // the saving is the skipped decoding between candidates.
-func (e *Engine) probeTerm(acc *rank.Accumulator, t lexicon.TermID, ts rank.TermStat) error {
+func (e *Engine) probeTerm(poll *ctxPoll, acc *rank.Accumulator, t lexicon.TermID, ts rank.TermStat) error {
 	candidates := candidateDocs(acc)
 	if len(candidates) == 0 {
 		return nil
@@ -295,6 +312,9 @@ func (e *Engine) probeTerm(acc *rank.Accumulator, t lexicon.TermID, ts rank.Term
 		return nil
 	}
 	for _, doc := range candidates {
+		if err := poll.check(); err != nil {
+			return err
+		}
 		if doc > last {
 			break // ascending candidates have passed the list's end
 		}

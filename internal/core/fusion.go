@@ -102,10 +102,11 @@ func (f *Fusion) Search(fq FusionQuery, n int, alg Algorithm, textMode Mode) (to
 	}
 	sources := []topk.Source{text}
 	for _, pt := range fq.Points {
-		if len(pt) != f.Data.Dim {
-			return topk.Result{}, fmt.Errorf("core: query point dimension %d, dataset %d", len(pt), f.Data.Dim)
+		src, err := f.Data.Source(pt)
+		if err != nil {
+			return topk.Result{}, fmt.Errorf("core: query point: %w", err)
 		}
-		sources = append(sources, f.Data.Source(pt))
+		sources = append(sources, src)
 	}
 	weights := fq.Weights
 	if weights == nil {

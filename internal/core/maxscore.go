@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -132,10 +133,23 @@ func (c *msCursor) seekGE(doc uint32) error {
 }
 
 // Search returns the exact top N for q. The result always equals full
-// evaluation (verified by the test suite); only the work differs.
+// evaluation (verified by the test suite); only the work differs. It is
+// SearchContext without cancellation.
 func (m *MaxScoreEngine) Search(q collection.Query, n int) ([]rank.DocScore, error) {
+	return m.SearchContext(context.Background(), q, n)
+}
+
+// SearchContext returns the exact top N for q, observing ctx: the DAAT
+// loop polls for cancellation at candidate granularity (at most one
+// postings block of decode work per open cursor between polls), so a
+// cancelled or deadline-expired query returns ctx.Err() promptly instead
+// of running to completion.
+func (m *MaxScoreEngine) SearchContext(ctx context.Context, q collection.Query, n int) ([]rank.DocScore, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: N = %d must be positive", n)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Open cursors, ascending by upper bound. Nothing is decoded yet:
 	// each cursor starts on its list's first document, read from the
@@ -189,7 +203,10 @@ func (m *MaxScoreEngine) Search(q collection.Query, n int) ([]rank.DocScore, err
 		prefixUB[i+1] = prefixUB[i] + c.ub
 	}
 
-	h := topk.NewHeap(n)
+	h, err := topk.NewHeap(n)
+	if err != nil {
+		return nil, err
+	}
 	theta := func() float64 {
 		if !h.Full() {
 			return 0
@@ -204,7 +221,11 @@ func (m *MaxScoreEngine) Search(q collection.Query, n int) ([]rank.DocScore, err
 	// displace the heap minimum through the document-id tie-break, so
 	// only a strictly smaller bound excludes safely.
 	first := 0
+	poll := ctxPoll{ctx: ctx}
 	for {
+		if err := poll.check(); err != nil {
+			return nil, err
+		}
 		th := theta()
 		for first < len(cursors) && prefixUB[first+1] < th {
 			first++

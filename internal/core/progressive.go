@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -97,13 +98,25 @@ type ProgressiveOptions struct {
 	Epsilon float64
 }
 
-// Search evaluates q over the chain.
+// Search evaluates q over the chain. It is SearchContext without
+// cancellation.
 func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (ProgressiveResult, error) {
+	return p.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext evaluates q over the chain, observing ctx between
+// fragments and at postings-block granularity within each list, so a
+// cancelled or deadline-expired query returns ctx.Err() without
+// processing the remaining chain.
+func (p *Progressive) SearchContext(ctx context.Context, q collection.Query, opts ProgressiveOptions) (ProgressiveResult, error) {
 	if opts.N <= 0 {
 		return ProgressiveResult{}, fmt.Errorf("core: N = %d must be positive", opts.N)
 	}
 	if opts.Epsilon < 0 {
 		return ProgressiveResult{}, fmt.Errorf("core: epsilon %v must be non-negative", opts.Epsilon)
+	}
+	if err := ctx.Err(); err != nil {
+		return ProgressiveResult{}, err
 	}
 	acc := p.accs.Get().(*rank.Accumulator)
 	defer func() {
@@ -146,7 +159,11 @@ func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (Progr
 	}
 
 	var res ProgressiveResult
+	poll := ctxPoll{ctx: ctx}
 	for fi, terms := range byFrag {
+		if err := ctx.Err(); err != nil {
+			return ProgressiveResult{}, err
+		}
 		// Stop check before touching this fragment: can any document
 		// still displace the current top N?
 		bound := remaining[fi]
@@ -169,6 +186,10 @@ func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (Progr
 				continue
 			}
 			for it.Next() {
+				if err := poll.check(); err != nil {
+					it.Close()
+					return ProgressiveResult{}, err
+				}
 				pst := it.At()
 				docLen := p.MX.Stats.DocLen(pst.DocID)
 				acc.Add(pst.DocID, p.Scorer.Score(int32(pst.TF), docLen, qt.ts, p.corpus))

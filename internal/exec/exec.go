@@ -143,7 +143,10 @@ func (s *StopAfter) Open() error {
 	if err := s.in.Open(); err != nil {
 		return err
 	}
-	h := topk.NewHeap(s.n)
+	h, err := topk.NewHeap(s.n)
+	if err != nil {
+		return err
+	}
 	byID := make(map[uint32]Row, s.n)
 	for {
 		r, ok, err := s.in.Next()

@@ -1,0 +1,107 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSearcherContextPreCancelled: a cancelled context is refused at
+// the snapshot boundary, before any segment engine launches.
+func TestSearcherContextPreCancelled(t *testing.T) {
+	col := genCollection(t, 300, 11)
+	queries := genQueries(t, col, 12)
+	w, err := Open(Config{Dir: t.TempDir(), SealDocs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	streamInto(t, w, col)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ls := w.Searcher()
+	if _, err := ls.SearchContext(ctx, queryNames(col, queries[0]), 10); !errors.Is(err, context.Canceled) {
+		t.Errorf("Searcher: err = %v, want context.Canceled", err)
+	}
+	snap, err := w.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if _, err := snap.SearchContext(ctx, queryNames(col, queries[0]), 10); !errors.Is(err, context.Canceled) {
+		t.Errorf("Snapshot: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSearcherContextMidSearchCancel stresses concurrent cancellation
+// against multi-segment snapshot searches (run with -race): every
+// outcome is the exact answer or context.Canceled, and the per-segment
+// goroutines all unwind — cancellation must not leak workers or strand
+// snapshot references (which would wedge Close).
+func TestSearcherContextMidSearchCancel(t *testing.T) {
+	col := genCollection(t, 600, 13)
+	queries := genQueries(t, col, 14)
+	// Small seal threshold: many segments, so every search fans out.
+	w, err := Open(Config{Dir: t.TempDir(), SealDocs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamInto(t, w, col)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ls := w.Searcher()
+	before := runtime.NumGoroutine()
+
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		terms := queryNames(col, queries[i%len(queries)])
+		want, err := ls.Search(terms, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			time.Sleep(time.Duration(i%5) * 50 * time.Microsecond)
+			cancel()
+			close(done)
+		}()
+		res, err := ls.SearchContext(ctx, terms, 10)
+		<-done
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("round %d: err = %v, want context.Canceled", i, err)
+			}
+			continue
+		}
+		assertSameTop(t, "under concurrent cancel", res.Top, want.Top)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation stress", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The stranded-reference check: Close must not hang on a snapshot a
+	// cancelled search failed to release.
+	closed := make(chan error, 1)
+	go func() { closed <- w.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung: a cancelled search leaked a snapshot reference")
+	}
+}

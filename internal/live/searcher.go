@@ -1,6 +1,8 @@
 package live
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -102,8 +104,18 @@ func (s *Snapshot) Counters() (decoded, skips, faulted int64) {
 // segment base, and the per-segment answers merge with the bound
 // administration of topk.MergeShards — the same scatter/gather contract
 // the parallel layer uses for document-range shards, which is exactly
-// what the segment chain is.
+// what the segment chain is. It is SearchContext without cancellation.
 func (s *Snapshot) Search(terms []string, n int) (Result, error) {
+	return s.SearchContext(context.Background(), terms, n)
+}
+
+// SearchContext evaluates the query like Search, observing ctx: segment
+// engines poll it at postings-block granularity, segments not yet
+// launched when it fires are never scheduled, and one segment's failure
+// cancels its siblings — a failed or abandoned query stops costing
+// decode work across the whole chain instead of running every remaining
+// segment to completion.
+func (s *Snapshot) SearchContext(ctx context.Context, terms []string, n int) (Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.released {
@@ -111,6 +123,9 @@ func (s *Snapshot) Search(terms []string, n int) (Result, error) {
 	}
 	if n <= 0 {
 		return Result{}, fmt.Errorf("live: N = %d must be positive", n)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	g := s.g
 	// Resolve names against the generation's frozen lexicon; unknown
@@ -132,12 +147,17 @@ func (s *Snapshot) Search(terms []string, n int) (Result, error) {
 	}
 	q := collection.Query{Terms: ids}
 
+	// One segment's failure cancels the siblings through this derived
+	// context; ctx.Err() stays the caller's own signal.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	tops := make([][]rank.DocScore, len(g.segs))
 	errs := make([]error, len(g.segs))
 	searchSeg := func(i int) {
-		top, err := g.engines[i].Search(q, n)
+		top, err := g.engines[i].SearchContext(sctx, q, n)
 		if err != nil {
 			errs[i] = err
+			cancel()
 			return
 		}
 		base := g.segs[i].base
@@ -150,6 +170,10 @@ func (s *Snapshot) Search(terms []string, n int) (Result, error) {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, s.workers)
 		for i := range g.segs {
+			if sctx.Err() != nil {
+				errs[i] = sctx.Err()
+				continue // stop scheduling: a sibling failed or the caller left
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(i int) {
@@ -161,7 +185,21 @@ func (s *Snapshot) Search(terms []string, n int) (Result, error) {
 		wg.Wait()
 	} else {
 		for i := range g.segs {
+			if sctx.Err() != nil {
+				errs[i] = sctx.Err()
+				continue
+			}
 			searchSeg(i)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	// Prefer the root cause: a failing segment cancels its siblings,
+	// whose own errors are then mere context noise.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return Result{}, err
 		}
 	}
 	for _, err := range errs {
@@ -194,10 +232,16 @@ func (w *Writer) Searcher() *Searcher { return &Searcher{w: w} }
 
 // Search evaluates one query against a fresh snapshot.
 func (ls *Searcher) Search(terms []string, n int) (Result, error) {
+	return ls.SearchContext(context.Background(), terms, n)
+}
+
+// SearchContext evaluates one query against a fresh snapshot, observing
+// ctx as Snapshot.SearchContext does.
+func (ls *Searcher) SearchContext(ctx context.Context, terms []string, n int) (Result, error) {
 	snap, err := ls.w.Acquire()
 	if err != nil {
 		return Result{}, err
 	}
 	defer snap.Close()
-	return snap.Search(terms, n)
+	return snap.SearchContext(ctx, terms, n)
 }

@@ -35,6 +35,9 @@ func NewEvaluator(reg *Registry) *Evaluator {
 
 // Eval computes the value of an expression tree bottom-up.
 func (ev *Evaluator) Eval(e *Expr) (Value, error) {
+	if err := ev.Reg.Err(); err != nil {
+		return nil, err
+	}
 	if e.Op == OpLit {
 		return e.Lit, nil
 	}
@@ -212,22 +215,28 @@ func (ev *Evaluator) topNHeap(elems []Value, n int) ([]Value, error) {
 	return out, nil
 }
 
-// countingSort sorts ascending while counting comparisons.
-func (ev *Evaluator) countingSort(elems []Value) []Value {
+// countingSort sorts ascending while counting comparisons. Incomparable
+// elements (possible only when a value bypassed type checking) surface as
+// an error after the sort instead of a panic inside it.
+func (ev *Evaluator) countingSort(elems []Value) ([]Value, error) {
 	out := append([]Value(nil), elems...)
+	var cmpErr error
 	sort.SliceStable(out, func(i, j int) bool {
 		ev.Counters.Comparisons++
-		return mustCompare(out[i], out[j]) < 0
+		c, err := Compare(out[i], out[j])
+		if err != nil && cmpErr == nil {
+			cmpErr = err
+		}
+		return c < 0
 	})
-	return out
+	if cmpErr != nil {
+		return nil, cmpErr
+	}
+	return out, nil
 }
 
 func registerListExt(r *Registry) {
-	mustRegister := func(d *OpDef) {
-		if err := r.Register(d); err != nil {
-			panic(err)
-		}
-	}
+	mustRegister := r.registerOrRecord
 	mustRegister(&OpDef{
 		Name: "list.select", Extension: "list", NumChildren: 1, NumParams: 2,
 		ResultType: wantRangeSelect("list.select", KindList),
@@ -252,20 +261,38 @@ func registerListExt(r *Registry) {
 			if err != nil {
 				return nil, err
 			}
-			if ev.CheckPhysical && !IsSortedAsc(l) {
-				return nil, fmt.Errorf("moa: list.select.binsearch precondition violated: input not sorted")
+			if ev.CheckPhysical {
+				sorted, err := IsSortedAsc(l)
+				if err != nil {
+					return nil, err
+				}
+				if !sorted {
+					return nil, fmt.Errorf("moa: list.select.binsearch precondition violated: input not sorted")
+				}
 			}
 			lo, hi := params[0], params[1]
+			var cmpErr error
 			// First index with elem >= lo.
 			start := sort.Search(len(l.Elems), func(i int) bool {
 				ev.Counters.Comparisons++
-				return mustCompare(l.Elems[i], lo) >= 0
+				c, err := Compare(l.Elems[i], lo)
+				if err != nil && cmpErr == nil {
+					cmpErr = err
+				}
+				return c >= 0
 			})
 			// First index with elem > hi.
 			end := sort.Search(len(l.Elems), func(i int) bool {
 				ev.Counters.Comparisons++
-				return mustCompare(l.Elems[i], hi) > 0
+				c, err := Compare(l.Elems[i], hi)
+				if err != nil && cmpErr == nil {
+					cmpErr = err
+				}
+				return c > 0
 			})
+			if cmpErr != nil {
+				return nil, cmpErr
+			}
 			if end < start {
 				end = start
 			}
@@ -296,7 +323,11 @@ func registerListExt(r *Registry) {
 				return nil, err
 			}
 			ev.visit(len(l.Elems))
-			return &List{Elems: ev.countingSort(l.Elems)}, nil
+			sorted, err := ev.countingSort(l.Elems)
+			if err != nil {
+				return nil, err
+			}
+			return &List{Elems: sorted}, nil
 		},
 	})
 	mustRegister(&OpDef{
@@ -331,8 +362,14 @@ func registerListExt(r *Registry) {
 			if err != nil {
 				return nil, err
 			}
-			if ev.CheckPhysical && !IsSortedAsc(l) {
-				return nil, fmt.Errorf("moa: list.topn.sorted precondition violated: input not sorted")
+			if ev.CheckPhysical {
+				sorted, err := IsSortedAsc(l)
+				if err != nil {
+					return nil, err
+				}
+				if !sorted {
+					return nil, fmt.Errorf("moa: list.topn.sorted precondition violated: input not sorted")
+				}
 			}
 			if n > len(l.Elems) {
 				n = len(l.Elems)
@@ -391,11 +428,7 @@ func registerListExt(r *Registry) {
 }
 
 func registerBagExt(r *Registry) {
-	mustRegister := func(d *OpDef) {
-		if err := r.Register(d); err != nil {
-			panic(err)
-		}
-	}
+	mustRegister := r.registerOrRecord
 	mustRegister(&OpDef{
 		Name: "bag.select", Extension: "bag", NumChildren: 1, NumParams: 2,
 		ResultType: wantRangeSelect("bag.select", KindBag),
@@ -451,12 +484,22 @@ func registerBagExt(r *Registry) {
 				return nil, err
 			}
 			ev.visit(len(b.Elems))
-			sorted := ev.countingSort(b.Elems)
+			sorted, err := ev.countingSort(b.Elems)
+			if err != nil {
+				return nil, err
+			}
 			out := make([]Value, 0, len(sorted))
 			for i, e := range sorted {
-				if i == 0 || mustCompare(e, sorted[i-1]) != 0 {
-					out = append(out, e)
+				if i > 0 {
+					c, err := Compare(e, sorted[i-1])
+					if err != nil {
+						return nil, err
+					}
+					if c == 0 {
+						continue
+					}
 				}
+				out = append(out, e)
 			}
 			return &Set{Elems: out}, nil
 		},
@@ -507,11 +550,7 @@ func registerBagExt(r *Registry) {
 }
 
 func registerSetExt(r *Registry) {
-	mustRegister := func(d *OpDef) {
-		if err := r.Register(d); err != nil {
-			panic(err)
-		}
-	}
+	mustRegister := r.registerOrRecord
 	mustRegister(&OpDef{
 		Name: "set.select", Extension: "set", NumChildren: 1, NumParams: 2,
 		ResultType: wantRangeSelect("set.select", KindSet),
@@ -538,7 +577,11 @@ func registerSetExt(r *Registry) {
 			ev.visit(len(s.Elems))
 			// Canonical (value-sorted) order: SET has no order of its own,
 			// so the extension defines the projection deterministically.
-			return &List{Elems: ev.countingSort(s.Elems)}, nil
+			sorted, err := ev.countingSort(s.Elems)
+			if err != nil {
+				return nil, err
+			}
+			return &List{Elems: sorted}, nil
 		},
 	})
 	mustRegister(&OpDef{

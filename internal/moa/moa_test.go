@@ -167,7 +167,11 @@ func TestBagToSet(t *testing.T) {
 func TestSetToListSorted(t *testing.T) {
 	set := ToSetB(Literal(NewIntBag(5, 2, 9, 2)))
 	got := eval(t, ToListS(set)).(*List)
-	if !IsSortedAsc(got) {
+	sorted, err := IsSortedAsc(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sorted {
 		t.Errorf("set.tolist output not sorted: %s", got)
 	}
 }

@@ -32,6 +32,25 @@ type OpDef struct {
 // Registry maps qualified operator names to definitions.
 type Registry struct {
 	ops map[string]*OpDef
+	// initErr records the first built-in registration failure. NewRegistry
+	// keeps its error-free signature for its many call sites; instead of a
+	// construction-time panic the defect is held here, Err surfaces it, and
+	// Eval/TypeOf refuse to run against a half-built registry.
+	initErr error
+}
+
+// Err reports whether the registry's built-in extensions registered
+// cleanly. A non-nil value means the registry is unusable and every
+// evaluation or type-check against it will return this error.
+func (r *Registry) Err() error { return r.initErr }
+
+// registerOrRecord adds def like Register but folds a failure into the
+// sticky init error instead of panicking — the form the built-in
+// extension loaders use during construction.
+func (r *Registry) registerOrRecord(def *OpDef) {
+	if err := r.Register(def); err != nil && r.initErr == nil {
+		r.initErr = err
+	}
 }
 
 // NewRegistry returns a registry pre-loaded with the built-in LIST, BAG
@@ -80,6 +99,9 @@ func (r *Registry) Extensions() []string {
 
 // TypeOf type-checks an expression bottom-up and returns its result type.
 func (r *Registry) TypeOf(e *Expr) (Type, error) {
+	if err := r.initErr; err != nil {
+		return Type{}, err
+	}
 	if e.Op == OpLit {
 		return typeOfValue(e.Lit)
 	}

@@ -82,11 +82,7 @@ func SelectByL(child *Expr, field int64, lo, hi Value) *Expr {
 // registerTupleOps adds the tuple-aware LIST operators. Called from
 // NewRegistry alongside the structure extensions.
 func registerTupleOps(r *Registry) {
-	mustRegister := func(d *OpDef) {
-		if err := r.Register(d); err != nil {
-			panic(err)
-		}
-	}
+	mustRegister := r.registerOrRecord
 	tupleListInput := func(op string, children []Type) (Type, int, error) {
 		in := children[0]
 		if in.Kind != KindList || in.Elem == nil || in.Elem.Kind != KindTuple {
@@ -140,10 +136,18 @@ func registerTupleOps(r *Registry) {
 			for i := range idx {
 				idx[i] = i
 			}
+			var cmpErr error
 			sort.SliceStable(idx, func(a, b int) bool {
 				ev.Counters.Comparisons++
-				return mustCompare(keys[idx[a]], keys[idx[b]]) > 0
+				c, err := Compare(keys[idx[a]], keys[idx[b]])
+				if err != nil && cmpErr == nil {
+					cmpErr = err
+				}
+				return c > 0
 			})
+			if cmpErr != nil {
+				return nil, cmpErr
+			}
 			ev.visit(len(l.Elems))
 			if n > len(idx) {
 				n = len(idx)

@@ -180,15 +180,6 @@ func Compare(a, b Value) (int, error) {
 	}
 }
 
-// mustCompare is Compare for callers that have already type-checked.
-func mustCompare(a, b Value) int {
-	c, err := Compare(a, b)
-	if err != nil {
-		panic(err)
-	}
-	return c
-}
-
 // sortValues orders values for canonical printing and multiset
 // comparison: atomics by Compare, anything else (tuples) by rendered
 // string, which is stable and total.
@@ -250,14 +241,19 @@ func multisetEqual(a, b []Value) bool {
 
 // IsSortedAsc reports whether a list's elements are in non-decreasing
 // order. It is the runtime ground truth behind the optimizer's static
-// sortedness property.
-func IsSortedAsc(l *List) bool {
+// sortedness property. Incomparable elements are an error, not a panic:
+// the check runs against values that may have bypassed type checking.
+func IsSortedAsc(l *List) (bool, error) {
 	for i := 1; i < len(l.Elems); i++ {
-		if mustCompare(l.Elems[i-1], l.Elems[i]) > 0 {
-			return false
+		c, err := Compare(l.Elems[i-1], l.Elems[i])
+		if err != nil {
+			return false, err
+		}
+		if c > 0 {
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // NewIntList builds a LIST of Ints — a convenience for tests and examples

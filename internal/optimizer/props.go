@@ -37,7 +37,12 @@ func (p *Props) SortedAsc(e *moa.Expr) bool {
 	switch e.Op {
 	case moa.OpLit:
 		l, ok := e.Lit.(*moa.List)
-		return ok && moa.IsSortedAsc(l)
+		if !ok {
+			return false
+		}
+		// Conservative on incomparable elements: "unknown" is false.
+		sorted, err := moa.IsSortedAsc(l)
+		return err == nil && sorted
 	case "list.sort":
 		// Sorting establishes the property unconditionally.
 		return true

@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSearchContextPreCancelled: a cancelled context is refused before
+// any shard launches, for single queries and batches alike.
+func TestSearchContextPreCancelled(t *testing.T) {
+	f := fix(t)
+	s := newSearcher(t, f, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SearchContext(ctx, f.queries[0], Options{N: 10}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Search: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.SearchBatchContext(ctx, f.queries, Options{N: 10}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SearchBatch: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSearchContextMidSearchCancel races concurrent cancellations
+// against in-flight fan-out searches (run it with -race): every
+// outcome must be either the exact answer or a clean context.Canceled —
+// never a partial result or a wedged worker — and the worker goroutines
+// must all have unwound afterwards.
+func TestSearchContextMidSearchCancel(t *testing.T) {
+	f := fix(t)
+	s := newSearcher(t, f, 4)
+	before := runtime.NumGoroutine()
+
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		q := f.queries[i%len(f.queries)]
+		want, err := s.Search(q, Options{N: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			// Vary the cancellation point from "immediately" to "after
+			// the search likely finished".
+			time.Sleep(time.Duration(i%5) * 50 * time.Microsecond)
+			cancel()
+			close(done)
+		}()
+		res, err := s.SearchContext(ctx, q, Options{N: 10})
+		<-done
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("round %d: err = %v, want context.Canceled", i, err)
+			}
+			continue
+		}
+		if len(res.Top) != len(want.Top) {
+			t.Fatalf("round %d: completed search returned %d results, want %d", i, len(res.Top), len(want.Top))
+		}
+		for j := range want.Top {
+			if res.Top[j] != want.Top[j] {
+				t.Fatalf("round %d: rank %d diverged under concurrent cancel", i, j)
+			}
+		}
+	}
+
+	// No goroutine may outlive its search: poll briefly to let the last
+	// cancelled workers unwind before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation stress", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSearchBatchContextCancelStopsEarly: cancelling a batch mid-run
+// returns the context error rather than grinding through the remaining
+// queries.
+func TestSearchBatchContextCancelStopsEarly(t *testing.T) {
+	f := fix(t)
+	s := newSearcher(t, f, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Microsecond)
+		cancel()
+	}()
+	// A long batch: repeat the query set to give the cancel time to land.
+	queries := f.queries
+	for len(queries) < 400 {
+		queries = append(queries, f.queries...)
+	}
+	if _, err := s.SearchBatchContext(ctx, queries, Options{N: 10, Workers: 2}); err != nil {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		return
+	}
+	// Completing the whole batch before the timer fired is legal (fast
+	// machine); nothing to assert beyond "no wrong error".
+}

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -123,47 +125,78 @@ func (s *Searcher) workersFor(opts Options) int {
 }
 
 // Search evaluates q, fanning the shards out over the worker pool and
-// merging their answers with bound administration.
+// merging their answers with bound administration. It is SearchContext
+// without cancellation.
 func (s *Searcher) Search(q collection.Query, opts Options) (Result, error) {
+	return s.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext evaluates q like Search, observing ctx: shard engines
+// poll it at postings-block granularity, shards not yet launched when it
+// fires are never scheduled, and a shard failure cancels the siblings
+// still running — so neither a disconnected caller nor a failed shard
+// keeps the fan-out burning CPU.
+func (s *Searcher) SearchContext(ctx context.Context, q collection.Query, opts Options) (Result, error) {
 	workers := s.workersFor(opts)
-	return s.search(q, opts, workers > 1 && len(s.shards) > 1, workers)
+	return s.search(ctx, q, opts, workers > 1 && len(s.shards) > 1, workers)
 }
 
 // searchSequential evaluates q shard by shard on the calling goroutine.
 // SearchBatch uses it so parallelism comes from the query dimension
 // without multiplying goroutines per query.
-func (s *Searcher) searchSequential(q collection.Query, opts Options) (Result, error) {
-	return s.search(q, opts, false, 1)
+func (s *Searcher) searchSequential(ctx context.Context, q collection.Query, opts Options) (Result, error) {
+	return s.search(ctx, q, opts, false, 1)
 }
 
 // search runs q over every shard — concurrently through a pool of
 // workers goroutines when fanOut is set, inline otherwise — and merges
 // the per-shard answers. One body for both paths, so validation,
 // option plumbing, and merge inputs cannot diverge.
-func (s *Searcher) search(q collection.Query, opts Options, fanOut bool, workers int) (Result, error) {
+func (s *Searcher) search(ctx context.Context, q collection.Query, opts Options, fanOut bool, workers int) (Result, error) {
 	if opts.N <= 0 {
 		return Result{}, fmt.Errorf("parallel: N = %d must be positive", opts.N)
 	}
+	// A shard error cancels the sibling shards through this derived
+	// context; ctx.Err() stays the caller's own signal.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	shardRes := make([]core.ProgressiveResult, len(s.shards))
 	shardErr := make([]error, len(s.shards))
 	popts := core.ProgressiveOptions{N: opts.N, Epsilon: opts.Epsilon}
+	runShard := func(i int, sh *shard) {
+		shardRes[i], shardErr[i] = sh.engine.SearchContext(sctx, q, popts)
+		if shardErr[i] != nil {
+			cancel()
+		}
+	}
 	if fanOut {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, workers)
 		for i, sh := range s.shards {
+			if sctx.Err() != nil {
+				shardErr[i] = sctx.Err()
+				continue // stop scheduling: a sibling failed or the caller left
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(i int, sh *shard) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				shardRes[i], shardErr[i] = sh.engine.Search(q, popts)
+				runShard(i, sh)
 			}(i, sh)
 		}
 		wg.Wait()
 	} else {
 		for i, sh := range s.shards {
-			shardRes[i], shardErr[i] = sh.engine.Search(q, popts)
+			if sctx.Err() != nil {
+				shardErr[i] = sctx.Err()
+				continue
+			}
+			runShard(i, sh)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	return s.merge(shardRes, shardErr, opts.N)
 }
@@ -171,6 +204,13 @@ func (s *Searcher) search(q collection.Query, opts Options, fanOut bool, workers
 // merge remaps shard-local document ids to global ids and runs the
 // bound-aware top-N merge.
 func (s *Searcher) merge(shardRes []core.ProgressiveResult, shardErr []error, n int) (Result, error) {
+	// Prefer the root cause: a failing shard cancels its siblings, whose
+	// own errors are then mere context noise.
+	for _, err := range shardErr {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return Result{}, err
+		}
+	}
 	for _, err := range shardErr {
 		if err != nil {
 			return Result{}, err
@@ -210,6 +250,13 @@ type BatchResult struct {
 // when the error surfaces are skipped, and the earliest (by input
 // order) error is returned.
 func (s *Searcher) SearchBatch(queries []collection.Query, opts Options) (BatchResult, error) {
+	return s.SearchBatchContext(context.Background(), queries, opts)
+}
+
+// SearchBatchContext evaluates the batch like SearchBatch, observing
+// ctx: queries not yet started when it fires are skipped, running ones
+// abort at postings-block granularity, and the call returns ctx.Err().
+func (s *Searcher) SearchBatchContext(ctx context.Context, queries []collection.Query, opts Options) (BatchResult, error) {
 	if opts.N <= 0 {
 		return BatchResult{}, fmt.Errorf("parallel: N = %d must be positive", opts.N)
 	}
@@ -230,10 +277,10 @@ func (s *Searcher) SearchBatch(queries []collection.Query, opts Options) (BatchR
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue // drain without evaluating
 				}
-				out.Results[i], errs[i] = s.searchSequential(queries[i], opts)
+				out.Results[i], errs[i] = s.searchSequential(ctx, queries[i], opts)
 				if errs[i] != nil {
 					failed.Store(true)
 				}
@@ -245,6 +292,9 @@ func (s *Searcher) SearchBatch(queries []collection.Query, opts Options) (BatchR
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return BatchResult{}, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return BatchResult{}, err

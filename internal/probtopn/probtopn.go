@@ -132,7 +132,10 @@ func Reference(table []exec.Row, n int) (Result, error) {
 		return Result{}, fmt.Errorf("probtopn: n = %d must be positive", n)
 	}
 	var res Result
-	h := topk.NewHeap(n)
+	h, err := topk.NewHeap(n)
+	if err != nil {
+		return Result{}, err
+	}
 	byID := make(map[uint32]exec.Row, n)
 	for _, r := range table {
 		res.Stats.RowsScanned++

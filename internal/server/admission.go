@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrShed reports that the admission queue was full: the request was
+// rejected immediately rather than queued. The HTTP layer maps it to
+// 429 with a Retry-After hint — shedding, not blocking, is the overload
+// contract.
+var ErrShed = errors.New("server: overloaded, admission queue full")
+
+// admission is a bounded two-stage admission controller: up to
+// maxInFlight requests execute concurrently, up to queueDepth more wait
+// for a slot, and everything beyond that is shed instantly. The wait is
+// context-bound, so a queued request whose client gives up (or whose
+// deadline expires) leaves the queue instead of occupying it.
+type admission struct {
+	slots chan struct{}
+	queue chan struct{} // capacity queueDepth; a held token = a waiter
+}
+
+func newAdmission(maxInFlight, queueDepth int) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, queueDepth),
+	}
+}
+
+// acquire obtains an execution slot, queuing if allowed. It returns a
+// release function on success; ErrShed when both the slots and the
+// queue are full; ctx.Err() when the context fires while queued.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFunc(), nil
+	default:
+	}
+	// No free slot: try to take a queue position without blocking.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, ErrShed
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseFunc(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) releaseFunc() func() {
+	return func() { <-a.slots }
+}

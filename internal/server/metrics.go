@@ -1,0 +1,205 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two microsecond buckets the
+// latency histogram keeps: bucket i counts observations in
+// [2^i, 2^(i+1)) microseconds, the last bucket catching everything
+// beyond ~1.2 hours. Log-spaced buckets keep the histogram small and
+// lock-cheap while resolving the p50/p99 spread the ops endpoints
+// report.
+const latencyBuckets = 32
+
+// qpsWindow is the length, in seconds, of the sliding window behind the
+// qps gauge.
+const qpsWindow = 10
+
+// histogram is a log-bucketed latency histogram. One mutex guards it:
+// observations are a few arithmetic ops, so contention is negligible
+// next to the query work they measure.
+type histogram struct {
+	mu      sync.Mutex
+	buckets [latencyBuckets]int64
+	count   int64
+	sum     time.Duration
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < latencyBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// quantile returns an upper bound for the q-th latency quantile: the
+// top edge of the bucket holding the q-th observation. Zero when the
+// histogram is empty.
+func (h *histogram) quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > target {
+			return time.Duration(int64(1)<<uint(i+1)) * time.Microsecond
+		}
+	}
+	return h.sum // unreachable; the last bucket catches everything
+}
+
+// Metrics aggregates the serving counters the /metrics endpoint
+// exports. The zero value is NOT ready: use newMetrics, which pins the
+// start time and clock.
+type Metrics struct {
+	now   func() time.Time
+	start time.Time
+
+	latency histogram
+
+	mu       sync.Mutex
+	requests int64 // requests accepted into handling (after parsing)
+	served   int64 // queries answered 200
+	shed     int64 // rejected 429 by admission or rate limit
+	failed   int64 // 4xx/5xx other than shed
+	panics   int64 // handler panics recovered
+	inFlight int64 // currently executing search requests
+
+	// sliding one-second slots for the windowed qps gauge
+	slots    [qpsWindow]int64
+	slotBase int64 // unix second of slots[slotIdx]
+	slotIdx  int
+}
+
+func newMetrics(now func() time.Time) *Metrics {
+	if now == nil {
+		now = time.Now
+	}
+	return &Metrics{now: now, start: now()}
+}
+
+// advanceLocked rotates the per-second qps slots up to the current
+// second, zeroing the seconds skipped.
+func (m *Metrics) advanceLocked(sec int64) {
+	if m.slotBase == 0 {
+		m.slotBase = sec
+		return
+	}
+	for m.slotBase < sec {
+		m.slotBase++
+		m.slotIdx = (m.slotIdx + 1) % qpsWindow
+		m.slots[m.slotIdx] = 0
+	}
+}
+
+// Request counts one accepted search request and returns a done
+// function that records the outcome; exactly one of the outcome
+// recorders must be called.
+func (m *Metrics) request() {
+	sec := m.now().Unix()
+	m.mu.Lock()
+	m.requests++
+	m.inFlight++
+	m.advanceLocked(sec)
+	m.slots[m.slotIdx]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) doneServed(d time.Duration) {
+	m.latency.observe(d)
+	m.mu.Lock()
+	m.served++
+	m.inFlight--
+	m.mu.Unlock()
+}
+
+func (m *Metrics) doneShed() {
+	m.mu.Lock()
+	m.shed++
+	m.inFlight--
+	m.mu.Unlock()
+}
+
+func (m *Metrics) doneFailed() {
+	m.mu.Lock()
+	m.failed++
+	m.inFlight--
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recoveredPanic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the JSON shape of /metrics (server half; the
+// backend contributes the index fields).
+type MetricsSnapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Requests  int64   `json:"requests_total"`
+	Served    int64   `json:"served_total"`
+	Shed      int64   `json:"shed_total"`
+	Failed    int64   `json:"failed_total"`
+	Panics    int64   `json:"panics_total"`
+	InFlight  int64   `json:"in_flight"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"latency_p50_ms"`
+	P99Ms     float64 `json:"latency_p99_ms"`
+}
+
+// Snapshot captures the current counters. QPS is the mean arrival rate
+// over the trailing window (process lifetime when shorter).
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	sec := m.now().Unix()
+	uptime := m.now().Sub(m.start).Seconds()
+	m.mu.Lock()
+	m.advanceLocked(sec)
+	var windowed int64
+	for _, c := range m.slots {
+		windowed += c
+	}
+	s := MetricsSnapshot{
+		UptimeSec: uptime,
+		Requests:  m.requests,
+		Served:    m.served,
+		Shed:      m.shed,
+		Failed:    m.failed,
+		Panics:    m.panics,
+		InFlight:  m.inFlight,
+	}
+	m.mu.Unlock()
+	window := float64(qpsWindow)
+	if uptime < window {
+		window = uptime
+	}
+	if window > 0 {
+		s.QPS = float64(windowed) / window
+	}
+	s.P50Ms = float64(m.latency.quantile(0.50)) / float64(time.Millisecond)
+	s.P99Ms = float64(m.latency.quantile(0.99)) / float64(time.Millisecond)
+	return s
+}

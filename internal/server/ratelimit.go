@@ -1,0 +1,90 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket: each client key (the remote
+// host) accrues rate tokens per second up to burst, and a request
+// spends one. The zero-dependency constraint rules out
+// golang.org/x/time/rate; this is the same algorithm with an
+// injectable clock so tests control time.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*bucket
+	// maxClients bounds the tracked-client map; when exceeded, buckets
+	// that have refilled to full (i.e. idle long enough to carry no
+	// state) are swept. A full bucket behaves identically to an absent
+	// one, so the sweep never changes admission decisions.
+	maxClients int
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns a limiter, or nil when rate <= 0 (disabled;
+// the nil receiver allows every request).
+func newRateLimiter(rate, burst float64, now func() time.Time) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{
+		rate:       rate,
+		burst:      burst,
+		now:        now,
+		clients:    make(map[string]*bucket),
+		maxClients: 10000,
+	}
+}
+
+// allow reports whether the client may proceed; when it may not,
+// retryAfter estimates how long until a token accrues.
+func (rl *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	if rl == nil {
+		return true, 0
+	}
+	t := rl.now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.clients[key]
+	if b == nil {
+		if len(rl.clients) >= rl.maxClients {
+			rl.sweepLocked(t)
+		}
+		b = &bucket{tokens: rl.burst, last: t}
+		rl.clients[key] = b
+	}
+	b.tokens += t.Sub(b.last).Seconds() * rl.rate
+	if b.tokens > rl.burst {
+		b.tokens = rl.burst
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / rl.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// sweepLocked drops buckets that have idled back to full.
+func (rl *rateLimiter) sweepLocked(t time.Time) {
+	for k, b := range rl.clients {
+		if b.tokens+t.Sub(b.last).Seconds()*rl.rate >= rl.burst {
+			delete(rl.clients, k)
+		}
+	}
+}

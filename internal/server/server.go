@@ -1,0 +1,433 @@
+// Package server is the network front end of the live index: an
+// HTTP/JSON facade over live.Open that adds the operational hardening
+// the in-process API deliberately leaves out — per-request deadlines
+// threaded down to postings-block granularity, bounded admission with
+// load shedding instead of unbounded queue growth, per-client rate
+// limiting, ops endpoints, and graceful drain on shutdown.
+//
+// The serving layer never re-ranks: a request admitted here produces
+// exactly the bytes the in-process live.Searcher would produce for the
+// same query against the same snapshot (the LOAD benchmark's
+// equivalence gate holds the layer to that), so everything in this
+// package is scheduling, not scoring.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/live"
+	"repro/internal/rank"
+)
+
+// Backend is the slice of the live layer the server drives. It is an
+// interface so handler tests can stand in a stub that blocks, fails, or
+// panics on command.
+type Backend interface {
+	// SearchContext evaluates one query against a fresh snapshot,
+	// observing ctx at postings-block granularity.
+	SearchContext(ctx context.Context, terms []string, n int) (live.Result, error)
+	// Stats reports the writer's point-in-time accounting (generation,
+	// segment count, document counts).
+	Stats() live.WriterStats
+	// Counters sums the decode/skip/fault counters across the current
+	// snapshot's segments.
+	Counters() (decoded, skips, faulted int64)
+	// Close releases the backend. The server calls it at the end of
+	// Shutdown, after in-flight queries drain.
+	Close() error
+}
+
+// liveBackend adapts *live.Writer to Backend.
+type liveBackend struct {
+	w *live.Writer
+	s *live.Searcher
+}
+
+// NewLiveBackend wraps a live writer as the server's backend.
+func NewLiveBackend(w *live.Writer) Backend {
+	return &liveBackend{w: w, s: w.Searcher()}
+}
+
+func (b *liveBackend) SearchContext(ctx context.Context, terms []string, n int) (live.Result, error) {
+	return b.s.SearchContext(ctx, terms, n)
+}
+
+func (b *liveBackend) Stats() live.WriterStats { return b.w.Stats() }
+
+func (b *liveBackend) Counters() (decoded, skips, faulted int64) {
+	snap, err := b.w.Acquire()
+	if err != nil {
+		return 0, 0, 0
+	}
+	defer snap.Close()
+	return snap.Counters()
+}
+
+func (b *liveBackend) Close() error { return b.w.Close() }
+
+// Config sizes a Server. Zero values take the documented defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing searches. Default 16.
+	MaxInFlight int
+	// QueueDepth bounds searches waiting for an execution slot; beyond
+	// it requests are shed with 429. Default 64.
+	QueueDepth int
+	// DefaultTimeout is the per-query deadline when the request carries
+	// none. Default 2s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the deadline a request may ask for. Default 30s.
+	MaxTimeout time.Duration
+	// MaxN caps the result count a request may ask for. Default 1000.
+	MaxN int
+	// MaxTerms caps the term count of one query. Default 32.
+	MaxTerms int
+	// RatePerClient is the sustained per-client request rate
+	// (requests/second); 0 disables rate limiting.
+	RatePerClient float64
+	// Burst is the per-client burst allowance when rate limiting is on.
+	// Default 2×RatePerClient (floor 1).
+	Burst float64
+	// RetryAfter is the Retry-After hint on shed responses. Default 1s.
+	RetryAfter time.Duration
+	// now is the injectable clock (tests); nil means time.Now.
+	now func() time.Time
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 16
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 1000
+	}
+	if c.MaxTerms == 0 {
+		c.MaxTerms = 32
+	}
+	if c.Burst == 0 {
+		c.Burst = 2 * c.RatePerClient
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// Server serves the live index over HTTP. Create with New, attach to a
+// listener with Serve (or use Handler for tests), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	backend Backend
+	metrics *Metrics
+	admit   *admission
+	limiter *rateLimiter
+	mux     *http.ServeMux
+	http    *http.Server
+
+	draining atomic.Bool
+}
+
+// New builds a server over backend.
+func New(backend Backend, cfg Config) (*Server, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("server: nil backend")
+	}
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		backend: backend,
+		metrics: newMetrics(cfg.now),
+		admit:   newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
+		limiter: newRateLimiter(cfg.RatePerClient, cfg.Burst, cfg.now),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/search", s.recovered(s.handleSearch))
+	s.mux.HandleFunc("/healthz", s.recovered(s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.recovered(s.handleMetrics))
+	s.http = &http.Server{Handler: s.mux}
+	return s, nil
+}
+
+// Handler exposes the routing for in-process tests (httptest.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (the LOAD benchmark reads them
+// directly instead of scraping its own endpoint).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error {
+	return s.http.Serve(l)
+}
+
+// Shutdown gracefully stops the server: new connections are refused,
+// in-flight queries drain (bounded by ctx), and the backend — the live
+// index — is closed last, so no query ever observes a closing index.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	if cerr := s.backend.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// recovered wraps a handler with the panic guard: a panicking handler
+// answers 500 and the process keeps serving. The guard is the backstop
+// behind the panic-proofing of the library layers — defense in depth,
+// not the primary mechanism.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.recoveredPanic()
+				debug.PrintStack()
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// searchRequest is the POST /search body.
+type searchRequest struct {
+	Terms []string `json:"terms"`
+	N     int      `json:"n"`
+	// TimeoutMS overrides the server's default per-query deadline
+	// (capped at MaxTimeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// SearchResponse is the POST /search answer.
+type SearchResponse struct {
+	Generation uint64      `json:"generation"`
+	Segments   int         `json:"segments"`
+	Exact      bool        `json:"exact"`
+	Results    []DocResult `json:"results"`
+}
+
+type DocResult struct {
+	Doc   uint32  `json:"doc"`
+	Score float64 `json:"score"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the connection owns delivery failures
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// parseSearch validates the request body into a searchRequest. Every
+// malformed shape — bad JSON, missing terms, empty term strings,
+// non-positive or oversized n, absurd timeouts — is a 400 here, before
+// any index machinery runs.
+func (s *Server) parseSearch(r *http.Request) (searchRequest, error) {
+	var req searchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("malformed body: %v", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return req, fmt.Errorf("trailing data after the request object")
+	}
+	if len(req.Terms) == 0 {
+		return req, fmt.Errorf("terms must be non-empty")
+	}
+	if len(req.Terms) > s.cfg.MaxTerms {
+		return req, fmt.Errorf("%d terms exceeds limit %d", len(req.Terms), s.cfg.MaxTerms)
+	}
+	for i, t := range req.Terms {
+		if t == "" {
+			return req, fmt.Errorf("term %d is empty", i)
+		}
+	}
+	if req.N <= 0 {
+		return req, fmt.Errorf("n = %d must be positive", req.N)
+	}
+	if req.N > s.cfg.MaxN {
+		return req, fmt.Errorf("n = %d exceeds limit %d", req.N, s.cfg.MaxN)
+	}
+	if req.TimeoutMS < 0 {
+		return req, fmt.Errorf("timeout_ms = %d must be non-negative", req.TimeoutMS)
+	}
+	return req, nil
+}
+
+// clientKey identifies the client for rate limiting: the remote host
+// without the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	req, err := s.parseSearch(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.metrics.request()
+	if ok, retry := s.limiter.allow(clientKey(r)); !ok {
+		s.metrics.doneShed()
+		s.shed(w, retry)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	release, err := s.admit.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrShed) {
+			s.metrics.doneShed()
+			s.shed(w, s.cfg.RetryAfter)
+			return
+		}
+		// The context fired while queued: deadline exhausted in line.
+		s.metrics.doneFailed()
+		writeError(w, http.StatusGatewayTimeout, "queued past deadline")
+		return
+	}
+	defer release()
+
+	start := s.cfg.now()
+	res, err := s.backend.SearchContext(ctx, req.Terms, req.N)
+	if err != nil {
+		s.metrics.doneFailed()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "query deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status is written into a dead
+			// connection, but the accounting still records the abort.
+			writeError(w, http.StatusServiceUnavailable, "query cancelled")
+		case errors.Is(err, live.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "index closed")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.metrics.doneServed(s.cfg.now().Sub(start))
+	writeJSON(w, http.StatusOK, toResponse(res))
+}
+
+func toResponse(res live.Result) SearchResponse {
+	out := SearchResponse{
+		Generation: res.Generation,
+		Segments:   res.Segments,
+		Exact:      res.Exact,
+		Results:    make([]DocResult, len(res.Top)),
+	}
+	for i, ds := range res.Top {
+		out.Results[i] = DocResult{Doc: ds.DocID, Score: ds.Score}
+	}
+	return out
+}
+
+// ResultEqual reports whether an HTTP answer matches an in-process
+// live.Result exactly — same documents, same float64 scores, same
+// order. The LOAD benchmark's equivalence gate is built on it.
+func ResultEqual(resp SearchResponse, res live.Result) bool {
+	if len(resp.Results) != len(res.Top) {
+		return false
+	}
+	for i, d := range resp.Results {
+		if res.Top[i] != (rank.DocScore{DocID: d.Doc, Score: d.Score}) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) shed(w http.ResponseWriter, retry time.Duration) {
+	secs := int(retry / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, "overloaded, retry later")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// fullMetrics is the complete /metrics payload: serving counters plus
+// the index-side gauges.
+type fullMetrics struct {
+	MetricsSnapshot
+	Generation   uint64 `json:"generation"`
+	Segments     int    `json:"segments"`
+	DocsAlive    int64  `json:"docs_alive"`
+	DocsAdded    int64  `json:"docs_added"`
+	DocsDeleted  int64  `json:"docs_deleted"`
+	Decodes      int64  `json:"postings_decoded"`
+	Skips        int64  `json:"skips_taken"`
+	BlocksFaults int64  `json:"blocks_faulted"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stats := s.backend.Stats()
+	decoded, skips, faulted := s.backend.Counters()
+	writeJSON(w, http.StatusOK, fullMetrics{
+		MetricsSnapshot: s.metrics.Snapshot(),
+		Generation:      stats.Generation,
+		Segments:        stats.Segments,
+		DocsAlive:       stats.DocsAlive,
+		DocsAdded:       stats.DocsAdded,
+		DocsDeleted:     stats.DocsDeleted,
+		Decodes:         decoded,
+		Skips:           skips,
+		BlocksFaults:    faulted,
+	})
+}

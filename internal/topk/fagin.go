@@ -51,7 +51,7 @@ func Naive(sources []Source, agg Agg, n int) (Result, error) {
 			v[i] = g
 		}
 	}
-	h := NewHeap(n)
+	h, _ := NewHeap(n) // n > 0 per validate
 	for id, v := range grades {
 		h.Offer(rank.DocScore{DocID: id, Score: agg.Combine(v)})
 	}
@@ -97,7 +97,7 @@ func FA(sources []Source, agg Agg, n int) (Result, error) {
 		}
 	}
 	// Random-access phase: complete every partially seen object.
-	h := NewHeap(n)
+	h, _ := NewHeap(n) // n > 0 per validate
 	grades := make([]float64, m)
 	for id, cnt := range seenCount {
 		for i := range sources {
@@ -135,7 +135,7 @@ func TA(sources []Source, agg Agg, n int) (Result, error) {
 		frontier[i] = math.Inf(1)
 	}
 	probed := map[uint32]bool{}
-	h := NewHeap(n)
+	h, _ := NewHeap(n) // n > 0 per validate
 	grades := make([]float64, m)
 	for {
 		exhausted := 0

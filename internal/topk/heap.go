@@ -12,6 +12,7 @@ package topk
 
 import (
 	"container/heap"
+	"fmt"
 
 	"repro/internal/rank"
 )
@@ -39,13 +40,15 @@ func (h *docScoreHeap) Pop() interface{} {
 	return x
 }
 
-// NewHeap returns a heap retaining the n best offers. It panics if n <= 0,
-// which always indicates a programming error in the caller.
-func NewHeap(n int) *Heap {
+// NewHeap returns a heap retaining the n best offers. A non-positive n
+// is reported as an error rather than a panic, so a malformed request
+// that slips to this depth surfaces as a failed query, not a crashed
+// process.
+func NewHeap(n int) (*Heap, error) {
 	if n <= 0 {
-		panic("topk: heap size must be positive")
+		return nil, fmt.Errorf("topk: heap size %d must be positive", n)
 	}
-	return &Heap{n: n, items: make(docScoreHeap, 0, n)}
+	return &Heap{n: n, items: make(docScoreHeap, 0, n)}, nil
 }
 
 // Offer considers ds for the top N. It returns true when ds entered the
@@ -96,7 +99,7 @@ func SelectTop(ds []rank.DocScore, k int) []rank.DocScore {
 	if k <= 0 {
 		return nil
 	}
-	h := NewHeap(k)
+	h, _ := NewHeap(k) // k > 0 was just checked
 	for _, d := range ds {
 		h.Offer(d)
 	}

@@ -44,7 +44,7 @@ func MergeShards(shards []ShardTop, n int) (top []rank.DocScore, exact bool) {
 	if n <= 0 {
 		return nil, false
 	}
-	h := NewHeap(n)
+	h, _ := NewHeap(n) // n > 0 was just checked
 	for _, s := range shards {
 		for _, ds := range s.Top {
 			h.Offer(ds)

@@ -10,7 +10,10 @@ import (
 )
 
 func TestHeapBasics(t *testing.T) {
-	h := NewHeap(3)
+	h, err := NewHeap(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, s := range []float64{5, 1, 4, 2, 3} {
 		h.Offer(rank.DocScore{DocID: uint32(s), Score: s})
 	}
@@ -27,7 +30,10 @@ func TestHeapBasics(t *testing.T) {
 }
 
 func TestHeapMinThreshold(t *testing.T) {
-	h := NewHeap(2)
+	h, err := NewHeap(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, ok := h.Min(); ok {
 		t.Error("empty heap reported a min")
 	}
@@ -50,7 +56,10 @@ func TestHeapMinThreshold(t *testing.T) {
 }
 
 func TestHeapTieBreak(t *testing.T) {
-	h := NewHeap(1)
+	h, err := NewHeap(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h.Offer(rank.DocScore{DocID: 9, Score: 1})
 	// Same score, lower id ranks higher and must displace.
 	if !h.Offer(rank.DocScore{DocID: 3, Score: 1}) {
@@ -62,13 +71,12 @@ func TestHeapTieBreak(t *testing.T) {
 	}
 }
 
-func TestHeapPanicsOnBadSize(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewHeap(0) did not panic")
+func TestHeapRejectsBadSize(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewHeap(n); err == nil {
+			t.Errorf("NewHeap(%d) accepted a non-positive size", n)
 		}
-	}()
-	NewHeap(0)
+	}
 }
 
 func TestSelectTopMatchesSort(t *testing.T) {

@@ -22,12 +22,19 @@ import (
 // Vector is a dense feature vector.
 type Vector []float64
 
-// L2 returns the Euclidean distance between a and b. It panics when the
-// dimensions differ, which indicates a programming error.
-func L2(a, b Vector) float64 {
+// L2 returns the Euclidean distance between a and b. Mismatched
+// dimensions are an error, not a panic: query vectors arrive from
+// outside the process now, so a malformed one must fail its own request
+// rather than crash the server.
+func L2(a, b Vector) (float64, error) {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("vector: dimension mismatch %d vs %d", len(a), len(b)))
+		return 0, fmt.Errorf("vector: dimension mismatch %d vs %d", len(a), len(b))
 	}
+	return l2(a, b), nil
+}
+
+// l2 is L2 for callers that have already established len(a) == len(b).
+func l2(a, b Vector) float64 {
 	var s float64
 	for i := range a {
 		d := a[i] - b[i]
@@ -37,10 +44,10 @@ func L2(a, b Vector) float64 {
 }
 
 // Cosine returns the cosine similarity of a and b in [-1, 1]; 0 when
-// either vector is zero.
-func Cosine(a, b Vector) float64 {
+// either vector is zero. Mismatched dimensions are an error, as in L2.
+func Cosine(a, b Vector) (float64, error) {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("vector: dimension mismatch %d vs %d", len(a), len(b)))
+		return 0, fmt.Errorf("vector: dimension mismatch %d vs %d", len(a), len(b))
 	}
 	var dot, na, nb float64
 	for i := range a {
@@ -49,9 +56,9 @@ func Cosine(a, b Vector) float64 {
 		nb += b[i] * b[i]
 	}
 	if na == 0 || nb == 0 {
-		return 0
+		return 0, nil
 	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+	return dot / (math.Sqrt(na) * math.Sqrt(nb)), nil
 }
 
 // Similarity converts an L2 distance into a grade in (0, 1]: 1/(1+d).
@@ -123,25 +130,38 @@ func Generate(cfg Config) (*Dataset, error) {
 }
 
 // ScoreAll grades every object against query by L2 similarity and returns
-// the full graded list (unsorted, by object id).
-func (ds *Dataset) ScoreAll(query Vector) []rank.DocScore {
+// the full graded list (unsorted, by object id). The query's dimension is
+// validated once against the dataset's; every stored vector shares it by
+// construction.
+func (ds *Dataset) ScoreAll(query Vector) ([]rank.DocScore, error) {
+	if len(query) != ds.Dim {
+		return nil, fmt.Errorf("vector: query dimension %d, dataset dimension %d", len(query), ds.Dim)
+	}
 	out := make([]rank.DocScore, len(ds.Vecs))
 	for i, v := range ds.Vecs {
-		out[i] = rank.DocScore{DocID: uint32(i), Score: Similarity(L2(query, v))}
+		out[i] = rank.DocScore{DocID: uint32(i), Score: Similarity(l2(query, v))}
 	}
-	return out
+	return out, nil
 }
 
 // Source builds a sorted-access Source over the dataset for a query point,
 // for use with topk.FA/TA/NRA. Building it costs a full scoring pass —
 // the same cost a real system pays to maintain a feature index; the
 // middleware algorithms then save by reading only a prefix.
-func (ds *Dataset) Source(query Vector) *topk.SliceSource {
-	return topk.NewSliceSource(ds.ScoreAll(query))
+func (ds *Dataset) Source(query Vector) (*topk.SliceSource, error) {
+	scored, err := ds.ScoreAll(query)
+	if err != nil {
+		return nil, err
+	}
+	return topk.NewSliceSource(scored), nil
 }
 
 // KNN returns the k nearest objects to query by L2 distance, graded by
 // similarity, best first — exhaustive ground truth for the MM experiments.
-func (ds *Dataset) KNN(query Vector, k int) []rank.DocScore {
-	return topk.SelectTop(ds.ScoreAll(query), k)
+func (ds *Dataset) KNN(query Vector, k int) ([]rank.DocScore, error) {
+	scored, err := ds.ScoreAll(query)
+	if err != nil {
+		return nil, err
+	}
+	return topk.SelectTop(scored, k), nil
 }

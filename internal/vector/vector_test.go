@@ -12,21 +12,31 @@ import (
 func TestL2(t *testing.T) {
 	a := Vector{0, 0}
 	b := Vector{3, 4}
-	if got := L2(a, b); math.Abs(got-5) > 1e-12 {
-		t.Errorf("L2 = %v, want 5", got)
+	if got, err := L2(a, b); err != nil || math.Abs(got-5) > 1e-12 {
+		t.Errorf("L2 = %v (err %v), want 5", got, err)
 	}
-	if got := L2(a, a); got != 0 {
-		t.Errorf("L2 self = %v", got)
+	if got, err := L2(a, a); err != nil || got != 0 {
+		t.Errorf("L2 self = %v (err %v)", got, err)
 	}
 }
 
-func TestL2PanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("dimension mismatch did not panic")
-		}
-	}()
-	L2(Vector{1}, Vector{1, 2})
+func TestL2RejectsMismatch(t *testing.T) {
+	if _, err := L2(Vector{1}, Vector{1, 2}); err == nil {
+		t.Fatal("dimension mismatch not reported")
+	}
+	if _, err := Cosine(Vector{1}, Vector{1, 2}); err == nil {
+		t.Fatal("cosine dimension mismatch not reported")
+	}
+	ds := &Dataset{Dim: 2, Vecs: []Vector{{1, 2}}}
+	if _, err := ds.ScoreAll(Vector{1}); err == nil {
+		t.Fatal("ScoreAll dimension mismatch not reported")
+	}
+	if _, err := ds.Source(Vector{1, 2, 3}); err == nil {
+		t.Fatal("Source dimension mismatch not reported")
+	}
+	if _, err := ds.KNN(Vector{}, 1); err == nil {
+		t.Fatal("KNN dimension mismatch not reported")
+	}
 }
 
 func TestL2Properties(t *testing.T) {
@@ -38,32 +48,46 @@ func TestL2Properties(t *testing.T) {
 		}
 		return v
 	}
+	dist := func(a, b Vector) float64 {
+		d, err := L2(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
 	if err := quick.Check(func(seed uint8) bool {
 		a, b, c := mk(), mk(), mk()
 		// Symmetry, non-negativity, triangle inequality.
-		if math.Abs(L2(a, b)-L2(b, a)) > 1e-9 {
+		if math.Abs(dist(a, b)-dist(b, a)) > 1e-9 {
 			return false
 		}
-		if L2(a, b) < 0 {
+		if dist(a, b) < 0 {
 			return false
 		}
-		return L2(a, c) <= L2(a, b)+L2(b, c)+1e-9
+		return dist(a, c) <= dist(a, b)+dist(b, c)+1e-9
 	}, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCosine(t *testing.T) {
-	if got := Cosine(Vector{1, 0}, Vector{1, 0}); math.Abs(got-1) > 1e-12 {
+	cos := func(a, b Vector) float64 {
+		c, err := Cosine(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if got := cos(Vector{1, 0}, Vector{1, 0}); math.Abs(got-1) > 1e-12 {
 		t.Errorf("parallel = %v", got)
 	}
-	if got := Cosine(Vector{1, 0}, Vector{0, 1}); math.Abs(got) > 1e-12 {
+	if got := cos(Vector{1, 0}, Vector{0, 1}); math.Abs(got) > 1e-12 {
 		t.Errorf("orthogonal = %v", got)
 	}
-	if got := Cosine(Vector{1, 0}, Vector{-1, 0}); math.Abs(got+1) > 1e-12 {
+	if got := cos(Vector{1, 0}, Vector{-1, 0}); math.Abs(got+1) > 1e-12 {
 		t.Errorf("antiparallel = %v", got)
 	}
-	if got := Cosine(Vector{0, 0}, Vector{1, 1}); got != 0 {
+	if got := cos(Vector{0, 0}, Vector{1, 1}); got != 0 {
 		t.Errorf("zero vector = %v", got)
 	}
 }
@@ -136,12 +160,12 @@ func TestGenerateClustered(t *testing.T) {
 			if j == i {
 				continue
 			}
-			if d := L2(ds.Vecs[i], ds.Vecs[j]); d < near {
+			if d := l2(ds.Vecs[i], ds.Vecs[j]); d < near {
 				near = d
 			}
 		}
 		nearSum += near
-		randSum += L2(ds.Vecs[i], ds.Vecs[rng.Intn(len(ds.Vecs))])
+		randSum += l2(ds.Vecs[i], ds.Vecs[rng.Intn(len(ds.Vecs))])
 	}
 	if nearSum >= randSum/3 {
 		t.Errorf("nearest-neighbour distance %.3f not clearly below random distance %.3f; data not clustered",
@@ -155,7 +179,10 @@ func TestKNNMatchesExhaustive(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := ds.Vecs[42]
-	got := ds.KNN(q, 5)
+	got, err := ds.KNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 5 {
 		t.Fatalf("returned %d", len(got))
 	}
@@ -178,7 +205,15 @@ func TestSourceFeedsFagin(t *testing.T) {
 		t.Fatal(err)
 	}
 	q1, q2 := ds.Vecs[0], ds.Vecs[1]
-	sources := []topk.Source{ds.Source(q1), ds.Source(q2)}
+	s1, err := ds.Source(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ds.Source(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []topk.Source{s1, s2}
 	res, err := topk.TA(sources, topk.MinAgg(), 5)
 	if err != nil {
 		t.Fatal(err)
