@@ -88,7 +88,7 @@ import (
 	"repro/internal/storage"
 )
 
-var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE", "LOAD"}
+var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE", "LOAD", "CHAOS"}
 
 var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
 	"F1":  bench.RunF1,
@@ -155,7 +155,7 @@ func persistIndex(scale bench.Scale, seed uint64, dir string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK, LIVE, LOAD) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK, LIVE, LOAD, CHAOS) or 'all'")
 	scaleFlag := flag.String("scale", "small", "workload scale: small or full")
 	seed := flag.Uint64("seed", 42, "deterministic workload seed")
 	shards := flag.Int("shards", 4, "PAR: number of document-range shards")
@@ -185,6 +185,7 @@ func main() {
 	runners["LOAD"] = func(s bench.Scale, seed uint64) (*bench.Table, error) {
 		return bench.RunLoad(s, seed, *loadRate, *loadRequests)
 	}
+	runners["CHAOS"] = bench.RunChaos
 
 	var scale bench.Scale
 	switch *scaleFlag {

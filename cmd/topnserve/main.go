@@ -9,7 +9,7 @@
 //	          [-max-inflight K] [-queue-depth Q]
 //	          [-rate R] [-burst B]
 //	          [-timeout D] [-max-timeout D] [-max-n N]
-//	          [-drain-timeout D]
+//	          [-drain-timeout D] [-reverify D]
 //
 // -dir is the live index directory; a temporary directory is used (and
 // removed on exit) when omitted. -seed-docs > 0 ingests a synthetic
@@ -27,6 +27,14 @@
 // -rate/-burst add a per-client token bucket. SIGINT/SIGTERM trigger a
 // graceful drain: in-flight queries finish (bounded by -drain-timeout),
 // then the index closes.
+//
+// Damaged segments degrade, they do not kill: a segment whose pages
+// fail past the retry budget is quarantined, searches answer over the
+// survivors with "degraded": true and the skipped segments named, and
+// a background loop re-verifies quarantined segments every -reverify,
+// returning them to service once their media reads clean. /healthz
+// reports "degraded" in a 200 body (the replica still serves correct,
+// labeled answers); /metrics carries the full fault account.
 package main
 
 import (
@@ -62,10 +70,11 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "cap on the per-query deadline a request may ask for")
 		maxN         = flag.Int("max-n", 1000, "cap on the result count a request may ask for")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
+		reverify     = flag.Duration("reverify", 30*time.Second, "quarantined-segment re-verification interval (0 disables)")
 	)
 	flag.Parse()
 	if err := run(*addr, *dir, *seedDocs, *seedVocab, *seedMeanLen, *seed, *sealDocs,
-		*maxInFlight, *queueDepth, *rate, *burst, *timeout, *maxTimeout, *maxN, *drainTimeout); err != nil {
+		*maxInFlight, *queueDepth, *rate, *burst, *timeout, *maxTimeout, *maxN, *drainTimeout, *reverify); err != nil {
 		fmt.Fprintln(os.Stderr, "topnserve:", err)
 		os.Exit(1)
 	}
@@ -73,7 +82,7 @@ func main() {
 
 func run(addr, dir string, seedDocs, seedVocab, seedMeanLen int, seed uint64, sealDocs,
 	maxInFlight, queueDepth int, rate, burst float64,
-	timeout, maxTimeout time.Duration, maxN int, drainTimeout time.Duration) error {
+	timeout, maxTimeout time.Duration, maxN int, drainTimeout, reverify time.Duration) error {
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "topnserve-*")
 		if err != nil {
@@ -82,7 +91,7 @@ func run(addr, dir string, seedDocs, seedVocab, seedMeanLen int, seed uint64, se
 		defer os.RemoveAll(tmp)
 		dir = tmp
 	}
-	w, err := live.Open(live.Config{Dir: dir, SealDocs: sealDocs})
+	w, err := live.Open(live.Config{Dir: dir, SealDocs: sealDocs, ReverifyEvery: reverify})
 	if err != nil {
 		return err
 	}

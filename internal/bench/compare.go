@@ -28,13 +28,15 @@ type CompareOptions struct {
 // timingMetric classifies metric keys whose values depend on the
 // machine: they are checked against WallTolerance instead of exactly.
 // The naming convention is enforced here — runners name timing metrics
-// with an "_ms" / "per_sec" component, and the LOAD experiment prefixes
-// its scheduling-dependent counters (served/shed/timeout splits) with
-// "load_"; everything else must be deterministic.
+// with an "_ms" / "per_sec" component, the LOAD experiment prefixes its
+// scheduling-dependent counters (served/shed/timeout splits) with
+// "load_", and the CHAOS experiment prefixes its cache-scheduling-
+// dependent fault counters (retries, degraded splits) with "chaos_";
+// everything else must be deterministic.
 func timingMetric(key string) bool {
 	return strings.Contains(key, "_ms") || strings.Contains(key, "per_sec") ||
 		strings.Contains(key, "wall") || strings.Contains(key, "latency") ||
-		strings.HasPrefix(key, "load_")
+		strings.HasPrefix(key, "load_") || strings.HasPrefix(key, "chaos_")
 }
 
 // CompareReports returns the list of regressions of fresh against

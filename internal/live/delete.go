@@ -133,6 +133,13 @@ func (w *Writer) deleteSealedLocked(id uint32) error {
 	if err := index.WriteAlive(filepath.Join(seg.dir, aliveName(ver)), bm); err != nil {
 		return err // nothing mutated yet: the failed write is retryable
 	}
+	if cerr := w.crash(CrashDeleteBeforeCommit); cerr != nil {
+		// Simulated death with the new bitmap version on disk but no
+		// manifest referencing it: the delete never happened; reopen GCs
+		// the orphaned version file.
+		w.failed = cerr
+		return cerr
+	}
 	// The incremental half of the tightened-snapshot maintenance: clone
 	// the current tight clone and subtract just this document's terms —
 	// O(vocabulary) for the clone, not O(ledger) — while the ledger
@@ -169,10 +176,18 @@ func (w *Writer) deleteSealedLocked(id uint32) error {
 		}
 		return err
 	}
+	if cerr := w.crash(CrashDeleteAfterCommit); cerr != nil {
+		// Simulated death after the swap: the delete is durable; the
+		// superseded bitmap version stays for reopen's GC.
+		w.failed = cerr
+		return cerr
+	}
 	if oldVer > 0 {
 		// Superseded version: best-effort delete; a leftover is
 		// garbage-collected on the next Open.
-		os.Remove(filepath.Join(seg.dir, aliveName(oldVer)))
+		if rerr := os.Remove(filepath.Join(seg.dir, aliveName(oldVer))); rerr != nil {
+			cleanupLogf("live: removing superseded bitmap of segment %s: %v (reopen GC will retry)", seg.name, rerr)
+		}
 	}
 	if float64(seg.purgeable) >= w.cfg.PurgeDeadFrac*float64(seg.aliveDocs+seg.purgeable) {
 		w.kickMerger()

@@ -229,9 +229,11 @@ func (d *fwdSidecar) terms(local uint32) ([]collection.TermFreq, error) {
 	return decodeDocEntry(blob)
 }
 
-func (d *fwdSidecar) close() {
-	if d.f != nil {
-		d.f.Close()
-		d.f = nil
+func (d *fwdSidecar) close() error {
+	if d.f == nil {
+		return nil
 	}
+	err := d.f.Close()
+	d.f = nil
+	return err
 }

@@ -1,0 +1,178 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"repro/internal/postings"
+	"repro/internal/storage"
+)
+
+// CrashPoint names one step of a commit protocol where a process can
+// die. The writer consults Config.CrashHook at each of them, so crash
+// tests become an exhaustive matrix: arm one point, run the operation,
+// reopen the directory, and assert the recovered state — instead of
+// hoping a kill signal lands somewhere interesting.
+type CrashPoint string
+
+const (
+	// Seal protocol: build the buffered documents into a segment
+	// directory, then swap the manifest.
+	CrashSealBeforePersist CrashPoint = "seal:before-persist"
+	CrashSealBeforeCommit  CrashPoint = "seal:before-commit"
+	CrashSealAfterCommit   CrashPoint = "seal:after-commit"
+	// Merge protocol: build the merged segment, install its deletion
+	// bitmap, swap the manifest, retire the inputs.
+	CrashMergeBeforePersist CrashPoint = "merge:before-persist"
+	CrashMergeBeforeCommit  CrashPoint = "merge:before-commit"
+	CrashMergeAfterCommit   CrashPoint = "merge:after-commit"
+	// Delete protocol: persist the new alive-bitmap version, swap the
+	// manifest, remove the superseded version.
+	CrashDeleteBeforeCommit CrashPoint = "delete:before-commit"
+	CrashDeleteAfterCommit  CrashPoint = "delete:after-commit"
+)
+
+// CrashPoints enumerates every named crash point — the rows of the
+// crash-matrix test.
+var CrashPoints = []CrashPoint{
+	CrashSealBeforePersist, CrashSealBeforeCommit, CrashSealAfterCommit,
+	CrashMergeBeforePersist, CrashMergeBeforeCommit, CrashMergeAfterCommit,
+	CrashDeleteBeforeCommit, CrashDeleteAfterCommit,
+}
+
+// ErrCrashPoint marks an error injected by Config.CrashHook. Cleanup
+// paths leave disk untouched when they see it — a real crash would not
+// have run them either, and the artifacts they would remove are exactly
+// what reopen's garbage collection must prove it handles.
+var ErrCrashPoint = errors.New("live: injected crash")
+
+// crash consults the injected crash hook at point p. A true return
+// simulates process death there: the caller aborts immediately, leaving
+// the directory exactly as a crash at that point would, and the
+// returned error poisons the writer through the caller's failure path.
+func (w *Writer) crash(p CrashPoint) error {
+	if w.cfg.CrashHook != nil && w.cfg.CrashHook(p) {
+		return fmt.Errorf("%w at %s", ErrCrashPoint, p)
+	}
+	return nil
+}
+
+// isDataFault classifies an error as damaged or unreadable segment
+// data — the class that quarantines the segment and degrades the
+// answer, as opposed to programming errors or context cancellation,
+// which still fail the query.
+func isDataFault(err error) bool {
+	return storage.IsReadFault(err) || errors.Is(err, postings.ErrCorrupt)
+}
+
+// cleanupLogf reports best-effort cleanup failures that must not fail
+// the operation that triggered them: a stale file the next Open
+// garbage-collects anyway, a close on teardown. Logged rather than
+// swallowed so a disk acting up is visible before it escalates.
+// Replaceable in tests.
+var cleanupLogf = log.Printf
+
+// faultCounters is the writer's running account of fault handling,
+// shared with every snapshot (searches quarantine segments and mark
+// queries degraded without holding the writer lock).
+type faultCounters struct {
+	quarantines atomic.Int64 // segments quarantined (transitions, not queries)
+	recovered   atomic.Int64 // segments returned to service by Reverify
+	degraded    atomic.Int64 // queries answered with partial coverage
+}
+
+// FaultStats is a point-in-time snapshot of the writer's fault
+// handling: how the retry, quarantine, and recovery machinery has been
+// exercised, and how much of the index is currently out of service.
+type FaultStats struct {
+	// QuarantinedSegments is the number of segments currently skipped by
+	// searches. Zero means full-coverage (exact-certificate) serving.
+	QuarantinedSegments int
+	// Quarantines / Recovered count lifecycle transitions: how often a
+	// data fault took a segment out of service, and how often a
+	// re-verification brought one back.
+	Quarantines int64
+	Recovered   int64
+	// DegradedQueries counts searches answered with partial coverage (an
+	// explicit degraded certificate instead of a failure).
+	DegradedQueries int64
+	// ReadRetries / ReadFaults sum the buffer-pool counters across the
+	// current chain: transient read errors absorbed by backoff, and
+	// fetches that failed after the retry budget.
+	ReadRetries int64
+	ReadFaults  int64
+}
+
+// FaultStats samples the fault-handling account across the current
+// segment chain.
+func (w *Writer) FaultStats() FaultStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fs := FaultStats{
+		Quarantines:     w.fc.quarantines.Load(),
+		Recovered:       w.fc.recovered.Load(),
+		DegradedQueries: w.fc.degraded.Load(),
+	}
+	for _, s := range w.segs {
+		if s.quarantined.Load() {
+			fs.QuarantinedSegments++
+		}
+		r, f := s.pool.FaultCounts()
+		fs.ReadRetries += r
+		fs.ReadFaults += f
+	}
+	return fs
+}
+
+// Reverify re-reads every quarantined segment against its open-time
+// page checksums and returns recovered ones to service — the
+// quarantine lifecycle's exit. Segments are immutable, so a clean full
+// re-read proves the earlier fault was transient (a cabling hiccup, a
+// since-healed flip) and the segment can serve again; the segment's
+// page cache is dropped first so nothing read during the faulty episode
+// survives. A segment that still fails stays quarantined for the next
+// round. Returns the number of segments recovered.
+func (w *Writer) Reverify() int {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0
+	}
+	segs := append([]*segment(nil), w.segs...)
+	for _, s := range segs {
+		s.acquire() // hold across the unlocked re-reads
+	}
+	w.mu.Unlock()
+	recovered := 0
+	for _, s := range segs {
+		if s.quarantined.Load() && s.vdev.Verify() == nil {
+			// Drop cached pages before un-quarantining; a pinned page
+			// (an in-flight query that started before the quarantine)
+			// defers recovery to the next round.
+			if s.pool.DropAll() == nil && s.quarantined.CompareAndSwap(true, false) {
+				recovered++
+				w.fc.recovered.Add(1)
+			}
+		}
+		s.release()
+	}
+	return recovered
+}
+
+// reverifyLoop runs Reverify every cfg.ReverifyEvery, on ticks of the
+// injected clock, until the writer closes.
+func (w *Writer) reverifyLoop() {
+	defer w.bgDone.Done()
+	t := w.cfg.Clock.NewTicker(w.cfg.ReverifyEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.Chan():
+			w.Reverify()
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package live
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/rank"
+	"repro/internal/storage"
+)
+
+// devRegistry is the WrapDevice seam of the fault tests: it wraps every
+// opened segment in a seeded FaultDevice and remembers it by segment
+// name, so a test can arm faults on one specific segment.
+type devRegistry struct {
+	mu    sync.Mutex
+	names []string
+	devs  map[string]*storage.FaultDevice
+}
+
+func newDevRegistry() *devRegistry {
+	return &devRegistry{devs: map[string]*storage.FaultDevice{}}
+}
+
+func (r *devRegistry) wrap(name string, dev storage.Device) storage.Device {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := storage.NewFaultDevice(dev, int64(len(r.names))+101)
+	r.names = append(r.names, name)
+	r.devs[name] = f
+	return f
+}
+
+func (r *devRegistry) dev(name string) *storage.FaultDevice {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.devs[name]
+}
+
+// buildFaultySegments opens a live index of exactly two sealed segments
+// (docs 0..half-1 and half..2*half-1) with every segment device wrapped
+// in a FaultDevice, and returns the fault-free baseline answers. The
+// pool is pinned to its floor (8 pages) and the segments are built big
+// enough that their postings dwarf it, so queries keep doing physical
+// reads — the surface faults are injected on.
+func buildFaultySegments(t *testing.T, half int) (*Writer, *devRegistry, *collection.Collection, []collection.Query, [][]rank.DocScore) {
+	t.Helper()
+	col := genCollection(t, 2*half, 71)
+	queries := genQueries(t, col, 72)
+	reg := newDevRegistry()
+	w, err := Open(Config{
+		Dir: t.TempDir(), SealDocs: half, PoolPages: 8, WrapDevice: reg.wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamInto(t, w, col)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Segments; got != 2 {
+		t.Fatalf("setup built %d segments, want 2", got)
+	}
+	s := w.Searcher()
+	baseline := make([][]rank.DocScore, len(queries))
+	for i, q := range queries {
+		res, err := s.Search(queryNames(col, q), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact || res.Degraded {
+			t.Fatalf("fault-free baseline not exact: %+v", res.Cert)
+		}
+		baseline[i] = res.Top
+	}
+	return w, reg, col, queries, baseline
+}
+
+// TestQuarantineDegradedServing is the degraded-mode contract end to
+// end: a segment whose device fails permanently is quarantined on first
+// contact instead of failing the query; every answer from then on is
+// either byte-identical to the fault-free answer or explicitly degraded
+// — byte-identical to a fresh build over the served segments, naming
+// the skipped one — and once the faults clear, one re-verification pass
+// returns the segment to service with full-exactness answers again.
+func TestQuarantineDegradedServing(t *testing.T) {
+	const half = 4000
+	w, reg, col, queries, baseline := buildFaultySegments(t, half)
+	defer w.Close()
+	s := w.Searcher()
+
+	// The degraded reference: the fault-free exact ranking restricted to
+	// the first segment's documents. A served segment evaluates with the
+	// snapshot's global statistics, so a degraded answer is exactly the
+	// global ranking with the skipped segment's documents removed — not
+	// a fresh build over the survivors, whose statistics would differ.
+	degRef := make([][]rank.DocScore, len(queries))
+	for i, q := range queries {
+		res, err := s.Search(queryNames(col, q), 2*half)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keep []rank.DocScore
+		for _, ds := range res.Top {
+			if ds.DocID < uint32(half) {
+				keep = append(keep, ds)
+				if len(keep) == 10 {
+					break
+				}
+			}
+		}
+		degRef[i] = keep
+	}
+
+	sick := reg.names[1] // the second sealed segment
+	reg.dev(sick).FailAll(true)
+
+	degraded := 0
+	for i, q := range queries {
+		names := queryNames(col, q)
+		res, err := s.Search(names, 10)
+		if err != nil {
+			t.Fatalf("a data fault must degrade, not fail, the query: %v", err)
+		}
+		if !res.Degraded {
+			// Served entirely from cache: must still be the exact answer.
+			if !res.Exact {
+				t.Fatalf("query %d neither exact nor degraded: %+v", i, res.Cert)
+			}
+			assertSameTop(t, "cache-served under faults", res.Top, baseline[i])
+			continue
+		}
+		degraded++
+		if res.Exact {
+			t.Fatalf("query %d claims exactness with a skipped segment", i)
+		}
+		c := res.Cert
+		if c.ShardsServed != 1 || c.ShardsTotal != 2 || len(c.Skipped) != 1 || c.Skipped[0] != sick {
+			t.Fatalf("query %d certificate = %+v, want 1 of 2 served, %s skipped", i, c, sick)
+		}
+		assertSameTop(t, "degraded vs served-docs ranking", res.Top, degRef[i])
+	}
+	if degraded == 0 {
+		t.Fatal("no query ever touched the failing device — the test surface is gone")
+	}
+	fs := w.FaultStats()
+	if fs.QuarantinedSegments != 1 || fs.Quarantines != 1 {
+		t.Fatalf("FaultStats = %+v, want exactly one quarantined segment", fs)
+	}
+	if fs.ReadFaults == 0 {
+		t.Fatalf("FaultStats = %+v, want the failed reads accounted", fs)
+	}
+	if fs.DegradedQueries != int64(degraded) {
+		t.Fatalf("DegradedQueries = %d, want %d", fs.DegradedQueries, degraded)
+	}
+
+	// Quarantined segments are skipped at schedule time: no new device
+	// contact, still explicitly degraded.
+	before := reg.dev(sick).Stats().Reads
+	res, err := s.Search(queryNames(col, queries[0]), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("quarantined segment must keep degrading answers")
+	}
+	if after := reg.dev(sick).Stats().Reads; after != before {
+		t.Fatalf("quarantined segment still read from: %d -> %d reads", before, after)
+	}
+
+	// A writer with a quarantined segment still accepts writes and
+	// merges must not touch the sick segment.
+	if err := w.MergeAll(); err != nil {
+		t.Fatalf("merge with a quarantined segment in the chain: %v", err)
+	}
+	if w.Err() != nil {
+		t.Fatalf("quarantine poisoned the writer: %v", w.Err())
+	}
+
+	// Recovery: clear the faults, re-verify, and the index serves
+	// full-exactness answers again.
+	reg.dev(sick).Clear()
+	if n := w.Reverify(); n != 1 {
+		t.Fatalf("Reverify recovered %d segments, want 1", n)
+	}
+	fs = w.FaultStats()
+	if fs.QuarantinedSegments != 0 || fs.Recovered != 1 {
+		t.Fatalf("FaultStats after recovery = %+v, want 0 quarantined, 1 recovered", fs)
+	}
+	for i, q := range queries {
+		res, err := s.Search(queryNames(col, q), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact || res.Degraded {
+			t.Fatalf("recovered index still degraded on query %d: %+v", i, res.Cert)
+		}
+		assertSameTop(t, "recovered vs baseline", res.Top, baseline[i])
+	}
+}
+
+// TestTransientFaultsAbsorbedByRetry scripts one transient failure per
+// page: every cold read fails once and succeeds on the pool's first
+// retry, so the whole query load completes exactly — no degraded
+// certificates, no quarantines — with the retries accounted.
+func TestTransientFaultsAbsorbedByRetry(t *testing.T) {
+	const half = 2500
+	w, reg, col, queries, baseline := buildFaultySegments(t, half)
+	defer w.Close()
+	s := w.Searcher()
+
+	for _, name := range reg.names {
+		dev := reg.dev(name)
+		for id := storage.PageID(1); id <= 1<<14; id++ {
+			dev.FailPage(id, 1)
+		}
+	}
+	for i, q := range queries {
+		res, err := s.Search(queryNames(col, q), 10)
+		if err != nil {
+			t.Fatalf("query %d: transient faults must be absorbed: %v", i, err)
+		}
+		if !res.Exact || res.Degraded {
+			t.Fatalf("query %d degraded under one-shot transient faults: %+v", i, res.Cert)
+		}
+		assertSameTop(t, "retried vs baseline", res.Top, baseline[i])
+	}
+	fs := w.FaultStats()
+	if fs.ReadRetries == 0 {
+		t.Fatal("no retry recorded — every read was cache-served, the test surface is gone")
+	}
+	if fs.ReadFaults != 0 || fs.QuarantinedSegments != 0 || fs.DegradedQueries != 0 {
+		t.Fatalf("FaultStats = %+v, want all faults absorbed", fs)
+	}
+}
+
+// TestReverifyKeepsSickSegmentsOut: re-verification must not return a
+// segment whose device still fails — recovery happens when the fault
+// actually clears, not on a timer's optimism.
+func TestReverifyKeepsSickSegmentsOut(t *testing.T) {
+	const half = 2500
+	w, reg, col, queries, _ := buildFaultySegments(t, half)
+	defer w.Close()
+	s := w.Searcher()
+
+	sick := reg.names[1]
+	reg.dev(sick).FailAll(true)
+	for _, q := range queries {
+		if _, err := s.Search(queryNames(col, q), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs := w.FaultStats(); fs.QuarantinedSegments != 1 {
+		t.Fatalf("FaultStats = %+v, want the sick segment quarantined", fs)
+	}
+	if n := w.Reverify(); n != 0 {
+		t.Fatalf("Reverify recovered %d segments while the device still fails", n)
+	}
+	if fs := w.FaultStats(); fs.QuarantinedSegments != 1 || fs.Recovered != 0 {
+		t.Fatalf("FaultStats = %+v, want the segment still out of service", fs)
+	}
+	reg.dev(sick).Clear()
+	if n := w.Reverify(); n != 1 {
+		t.Fatalf("Reverify recovered %d segments after the fault cleared, want 1", n)
+	}
+}

@@ -78,6 +78,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/rank"
+	"repro/internal/storage"
 )
 
 // ErrClosed is returned by operations on a closed Writer.
@@ -139,6 +140,25 @@ type Config struct {
 	// is deterministically testable. Default: the wall clock
 	// (time.NewTicker).
 	Clock Clock
+	// WrapDevice, if set, wraps the page device of every segment as it
+	// is opened — the fault-injection seam. The wrapper sees the
+	// segment's directory name and its raw file device and returns the
+	// device the checksum layer and buffer pool are stacked on (e.g. a
+	// storage.FaultDevice the test keeps a handle to). nil serves the
+	// file directly.
+	WrapDevice func(segment string, dev storage.Device) storage.Device
+	// CrashHook, if set, is consulted at every named CrashPoint of the
+	// seal, merge, and delete commit protocols. Returning true simulates
+	// a process death at that point: the operation aborts with the
+	// directory exactly as a crash there would leave it, and the writer
+	// is poisoned. Crash-matrix tests arm one point per run and assert
+	// what Open recovers.
+	CrashHook func(CrashPoint) bool
+	// ReverifyEvery runs the background re-verification loop at this
+	// interval (on Clock ticks): quarantined segments whose full re-read
+	// matches the open-time page checksums return to service. 0
+	// (default) disables the loop; Reverify remains callable.
+	ReverifyEvery time.Duration
 }
 
 func (c *Config) fillDefaults() {

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -128,11 +129,36 @@ func (w *Writer) mergeOnce() (bool, error) {
 	}
 	w.mu.Unlock()
 
-	seg, err := mergeSegments(w.cfg, run, alives, seq, snap, frozen)
+	var seg *segment
+	err := w.crash(CrashMergeBeforePersist)
+	if err == nil {
+		seg, err = mergeSegments(w.cfg, run, alives, seq, snap, frozen)
+	}
+	// A read fault during the build is the media's failure, not the
+	// protocol's: re-verify the inputs, quarantine the ones that fail,
+	// and leave the merge for a later kick instead of poisoning the
+	// writer — the index keeps serving (degraded) and keeps accepting
+	// writes while the damage is contained to the sick segment.
+	dataFault := err != nil && isDataFault(err)
+	if dataFault {
+		for _, s := range run {
+			if s.vdev.Verify() != nil && s.quarantine(err) {
+				w.fc.quarantines.Add(1)
+			}
+		}
+	}
 
 	w.mu.Lock()
 	w.mergeBusy = false
 	spliced := false
+	if dataFault {
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		for _, s := range run {
+			s.release() // the merger's temporary hold
+		}
+		return false, nil
+	}
 	if err == nil {
 		// Carry forward tombstones committed while the build ran: the
 		// merged segment still stores those documents' postings (the
@@ -140,6 +166,11 @@ func (w *Writer) mergeOnce() (bool, error) {
 		// in its bitmap — and purgeable by a later pass. The concat of
 		// the inputs' *current* bitmaps is exactly that view.
 		err = w.adoptMergedBitmapLocked(seg, run)
+	}
+	if err == nil {
+		// Simulated death after the merged segment (and its bitmap) is
+		// fully persisted but before the manifest references it.
+		err = w.crash(CrashMergeBeforeCommit)
 	}
 	if err == nil {
 		w.spliceLocked(run, seg)
@@ -152,13 +183,26 @@ func (w *Writer) mergeOnce() (bool, error) {
 		// subtracted its documents when they were tombstoned.
 		err = w.commitLocked()
 		if err == nil {
-			for _, s := range run {
-				s.dead.Store(true)
+			if cerr := w.crash(CrashMergeAfterCommit); cerr != nil {
+				// Simulated death after the swap but before input
+				// retirement: the merge is durable, the inputs' stale
+				// directories stay for reopen's GC.
+				err = cerr
+			} else {
+				for _, s := range run {
+					s.dead.Store(true)
+				}
 			}
 		}
 	} else if seg != nil {
 		seg.release() // never entered the chain; drop the opener's ref
-		os.RemoveAll(seg.dir)
+		if errors.Is(err, ErrCrashPoint) {
+			// A real crash would not have cleaned up either: the
+			// uncommitted directory stays, for reopen's GC to prove
+			// itself on.
+		} else if rerr := os.RemoveAll(seg.dir); rerr != nil {
+			cleanupLogf("live: removing abandoned merge output %s: %v (reopen GC will retry)", seg.dir, rerr)
+		}
 	}
 	if err != nil && w.failed == nil {
 		w.failed = err
@@ -237,7 +281,15 @@ func (w *Writer) planTieredLocked() []*segment {
 	for i := 0; i+k <= len(w.segs); i++ {
 		run := w.segs[i : i+k]
 		minDocs, maxDocs, total := run[0].docs, run[0].docs, int64(0)
+		healthy := true
 		for _, s := range run {
+			if s.quarantined.Load() {
+				// A quarantined segment cannot be read reliably; merging
+				// it would either fail or launder damaged data into a
+				// fresh segment. Reverify must clear it first.
+				healthy = false
+				break
+			}
 			if s.docs < minDocs {
 				minDocs = s.docs
 			}
@@ -245,6 +297,9 @@ func (w *Writer) planTieredLocked() []*segment {
 				maxDocs = s.docs
 			}
 			total += int64(s.docs)
+		}
+		if !healthy {
+			continue
 		}
 		if float64(maxDocs) > w.cfg.MergeTierFactor*float64(minDocs) {
 			continue // size spread too wide: not one tier
@@ -273,7 +328,7 @@ func (w *Writer) planPurgeLocked() []*segment {
 	var best *segment
 	var bestFrac float64
 	for _, s := range w.segs {
-		if s.purgeable == 0 {
+		if s.purgeable == 0 || s.quarantined.Load() {
 			continue
 		}
 		// Fraction of *stored* documents (alive + tombstoned-but-stored).
@@ -333,7 +388,9 @@ func mergeSegments(cfg Config, run []*segment, alives []*postings.AliveBitmap, s
 	name := segmentName(seq)
 	dir := filepath.Join(cfg.Dir, name)
 	cleanup := func(err error) (*segment, error) {
-		os.RemoveAll(dir)
+		if rerr := os.RemoveAll(dir); rerr != nil {
+			cleanupLogf("live: removing abandoned merge output %s: %v (reopen GC will retry)", dir, rerr)
+		}
 		return nil, err
 	}
 	if err := merged.Persist(dir); err != nil {
@@ -352,7 +409,7 @@ func mergeSegments(cfg Config, run []*segment, alives []*postings.AliveBitmap, s
 	if err := writeDocTerms(dir, blobs); err != nil {
 		return cleanup(err)
 	}
-	seg, err := openSegment(cfg.Dir, name, seq, snap, run[0].base, cfg.PoolPages, 0)
+	seg, err := openSegment(cfg, name, seq, snap, run[0].base, 0)
 	if err != nil {
 		return cleanup(err)
 	}

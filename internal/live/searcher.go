@@ -19,9 +19,19 @@ type Result struct {
 	// the documents).
 	Top []rank.DocScore
 	// Exact is the merge's certificate that Top is provably the true top
-	// N over the snapshot (always true here: every segment evaluates
-	// exactly, so the scatter/gather loses nothing).
+	// N over the snapshot. Every segment evaluates exactly, so in
+	// healthy operation it is always true; it drops exactly when
+	// Degraded is set — an unserved segment may hide arbitrarily good
+	// documents.
 	Exact bool
+	// Degraded reports that at least one segment was quarantined and the
+	// answer covers only the segments served. The query did not fail:
+	// degradation is explicit, never silent — Cert says which segments
+	// were skipped and how much coverage remains.
+	Degraded bool
+	// Cert is the explicit coverage certificate: exactness, segments
+	// served of total, and the names of any skipped segments.
+	Cert topk.Certificate
 	// Segments is the snapshot's segment count — the fragmentation the
 	// query paid for.
 	Segments int
@@ -41,6 +51,7 @@ type Result struct {
 type Snapshot struct {
 	g       *generation
 	workers int
+	fc      *faultCounters // the writer's fault account; nil in tests that build snapshots by hand
 
 	mu       sync.RWMutex // searches hold it shared; Close exclusively
 	released bool
@@ -54,7 +65,7 @@ func (w *Writer) Acquire() (*Snapshot, error) {
 		return nil, ErrClosed
 	}
 	w.cur.refs.Add(1)
-	return &Snapshot{g: w.cur, workers: w.cfg.Workers}, nil
+	return &Snapshot{g: w.cur, workers: w.cfg.Workers, fc: &w.fc}, nil
 }
 
 // Close releases the snapshot's generation reference, waiting out any
@@ -115,6 +126,13 @@ func (s *Snapshot) Search(terms []string, n int) (Result, error) {
 // cancels its siblings — a failed or abandoned query stops costing
 // decode work across the whole chain instead of running every remaining
 // segment to completion.
+//
+// Data faults are the exception to sibling cancellation: a segment
+// whose pages cannot be read (or fail their checksums past the retry
+// budget) is quarantined and skipped, the surviving segments complete,
+// and the answer carries an explicitly degraded certificate naming the
+// skipped segments — never a silent partial answer, never a failed
+// query for damage confined to one segment.
 func (s *Snapshot) SearchContext(ctx context.Context, terms []string, n int) (Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -142,20 +160,38 @@ func (s *Snapshot) SearchContext(ctx context.Context, terms []string, n int) (Re
 	}
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	res := Result{Exact: true, Segments: len(g.segs), Generation: g.id}
+	res.Cert = topk.Certificate{Exact: true, ShardsServed: len(g.segs), ShardsTotal: len(g.segs)}
 	if len(ids) == 0 || len(g.segs) == 0 {
 		return res, nil
 	}
 	q := collection.Query{Terms: ids}
 
 	// One segment's failure cancels the siblings through this derived
-	// context; ctx.Err() stays the caller's own signal.
+	// context; ctx.Err() stays the caller's own signal. Data faults do
+	// NOT cancel: the sick segment is quarantined and skipped while its
+	// siblings run to completion.
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	tops := make([][]rank.DocScore, len(g.segs))
 	errs := make([]error, len(g.segs))
+	skipped := make([]bool, len(g.segs))
 	searchSeg := func(i int) {
+		if g.segs[i].quarantined.Load() {
+			skipped[i] = true
+			return
+		}
 		top, err := g.engines[i].SearchContext(sctx, q, n)
 		if err != nil {
+			if isDataFault(err) {
+				// The media failed, not the query: quarantine the segment
+				// (first classifier wins the count) and serve the
+				// survivors under a degraded certificate.
+				if g.segs[i].quarantine(err) && s.fc != nil {
+					s.fc.quarantines.Add(1)
+				}
+				skipped[i] = true
+				return
+			}
 			errs[i] = err
 			cancel()
 			return
@@ -208,13 +244,23 @@ func (s *Snapshot) SearchContext(ctx context.Context, terms []string, n int) (Re
 		}
 	}
 
-	shards := make([]topk.ShardTop, len(tops))
-	for i, top := range tops {
+	served := make([]topk.ShardTop, 0, len(g.segs))
+	var skippedNames []string
+	for i := range g.segs {
+		if skipped[i] {
+			skippedNames = append(skippedNames, g.segs[i].name)
+			continue
+		}
 		// Each segment evaluated exactly (Bound 0). Truncated is
 		// conservative: a full top list may have displaced candidates.
-		shards[i] = topk.ShardTop{Top: top, Truncated: len(top) == n}
+		served = append(served, topk.ShardTop{Top: tops[i], Truncated: len(tops[i]) == n})
 	}
-	res.Top, res.Exact = topk.MergeShards(shards, n)
+	res.Top, res.Cert = topk.MergeShardsPartial(served, n, skippedNames, len(g.segs))
+	res.Exact = res.Cert.Exact
+	res.Degraded = res.Cert.Degraded
+	if res.Degraded && s.fc != nil {
+		s.fc.degraded.Add(1)
+	}
 	return res, nil
 }
 

@@ -63,11 +63,33 @@ type segment struct {
 	aliveTokens int64
 	purgeable   int
 
-	idx  *index.Index
-	fwd  *fwdSidecar
-	fd   *storage.FileDisk
+	idx *index.Index
+	fwd *fwdSidecar
+	fd  *storage.FileDisk
+	// pool is the segment's private page cache; its retry and fault
+	// counters are the segment's read-health account. vdev is the
+	// checksum layer under it, primed at open — Reverify's probe.
+	pool *storage.Pool
+	vdev *storage.VerifiedDevice
 	refs atomic.Int32
 	dead atomic.Bool // merged away: delete the directory on last release
+
+	// quarantined marks the segment unservable after a data fault:
+	// searches skip it (degrading their certificate), the merge planner
+	// avoids it, and Reverify returns it to service once a full re-read
+	// checks out. qerr holds the fault that tripped it.
+	quarantined atomic.Bool
+	qerr        atomic.Value
+}
+
+// quarantine marks the segment unservable. It reports whether this call
+// made the transition, so exactly one caller counts it.
+func (s *segment) quarantine(err error) bool {
+	if s.quarantined.CompareAndSwap(false, true) {
+		s.qerr.Store(err)
+		return true
+	}
+	return false
 }
 
 // segmentName formats the directory name for sequence number seq.
@@ -76,22 +98,46 @@ func segmentName(seq uint64) string { return fmt.Sprintf("seg-%06d", seq) }
 // aliveName formats the alive-bitmap sidecar file name for version ver.
 func aliveName(ver uint64) string { return fmt.Sprintf("alive-%06d.bm", ver) }
 
-// openSegment opens the persisted segment named name under liveDir with
-// a private pool of poolPages frames, loading its alive bitmap (version
-// tomb; 0 means all stored documents are alive) and forward sidecar.
-// The returned segment holds one reference (the opener's).
-func openSegment(liveDir, name string, seq, snap uint64, base uint32, poolPages int, tomb uint64) (*segment, error) {
-	dir := filepath.Join(liveDir, name)
-	pool, fd, err := index.OpenPool(dir, poolPages)
+// openSegment opens the persisted segment named name under cfg.Dir with
+// a private pool of cfg.PoolPages frames, loading its alive bitmap
+// (version tomb; 0 means all stored documents are alive) and forward
+// sidecar. The returned segment holds one reference (the opener's).
+//
+// The device chain under the pool is: the raw segment file, the
+// optional cfg.WrapDevice wrapper (the fault-injection seam), and a
+// page-checksum layer primed here. The priming pass is trusted because
+// index.Open below streams every section through the pool verifying the
+// persisted section CRCs — the bytes the priming records are exactly
+// the bytes those checksums vouch for. Any later read that disagrees
+// with the primed checksum fails as a transient storage.ReadFault: the
+// pool's retry absorbs one-off flips, and persistent corruption escapes
+// the budget into the quarantine path.
+func openSegment(cfg Config, name string, seq, snap uint64, base uint32, tomb uint64) (*segment, error) {
+	dir := filepath.Join(cfg.Dir, name)
+	fd, err := storage.OpenFileDisk(index.SegmentPath(dir))
 	if err != nil {
 		return nil, fmt.Errorf("live: open segment %s: %w", name, err)
 	}
 	ok := false
 	defer func() {
 		if !ok {
-			fd.Close()
+			if cerr := fd.Close(); cerr != nil {
+				cleanupLogf("live: closing segment %s after failed open: %v", name, cerr)
+			}
 		}
 	}()
+	var dev storage.Device = fd
+	if cfg.WrapDevice != nil {
+		dev = cfg.WrapDevice(name, dev)
+	}
+	vd := storage.NewVerifiedDevice(dev, fd.NumPages())
+	if err := vd.Prime(); err != nil {
+		return nil, fmt.Errorf("live: open segment %s: %w", name, err)
+	}
+	pool, err := storage.NewPool(vd, cfg.PoolPages)
+	if err != nil {
+		return nil, fmt.Errorf("live: open segment %s: %w", name, err)
+	}
 	idx, err := index.Open(dir, pool)
 	if err != nil {
 		return nil, fmt.Errorf("live: open segment %s: %w", name, err)
@@ -113,7 +159,9 @@ func openSegment(liveDir, name string, seq, snap uint64, base uint32, poolPages 
 	}
 	defer func() {
 		if !ok {
-			fwd.close()
+			if cerr := fwd.close(); cerr != nil {
+				cleanupLogf("live: closing sidecar of segment %s after failed open: %v", name, cerr)
+			}
 		}
 	}()
 	s := &segment{
@@ -121,7 +169,7 @@ func openSegment(liveDir, name string, seq, snap uint64, base uint32, poolPages 
 		docs:     idx.Stats.NumDocs,
 		postings: idx.TotalPostings(),
 		bytes:    idx.SizeBytes(),
-		idx:      idx, fwd: fwd, fd: fd,
+		idx:      idx, fwd: fwd, fd: fd, pool: pool, vdev: vd,
 	}
 	if tomb > 0 {
 		bm, err := index.ReadAlive(filepath.Join(dir, aliveName(tomb)), s.docs)
@@ -158,17 +206,24 @@ func (s *segment) recountAlive() {
 func (s *segment) acquire() { s.refs.Add(1) }
 
 // release drops one reference; the last reference closes the backing
-// files and, for merged-away segments, deletes the directory. Errors
-// are best-effort: a failed delete leaves a stale directory that the
-// next Open garbage-collects.
+// files and, for merged-away segments, deletes the directory. Failures
+// here are best-effort — a failed delete leaves a stale directory that
+// the next Open garbage-collects — but they are logged, not swallowed:
+// a close or unlink erroring is a disk telling on itself.
 func (s *segment) release() {
 	if s.refs.Add(-1) != 0 {
 		return
 	}
-	s.fwd.close()
-	s.fd.Close()
+	if err := s.fwd.close(); err != nil {
+		cleanupLogf("live: closing sidecar of segment %s: %v", s.name, err)
+	}
+	if err := s.fd.Close(); err != nil {
+		cleanupLogf("live: closing segment %s: %v", s.name, err)
+	}
 	if s.dead.Load() {
-		os.RemoveAll(s.dir)
+		if err := os.RemoveAll(s.dir); err != nil {
+			cleanupLogf("live: deleting merged-away segment %s: %v (reopen GC will retry)", s.dir, err)
+		}
 	}
 }
 

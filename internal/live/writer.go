@@ -85,6 +85,11 @@ type Writer struct {
 	seals       int64
 	merges      int64
 
+	// fc is the fault-handling account, shared with snapshots (searches
+	// quarantine segments and mark queries degraded without the writer
+	// lock). See FaultStats.
+	fc faultCounters
+
 	mergeKick chan struct{}
 	stop      chan struct{}
 	bgDone    sync.WaitGroup
@@ -161,7 +166,7 @@ func Open(cfg Config) (*Writer, error) {
 	}()
 	var newest *segment
 	for _, ms := range m.Segments {
-		seg, err := openSegment(cfg.Dir, ms.Name, ms.Seq, ms.Snap, ms.Base, cfg.PoolPages, ms.Tomb)
+		seg, err := openSegment(cfg, ms.Name, ms.Seq, ms.Snap, ms.Base, ms.Tomb)
 		if err != nil {
 			return nil, err
 		}
@@ -233,6 +238,10 @@ func Open(cfg Config) (*Writer, error) {
 	if cfg.FlushEvery > 0 {
 		w.bgDone.Add(1)
 		go w.flushLoop()
+	}
+	if cfg.ReverifyEvery > 0 {
+		w.bgDone.Add(1)
+		go w.reverifyLoop()
 	}
 	ok = true
 	return w, nil
@@ -374,10 +383,23 @@ func (w *Writer) Flush() error {
 	w.sealing = true
 	w.mu.Unlock()
 
-	seg, err := buildSegment(w.cfg, docs, tokens, seq, snap, segBase, frozen)
+	var seg *segment
+	err := w.crash(CrashSealBeforePersist)
+	if err == nil {
+		seg, err = buildSegment(w.cfg, docs, tokens, seq, snap, segBase, frozen)
+	}
 
 	w.mu.Lock()
 	w.sealing = false
+	if err == nil {
+		if cerr := w.crash(CrashSealBeforeCommit); cerr != nil {
+			// Simulated death between persist and commit: close the built
+			// segment's files but leave its directory — the uncommitted
+			// orphan reopen's GC must reclaim.
+			err = cerr
+			seg.release()
+		}
+	}
 	if err == nil {
 		w.segs = append(w.segs, seg)
 		w.seals++
@@ -388,6 +410,11 @@ func (w *Writer) Flush() error {
 		w.tight, err = tightenLexicon(frozen, w.deadStats)
 		if err == nil {
 			err = w.commitLocked()
+		}
+		if err == nil {
+			// Simulated death after the manifest swap: the seal is durable
+			// and searchable on reopen; only the poisoned writer notices.
+			err = w.crash(CrashSealAfterCommit)
 		}
 	}
 	if err != nil && w.failed == nil {
@@ -427,7 +454,9 @@ func buildSegment(cfg Config, docs []collection.Document, tokens int64, seq, sna
 	cleanup := func(err error) (*segment, error) {
 		// The persisted directory is not yet in the manifest; remove it so
 		// it cannot linger as a stale orphan.
-		os.RemoveAll(dir)
+		if rerr := os.RemoveAll(dir); rerr != nil {
+			cleanupLogf("live: removing abandoned seal output %s: %v (reopen GC will retry)", dir, rerr)
+		}
 		return nil, err
 	}
 	if err := idx.Persist(dir); err != nil {
@@ -455,7 +484,7 @@ func buildSegment(cfg Config, docs []collection.Document, tokens int64, seq, sna
 			return cleanup(err)
 		}
 	}
-	seg, err := openSegment(cfg.Dir, name, seq, snap, base, cfg.PoolPages, tomb)
+	seg, err := openSegment(cfg, name, seq, snap, base, tomb)
 	if err != nil {
 		return cleanup(err)
 	}
@@ -624,7 +653,11 @@ func (w *Writer) Close() error {
 		for _, s := range segs {
 			s.release() // the chain's reference
 		}
-		w.lockFile.Close() // drops the flock; the directory is reusable
+		if err := w.lockFile.Close(); err != nil {
+			// The kernel releases a leaked flock at process exit; log so a
+			// wedged fd is visible anyway.
+			cleanupLogf("live: releasing directory lock: %v", err)
+		}
 	})
 	return w.closeErr
 }

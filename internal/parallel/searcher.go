@@ -66,6 +66,12 @@ type Result struct {
 	// Exact is the merge's certificate that Top is provably the true
 	// global top N (always true when Epsilon == 0).
 	Exact bool
+	// Cert is the explicit certificate behind Exact, carrying shard
+	// coverage. The in-memory sharded searcher always serves every
+	// shard (Cert.Degraded is false; a failing shard fails the query),
+	// but the type is shared with the live layer, whose quarantine path
+	// produces genuinely partial coverage.
+	Cert topk.Certificate
 	// FragmentsUsed sums the chain links processed across shards — the
 	// sharded counterpart of core.ProgressiveResult.FragmentsUsed.
 	FragmentsUsed int
@@ -229,7 +235,8 @@ func (s *Searcher) merge(shardRes []core.ProgressiveResult, shardErr []error, n 
 		res.Stats.RowsScanned += int64(r.DocsTouched)
 		res.Stats.Comparisons += int64(len(r.Top))
 	}
-	res.Top, res.Exact = topk.MergeShards(tops, n)
+	res.Top, res.Cert = topk.MergeShardsPartial(tops, n, nil, len(s.shards))
+	res.Exact = res.Cert.Exact
 	return res, nil
 }
 

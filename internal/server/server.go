@@ -42,6 +42,9 @@ type Backend interface {
 	// Counters sums the decode/skip/fault counters across the current
 	// snapshot's segments.
 	Counters() (decoded, skips, faulted int64)
+	// FaultStats reports the fault account of the live index: quarantined
+	// segments, retry/fault totals, degraded-query count.
+	FaultStats() live.FaultStats
 	// Close releases the backend. The server calls it at the end of
 	// Shutdown, after in-flight queries drain.
 	Close() error
@@ -72,6 +75,8 @@ func (b *liveBackend) Counters() (decoded, skips, faulted int64) {
 	defer snap.Close()
 	return snap.Counters()
 }
+
+func (b *liveBackend) FaultStats() live.FaultStats { return b.w.FaultStats() }
 
 func (b *liveBackend) Close() error { return b.w.Close() }
 
@@ -219,12 +224,25 @@ type searchRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
-// SearchResponse is the POST /search answer.
+// SearchResponse is the POST /search answer. The degraded fields carry
+// the live layer's coverage certificate to the wire: a query that lost
+// segments to quarantine still answers 200, but says so explicitly —
+// Degraded set, Exact dropped, SegmentsServed < Segments, and the
+// skipped segment names listed — never a silent partial answer.
 type SearchResponse struct {
-	Generation uint64      `json:"generation"`
-	Segments   int         `json:"segments"`
-	Exact      bool        `json:"exact"`
-	Results    []DocResult `json:"results"`
+	Generation uint64 `json:"generation"`
+	Segments   int    `json:"segments"`
+	Exact      bool   `json:"exact"`
+	// Degraded reports that quarantined segments were skipped and the
+	// results cover only SegmentsServed of Segments.
+	Degraded bool `json:"degraded,omitempty"`
+	// SegmentsServed is how many segments the answer covers; equals
+	// Segments unless Degraded.
+	SegmentsServed int `json:"segments_served"`
+	// SegmentsSkipped names the quarantined segments excluded from this
+	// answer; empty unless Degraded.
+	SegmentsSkipped []string    `json:"segments_skipped,omitempty"`
+	Results         []DocResult `json:"results"`
 }
 
 type DocResult struct {
@@ -359,10 +377,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 func toResponse(res live.Result) SearchResponse {
 	out := SearchResponse{
-		Generation: res.Generation,
-		Segments:   res.Segments,
-		Exact:      res.Exact,
-		Results:    make([]DocResult, len(res.Top)),
+		Generation:      res.Generation,
+		Segments:        res.Segments,
+		Exact:           res.Exact,
+		Degraded:        res.Degraded,
+		SegmentsServed:  res.Cert.ShardsServed,
+		SegmentsSkipped: res.Cert.Skipped,
+		Results:         make([]DocResult, len(res.Top)),
 	}
 	for i, ds := range res.Top {
 		out.Results[i] = DocResult{Doc: ds.DocID, Score: ds.Score}
@@ -394,12 +415,30 @@ func (s *Server) shed(w http.ResponseWriter, retry time.Duration) {
 	writeError(w, http.StatusTooManyRequests, "overloaded, retry later")
 }
 
+// healthResponse is the GET /healthz body. Degraded is NOT a failure
+// state: the index is still answering (with explicit certificates), so
+// the status stays 200 — flipping to 503 would tell a load balancer to
+// drain a replica that is serving correct, labeled answers. The body
+// says what is degraded so operators (and probes that care) can see it.
+type healthResponse struct {
+	Status              string `json:"status"` // "ok", "degraded", or "draining"
+	QuarantinedSegments int    `json:"quarantined_segments,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	fs := s.backend.FaultStats()
+	if fs.QuarantinedSegments > 0 {
+		writeJSON(w, http.StatusOK, healthResponse{
+			Status:              "degraded",
+			QuarantinedSegments: fs.QuarantinedSegments,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
 }
 
 // fullMetrics is the complete /metrics payload: serving counters plus
@@ -414,20 +453,37 @@ type fullMetrics struct {
 	Decodes      int64  `json:"postings_decoded"`
 	Skips        int64  `json:"skips_taken"`
 	BlocksFaults int64  `json:"blocks_faulted"`
+	// Fault account: degraded serving is visible here before any query
+	// notices (Degraded mirrors quarantined_segments > 0).
+	Degraded            bool  `json:"degraded"`
+	QuarantinedSegments int   `json:"quarantined_segments"`
+	Quarantines         int64 `json:"quarantines_total"`
+	Recovered           int64 `json:"recovered_total"`
+	DegradedQueries     int64 `json:"degraded_queries_total"`
+	ReadRetries         int64 `json:"read_retries_total"`
+	ReadFaults          int64 `json:"read_faults_total"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	stats := s.backend.Stats()
 	decoded, skips, faulted := s.backend.Counters()
+	fs := s.backend.FaultStats()
 	writeJSON(w, http.StatusOK, fullMetrics{
-		MetricsSnapshot: s.metrics.Snapshot(),
-		Generation:      stats.Generation,
-		Segments:        stats.Segments,
-		DocsAlive:       stats.DocsAlive,
-		DocsAdded:       stats.DocsAdded,
-		DocsDeleted:     stats.DocsDeleted,
-		Decodes:         decoded,
-		Skips:           skips,
-		BlocksFaults:    faulted,
+		MetricsSnapshot:     s.metrics.Snapshot(),
+		Generation:          stats.Generation,
+		Segments:            stats.Segments,
+		DocsAlive:           stats.DocsAlive,
+		DocsAdded:           stats.DocsAdded,
+		DocsDeleted:         stats.DocsDeleted,
+		Decodes:             decoded,
+		Skips:               skips,
+		BlocksFaults:        faulted,
+		Degraded:            fs.QuarantinedSegments > 0,
+		QuarantinedSegments: fs.QuarantinedSegments,
+		Quarantines:         fs.Quarantines,
+		Recovered:           fs.Recovered,
+		DegradedQueries:     fs.DegradedQueries,
+		ReadRetries:         fs.ReadRetries,
+		ReadFaults:          fs.ReadFaults,
 	})
 }

@@ -14,12 +14,14 @@ import (
 
 	"repro/internal/live"
 	"repro/internal/rank"
+	"repro/internal/topk"
 )
 
 // stubBackend is a scriptable Backend: handler tests make it answer,
 // block, fail, or panic on command without any index machinery.
 type stubBackend struct {
 	search func(ctx context.Context, terms []string, n int) (live.Result, error)
+	faults live.FaultStats
 }
 
 func (b *stubBackend) SearchContext(ctx context.Context, terms []string, n int) (live.Result, error) {
@@ -34,6 +36,7 @@ func (b *stubBackend) SearchContext(ctx context.Context, terms []string, n int) 
 
 func (b *stubBackend) Stats() live.WriterStats                   { return live.WriterStats{} }
 func (b *stubBackend) Counters() (decoded, skips, faulted int64) { return 0, 0, 0 }
+func (b *stubBackend) FaultStats() live.FaultStats               { return b.faults }
 func (b *stubBackend) Close() error                              { return nil }
 
 func newTestServer(t *testing.T, backend Backend, cfg Config) *Server {
@@ -263,6 +266,85 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m["served_total"].(float64) != 1 {
 		t.Fatalf("served_total = %v, want 1", m["served_total"])
+	}
+}
+
+// TestDegradedSearchResponse: a degraded live result crosses the wire
+// with its certificate intact — 200, Degraded set, Exact dropped, the
+// skipped segments named — never a silent partial answer.
+func TestDegradedSearchResponse(t *testing.T) {
+	backend := &stubBackend{search: func(context.Context, []string, int) (live.Result, error) {
+		return live.Result{
+			Generation: 3, Segments: 4, Exact: false, Degraded: true,
+			Cert: topk.Certificate{Degraded: true, ShardsServed: 3, ShardsTotal: 4, Skipped: []string{"seg-000002"}},
+			Top:  []rank.DocScore{{DocID: 9, Score: 1.25}},
+		}, nil
+	}}
+	s := newTestServer(t, backend, Config{})
+	w := postJSON(s.Handler(), `{"terms": ["t1"], "n": 5}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200: degradation is not a request failure", w.Code)
+	}
+	var resp SearchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || resp.Exact {
+		t.Fatalf("response = %+v, want degraded and not exact", resp)
+	}
+	if resp.SegmentsServed != 3 || resp.Segments != 4 {
+		t.Fatalf("coverage = %d of %d, want 3 of 4", resp.SegmentsServed, resp.Segments)
+	}
+	if len(resp.SegmentsSkipped) != 1 || resp.SegmentsSkipped[0] != "seg-000002" {
+		t.Fatalf("skipped = %v, want the quarantined segment named", resp.SegmentsSkipped)
+	}
+}
+
+// TestHealthzDegraded: a quarantined segment turns /healthz into
+// 200-with-degraded-status — the replica is still serving labeled
+// answers, so a load balancer must not drain it — while the body says
+// exactly what is wrong.
+func TestHealthzDegraded(t *testing.T) {
+	backend := &stubBackend{faults: live.FaultStats{QuarantinedSegments: 2}}
+	s := newTestServer(t, backend, Config{})
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200: degraded is serving, not dead", w.Code)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.QuarantinedSegments != 2 {
+		t.Fatalf("health = %+v, want degraded with 2 quarantined", h)
+	}
+}
+
+// TestMetricsFaultFields: /metrics surfaces the backend's fault account.
+func TestMetricsFaultFields(t *testing.T) {
+	backend := &stubBackend{faults: live.FaultStats{
+		QuarantinedSegments: 1, Quarantines: 2, Recovered: 1,
+		DegradedQueries: 5, ReadRetries: 7, ReadFaults: 3,
+	}}
+	s := newTestServer(t, backend, Config{})
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var m map[string]interface{}
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"quarantined_segments": 1, "quarantines_total": 2, "recovered_total": 1,
+		"degraded_queries_total": 5, "read_retries_total": 7, "read_faults_total": 3,
+	}
+	for key, v := range want {
+		if got, ok := m[key].(float64); !ok || got != v {
+			t.Errorf("metrics[%q] = %v, want %v", key, m[key], v)
+		}
+	}
+	if deg, ok := m["degraded"].(bool); !ok || !deg {
+		t.Errorf("metrics[degraded] = %v, want true", m["degraded"])
 	}
 }
 

@@ -2,9 +2,24 @@ package storage
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 )
+
+// cleanupLogf reports best-effort cleanup failures that must not mask
+// the primary error but should not vanish silently either (a stray
+// .tmp is operator-visible debris). Replaceable in tests.
+var cleanupLogf = log.Printf
+
+// removeTemp best-effort deletes a stray temp file after a failed
+// atomic write, logging (not propagating) failure: the caller is
+// already returning the real error.
+func removeTemp(tmp string) {
+	if err := os.Remove(tmp); err != nil && !os.IsNotExist(err) {
+		cleanupLogf("storage: removing stray temp %s: %v", tmp, err)
+	}
+}
 
 // AtomicWriteFile persists data at path with the full crash-safe
 // sequence every sidecar and manifest in this repository relies on:
@@ -27,11 +42,11 @@ func AtomicWriteFile(path string, data []byte) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		removeTemp(tmp)
 		return fmt.Errorf("storage: atomic write %s: %w", path, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		removeTemp(tmp)
 		return fmt.Errorf("storage: atomic write %s: %w", path, err)
 	}
 	dir, err := os.Open(filepath.Dir(path))

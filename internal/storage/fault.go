@@ -1,0 +1,361 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the storage layer's failure model:
+//
+//   - ReadFault classifies every failed page read as transient (worth
+//     retrying: the media may serve good bytes on the next attempt) or
+//     permanent (retry is pointless: the page is gone or the request is
+//     malformed). Pool.Fetch retries transient faults with bounded
+//     exponential backoff; what escapes after the budget is spent is a
+//     fault the caller must absorb (the live layer quarantines the
+//     affected segment).
+//   - FaultDevice is the seedable fault injector: a Device wrapper that
+//     produces read errors, torn/bit-flipped pages, and latency — by
+//     page id, by probability, or on a scripted schedule — so failure
+//     paths are exercised deterministically instead of waiting for real
+//     hardware to misbehave.
+//   - VerifiedDevice is the detector that keeps bit flips from becoming
+//     silently wrong answers: it records a CRC per page on a trusted
+//     priming pass and verifies every later read against it, turning
+//     corruption into a classified ReadFault.
+
+// ReadFault is a classified page-read failure. Transient faults are
+// worth retrying (a later read of the same page may succeed); permanent
+// faults are not. Checksum mismatches are classified transient — a
+// one-off bit flip on the wire is healed by a re-read, and persistent
+// corruption still escapes once the retry budget is spent.
+type ReadFault struct {
+	Page      PageID
+	Transient bool
+	Err       error
+}
+
+func (e *ReadFault) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("storage: %s read fault on page %d: %v", kind, e.Page, e.Err)
+}
+
+func (e *ReadFault) Unwrap() error { return e.Err }
+
+// IsReadFault reports whether err carries a classified page-read fault
+// anywhere in its chain.
+func IsReadFault(err error) bool {
+	var rf *ReadFault
+	return errors.As(err, &rf)
+}
+
+// IsTransient reports whether err is a read fault classified transient —
+// the retry predicate Pool.Fetch uses.
+func IsTransient(err error) bool {
+	var rf *ReadFault
+	return errors.As(err, &rf) && rf.Transient
+}
+
+// ErrInjectedFault marks errors produced by a FaultDevice.
+var ErrInjectedFault = errors.New("storage: injected fault")
+
+// ErrCorruptPage marks a page whose contents failed checksum
+// verification against the primed CRC table.
+var ErrCorruptPage = errors.New("storage: page checksum mismatch")
+
+// FaultDevice wraps a Device with seedable, scriptable fault injection.
+// All knobs start disarmed: a fresh FaultDevice is transparent. Faults
+// can be injected three ways, checked in this order per read:
+//
+//	page id      FailPage(id, n) fails the next n reads of that page
+//	             transiently (n < 0: permanently, until Clear).
+//	schedule     FailReads(from, count) fails the reads whose global
+//	             ordinal falls in [from, from+count) transiently.
+//	probability  SetReadErrorProb(p) fails each remaining read with
+//	             probability p (transient); SetCorruptProb(p) lets the
+//	             read succeed but flips one seeded-random bit of the
+//	             returned page — a torn/corrupted page the device
+//	             itself does not detect.
+//
+// SetLatency delays every physical read. The same seed replays the
+// same fault sequence for a given read order; concurrent readers make
+// the order itself scheduling-dependent, so benchmarks that need exact
+// replay drive reads single-threaded or assert invariants rather than
+// exact fault counts. A FaultDevice is safe for concurrent use.
+type FaultDevice struct {
+	mu      sync.Mutex
+	dev     Device
+	rng     *rand.Rand
+	errProb float64
+	corProb float64
+	latency time.Duration
+	sleep   func(time.Duration)
+
+	permPages   map[PageID]bool
+	scriptPages map[PageID]int
+	winFrom     int64
+	winTo       int64
+
+	reads     int64
+	injErrs   int64
+	injTorn   int64
+	slowReads int64
+}
+
+// FaultStats counts what a FaultDevice saw and did.
+type FaultStats struct {
+	Reads              int64 // physical reads requested through the wrapper
+	InjectedErrors     int64 // reads failed by injection
+	InjectedCorruption int64 // reads that returned a flipped bit
+	DelayedReads       int64 // reads that paid the configured latency
+}
+
+// NewFaultDevice wraps dev; seed fixes the probabilistic fault sequence.
+func NewFaultDevice(dev Device, seed int64) *FaultDevice {
+	return &FaultDevice{
+		dev:         dev,
+		rng:         rand.New(rand.NewSource(seed)),
+		sleep:       time.Sleep,
+		permPages:   make(map[PageID]bool),
+		scriptPages: make(map[PageID]int),
+	}
+}
+
+// SetReadErrorProb arms (or, with 0, disarms) probabilistic transient
+// read errors.
+func (f *FaultDevice) SetReadErrorProb(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errProb = p
+}
+
+// SetCorruptProb arms (or disarms) probabilistic single-bit corruption
+// of successfully read pages.
+func (f *FaultDevice) SetCorruptProb(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.corProb = p
+}
+
+// SetLatency delays every physical read by d (0 disarms).
+func (f *FaultDevice) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
+// FailPage scripts failures for one page: the next n reads of id fail
+// transiently; n < 0 makes every read of id fail permanently until
+// Clear; n == 0 removes the script for id.
+func (f *FaultDevice) FailPage(id PageID, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case n < 0:
+		f.permPages[id] = true
+		delete(f.scriptPages, id)
+	case n == 0:
+		delete(f.permPages, id)
+		delete(f.scriptPages, id)
+	default:
+		f.scriptPages[id] = n
+		delete(f.permPages, id)
+	}
+}
+
+// FailAll makes every read fail until Clear — permanently when
+// permanent is true, transiently otherwise. It is the "device
+// unplugged" schedule.
+func (f *FaultDevice) FailAll(permanent bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if permanent {
+		f.winFrom, f.winTo = 0, 0
+		f.permPages[InvalidPage] = true // sentinel: matchLocked treats it as match-all
+	} else {
+		f.winFrom, f.winTo = f.reads, int64(1)<<62
+	}
+}
+
+// FailReads scripts a transient-failure window on the global read
+// ordinal: reads from..from+count-1 (counted since construction) fail.
+func (f *FaultDevice) FailReads(from, count int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.winFrom, f.winTo = from, from+count
+}
+
+// Clear disarms every fault source and the latency knob; counters are
+// kept.
+func (f *FaultDevice) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errProb, f.corProb, f.latency = 0, 0, 0
+	f.winFrom, f.winTo = 0, 0
+	f.permPages = make(map[PageID]bool)
+	f.scriptPages = make(map[PageID]int)
+}
+
+// Stats snapshots the injection counters.
+func (f *FaultDevice) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FaultStats{
+		Reads:              f.reads,
+		InjectedErrors:     f.injErrs,
+		InjectedCorruption: f.injTorn,
+		DelayedReads:       f.slowReads,
+	}
+}
+
+func (f *FaultDevice) readPage(id PageID, buf *[PageSize]byte) error {
+	f.mu.Lock()
+	ord := f.reads
+	f.reads++
+	delay := f.latency
+	if delay > 0 {
+		f.slowReads++
+	}
+	fail, transient := false, false
+	switch {
+	case f.permPages[InvalidPage] || f.permPages[id]:
+		fail, transient = true, false
+	case f.scriptPages[id] > 0:
+		f.scriptPages[id]--
+		if f.scriptPages[id] == 0 {
+			delete(f.scriptPages, id)
+		}
+		fail, transient = true, true
+	case ord >= f.winFrom && ord < f.winTo:
+		fail, transient = true, true
+	case f.errProb > 0 && f.rng.Float64() < f.errProb:
+		fail, transient = true, true
+	}
+	flipByte, flipBit := -1, 0
+	if !fail && f.corProb > 0 && f.rng.Float64() < f.corProb {
+		flipByte = f.rng.Intn(PageSize)
+		flipBit = f.rng.Intn(8)
+		f.injTorn++
+	}
+	if fail {
+		f.injErrs++
+	}
+	f.mu.Unlock()
+
+	if delay > 0 {
+		f.sleep(delay)
+	}
+	if fail {
+		return &ReadFault{Page: id, Transient: transient, Err: ErrInjectedFault}
+	}
+	if err := f.dev.readPage(id, buf); err != nil {
+		return err
+	}
+	if flipByte >= 0 {
+		buf[flipByte] ^= 1 << flipBit
+	}
+	return nil
+}
+
+func (f *FaultDevice) writePage(id PageID, buf *[PageSize]byte) error {
+	return f.dev.writePage(id, buf)
+}
+
+func (f *FaultDevice) allocatePage() (PageID, error) { return f.dev.allocatePage() }
+
+func (f *FaultDevice) noteLogicalRead() { f.dev.noteLogicalRead() }
+
+// VerifiedDevice wraps a Device with per-page CRC verification: Prime
+// reads every page once and records its checksum (the trusted pass —
+// the live layer primes at segment open, where the section checksums
+// independently vouch for the same bytes), and every later readPage is
+// verified against the table. A mismatch is returned as a transient
+// ReadFault wrapping ErrCorruptPage: a one-off flip is healed by the
+// pool's retry, persistent corruption escapes after the budget and the
+// caller quarantines. Verify re-runs the full pass — the re-verify
+// loop's probe that a quarantined segment's media serves clean bytes
+// again.
+type VerifiedDevice struct {
+	dev   Device
+	pages int
+
+	mu     sync.Mutex
+	sums   []uint32
+	primed bool
+}
+
+// NewVerifiedDevice wraps dev, which must hold exactly pages pages.
+func NewVerifiedDevice(dev Device, pages int) *VerifiedDevice {
+	return &VerifiedDevice{dev: dev, pages: pages}
+}
+
+// Prime reads every page and records its checksum as the trusted
+// reference. It may be called again to re-trust current contents (not
+// needed for immutable segment files).
+func (v *VerifiedDevice) Prime() error {
+	sums := make([]uint32, v.pages)
+	var buf [PageSize]byte
+	for i := 0; i < v.pages; i++ {
+		if err := v.dev.readPage(PageID(i+1), &buf); err != nil {
+			return fmt.Errorf("storage: prime page %d: %w", i+1, err)
+		}
+		sums[i] = crc32.ChecksumIEEE(buf[:])
+	}
+	v.mu.Lock()
+	v.sums = sums
+	v.primed = true
+	v.mu.Unlock()
+	return nil
+}
+
+// Verify re-reads every page and checks it against the primed table,
+// returning the first failure. The read path stays verified while
+// Verify runs.
+func (v *VerifiedDevice) Verify() error {
+	v.mu.Lock()
+	primed := v.primed
+	v.mu.Unlock()
+	if !primed {
+		return fmt.Errorf("storage: verify before prime")
+	}
+	var buf [PageSize]byte
+	for i := 0; i < v.pages; i++ {
+		if err := v.readPage(PageID(i+1), &buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *VerifiedDevice) readPage(id PageID, buf *[PageSize]byte) error {
+	if err := v.dev.readPage(id, buf); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	want, have := uint32(0), false
+	if v.primed && id != InvalidPage && int(id) <= len(v.sums) {
+		want, have = v.sums[id-1], true
+	}
+	v.mu.Unlock()
+	if have && crc32.ChecksumIEEE(buf[:]) != want {
+		return &ReadFault{Page: id, Transient: true, Err: ErrCorruptPage}
+	}
+	return nil
+}
+
+func (v *VerifiedDevice) writePage(id PageID, buf *[PageSize]byte) error {
+	// Writing would invalidate the primed table; verified devices sit
+	// over immutable media only.
+	return ErrReadOnlyDevice
+}
+
+func (v *VerifiedDevice) allocatePage() (PageID, error) { return InvalidPage, ErrReadOnlyDevice }
+
+func (v *VerifiedDevice) noteLogicalRead() { v.dev.noteLogicalRead() }

@@ -1,0 +1,272 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// noSleep is the injectable backoff sleeper for retry tests: it records
+// the delays instead of sleeping.
+type noSleep struct{ delays []time.Duration }
+
+func (s *noSleep) sleep(d time.Duration) { s.delays = append(s.delays, d) }
+
+func testPolicy(s *noSleep) RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Sleep: s.sleep}
+}
+
+// seedDisk builds a Disk with n allocated pages of distinct content.
+func seedDisk(t *testing.T, n int) *Disk {
+	t.Helper()
+	d := NewDisk()
+	var buf [PageSize]byte
+	for i := 0; i < n; i++ {
+		id := d.Allocate()
+		buf[0] = byte(i + 1)
+		if err := d.write(id, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestFaultDeviceScriptedPage(t *testing.T) {
+	d := seedDisk(t, 2)
+	fd := NewFaultDevice(d, 1)
+	fd.FailPage(1, 2)
+
+	var buf [PageSize]byte
+	for i := 0; i < 2; i++ {
+		err := fd.readPage(1, &buf)
+		if !IsTransient(err) {
+			t.Fatalf("scripted read %d: err = %v, want transient fault", i, err)
+		}
+	}
+	if err := fd.readPage(1, &buf); err != nil {
+		t.Fatalf("script exhausted, read should succeed: %v", err)
+	}
+	if buf[0] != 1 {
+		t.Fatalf("page content %d, want 1", buf[0])
+	}
+
+	fd.FailPage(2, -1)
+	err := fd.readPage(2, &buf)
+	if !IsReadFault(err) || IsTransient(err) {
+		t.Fatalf("permanent page: err = %v, want permanent fault", err)
+	}
+	fd.Clear()
+	if err := fd.readPage(2, &buf); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+	st := fd.Stats()
+	if st.InjectedErrors != 3 {
+		t.Fatalf("InjectedErrors = %d, want 3", st.InjectedErrors)
+	}
+}
+
+func TestFaultDeviceScheduleWindow(t *testing.T) {
+	d := seedDisk(t, 1)
+	fd := NewFaultDevice(d, 1)
+	var buf [PageSize]byte
+	if err := fd.readPage(1, &buf); err != nil { // ordinal 0
+		t.Fatal(err)
+	}
+	fd.FailReads(1, 2) // ordinals 1 and 2 fail
+	for i := 0; i < 2; i++ {
+		if err := fd.readPage(1, &buf); !IsTransient(err) {
+			t.Fatalf("windowed read %d: err = %v, want transient fault", i, err)
+		}
+	}
+	if err := fd.readPage(1, &buf); err != nil { // ordinal 3
+		t.Fatalf("past the window: %v", err)
+	}
+}
+
+func TestFaultDeviceCorruptionDetectedByVerifiedDevice(t *testing.T) {
+	d := seedDisk(t, 4)
+	fd := NewFaultDevice(d, 7)
+	vd := NewVerifiedDevice(fd, 4)
+	if err := vd.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	fd.SetCorruptProb(1) // every read returns a flipped bit
+	var buf [PageSize]byte
+	err := vd.readPage(1, &buf)
+	if !errors.Is(err, ErrCorruptPage) || !IsTransient(err) {
+		t.Fatalf("err = %v, want transient ErrCorruptPage fault", err)
+	}
+	fd.SetCorruptProb(0)
+	if err := vd.readPage(1, &buf); err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+	if err := vd.Verify(); err != nil {
+		t.Fatalf("Verify on clean device: %v", err)
+	}
+	fd.SetCorruptProb(1)
+	if err := vd.Verify(); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("Verify under corruption: err = %v, want ErrCorruptPage", err)
+	}
+}
+
+func TestPoolRetryAbsorbsTransientFaults(t *testing.T) {
+	d := seedDisk(t, 1)
+	fd := NewFaultDevice(d, 1)
+	p, err := NewPool(fd, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &noSleep{}
+	p.SetRetryPolicy(testPolicy(s))
+
+	fd.FailPage(1, 2) // two transient failures, then clean
+	pg, err := p.Fetch(1)
+	if err != nil {
+		t.Fatalf("retry should absorb the transient faults: %v", err)
+	}
+	p.Unpin(pg, false)
+	retries, faults := p.FaultCounts()
+	if retries != 2 || faults != 0 {
+		t.Fatalf("retries, faults = %d, %d; want 2, 0", retries, faults)
+	}
+	// Exponential backoff: 1ms then 2ms.
+	if len(s.delays) != 2 || s.delays[0] != time.Millisecond || s.delays[1] != 2*time.Millisecond {
+		t.Fatalf("backoff delays = %v, want [1ms 2ms]", s.delays)
+	}
+	hits, misses := p.Counts()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("hits, misses = %d, %d; want 0, 1 (a retried fetch is one miss)", hits, misses)
+	}
+}
+
+func TestPoolRetryBudgetExhausted(t *testing.T) {
+	d := seedDisk(t, 1)
+	fd := NewFaultDevice(d, 1)
+	p, err := NewPool(fd, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &noSleep{}
+	p.SetRetryPolicy(testPolicy(s))
+
+	fd.FailPage(1, 10) // more than the budget
+	if _, err := p.Fetch(1); !IsTransient(err) {
+		t.Fatalf("err = %v, want the transient fault to escape after the budget", err)
+	}
+	retries, faults := p.FaultCounts()
+	if retries != 3 || faults != 1 {
+		t.Fatalf("retries, faults = %d, %d; want 3, 1", retries, faults)
+	}
+	// Backoff caps at MaxDelay: 1ms, 2ms, 4ms.
+	if len(s.delays) != 3 || s.delays[2] != 4*time.Millisecond {
+		t.Fatalf("backoff delays = %v, want cap at 4ms", s.delays)
+	}
+}
+
+func TestPoolPermanentFaultNotRetried(t *testing.T) {
+	d := seedDisk(t, 1)
+	fd := NewFaultDevice(d, 1)
+	p, err := NewPool(fd, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &noSleep{}
+	p.SetRetryPolicy(testPolicy(s))
+	fd.FailPage(1, -1)
+	if _, err := p.Fetch(1); !IsReadFault(err) || IsTransient(err) {
+		t.Fatalf("err = %v, want a permanent fault", err)
+	}
+	if len(s.delays) != 0 {
+		t.Fatalf("permanent fault must not back off, slept %v", s.delays)
+	}
+	retries, faults := p.FaultCounts()
+	if retries != 0 || faults != 1 {
+		t.Fatalf("retries, faults = %d, %d; want 0, 1", retries, faults)
+	}
+}
+
+// TestRepeatedFailingFetchesLeakNothing is the mid-fetch bookkeeping
+// proof: a failing fetch must return its frame to the free list (no
+// leaked capacity) and keep every counter consistent, no matter how
+// often it is repeated.
+func TestRepeatedFailingFetchesLeakNothing(t *testing.T) {
+	d := seedDisk(t, 2)
+	fd := NewFaultDevice(d, 1)
+	p, err := NewPool(fd, 2) // capacity 2: a single leaked frame shows up fast
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &noSleep{}
+	p.SetRetryPolicy(testPolicy(s))
+
+	fd.FailPage(1, -1)
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		if _, err := p.Fetch(1); err == nil {
+			t.Fatalf("round %d: fetch should fail", i)
+		}
+	}
+	hits, misses := p.Counts()
+	if hits != 0 || misses != rounds {
+		t.Fatalf("hits, misses = %d, %d; want 0, %d (each failed fetch is one miss)", hits, misses, rounds)
+	}
+	retries, faults := p.FaultCounts()
+	if retries != 0 || faults != rounds {
+		t.Fatalf("retries, faults = %d, %d; want 0, %d", retries, faults, rounds)
+	}
+
+	// Full capacity must still be available: pin capacity pages at once.
+	fd.Clear()
+	a, err := p.Fetch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Fetch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A third pinned page must fail with ErrPoolFull — proving the failed
+	// fetches left no phantom frame eating capacity either way.
+	if _, err := p.NewPage(); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("err = %v, want ErrPoolFull with capacity fully pinned", err)
+	}
+	p.Unpin(a, false)
+	p.Unpin(b, false)
+	if err := p.DropAll(); err != nil {
+		t.Fatalf("DropAll after the failure storm: %v", err)
+	}
+}
+
+func TestFaultDeviceLatency(t *testing.T) {
+	d := seedDisk(t, 1)
+	fd := NewFaultDevice(d, 1)
+	var slept []time.Duration
+	fd.sleep = func(dur time.Duration) { slept = append(slept, dur) }
+	fd.SetLatency(3 * time.Millisecond)
+	var buf [PageSize]byte
+	if err := fd.readPage(1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 3*time.Millisecond {
+		t.Fatalf("slept %v, want [3ms]", slept)
+	}
+	if fd.Stats().DelayedReads != 1 {
+		t.Fatalf("DelayedReads = %d, want 1", fd.Stats().DelayedReads)
+	}
+}
+
+func TestFaultDeviceFailAll(t *testing.T) {
+	d := seedDisk(t, 2)
+	fd := NewFaultDevice(d, 1)
+	var buf [PageSize]byte
+	fd.FailAll(true)
+	for id := PageID(1); id <= 2; id++ {
+		if err := fd.readPage(id, &buf); !IsReadFault(err) || IsTransient(err) {
+			t.Fatalf("page %d: err = %v, want permanent fault", id, err)
+		}
+	}
+	fd.Clear()
+	if err := fd.readPage(1, &buf); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+}

@@ -71,7 +71,11 @@ func (d *FileDisk) readPage(id PageID, buf *[PageSize]byte) error {
 		return fmt.Errorf("%w: %d", ErrNoSuchPage, id)
 	}
 	if _, err := d.f.ReadAt(buf[:], int64(id-1)*PageSize); err != nil {
-		return fmt.Errorf("storage: segment page %d: %w", id, err)
+		// An OS-level read error on an immutable, size-checked segment
+		// file is classified permanent: retrying in-process rarely helps,
+		// and the live layer's re-verify loop is the recovery path that
+		// returns the segment to service once the media heals.
+		return &ReadFault{Page: id, Transient: false, Err: fmt.Errorf("storage: segment page %d: %w", id, err)}
 	}
 	d.mu.Lock()
 	d.stats.PhysicalReads++

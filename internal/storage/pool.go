@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Pool is a buffer pool caching device pages with LRU replacement. Pages
@@ -24,6 +26,52 @@ type Pool struct {
 	lru      *list.List // front = most recently used; holds *frame
 	hits     int64
 	misses   int64
+
+	retry RetryPolicy
+	// Fault accounting, atomic because miss reads run outside the pool
+	// lock: retries counts transient re-reads issued, faults counts
+	// fetches that still failed after the retry budget. They sit next to
+	// hits/misses but do not disturb the hits+misses == fetches
+	// invariant — a failed fetch is still exactly one miss.
+	retries atomic.Int64
+	faults  atomic.Int64
+}
+
+// RetryPolicy bounds the transient-read retry loop in Fetch. A read
+// failing with a transient ReadFault (see fault.go) is re-issued up to
+// MaxRetries times with exponential backoff (BaseDelay doubling per
+// attempt, capped at MaxDelay); permanent faults and non-classified
+// errors are returned immediately. The zero value takes the defaults.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-reads after the first failure.
+	// Default 3; negative disables retrying.
+	MaxRetries int
+	// BaseDelay is the backoff before the first retry. Default 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the per-retry backoff. Default 8ms.
+	MaxDelay time.Duration
+	// Sleep is the backoff sleeper, injectable so retry tests are
+	// deterministic and fast. Default time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 8 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
 }
 
 type frame struct {
@@ -53,8 +101,13 @@ func NewPool(dev Device, capacity int) (*Pool, error) {
 		capacity: capacity,
 		frames:   make(map[PageID]*frame),
 		lru:      list.New(),
+		retry:    RetryPolicy{}.withDefaults(),
 	}, nil
 }
+
+// SetRetryPolicy replaces the transient-read retry policy. Call before
+// the pool is shared across goroutines.
+func (p *Pool) SetRetryPolicy(rp RetryPolicy) { p.retry = rp.withDefaults() }
 
 // ErrPoolFull is returned when every frame is pinned and a new page is
 // requested; callers hold too many pages at once.
@@ -106,7 +159,7 @@ func (p *Pool) Fetch(id PageID) (*Page, error) {
 	p.frames[id] = f
 	p.mu.Unlock()
 
-	rerr := p.dev.readPage(id, &f.page.data)
+	rerr := p.readWithRetry(id, &f.page.data)
 
 	p.mu.Lock()
 	f.loading = false
@@ -123,6 +176,29 @@ func (p *Pool) Fetch(id PageID) (*Page, error) {
 		return nil, rerr
 	}
 	return &f.page, nil
+}
+
+// readWithRetry issues the physical read, re-issuing transient faults
+// (classified by the device as ReadFault{Transient: true} — injected
+// hiccups and checksum mismatches) with bounded exponential backoff.
+// It runs outside the pool lock, so a retrying fetch delays only its
+// own page. A read that still fails counts one fault.
+func (p *Pool) readWithRetry(id PageID, buf *[PageSize]byte) error {
+	err := p.dev.readPage(id, buf)
+	delay := p.retry.BaseDelay
+	for attempt := 0; err != nil && IsTransient(err) && attempt < p.retry.MaxRetries; attempt++ {
+		p.retries.Add(1)
+		p.retry.Sleep(delay)
+		delay *= 2
+		if delay > p.retry.MaxDelay {
+			delay = p.retry.MaxDelay
+		}
+		err = p.dev.readPage(id, buf)
+	}
+	if err != nil {
+		p.faults.Add(1)
+	}
+	return err
 }
 
 // NewPage allocates a fresh page on the device, pins it, and returns it
@@ -254,11 +330,21 @@ func (p *Pool) Counts() (hits, misses int64) {
 	return p.hits, p.misses
 }
 
-// ResetCounters zeroes the hit/miss counters.
+// FaultCounts returns the transient-retry and failed-fetch tallies —
+// the fault accounting next to Counts' hits/misses. A fetch that
+// succeeds on a retry contributes retries but no fault; a fetch that
+// exhausts the budget (or fails permanently) contributes one fault.
+func (p *Pool) FaultCounts() (retries, faults int64) {
+	return p.retries.Load(), p.faults.Load()
+}
+
+// ResetCounters zeroes the hit/miss and retry/fault counters.
 func (p *Pool) ResetCounters() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.hits, p.misses = 0, 0
+	p.retries.Store(0)
+	p.faults.Store(0)
 }
 
 // Capacity returns the maximum number of cached pages.

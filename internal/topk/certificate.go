@@ -1,0 +1,46 @@
+package topk
+
+import "repro/internal/rank"
+
+// Certificate is the explicit form of a scatter/gather answer's
+// provenance: whether the merge proved exactness, and — when parts of
+// the index could not be served — exactly how much of it the answer
+// covers. It exists so degraded-mode serving is never silent: a query
+// that completes over K of M segments says so, names what it skipped,
+// and drops the exactness claim, instead of failing outright or
+// pretending the partial answer is the whole truth.
+type Certificate struct {
+	// Exact guarantees Top is provably the true top N over the *entire*
+	// shard set. It is false whenever Degraded is true: an unserved
+	// shard may hide arbitrarily good documents.
+	Exact bool
+	// Degraded reports that at least one shard was skipped (quarantined
+	// or failed) and the answer covers only the shards served.
+	Degraded bool
+	// ShardsServed / ShardsTotal quantify the coverage: "K of M
+	// segments served".
+	ShardsServed int
+	ShardsTotal  int
+	// Skipped names the shards (live segments) that were not served.
+	Skipped []string
+}
+
+// MergeShardsPartial merges the shard lists that actually ran and
+// certifies the answer over the full shard population: served lists
+// merge with the same bound administration as MergeShards, total is the
+// population size, and skipped names the members that were not served.
+// With nothing skipped this is MergeShards plus a full-coverage
+// certificate; with skips the certificate is explicitly degraded and
+// the exactness claim is dropped regardless of what the bounds proved
+// over the survivors.
+func MergeShardsPartial(served []ShardTop, n int, skipped []string, total int) ([]rank.DocScore, Certificate) {
+	top, exact := MergeShards(served, n)
+	cert := Certificate{
+		Exact:        exact && len(skipped) == 0,
+		Degraded:     len(skipped) > 0,
+		ShardsServed: len(served),
+		ShardsTotal:  total,
+		Skipped:      skipped,
+	}
+	return top, cert
+}

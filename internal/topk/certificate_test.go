@@ -1,0 +1,56 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/rank"
+)
+
+func TestMergeShardsPartialFullCoverage(t *testing.T) {
+	shards := []ShardTop{
+		{Top: []rank.DocScore{{DocID: 1, Score: 9}, {DocID: 2, Score: 5}}},
+		{Top: []rank.DocScore{{DocID: 7, Score: 7}}},
+	}
+	top, cert := MergeShardsPartial(shards, 2, nil, 2)
+	if !cert.Exact || cert.Degraded {
+		t.Fatalf("full coverage: cert = %+v, want exact and not degraded", cert)
+	}
+	if cert.ShardsServed != 2 || cert.ShardsTotal != 2 || len(cert.Skipped) != 0 {
+		t.Fatalf("coverage = %+v, want 2 of 2", cert)
+	}
+	if len(top) != 2 || top[0].DocID != 1 || top[1].DocID != 7 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestMergeShardsPartialDegraded(t *testing.T) {
+	shards := []ShardTop{
+		{Top: []rank.DocScore{{DocID: 1, Score: 9}}},
+	}
+	top, cert := MergeShardsPartial(shards, 1, []string{"seg-000002"}, 2)
+	if cert.Exact {
+		t.Fatal("a skipped shard must drop the exactness claim")
+	}
+	if !cert.Degraded {
+		t.Fatal("a skipped shard must mark the certificate degraded")
+	}
+	if cert.ShardsServed != 1 || cert.ShardsTotal != 2 {
+		t.Fatalf("coverage = %d of %d, want 1 of 2", cert.ShardsServed, cert.ShardsTotal)
+	}
+	if len(cert.Skipped) != 1 || cert.Skipped[0] != "seg-000002" {
+		t.Fatalf("skipped = %v, want the segment named", cert.Skipped)
+	}
+	if len(top) != 1 || top[0].DocID != 1 {
+		t.Fatalf("the surviving shard's answer must still be served: top = %v", top)
+	}
+}
+
+func TestMergeShardsPartialAllSkipped(t *testing.T) {
+	top, cert := MergeShardsPartial(nil, 5, []string{"seg-000001", "seg-000002"}, 2)
+	if len(top) != 0 {
+		t.Fatalf("top = %v, want empty", top)
+	}
+	if cert.Exact || !cert.Degraded || cert.ShardsServed != 0 || cert.ShardsTotal != 2 {
+		t.Fatalf("cert = %+v, want fully degraded 0 of 2", cert)
+	}
+}
