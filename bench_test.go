@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -492,4 +493,46 @@ func BenchmarkDiskPagedSearch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSearchParallel is the allocation-budget view of the hot
+// loop: many goroutines hammering one warmed MaxScore engine with the
+// Into variant and a per-goroutine reused result buffer. Run with
+// -benchmem; steady state is zero allocs/op (the gate
+// internal/core's alloc tests and the HOT experiment enforce).
+func BenchmarkSearchParallel(b *testing.B) {
+	f := getFixtures(b)
+	pool, err := storage.NewPool(storage.NewDisk(), 1<<15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := index.Build(f.col, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ms, err := core.NewMaxScore(idx, rank.NewBM25())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	warm := make([]rank.DocScore, 0, 16)
+	for _, q := range f.queries {
+		if warm, err = ms.SearchContextInto(ctx, q, 10, warm[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]rank.DocScore, 0, 16)
+		i := 0
+		for pb.Next() {
+			q := f.queries[i%len(f.queries)]
+			i++
+			var err error
+			if dst, err = ms.SearchContextInto(ctx, q, 10, dst[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	topnbench [-exp all|F1|E1..E12|PAR|DISK|LIVE|LOAD] [-scale small|full] [-seed N]
+//	topnbench [-exp all|F1|E1..E12|PAR|DISK|LIVE|LOAD|CHAOS|HOT] [-scale small|full] [-seed N]
 //	          [-shards K] [-workers W]
 //	          [-persist DIR] [-from DIR] [-pool-pages K]
 //	          [-live-seal-docs N] [-live-fanin K] [-live-churn X]
@@ -45,6 +45,14 @@
 // the load_ metric prefix); the gated facts are that every request is
 // answered and that an unloaded sweep gets answers byte-identical to
 // the in-process live.Searcher.
+//
+// The HOT experiment exercises the cache-amortized query path: a
+// repeat-heavy Zipf stream over a churning live index served with and
+// without the result/hot-block caches, holding every cached answer
+// byte-identical to the uncached one through warm replays, block-cache
+// warm passes, and a generation swap that invalidates the result cache
+// wholesale; it also enforces the zero-allocation steady-state budget
+// of the MaxScore and Progressive hot loops via testing.AllocsPerRun.
 //
 // -persist DIR builds the workload index at the chosen scale/seed,
 // writes it under DIR, and exits; a later `-exp DISK -from DIR` serves
@@ -88,7 +96,7 @@ import (
 	"repro/internal/storage"
 )
 
-var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE", "LOAD", "CHAOS"}
+var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE", "LOAD", "CHAOS", "HOT"}
 
 var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
 	"F1":  bench.RunF1,
@@ -155,7 +163,7 @@ func persistIndex(scale bench.Scale, seed uint64, dir string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK, LIVE, LOAD, CHAOS) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK, LIVE, LOAD, CHAOS, HOT) or 'all'")
 	scaleFlag := flag.String("scale", "small", "workload scale: small or full")
 	seed := flag.Uint64("seed", 42, "deterministic workload seed")
 	shards := flag.Int("shards", 4, "PAR: number of document-range shards")
@@ -186,6 +194,7 @@ func main() {
 		return bench.RunLoad(s, seed, *loadRate, *loadRequests)
 	}
 	runners["CHAOS"] = bench.RunChaos
+	runners["HOT"] = bench.RunHot
 
 	var scale bench.Scale
 	switch *scaleFlag {

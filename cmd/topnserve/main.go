@@ -10,6 +10,8 @@
 //	          [-rate R] [-burst B]
 //	          [-timeout D] [-max-timeout D] [-max-n N]
 //	          [-drain-timeout D] [-reverify D]
+//	          [-result-cache-bytes B] [-block-cache-bytes B]
+//	          [-pprof-addr ADDR]
 //
 // -dir is the live index directory; a temporary directory is used (and
 // removed on exit) when omitted. -seed-docs > 0 ingests a synthetic
@@ -35,6 +37,17 @@
 // returning them to service once their media reads clean. /healthz
 // reports "degraded" in a 200 body (the replica still serves correct,
 // labeled answers); /metrics carries the full fault account.
+//
+// The query path is cache-amortized: -result-cache-bytes bounds a
+// whole-answer cache (invalidated wholesale at every commit, degraded
+// answers never cached, concurrent identical queries singleflighted)
+// and -block-cache-bytes a TinyLFU hot-block cache shared by every
+// segment. Either set to 0 disables that layer; /metrics carries the
+// hit/miss/byte account of both.
+//
+// -pprof-addr exposes net/http/pprof on its own listener and mux —
+// never on the serving address, so profiling endpoints are not
+// reachable from the query port.
 package main
 
 import (
@@ -43,6 +56,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,73 +67,113 @@ import (
 	"repro/internal/server"
 )
 
+// options carries every parsed flag into run.
+type options struct {
+	addr, dir                         string
+	seedDocs, seedVocab, seedMean     int
+	seed                              uint64
+	sealDocs                          int
+	maxInFlight, queueDepth           int
+	rate, burst                       float64
+	timeout, maxTimeout               time.Duration
+	maxN                              int
+	drainTimeout, reverify            time.Duration
+	resultCacheBytes, blockCacheBytes int64
+	pprofAddr                         string
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		dir          = flag.String("dir", "", "live index directory (default: fresh temp dir, removed on exit)")
-		seedDocs     = flag.Int("seed-docs", 0, "ingest a synthetic collection of this many documents at startup")
-		seedVocab    = flag.Int("seed-vocab", 5000, "vocabulary size of the seeded collection")
-		seedMeanLen  = flag.Int("seed-mean-len", 80, "mean document length of the seeded collection")
-		seed         = flag.Uint64("seed", 42, "seed of the synthetic collection")
-		sealDocs     = flag.Int("seal-docs", 0, "live index seal threshold in documents (0 = default)")
-		maxInFlight  = flag.Int("max-inflight", 16, "maximum concurrently executing searches")
-		queueDepth   = flag.Int("queue-depth", 64, "maximum searches queued for a slot before shedding")
-		rate         = flag.Float64("rate", 0, "per-client sustained requests/second (0 = unlimited)")
-		burst        = flag.Float64("burst", 0, "per-client burst allowance (default 2×rate)")
-		timeout      = flag.Duration("timeout", 2*time.Second, "default per-query deadline")
-		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "cap on the per-query deadline a request may ask for")
-		maxN         = flag.Int("max-n", 1000, "cap on the result count a request may ask for")
-		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
-		reverify     = flag.Duration("reverify", 30*time.Second, "quarantined-segment re-verification interval (0 disables)")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.dir, "dir", "", "live index directory (default: fresh temp dir, removed on exit)")
+	flag.IntVar(&o.seedDocs, "seed-docs", 0, "ingest a synthetic collection of this many documents at startup")
+	flag.IntVar(&o.seedVocab, "seed-vocab", 5000, "vocabulary size of the seeded collection")
+	flag.IntVar(&o.seedMean, "seed-mean-len", 80, "mean document length of the seeded collection")
+	flag.Uint64Var(&o.seed, "seed", 42, "seed of the synthetic collection")
+	flag.IntVar(&o.sealDocs, "seal-docs", 0, "live index seal threshold in documents (0 = default)")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 16, "maximum concurrently executing searches")
+	flag.IntVar(&o.queueDepth, "queue-depth", 64, "maximum searches queued for a slot before shedding")
+	flag.Float64Var(&o.rate, "rate", 0, "per-client sustained requests/second (0 = unlimited)")
+	flag.Float64Var(&o.burst, "burst", 0, "per-client burst allowance (default 2×rate)")
+	flag.DurationVar(&o.timeout, "timeout", 2*time.Second, "default per-query deadline")
+	flag.DurationVar(&o.maxTimeout, "max-timeout", 30*time.Second, "cap on the per-query deadline a request may ask for")
+	flag.IntVar(&o.maxN, "max-n", 1000, "cap on the result count a request may ask for")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown drain bound")
+	flag.DurationVar(&o.reverify, "reverify", 30*time.Second, "quarantined-segment re-verification interval (0 disables)")
+	flag.Int64Var(&o.resultCacheBytes, "result-cache-bytes", 64<<20, "query result cache capacity (0 disables)")
+	flag.Int64Var(&o.blockCacheBytes, "block-cache-bytes", 32<<20, "hot postings-block cache capacity (0 disables)")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	flag.Parse()
-	if err := run(*addr, *dir, *seedDocs, *seedVocab, *seedMeanLen, *seed, *sealDocs,
-		*maxInFlight, *queueDepth, *rate, *burst, *timeout, *maxTimeout, *maxN, *drainTimeout, *reverify); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "topnserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, seedDocs, seedVocab, seedMeanLen int, seed uint64, sealDocs,
-	maxInFlight, queueDepth int, rate, burst float64,
-	timeout, maxTimeout time.Duration, maxN int, drainTimeout, reverify time.Duration) error {
-	if dir == "" {
+func run(o options) error {
+	if o.dir == "" {
 		tmp, err := os.MkdirTemp("", "topnserve-*")
 		if err != nil {
 			return err
 		}
 		defer os.RemoveAll(tmp)
-		dir = tmp
+		o.dir = tmp
 	}
-	w, err := live.Open(live.Config{Dir: dir, SealDocs: sealDocs, ReverifyEvery: reverify})
+	w, err := live.Open(live.Config{
+		Dir: o.dir, SealDocs: o.sealDocs, ReverifyEvery: o.reverify,
+		ResultCacheBytes: o.resultCacheBytes,
+		BlockCacheBytes:  o.blockCacheBytes,
+	})
 	if err != nil {
 		return err
 	}
 	// From here on the writer's lifecycle belongs to the server:
 	// Shutdown closes it after the drain.
 
-	if seedDocs > 0 {
-		if err := ingest(w, seedDocs, seedVocab, seedMeanLen, seed); err != nil {
+	if o.seedDocs > 0 {
+		if err := ingest(w, o.seedDocs, o.seedVocab, o.seedMean, o.seed); err != nil {
 			w.Close()
 			return err
 		}
 	}
 
 	srv, err := server.New(server.NewLiveBackend(w), server.Config{
-		MaxInFlight:    maxInFlight,
-		QueueDepth:     queueDepth,
-		DefaultTimeout: timeout,
-		MaxTimeout:     maxTimeout,
-		MaxN:           maxN,
-		RatePerClient:  rate,
-		Burst:          burst,
+		MaxInFlight:    o.maxInFlight,
+		QueueDepth:     o.queueDepth,
+		DefaultTimeout: o.timeout,
+		MaxTimeout:     o.maxTimeout,
+		MaxN:           o.maxN,
+		RatePerClient:  o.rate,
+		Burst:          o.burst,
 	})
 	if err != nil {
 		w.Close()
 		return err
 	}
 
-	l, err := net.Listen("tcp", addr)
+	if o.pprofAddr != "" {
+		pl, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			w.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		// A dedicated mux with explicit registrations: importing
+		// net/http/pprof also registers on http.DefaultServeMux, which
+		// this program never serves — the profiler is reachable only
+		// here, never on the query port.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux}
+		go psrv.Serve(pl)
+		defer psrv.Close()
+		fmt.Printf("topnserve: pprof on %s\n", pl.Addr())
+	}
+
+	l, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		w.Close()
 		return err
@@ -135,8 +189,8 @@ func run(addr, dir string, seedDocs, seedVocab, seedMeanLen int, seed uint64, se
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Printf("topnserve: %v, draining (bound %v)\n", sig, drainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		fmt.Printf("topnserve: %v, draining (bound %v)\n", sig, o.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)

@@ -30,13 +30,16 @@ type CompareOptions struct {
 // The naming convention is enforced here — runners name timing metrics
 // with an "_ms" / "per_sec" component, the LOAD experiment prefixes its
 // scheduling-dependent counters (served/shed/timeout splits) with
-// "load_", and the CHAOS experiment prefixes its cache-scheduling-
-// dependent fault counters (retries, degraded splits) with "chaos_";
-// everything else must be deterministic.
+// "load_", the CHAOS experiment prefixes its cache-scheduling-
+// dependent fault counters (retries, degraded splits) with "chaos_",
+// and the HOT experiment prefixes its singleflight-burst counters
+// (whose hit/shared/miss split depends on goroutine scheduling) with
+// "hot_"; everything else must be deterministic.
 func timingMetric(key string) bool {
 	return strings.Contains(key, "_ms") || strings.Contains(key, "per_sec") ||
 		strings.Contains(key, "wall") || strings.Contains(key, "latency") ||
-		strings.HasPrefix(key, "load_") || strings.HasPrefix(key, "chaos_")
+		strings.HasPrefix(key, "load_") || strings.HasPrefix(key, "chaos_") ||
+		strings.HasPrefix(key, "hot_")
 }
 
 // CompareReports returns the list of regressions of fresh against

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled mirrors whether the binary was built with the race
+// detector; the allocation gate is only meaningful without it (the race
+// runtime drops sync.Pool Puts at random).
+const raceEnabled = false

@@ -1,0 +1,343 @@
+// Package blockcache is a sharded, byte-bounded cache for immutable
+// byte ranges, with TinyLFU-style admission: a count-min sketch of
+// recent access frequencies decides whether a missed range is hot
+// enough to displace the coldest resident entries. It sits between the
+// postings iterators and the buffer pool, caching the raw block bytes
+// of hot terms so repeated queries stop faulting the same pages.
+//
+// Keys are (space, offset, length): space identifies an immutable
+// backing region (the live index uses the segment sequence number,
+// which is never reused), offset/length the absolute byte range within
+// it. Because every space is immutable, entries never go stale — they
+// are only ever evicted for capacity or dropped wholesale when their
+// space retires (PurgeSpace).
+//
+// All methods are safe for concurrent use. Under a single-goroutine
+// access pattern the hit/miss/admit/evict counters are fully
+// deterministic: admission consults only the sketch and the LRU order,
+// both of which are functions of the access history.
+package blockcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	shardCount = 8
+	// entryOverhead approximates the per-entry bookkeeping cost
+	// (struct, map bucket share, LRU links) charged against the byte
+	// budget on top of the payload.
+	entryOverhead = 96
+)
+
+// Key identifies one cached byte range of one immutable space.
+type Key struct {
+	Space uint64
+	Off   int64
+	Len   int
+}
+
+// hash mixes the key into a 64-bit value. The low bits feed the sketch
+// rows, the high bits pick the shard, so the two stay independent.
+func (k Key) hash() uint64 {
+	h := k.Space*0x9e3779b97f4a7c15 ^ uint64(k.Off)*0xc2b2ae3d27d4eb4f ^ uint64(uint32(k.Len))*0x165667b19e3779f9
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits    int64 // Get found the range resident
+	Misses  int64 // Get did not
+	Admits  int64 // Admit accepted the range
+	Rejects int64 // Admit declined (victims were hotter, or the range was oversized)
+	Evicts  int64 // resident entries displaced by admission or purge
+	Bytes   int64 // resident payload + overhead bytes
+	Entries int64 // resident entry count
+}
+
+// Cache is the sharded cache. Create with New.
+type Cache struct {
+	hits    atomic.Int64
+	misses  atomic.Int64
+	admits  atomic.Int64
+	rejects atomic.Int64
+	evicts  atomic.Int64
+
+	maxEntry int // ranges larger than this are never admitted
+	shards   [shardCount]shard
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	entries  map[Key]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+	sketch   sketch
+}
+
+type entry struct {
+	key        Key
+	data       []byte
+	size       int64
+	prev, next *entry
+}
+
+// New creates a cache bounded by capacity bytes in total. Ranges larger
+// than capacity/(8*shards) are never admitted — a single oversized
+// range (a whole-body merge read, say) must not wipe out the hot set.
+func New(capacity int64) *Cache {
+	if capacity < shardCount {
+		capacity = shardCount
+	}
+	c := &Cache{maxEntry: int(capacity / (8 * shardCount))}
+	if c.maxEntry < 1 {
+		c.maxEntry = 1
+	}
+	per := capacity / shardCount
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capacity = per
+		s.entries = make(map[Key]*entry)
+		s.sketch.init(per)
+	}
+	return c
+}
+
+// Get returns the cached bytes for (space, off, n) if resident. The
+// returned slice is the cache's own immutable copy: callers must treat
+// it as read-only, and it stays valid indefinitely (eviction drops the
+// cache's reference, not the bytes). A miss records the access in the
+// admission sketch so a subsequent Admit of the same range sees its
+// frequency.
+func (c *Cache) Get(space uint64, off int64, n int) ([]byte, bool) {
+	k := Key{Space: space, Off: off, Len: n}
+	h := k.hash()
+	s := &c.shards[h>>60&(shardCount-1)]
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if ok {
+		s.moveFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.data, true
+	}
+	s.sketch.record(h)
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Admit offers the bytes of (space, off, len(b)) for caching. The cache
+// copies b, so the caller's buffer may be reused immediately. Oversized
+// ranges are rejected outright; otherwise the range is admitted if it
+// fits, or if the TinyLFU sketch estimates it at least as hot as every
+// LRU-tail victim that would have to go.
+func (c *Cache) Admit(space uint64, off int64, b []byte) {
+	if len(b) == 0 || len(b) > c.maxEntry {
+		c.rejects.Add(1)
+		return
+	}
+	k := Key{Space: space, Off: off, Len: len(b)}
+	h := k.hash()
+	s := &c.shards[h>>60&(shardCount-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[k]; ok {
+		return // already resident
+	}
+	need := int64(len(b)) + entryOverhead
+	// Evict from the cold end until the candidate fits — but only while
+	// the candidate is at least as hot as the victim. A colder candidate
+	// is rejected instead, which is the whole point of admission
+	// control: one-hit wonders cannot flush the hot set.
+	freq := s.sketch.estimate(h)
+	evicted := 0
+	for s.bytes+need > s.capacity {
+		v := s.tail
+		if v == nil {
+			c.rejects.Add(1)
+			return // candidate alone exceeds shard capacity
+		}
+		if s.sketch.estimate(v.key.hash()) > freq {
+			c.rejects.Add(1)
+			return
+		}
+		s.remove(v)
+		evicted++
+	}
+	data := make([]byte, len(b))
+	copy(data, b)
+	e := &entry{key: k, data: data, size: need}
+	s.entries[k] = e
+	s.pushFront(e)
+	s.bytes += need
+	c.admits.Add(1)
+	c.evicts.Add(int64(evicted))
+}
+
+// PurgeSpace drops every resident entry of the given space. Callers use
+// it when a space retires (a segment merged away) to release the bytes
+// promptly instead of waiting for eviction.
+func (c *Cache) PurgeSpace(space uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var purged int64
+		for e := s.tail; e != nil; {
+			prev := e.prev
+			if e.key.Space == space {
+				s.remove(e)
+				purged++
+			}
+			e = prev
+		}
+		s.mu.Unlock()
+		c.evicts.Add(purged)
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Admits:  c.admits.Load(),
+		Rejects: c.rejects.Load(),
+		Evicts:  c.evicts.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Bytes += s.bytes
+		st.Entries += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// --- intrusive LRU list (callers hold s.mu) ---
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) moveFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	// unlink
+	e.prev.next = e.next
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	// relink at head
+	e.prev = nil
+	e.next = s.head
+	s.head.prev = e
+	s.head = e
+}
+
+func (s *shard) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(s.entries, e.key)
+	s.bytes -= e.size
+}
+
+// --- TinyLFU frequency sketch ---
+
+// sketch is a 4-row count-min sketch of 4-bit-equivalent saturating
+// uint8 counters with periodic halving: after sampleFactor×width
+// recorded accesses every counter is halved, so estimates track recent
+// frequency rather than all-time counts (the "Tiny" in TinyLFU).
+type sketch struct {
+	width   uint64 // power of two
+	rows    [4][]uint8
+	samples uint64
+	reset   uint64
+}
+
+const sketchSampleFactor = 8
+
+func (sk *sketch) init(capacityBytes int64) {
+	// One counter per ~512 bytes of shard capacity approximates one
+	// counter per potential resident block, clamped to keep tiny caches
+	// functional and huge ones bounded.
+	w := uint64(capacityBytes / 512)
+	if w < 256 {
+		w = 256
+	}
+	if w > 1<<16 {
+		w = 1 << 16
+	}
+	// round up to a power of two for mask indexing
+	for w&(w-1) != 0 {
+		w &= w - 1
+	}
+	w <<= 1
+	sk.width = w
+	for i := range sk.rows {
+		sk.rows[i] = make([]uint8, w)
+	}
+	sk.reset = sketchSampleFactor * w
+}
+
+// rowIndex derives four independent indexes from one 64-bit hash.
+func (sk *sketch) rowIndex(h uint64, row int) uint64 {
+	h = h>>uint(row*13) ^ h*0x9e3779b97f4a7c15
+	return h & (sk.width - 1)
+}
+
+func (sk *sketch) record(h uint64) {
+	for i := range sk.rows {
+		idx := sk.rowIndex(h, i)
+		if sk.rows[i][idx] < 255 {
+			sk.rows[i][idx]++
+		}
+	}
+	sk.samples++
+	if sk.samples >= sk.reset {
+		sk.samples = 0
+		for i := range sk.rows {
+			row := sk.rows[i]
+			for j := range row {
+				row[j] >>= 1
+			}
+		}
+	}
+}
+
+func (sk *sketch) estimate(h uint64) uint8 {
+	min := uint8(255)
+	for i := range sk.rows {
+		if v := sk.rows[i][sk.rowIndex(h, i)]; v < min {
+			min = v
+		}
+	}
+	return min
+}

@@ -1,0 +1,158 @@
+package blockcache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestGetAdmitRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get(1, 100, 4); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.Admit(1, 100, []byte{1, 2, 3, 4})
+	got, ok := c.Get(1, 100, 4)
+	if !ok || !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("Get = %v, %v after Admit", got, ok)
+	}
+	// Same offset, different length or space: distinct keys.
+	if _, ok := c.Get(1, 100, 3); ok {
+		t.Fatal("length is not part of the key")
+	}
+	if _, ok := c.Get(2, 100, 4); ok {
+		t.Fatal("space is not part of the key")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Admits != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Bytes != 4+entryOverhead {
+		t.Fatalf("bytes accounting %d", st.Bytes)
+	}
+}
+
+func TestAdmitCopies(t *testing.T) {
+	c := New(1 << 20)
+	b := []byte{9, 9, 9}
+	c.Admit(7, 0, b)
+	b[0] = 1
+	got, ok := c.Get(7, 0, 3)
+	if !ok || got[0] != 9 {
+		t.Fatalf("cache shares the caller's buffer: %v %v", got, ok)
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	c := New(1 << 10) // maxEntry well below 4KB
+	big := make([]byte, 4096)
+	c.Admit(1, 0, big)
+	if _, ok := c.Get(1, 0, len(big)); ok {
+		t.Fatal("oversized range admitted")
+	}
+	if st := c.Stats(); st.Rejects == 0 || st.Admits != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCapacityBoundAndAdmission(t *testing.T) {
+	c := New(64 << 10)
+	blk := make([]byte, 512)
+	// Fill far past capacity with one-hit wonders; the byte budget must
+	// hold regardless.
+	for i := 0; i < 4096; i++ {
+		c.Get(3, int64(i)*512, 512) // record in the sketch
+		c.Admit(3, int64(i)*512, blk)
+	}
+	st := c.Stats()
+	if st.Bytes > 64<<10 {
+		t.Fatalf("over budget: %d bytes resident", st.Bytes)
+	}
+	if st.Entries == 0 {
+		t.Fatal("nothing resident at all")
+	}
+}
+
+func TestHotEntrySurvivesScan(t *testing.T) {
+	c := New(8 << 10)
+	hot := []byte("hot-block-payload")
+	// Make the hot range genuinely frequent in the sketch.
+	for i := 0; i < 32; i++ {
+		c.Get(1, 0, len(hot))
+	}
+	c.Admit(1, 0, hot)
+	// A cold scan: each range seen once. Admission must not let it
+	// displace the hot entry.
+	blk := make([]byte, 700)
+	for i := 1; i <= 256; i++ {
+		c.Get(2, int64(i)*1000, len(blk))
+		c.Admit(2, int64(i)*1000, blk)
+	}
+	if _, ok := c.Get(1, 0, len(hot)); !ok {
+		t.Fatal("a one-pass cold scan evicted the hot entry")
+	}
+}
+
+func TestPurgeSpace(t *testing.T) {
+	c := New(1 << 20)
+	for i := 0; i < 50; i++ {
+		c.Admit(uint64(i%2), int64(i)*64, []byte{byte(i)})
+	}
+	c.PurgeSpace(0)
+	for i := 0; i < 50; i++ {
+		_, ok := c.Get(uint64(i%2), int64(i)*64, 1)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("after PurgeSpace(0): entry %d resident=%v want %v", i, ok, want)
+		}
+	}
+	if st := c.Stats(); st.Entries != 25 {
+		t.Fatalf("entries after purge: %+v", st)
+	}
+}
+
+func TestDeterministicCounters(t *testing.T) {
+	run := func() Stats {
+		c := New(32 << 10)
+		blk := make([]byte, 256)
+		for round := 0; round < 3; round++ {
+			for i := 0; i < 300; i++ {
+				off := int64(i%97) * 256
+				if _, ok := c.Get(5, off, 256); !ok {
+					c.Admit(5, off, blk)
+				}
+			}
+		}
+		return c.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same access history, different counters:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(256 << 10)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			blk := []byte(fmt.Sprintf("payload-%d", g))
+			for i := 0; i < 2000; i++ {
+				off := int64(i % 131)
+				if got, ok := c.Get(uint64(g), off, len(blk)); ok {
+					if !bytes.Equal(got, blk) {
+						panic("cross-goroutine payload corruption")
+					}
+				} else {
+					c.Admit(uint64(g), off, blk)
+				}
+				if i%500 == 0 {
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

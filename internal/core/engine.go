@@ -22,7 +22,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/collection"
@@ -102,17 +102,26 @@ type Result struct {
 
 // Engine is the fragmented top-N retrieval engine.
 //
-// All mutable per-query state (the score accumulator) lives in a
-// per-Search context drawn from an internal pool, so a single Engine is
-// safe for concurrent Search from multiple goroutines: the index,
-// lexicon, and collection statistics it reads are immutable after build,
-// and the buffer pool underneath serializes page access.
+// All mutable per-query state (the score accumulator, candidate buffer,
+// selection heap) lives in a per-Search context drawn from an internal
+// pool, so a single Engine is safe for concurrent Search from multiple
+// goroutines: the index, lexicon, and collection statistics it reads are
+// immutable after build, and the buffer pool underneath serializes page
+// access.
 type Engine struct {
 	FX     *index.Fragmented
 	Scorer rank.Scorer
 
 	corpus rank.CorpusStat
-	accs   sync.Pool // of *rank.Accumulator, sized for the corpus
+	states sync.Pool // of *engState, accumulator sized for the corpus
+}
+
+// engState is the pooled per-Search evaluation state.
+type engState struct {
+	acc   *rank.Accumulator
+	heap  *topk.Heap
+	cand  []uint32
+	large []lexicon.TermID
 }
 
 // NewEngine builds an engine over a fragmented index with the given
@@ -129,19 +138,21 @@ func NewEngine(fx *index.Fragmented, scorer rank.Scorer) (*Engine, error) {
 		corpus: fx.Stats.Corpus(),
 	}
 	numDocs := fx.Stats.NumDocs
-	e.accs.New = func() interface{} { return rank.NewAccumulator(numDocs) }
+	e.states.New = func() any { return &engState{acc: rank.NewAccumulator(numDocs)} }
 	return e, nil
 }
 
-// acquireAcc draws a clean accumulator from the pool; releaseAcc returns
-// it for the next search.
-func (e *Engine) acquireAcc() *rank.Accumulator {
-	return e.accs.Get().(*rank.Accumulator)
+// acquireState draws a clean search state from the pool; releaseState
+// returns it for the next search.
+func (e *Engine) acquireState() *engState {
+	return e.states.Get().(*engState)
 }
 
-func (e *Engine) releaseAcc(acc *rank.Accumulator) {
-	acc.Reset()
-	e.accs.Put(acc)
+func (e *Engine) releaseState(st *engState) {
+	st.acc.Reset()
+	st.cand = st.cand[:0]
+	st.large = st.large[:0]
+	e.states.Put(st)
 }
 
 // Corpus exposes the collection statistics the engine ranks with.
@@ -217,13 +228,14 @@ func (e *Engine) SearchContext(ctx context.Context, q collection.Query, opts Opt
 		return Result{}, fmt.Errorf("core: unknown mode %d", opts.Mode)
 	}
 
-	acc := e.acquireAcc()
-	defer e.releaseAcc(acc)
+	st := e.acquireState()
+	defer e.releaseState(st)
+	acc := st.acc
 	poll := ctxPoll{ctx: ctx}
 
 	// Pass 1: small-fragment terms, always streamed in full (they are
 	// cheap by construction).
-	var largeTerms []lexicon.TermID
+	largeTerms := st.large
 	for _, t := range q.Terms {
 		ts := e.termStat(t)
 		if ts.DocFreq == 0 {
@@ -242,6 +254,7 @@ func (e *Engine) SearchContext(ctx context.Context, q collection.Query, opts Opt
 			res.TermsSkipped++
 		}
 	}
+	st.large = largeTerms
 
 	// Pass 2: large-fragment terms, streamed or candidate-probed. Probing
 	// restricts scoring to documents the small pass surfaced; when that
@@ -252,7 +265,7 @@ func (e *Engine) SearchContext(ctx context.Context, q collection.Query, opts Opt
 		ts := e.termStat(t)
 		var err error
 		if probe {
-			err = e.probeTerm(&poll, acc, t, ts)
+			err = e.probeTerm(&poll, st, t, ts)
 		} else {
 			err = e.streamTerm(&poll, acc, e.FX.Large, t, ts)
 		}
@@ -263,7 +276,19 @@ func (e *Engine) SearchContext(ctx context.Context, q collection.Query, opts Opt
 	}
 
 	res.DocsTouched = acc.Touched()
-	res.Top = topk.SelectTop(acc.Results(), opts.N)
+	if st.heap == nil {
+		h, err := topk.NewHeap(opts.N)
+		if err != nil {
+			return Result{}, err
+		}
+		st.heap = h
+	} else if err := st.heap.Reset(opts.N); err != nil {
+		return Result{}, err
+	}
+	acc.Each(func(doc uint32, score float64) {
+		st.heap.Offer(rank.DocScore{DocID: doc, Score: score})
+	})
+	res.Top = st.heap.Results()
 	return res, nil
 }
 
@@ -294,8 +319,11 @@ func (e *Engine) streamTerm(poll *ctxPoll, acc *rank.Accumulator, frag *index.Fr
 // sparse index that performs "extra computations while still decreasing
 // execution time": the extra computations are the per-candidate seeks, and
 // the saving is the skipped decoding between candidates.
-func (e *Engine) probeTerm(poll *ctxPoll, acc *rank.Accumulator, t lexicon.TermID, ts rank.TermStat) error {
-	candidates := candidateDocs(acc)
+func (e *Engine) probeTerm(poll *ctxPoll, st *engState, t lexicon.TermID, ts rank.TermStat) error {
+	acc := st.acc
+	st.cand = acc.AppendTouched(st.cand[:0])
+	candidates := st.cand
+	slices.Sort(candidates)
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -333,16 +361,4 @@ func (e *Engine) probeTerm(poll *ctxPoll, acc *rank.Accumulator, t lexicon.TermI
 		}
 	}
 	return it.Err()
-}
-
-// candidateDocs returns the accumulator's touched documents in ascending
-// id order (the order SeekGE requires).
-func candidateDocs(acc *rank.Accumulator) []uint32 {
-	res := acc.Results()
-	out := make([]uint32, len(res))
-	for i, r := range res {
-		out[i] = r.DocID
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	return out
 }

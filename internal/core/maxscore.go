@@ -3,10 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/collection"
 	"repro/internal/index"
+	"repro/internal/lexicon"
 	"repro/internal/postings"
 	"repro/internal/rank"
 	"repro/internal/topk"
@@ -37,13 +40,29 @@ import (
 // strategy — quantifying what the fragmented design buys is experiment
 // E12.
 //
-// A MaxScoreEngine keeps all evaluation state (cursors, heap) on the
-// Search stack, so like Engine it is safe for concurrent Search.
+// All per-Search evaluation state (cursors, bound prefix, heap) lives in
+// a pooled msState, and per-term score upper bounds are memoized for the
+// engine's lifetime — valid because the engine's index view (lexicon
+// statistics, per-list max TF) is immutable; the live layer builds a
+// fresh engine per generation, which invalidates the memo for free. A
+// warmed engine runs Search with zero heap allocations, and is safe for
+// concurrent Search.
 type MaxScoreEngine struct {
 	Idx    *index.Index
 	Scorer rank.Scorer
 
 	corpus rank.CorpusStat
+
+	states sync.Pool // *msState
+
+	// bounds memoizes rank.UpperBoundTF per term — the "bound cache" of
+	// the stacked cache design. Cheap to compute once, but the scorer's
+	// log/division work is measurable when every query recomputes it for
+	// every term.
+	boundMu     sync.RWMutex
+	bounds      map[lexicon.TermID]float64
+	boundHits   atomic.Int64
+	boundMisses atomic.Int64
 }
 
 // NewMaxScore builds a MaxScore engine over an unfragmented index. The
@@ -66,7 +85,70 @@ func NewMaxScoreWithCorpus(idx *index.Index, scorer rank.Scorer, corpus rank.Cor
 	if idx == nil || scorer == nil {
 		return nil, fmt.Errorf("core: nil index or scorer")
 	}
-	return &MaxScoreEngine{Idx: idx, Scorer: scorer, corpus: corpus}, nil
+	m := &MaxScoreEngine{Idx: idx, Scorer: scorer, corpus: corpus,
+		bounds: make(map[lexicon.TermID]float64)}
+	m.states.New = func() any { return &msState{} }
+	return m, nil
+}
+
+// termBound returns the memoized score upper bound for term t whose
+// list-wide max TF is maxTF. Safe for concurrent use; hit/miss counts
+// feed the cache statistics.
+func (m *MaxScoreEngine) termBound(t lexicon.TermID, maxTF uint32, ts rank.TermStat) float64 {
+	m.boundMu.RLock()
+	b, ok := m.bounds[t]
+	m.boundMu.RUnlock()
+	if ok {
+		m.boundHits.Add(1)
+		return b
+	}
+	b = rank.UpperBoundTF(m.Scorer, int32(maxTF), ts, m.corpus)
+	m.boundMisses.Add(1)
+	m.boundMu.Lock()
+	m.bounds[t] = b
+	m.boundMu.Unlock()
+	return b
+}
+
+// BoundCacheStats reports the bound-memo hit/miss counts since the
+// engine was built.
+func (m *MaxScoreEngine) BoundCacheStats() (hits, misses int64) {
+	return m.boundHits.Load(), m.boundMisses.Load()
+}
+
+// msState is the pooled per-Search evaluation state. The cursor arena
+// is sized up front so &arena[i] pointers stay stable across appends.
+type msState struct {
+	arena    []msCursor
+	cursors  []*msCursor
+	prefixUB []float64
+	heap     *topk.Heap
+}
+
+func (m *MaxScoreEngine) getState(terms int) *msState {
+	st := m.states.Get().(*msState)
+	if cap(st.arena) < terms {
+		st.arena = make([]msCursor, 0, terms)
+	}
+	if cap(st.cursors) < terms {
+		st.cursors = make([]*msCursor, 0, terms)
+	}
+	return st
+}
+
+// putState closes every open cursor and returns the state to the pool,
+// dropping the pointers so pooled iterators are not retained.
+func (m *MaxScoreEngine) putState(st *msState) {
+	for i, c := range st.cursors {
+		if c.it != nil {
+			c.it.Close()
+			c.it = nil
+		}
+		st.cursors[i] = nil
+	}
+	st.cursors = st.cursors[:0]
+	st.arena = st.arena[:0]
+	m.states.Put(st)
 }
 
 // msCursor tracks one term's iterator state during DAAT evaluation.
@@ -139,12 +221,20 @@ func (m *MaxScoreEngine) Search(q collection.Query, n int) ([]rank.DocScore, err
 	return m.SearchContext(context.Background(), q, n)
 }
 
-// SearchContext returns the exact top N for q, observing ctx: the DAAT
-// loop polls for cancellation at candidate granularity (at most one
-// postings block of decode work per open cursor between polls), so a
-// cancelled or deadline-expired query returns ctx.Err() promptly instead
-// of running to completion.
+// SearchContext returns the exact top N for q, observing ctx. It is
+// SearchContextInto with a nil destination buffer.
 func (m *MaxScoreEngine) SearchContext(ctx context.Context, q collection.Query, n int) ([]rank.DocScore, error) {
+	return m.SearchContextInto(ctx, q, n, nil)
+}
+
+// SearchContextInto returns the exact top N for q appended to dst,
+// observing ctx: the DAAT loop polls for cancellation at candidate
+// granularity (at most one postings block of decode work per open cursor
+// between polls), so a cancelled or deadline-expired query returns
+// ctx.Err() promptly instead of running to completion. With a dst of
+// sufficient capacity a warmed engine performs the whole search without
+// a single heap allocation.
+func (m *MaxScoreEngine) SearchContextInto(ctx context.Context, q collection.Query, n int, dst []rank.DocScore) ([]rank.DocScore, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("core: N = %d must be positive", n)
 	}
@@ -154,12 +244,8 @@ func (m *MaxScoreEngine) SearchContext(ctx context.Context, q collection.Query, 
 	// Open cursors, ascending by upper bound. Nothing is decoded yet:
 	// each cursor starts on its list's first document, read from the
 	// block index.
-	cursors := make([]*msCursor, 0, len(q.Terms))
-	defer func() {
-		for _, c := range cursors {
-			c.it.Close()
-		}
-	}()
+	st := m.getState(len(q.Terms))
+	defer m.putState(st)
 	for _, t := range q.Terms {
 		s := m.Idx.Lex.Stats(t)
 		if s.DocFreq == 0 {
@@ -185,28 +271,48 @@ func (m *MaxScoreEngine) SearchContext(ctx context.Context, q collection.Query, 
 			}
 			continue
 		}
-		c := &msCursor{
+		st.arena = append(st.arena, msCursor{
 			it:  it,
 			ts:  rank.TermStat{DocFreq: int(s.DocFreq), CollFreq: s.CollFreq},
 			cur: postings.Posting{DocID: first},
-		}
-		c.ub = rank.UpperBoundTF(m.Scorer, int32(it.MaxTF()), c.ts, m.corpus)
-		cursors = append(cursors, c)
+		})
+		c := &st.arena[len(st.arena)-1]
+		c.ub = m.termBound(t, it.MaxTF(), c.ts)
+		st.cursors = append(st.cursors, c)
 	}
+	cursors := st.cursors
 	if len(cursors) == 0 {
-		return nil, nil
+		return dst, nil
 	}
-	sort.Slice(cursors, func(a, b int) bool { return cursors[a].ub < cursors[b].ub })
+	slices.SortFunc(cursors, func(a, b *msCursor) int {
+		if a.ub < b.ub {
+			return -1
+		}
+		if a.ub > b.ub {
+			return 1
+		}
+		return 0
+	})
 	// prefixUB[i] = sum of upper bounds of cursors[0..i-1] (the weakest i).
-	prefixUB := make([]float64, len(cursors)+1)
+	if cap(st.prefixUB) < len(cursors)+1 {
+		st.prefixUB = make([]float64, len(cursors)+1)
+	}
+	prefixUB := st.prefixUB[:len(cursors)+1]
+	prefixUB[0] = 0
 	for i, c := range cursors {
 		prefixUB[i+1] = prefixUB[i] + c.ub
 	}
 
-	h, err := topk.NewHeap(n)
-	if err != nil {
+	if st.heap == nil {
+		h, err := topk.NewHeap(n)
+		if err != nil {
+			return nil, err
+		}
+		st.heap = h
+	} else if err := st.heap.Reset(n); err != nil {
 		return nil, err
 	}
+	h := st.heap
 	theta := func() float64 {
 		if !h.Full() {
 			return 0
@@ -309,5 +415,5 @@ func (m *MaxScoreEngine) SearchContext(ctx context.Context, q collection.Query, 
 		}
 		h.Offer(rank.DocScore{DocID: cand, Score: score})
 	}
-	return h.Results(), nil
+	return h.AppendResults(dst), nil
 }

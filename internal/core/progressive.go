@@ -23,13 +23,46 @@ import (
 //
 // Like Engine, a Progressive keeps all mutable per-query state in a
 // per-Search context drawn from an internal pool, so one instance is safe
-// for concurrent Search from multiple goroutines.
+// for concurrent Search from multiple goroutines — and a warmed instance
+// runs Search with zero heap allocations.
 type Progressive struct {
 	MX     *index.MultiFragmented
 	Scorer rank.Scorer
 
 	corpus rank.CorpusStat
-	accs   sync.Pool // of *rank.Accumulator, sized for the corpus
+	states sync.Pool // of *progState, accumulator sized for the corpus
+}
+
+// progState is the pooled per-Search evaluation state: the dense
+// accumulator, the per-fragment term grouping, the remaining-mass
+// prefix, and the bounded heap that serves both the safe-stop check and
+// the final selection.
+type progState struct {
+	acc       *rank.Accumulator
+	heap      *topk.Heap
+	byFrag    [][]fragTerm
+	remaining []float64
+}
+
+// fragTerm is one resolved query term: its id, statistics, and score
+// upper bound.
+type fragTerm struct {
+	id lexicon.TermID
+	ts rank.TermStat
+	ub float64
+}
+
+// ensureHeap (re)bounds the pooled heap to n.
+func (st *progState) ensureHeap(n int) error {
+	if st.heap == nil {
+		h, err := topk.NewHeap(n)
+		if err != nil {
+			return err
+		}
+		st.heap = h
+		return nil
+	}
+	return st.heap.Reset(n)
 }
 
 // NewProgressive builds a progressive engine over a fragment chain,
@@ -55,7 +88,7 @@ func NewProgressiveWithCorpus(mx *index.MultiFragmented, scorer rank.Scorer, cor
 	}
 	p := &Progressive{MX: mx, Scorer: scorer, corpus: corpus}
 	numDocs := mx.Stats.NumDocs
-	p.accs.New = func() interface{} { return rank.NewAccumulator(numDocs) }
+	p.states.New = func() any { return &progState{acc: rank.NewAccumulator(numDocs)} }
 	return p, nil
 }
 
@@ -104,11 +137,19 @@ func (p *Progressive) Search(q collection.Query, opts ProgressiveOptions) (Progr
 	return p.SearchContext(context.Background(), q, opts)
 }
 
-// SearchContext evaluates q over the chain, observing ctx between
-// fragments and at postings-block granularity within each list, so a
-// cancelled or deadline-expired query returns ctx.Err() without
-// processing the remaining chain.
+// SearchContext evaluates q over the chain, observing ctx. It is
+// SearchContextInto with a nil destination buffer.
 func (p *Progressive) SearchContext(ctx context.Context, q collection.Query, opts ProgressiveOptions) (ProgressiveResult, error) {
+	return p.SearchContextInto(ctx, q, opts, nil)
+}
+
+// SearchContextInto evaluates q over the chain with the result's Top
+// appended to dst, observing ctx between fragments and at postings-block
+// granularity within each list, so a cancelled or deadline-expired query
+// returns ctx.Err() without processing the remaining chain. With a dst
+// of sufficient capacity a warmed engine performs the whole search
+// without a single heap allocation.
+func (p *Progressive) SearchContextInto(ctx context.Context, q collection.Query, opts ProgressiveOptions, dst []rank.DocScore) (ProgressiveResult, error) {
 	if opts.N <= 0 {
 		return ProgressiveResult{}, fmt.Errorf("core: N = %d must be positive", opts.N)
 	}
@@ -118,28 +159,35 @@ func (p *Progressive) SearchContext(ctx context.Context, q collection.Query, opt
 	if err := ctx.Err(); err != nil {
 		return ProgressiveResult{}, err
 	}
-	acc := p.accs.Get().(*rank.Accumulator)
+	st := p.states.Get().(*progState)
 	defer func() {
-		acc.Reset()
-		p.accs.Put(acc)
+		st.acc.Reset()
+		p.states.Put(st)
 	}()
+	acc := st.acc
 
 	// Group query terms by fragment and precompute each term's score
-	// upper bound for the remaining-mass administration.
-	type queryTerm struct {
-		id lexicon.TermID
-		ts rank.TermStat
-		ub float64
+	// upper bound for the remaining-mass administration. The groups and
+	// the prefix reuse the pooled state's backing arrays.
+	nf := len(p.MX.Fragments)
+	if cap(st.byFrag) < nf {
+		st.byFrag = make([][]fragTerm, nf)
 	}
-	byFrag := make([][]queryTerm, len(p.MX.Fragments))
-	remaining := make([]float64, len(p.MX.Fragments)+1)
+	byFrag := st.byFrag[:nf]
+	for i := range byFrag {
+		byFrag[i] = byFrag[i][:0]
+	}
+	if cap(st.remaining) < nf+1 {
+		st.remaining = make([]float64, nf+1)
+	}
+	remaining := st.remaining[:nf+1]
 	for _, t := range q.Terms {
 		s := p.MX.Lex.Stats(t)
 		if s.DocFreq == 0 {
 			continue
 		}
 		fi := p.MX.FragmentIndexOf(t)
-		qt := queryTerm{
+		qt := fragTerm{
 			id: t,
 			ts: rank.TermStat{DocFreq: int(s.DocFreq), CollFreq: s.CollFreq},
 		}
@@ -150,7 +198,8 @@ func (p *Progressive) SearchContext(ctx context.Context, q collection.Query, opt
 		qt.ub = rank.UpperBoundTF(p.Scorer, int32(p.MX.MaxTF(t)), qt.ts, p.corpus)
 		byFrag[fi] = append(byFrag[fi], qt)
 	}
-	for fi := len(p.MX.Fragments) - 1; fi >= 0; fi-- {
+	remaining[nf] = 0
+	for fi := nf - 1; fi >= 0; fi-- {
 		var mass float64
 		for _, qt := range byFrag[fi] {
 			mass += qt.ub
@@ -167,11 +216,18 @@ func (p *Progressive) SearchContext(ctx context.Context, q collection.Query, opt
 		// Stop check before touching this fragment: can any document
 		// still displace the current top N?
 		bound := remaining[fi]
-		if p.stopSafe(acc, opts.N, bound, opts.Epsilon) {
+		stop, err := p.stopSafe(st, opts.N, bound, opts.Epsilon)
+		if err != nil {
+			return ProgressiveResult{}, err
+		}
+		if stop {
 			res.Exact = opts.Epsilon == 0
 			res.RemainingBound = bound
 			res.DocsTouched = acc.Touched()
-			res.Top = topk.SelectTop(acc.Results(), opts.N)
+			res.Top, err = p.topInto(st, opts.N, dst)
+			if err != nil {
+				return ProgressiveResult{}, err
+			}
 			res.Truncated = res.DocsTouched > len(res.Top)
 			res.FragmentsUsed = fi
 			return res, nil
@@ -205,9 +261,27 @@ func (p *Progressive) SearchContext(ctx context.Context, q collection.Query, opt
 	res.Exact = true
 	res.RemainingBound = 0
 	res.DocsTouched = acc.Touched()
-	res.Top = topk.SelectTop(acc.Results(), opts.N)
+	var err error
+	res.Top, err = p.topInto(st, opts.N, dst)
+	if err != nil {
+		return ProgressiveResult{}, err
+	}
 	res.Truncated = res.DocsTouched > len(res.Top)
 	return res, nil
+}
+
+// topInto selects the accumulator's top n into dst (appended, best
+// first) via the pooled bounded heap — the allocation-free replacement
+// for sorting the whole accumulator.
+func (p *Progressive) topInto(st *progState, n int, dst []rank.DocScore) ([]rank.DocScore, error) {
+	if err := st.ensureHeap(n); err != nil {
+		return nil, err
+	}
+	h := st.heap
+	st.acc.Each(func(doc uint32, score float64) {
+		h.Offer(rank.DocScore{DocID: doc, Score: score})
+	})
+	return h.AppendResults(dst), nil
 }
 
 // stopSafe decides whether processing can end given the remaining score
@@ -216,23 +290,38 @@ func (p *Progressive) SearchContext(ctx context.Context, q collection.Query, opt
 // (N+1)-th current score plus the bound for seen documents, or the bound
 // alone for unseen ones. Relaxed rule: the bound is at most epsilon times
 // the N-th score.
-func (p *Progressive) stopSafe(acc *rank.Accumulator, n int, bound, epsilon float64) bool {
+//
+// The N-th and (N+1)-th scores come from one pass over the accumulator
+// through a heap bounded at n+1: its weakest member is the (N+1)-th best
+// score and its second-weakest the N-th — no sort, no allocation.
+func (p *Progressive) stopSafe(st *progState, n int, bound, epsilon float64) (bool, error) {
 	if bound == 0 {
-		return true
+		return true, nil
 	}
-	results := acc.Results()
-	if len(results) < n {
-		return false
+	if st.acc.Touched() < n {
+		return false, nil
 	}
-	nth := results[n-1].Score
+	if err := st.ensureHeap(n + 1); err != nil {
+		return false, err
+	}
+	h := st.heap
+	st.acc.Each(func(doc uint32, score float64) {
+		h.Offer(rank.DocScore{DocID: doc, Score: score})
+	})
+	var nth, runnerUp float64
+	if h.Len() > n {
+		m, _ := h.Min()
+		runnerUp = m.Score
+		s, _ := h.SecondMin()
+		nth = s.Score
+	} else {
+		m, _ := h.Min()
+		nth = m.Score
+	}
 	if epsilon > 0 {
-		return bound <= epsilon*nth
-	}
-	runnerUp := 0.0
-	if len(results) > n {
-		runnerUp = results[n].Score
+		return bound <= epsilon*nth, nil
 	}
 	// Unseen documents can reach at most bound; seen non-top documents at
 	// most runnerUp+bound.
-	return nth >= runnerUp+bound && nth >= bound
+	return nth >= runnerUp+bound && nth >= bound, nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation gates skip under race: the detector makes sync.Pool drop
+// Puts at random, so AllocsPerRun measurements become meaningless.
+const raceEnabled = false

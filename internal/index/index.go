@@ -19,6 +19,7 @@ package index
 import (
 	"fmt"
 
+	"repro/internal/blockcache"
 	"repro/internal/collection"
 	"repro/internal/lexicon"
 	"repro/internal/postings"
@@ -213,6 +214,15 @@ func (ix *Index) MaxTF(term lexicon.TermID) uint32 {
 		return 0
 	}
 	return ix.metas[term].MaxTF
+}
+
+// SetBlockCache attaches a shared block cache to the index's postings
+// store under the given space tag (which must be unique for the store's
+// lifetime — segment sequence numbers qualify). Views made with
+// WithLexicon or WithAlive share the store, so one call covers them all.
+// Only paged stores consult the cache; attach before opening readers.
+func (ix *Index) SetBlockCache(c *blockcache.Cache, space uint64) {
+	ix.store.SetBlockCache(c, space)
 }
 
 // Counters exposes the decoding-work counters of the backing store.

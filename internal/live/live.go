@@ -159,6 +159,19 @@ type Config struct {
 	// matches the open-time page checksums return to service. 0
 	// (default) disables the loop; Reverify remains callable.
 	ReverifyEvery time.Duration
+	// ResultCacheBytes bounds the query result cache. Entries are whole
+	// Results keyed by (generation, N, resolved query terms), so a hit
+	// returns the byte-identical answer the search would have computed;
+	// every commit moves the generation and thereby invalidates the
+	// cache wholesale. Degraded answers are never cached. 0 (default)
+	// disables the cache.
+	ResultCacheBytes int64
+	// BlockCacheBytes bounds the shared hot-block cache: decoded-input
+	// postings blocks of all segments, admitted by a TinyLFU frequency
+	// sketch so one scan cannot flush the resident hot set. A hit serves
+	// the block without touching the segment's buffer pool (and without
+	// counting a fault). 0 (default) disables the cache.
+	BlockCacheBytes int64
 }
 
 func (c *Config) fillDefaults() {

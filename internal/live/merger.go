@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/blockcache"
 	"repro/internal/cost"
 	"repro/internal/index"
 	"repro/internal/lexicon"
@@ -132,7 +133,7 @@ func (w *Writer) mergeOnce() (bool, error) {
 	var seg *segment
 	err := w.crash(CrashMergeBeforePersist)
 	if err == nil {
-		seg, err = mergeSegments(w.cfg, run, alives, seq, snap, frozen)
+		seg, err = mergeSegments(w.cfg, run, alives, seq, snap, frozen, w.blockCache)
 	}
 	// A read fault during the build is the media's failure, not the
 	// protocol's: re-verify the inputs, quarantine the ones that fail,
@@ -191,6 +192,13 @@ func (w *Writer) mergeOnce() (bool, error) {
 			} else {
 				for _, s := range run {
 					s.dead.Store(true)
+					// Retired segments never serve again; drop their
+					// cached blocks so the bytes go to live segments.
+					// (In-flight snapshots still reading them simply
+					// re-fault — seq-tagged keys can never go stale.)
+					if w.blockCache != nil {
+						w.blockCache.PurgeSpace(s.seq)
+					}
 				}
 			}
 		}
@@ -370,7 +378,7 @@ func (w *Writer) spliceLocked(run []*segment, merged *segment) {
 // every document — dead ones included, so the tombstone ledger stays
 // reconstructible after their postings are gone — persist, and reopen
 // through a fresh pool.
-func mergeSegments(cfg Config, run []*segment, alives []*postings.AliveBitmap, seq, snap uint64, frozen *lexicon.Lexicon) (*segment, error) {
+func mergeSegments(cfg Config, run []*segment, alives []*postings.AliveBitmap, seq, snap uint64, frozen *lexicon.Lexicon, bc *blockcache.Cache) (*segment, error) {
 	inputs := make([]*index.Index, len(run))
 	total := 0
 	for i, s := range run {
@@ -409,7 +417,7 @@ func mergeSegments(cfg Config, run []*segment, alives []*postings.AliveBitmap, s
 	if err := writeDocTerms(dir, blobs); err != nil {
 		return cleanup(err)
 	}
-	seg, err := openSegment(cfg, name, seq, snap, run[0].base, 0)
+	seg, err := openSegment(cfg, name, seq, snap, run[0].base, 0, bc)
 	if err != nil {
 		return cleanup(err)
 	}

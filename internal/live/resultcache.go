@@ -1,0 +1,270 @@
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lexicon"
+	"repro/internal/rank"
+)
+
+// resultCache memoizes whole search Results keyed by (generation, N,
+// resolved query term ids). The generation in the key is what makes the
+// cache trivially coherent: a commit installs a new generation, so every
+// cached answer automatically stops matching — and installLocked clears
+// the map wholesale to release the bytes too. Only exact, non-degraded
+// answers are admitted; a degraded answer is a statement about a
+// transient fault, not about the index, and must never outlive it.
+//
+// The cache is an 8-way sharded LRU with byte-size accounting, plus a
+// singleflight table: concurrent identical queries elect one leader to
+// run the search while the rest wait for its answer (or abandon the
+// wait when their own context fires, without cancelling the leader).
+type resultCache struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+	shared atomic.Int64 // answers served from another query's flight
+
+	shards [rcShardCount]rcShard
+
+	fmu     sync.Mutex
+	flights map[string]*rcFlight
+}
+
+const rcShardCount = 8
+
+// errFlightAbandoned is the pre-set flight error a leader overwrites on
+// completion; waiters seeing it (leader panicked or errored) fall back
+// to their own search.
+var errFlightAbandoned = errors.New("live: result flight abandoned")
+
+// rcFlight is one in-progress search other identical queries can wait
+// on. res/err are written by the leader before done is closed.
+type rcFlight struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+type rcEntry struct {
+	key        string
+	res        Result
+	size       int64
+	prev, next *rcEntry
+}
+
+type rcShard struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	entries  map[string]*rcEntry
+	head     *rcEntry // most recent
+	tail     *rcEntry // eviction candidate
+}
+
+// newResultCache returns a cache bounded at capacity bytes.
+func newResultCache(capacity int64) *resultCache {
+	rc := &resultCache{flights: make(map[string]*rcFlight)}
+	per := capacity / rcShardCount
+	if per < 1 {
+		per = 1
+	}
+	for i := range rc.shards {
+		rc.shards[i].capacity = per
+		rc.shards[i].entries = make(map[string]*rcEntry)
+	}
+	return rc
+}
+
+// resultKey encodes the cache key for a resolved query: the generation
+// id, the requested N, and the sorted, deduplicated term ids — exactly
+// the inputs Snapshot.searchIDs answers from, so equal keys mean
+// provably identical answers.
+func resultKey(gen uint64, n int, ids []lexicon.TermID) string {
+	b := make([]byte, 0, 20+4*len(ids))
+	b = binary.AppendUvarint(b, gen)
+	b = binary.AppendUvarint(b, uint64(n))
+	for _, id := range ids {
+		b = binary.AppendUvarint(b, uint64(id))
+	}
+	return string(b)
+}
+
+func rcHash(key string) uint64 {
+	// FNV-1a.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (rc *resultCache) shard(key string) *rcShard {
+	return &rc.shards[rcHash(key)&(rcShardCount-1)]
+}
+
+// resultSize approximates an entry's resident bytes.
+func resultSize(key string, res Result) int64 {
+	size := int64(len(key)) + 160 // struct + map/list overhead
+	size += int64(cap(res.Top)) * 16
+	for _, s := range res.Cert.Skipped {
+		size += int64(len(s)) + 16
+	}
+	return size
+}
+
+// cloneResult deep-copies the slices a caller could mutate, so cached
+// state is never aliased outside the cache.
+func cloneResult(res Result) Result {
+	out := res
+	if res.Top != nil {
+		out.Top = append([]rank.DocScore(nil), res.Top...)
+	}
+	if res.Cert.Skipped != nil {
+		out.Cert.Skipped = append([]string(nil), res.Cert.Skipped...)
+	}
+	return out
+}
+
+// get returns the cached Result for key, counting a hit or miss.
+func (rc *resultCache) get(key string) (Result, bool) {
+	s := rc.shard(key)
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.moveFront(e)
+	}
+	var res Result
+	if ok {
+		res = cloneResult(e.res)
+	}
+	s.mu.Unlock()
+	if !ok {
+		rc.misses.Add(1)
+		return Result{}, false
+	}
+	rc.hits.Add(1)
+	return res, true
+}
+
+// put admits res under key, evicting least-recently-used entries until
+// it fits. Oversized results (larger than a whole shard) are dropped.
+func (rc *resultCache) put(key string, res Result) {
+	res = cloneResult(res)
+	size := resultSize(key, res)
+	s := rc.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size > s.capacity {
+		return
+	}
+	if e, ok := s.entries[key]; ok {
+		s.bytes += size - e.size
+		e.res, e.size = res, size
+		s.moveFront(e)
+	} else {
+		e := &rcEntry{key: key, res: res, size: size}
+		s.entries[key] = e
+		s.bytes += size
+		s.pushFront(e)
+	}
+	for s.bytes > s.capacity && s.tail != nil {
+		s.remove(s.tail)
+	}
+}
+
+// clear drops every entry — the generation-swap invalidation.
+func (rc *resultCache) clear() {
+	for i := range rc.shards {
+		s := &rc.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string]*rcEntry)
+		s.head, s.tail, s.bytes = nil, nil, 0
+		s.mu.Unlock()
+	}
+}
+
+// stats samples the cache counters and current occupancy.
+func (rc *resultCache) stats() (hits, misses, shared, bytes, entries int64) {
+	hits = rc.hits.Load()
+	misses = rc.misses.Load()
+	shared = rc.shared.Load()
+	for i := range rc.shards {
+		s := &rc.shards[i]
+		s.mu.Lock()
+		bytes += s.bytes
+		entries += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	return hits, misses, shared, bytes, entries
+}
+
+// join enters the singleflight for key: the first caller becomes the
+// leader (leader=true) and must call leave exactly once; later callers
+// get the leader's flight to wait on.
+func (rc *resultCache) join(key string) (*rcFlight, bool) {
+	rc.fmu.Lock()
+	defer rc.fmu.Unlock()
+	if f, ok := rc.flights[key]; ok {
+		return f, false
+	}
+	f := &rcFlight{done: make(chan struct{}), err: errFlightAbandoned}
+	rc.flights[key] = f
+	return f, true
+}
+
+// leave retires the leader's flight and wakes every waiter. The leader
+// assigns f.res/f.err before calling; a panic on the search path leaves
+// the pre-set errFlightAbandoned, which waiters treat as "run your own
+// search".
+func (rc *resultCache) leave(key string, f *rcFlight) {
+	rc.fmu.Lock()
+	delete(rc.flights, key)
+	rc.fmu.Unlock()
+	close(f.done)
+}
+
+// Intrusive LRU list plumbing; callers hold s.mu.
+
+func (s *rcShard) pushFront(e *rcEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *rcShard) moveFront(e *rcEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *rcShard) unlink(e *rcEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *rcShard) remove(e *rcEntry) {
+	s.unlink(e)
+	delete(s.entries, e.key)
+	s.bytes -= e.size
+}

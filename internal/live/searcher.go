@@ -134,6 +134,32 @@ func (s *Snapshot) Search(terms []string, n int) (Result, error) {
 // skipped segments — never a silent partial answer, never a failed
 // query for damage confined to one segment.
 func (s *Snapshot) SearchContext(ctx context.Context, terms []string, n int) (Result, error) {
+	return s.searchIDs(ctx, s.resolve(terms), n)
+}
+
+// resolve maps term names to sorted, deduplicated term ids against the
+// generation's frozen lexicon; unknown terms match nothing. The id list
+// plus (generation, N) fully determines the answer, which is what makes
+// it usable as a result-cache key.
+func (s *Snapshot) resolve(terms []string) []lexicon.TermID {
+	g := s.g
+	seen := make(map[lexicon.TermID]bool, len(terms))
+	ids := make([]lexicon.TermID, 0, len(terms))
+	for _, t := range terms {
+		id := g.lex.Lookup(t)
+		if id == lexicon.InvalidTerm || seen[id] {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// searchIDs evaluates the resolved query — the shared back half of
+// SearchContext and the cached search path.
+func (s *Snapshot) searchIDs(ctx context.Context, ids []lexicon.TermID, n int) (Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.released {
@@ -146,19 +172,6 @@ func (s *Snapshot) SearchContext(ctx context.Context, terms []string, n int) (Re
 		return Result{}, err
 	}
 	g := s.g
-	// Resolve names against the generation's frozen lexicon; unknown
-	// terms match nothing, duplicates collapse.
-	seen := make(map[lexicon.TermID]bool, len(terms))
-	ids := make([]lexicon.TermID, 0, len(terms))
-	for _, t := range terms {
-		id := g.lex.Lookup(t)
-		if id == lexicon.InvalidTerm || seen[id] {
-			continue
-		}
-		seen[id] = true
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	res := Result{Exact: true, Segments: len(g.segs), Generation: g.id}
 	res.Cert = topk.Certificate{Exact: true, ShardsServed: len(g.segs), ShardsTotal: len(g.segs)}
 	if len(ids) == 0 || len(g.segs) == 0 {
@@ -283,11 +296,55 @@ func (ls *Searcher) Search(terms []string, n int) (Result, error) {
 
 // SearchContext evaluates one query against a fresh snapshot, observing
 // ctx as Snapshot.SearchContext does.
+//
+// With Config.ResultCacheBytes set, the query first consults the result
+// cache under its (generation, N, resolved terms) key; a hit returns
+// the byte-identical cached answer without touching a single postings
+// block. On a miss, concurrent identical queries collapse into one
+// singleflight: a leader runs the search under its own context while
+// the rest wait for its answer — a waiter whose context fires abandons
+// the wait without cancelling the leader, and a leader that fails (or
+// whose context fires) wakes the waiters to run their own searches.
+// Only exact, non-degraded answers enter the cache.
 func (ls *Searcher) SearchContext(ctx context.Context, terms []string, n int) (Result, error) {
 	snap, err := ls.w.Acquire()
 	if err != nil {
 		return Result{}, err
 	}
 	defer snap.Close()
-	return snap.SearchContext(ctx, terms, n)
+	rc := ls.w.resCache
+	if rc == nil || n <= 0 {
+		return snap.SearchContext(ctx, terms, n)
+	}
+	ids := snap.resolve(terms)
+	key := resultKey(snap.g.id, n, ids)
+	if res, ok := rc.get(key); ok {
+		return res, nil
+	}
+	f, leader := rc.join(key)
+	if !leader {
+		// The leader acquired a snapshot before joining, and the key pins
+		// the generation, so its answer is computed over the very same
+		// immutable view this query would read.
+		select {
+		case <-f.done:
+			if f.err == nil {
+				rc.shared.Add(1)
+				return cloneResult(f.res), nil
+			}
+			// Leader failed or abandoned: its error may be private to its
+			// own context (cancellation), so fall through and evaluate
+			// under ours.
+			return snap.searchIDs(ctx, ids, n)
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	}
+	defer rc.leave(key, f)
+	res, err := snap.searchIDs(ctx, ids, n)
+	f.res, f.err = res, err
+	if err == nil && res.Exact && !res.Degraded {
+		rc.put(key, res)
+	}
+	return res, err
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"repro/internal/blockcache"
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/lexicon"
@@ -112,7 +113,11 @@ func aliveName(ver uint64) string { return fmt.Sprintf("alive-%06d.bm", ver) }
 // with the primed checksum fails as a transient storage.ReadFault: the
 // pool's retry absorbs one-off flips, and persistent corruption escapes
 // the budget into the quarantine path.
-func openSegment(cfg Config, name string, seq, snap uint64, base uint32, tomb uint64) (*segment, error) {
+// When bc is non-nil, the opened index reads postings blocks through
+// the shared hot-block cache under the segment's sequence number as its
+// space tag (unique forever, so a recycled cache entry can never serve
+// another segment's bytes).
+func openSegment(cfg Config, name string, seq, snap uint64, base uint32, tomb uint64, bc *blockcache.Cache) (*segment, error) {
 	dir := filepath.Join(cfg.Dir, name)
 	fd, err := storage.OpenFileDisk(index.SegmentPath(dir))
 	if err != nil {
@@ -141,6 +146,9 @@ func openSegment(cfg Config, name string, seq, snap uint64, base uint32, tomb ui
 	idx, err := index.Open(dir, pool)
 	if err != nil {
 		return nil, fmt.Errorf("live: open segment %s: %w", name, err)
+	}
+	if bc != nil {
+		idx.SetBlockCache(bc, seq)
 	}
 	fwd, err := openDocTerms(dir, idx.Stats.NumDocs)
 	if errors.Is(err, os.ErrNotExist) && tomb == 0 {

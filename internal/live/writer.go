@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/blockcache"
 	"repro/internal/collection"
 	"repro/internal/index"
 	"repro/internal/lexicon"
@@ -90,6 +91,14 @@ type Writer struct {
 	// lock). See FaultStats.
 	fc faultCounters
 
+	// resCache memoizes whole query answers per generation; nil unless
+	// Config.ResultCacheBytes is set. blockCache is the shared hot-block
+	// cache every segment's postings store reads through; nil unless
+	// Config.BlockCacheBytes is set. Both are safe for concurrent use
+	// without the writer mutex.
+	resCache   *resultCache
+	blockCache *blockcache.Cache
+
 	mergeKick chan struct{}
 	stop      chan struct{}
 	bgDone    sync.WaitGroup
@@ -156,6 +165,12 @@ func Open(cfg Config) (*Writer, error) {
 		lockFile:  lock,
 	}
 	w.cond = sync.NewCond(&w.mu)
+	if cfg.ResultCacheBytes > 0 {
+		w.resCache = newResultCache(cfg.ResultCacheBytes)
+	}
+	if cfg.BlockCacheBytes > 0 {
+		w.blockCache = blockcache.New(cfg.BlockCacheBytes)
+	}
 
 	defer func() {
 		if !ok {
@@ -166,7 +181,7 @@ func Open(cfg Config) (*Writer, error) {
 	}()
 	var newest *segment
 	for _, ms := range m.Segments {
-		seg, err := openSegment(cfg, ms.Name, ms.Seq, ms.Snap, ms.Base, ms.Tomb)
+		seg, err := openSegment(cfg, ms.Name, ms.Seq, ms.Snap, ms.Base, ms.Tomb, w.blockCache)
 		if err != nil {
 			return nil, err
 		}
@@ -386,7 +401,7 @@ func (w *Writer) Flush() error {
 	var seg *segment
 	err := w.crash(CrashSealBeforePersist)
 	if err == nil {
-		seg, err = buildSegment(w.cfg, docs, tokens, seq, snap, segBase, frozen)
+		seg, err = buildSegment(w.cfg, docs, tokens, seq, snap, segBase, frozen, w.blockCache)
 	}
 
 	w.mu.Lock()
@@ -436,7 +451,7 @@ func (w *Writer) Flush() error {
 // reopens it through its own pool. A buffered document deleted before
 // the seal is a Document with no terms: it keeps its id slot (a hole)
 // but contributes no postings, no length, and no statistics anywhere.
-func buildSegment(cfg Config, docs []collection.Document, tokens int64, seq, snap uint64, base uint32, frozen *lexicon.Lexicon) (*segment, error) {
+func buildSegment(cfg Config, docs []collection.Document, tokens int64, seq, snap uint64, base uint32, frozen *lexicon.Lexicon, bc *blockcache.Cache) (*segment, error) {
 	sub := &collection.Collection{Docs: docs, Lex: frozen, TotalTokens: tokens}
 	if len(docs) > 0 {
 		sub.AvgDocLen = float64(tokens) / float64(len(docs))
@@ -484,7 +499,7 @@ func buildSegment(cfg Config, docs []collection.Document, tokens int64, seq, sna
 			return cleanup(err)
 		}
 	}
-	seg, err := openSegment(cfg, name, seq, snap, base, tomb)
+	seg, err := openSegment(cfg, name, seq, snap, base, tomb, bc)
 	if err != nil {
 		return cleanup(err)
 	}
@@ -528,6 +543,11 @@ func (w *Writer) installLocked() error {
 	w.cur = g
 	if old != nil {
 		old.release()
+	}
+	// Every cached answer names the outgoing generation in its key, so
+	// none can be served again; clear wholesale to release the bytes.
+	if w.resCache != nil {
+		w.resCache.clear()
 	}
 	return nil
 }

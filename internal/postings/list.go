@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/blockcache"
 	"repro/internal/storage"
 )
 
@@ -84,20 +85,25 @@ const BlockSize = 128
 // bodyPool recycles the per-iterator encoded-body buffers. Bodies vary
 // in length, so the pool holds capacity-grown slices that callers
 // re-slice to the length they need.
-var bodyPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+var bodyPool = sync.Pool{New: func() any { return new([]byte) }}
 
-// getBody draws a buffer of length n from the pool.
-func getBody(n int) []byte {
+// getBody draws a buffer of length n from the pool. The pointer — not
+// the slice — travels between Get and Put: handing the same *[]byte
+// back to putBody avoids re-boxing a slice header on every Put, which
+// would otherwise be one heap allocation per recycled buffer.
+func getBody(n int) *[]byte {
 	p := bodyPool.Get().(*[]byte)
 	if cap(*p) < n {
 		*p = make([]byte, n)
 	}
-	return (*p)[:n]
+	*p = (*p)[:n]
+	return p
 }
 
-// putBody returns a buffer to the pool.
-func putBody(b []byte) {
-	bodyPool.Put(&b)
+// putBody returns a buffer (by the pointer getBody handed out) to the
+// pool.
+func putBody(p *[]byte) {
+	bodyPool.Put(p)
 }
 
 // Store persists encoded postings lists and serves readers over them.
@@ -122,6 +128,24 @@ type Store struct {
 	pool *storage.Pool // paged backing; nil for file stores
 	base int64         // absolute device byte offset of the postings region
 	size int64         // region length in bytes
+
+	// cache, when attached to a paged store, serves hot block ranges
+	// without touching the pool; space identifies this store's immutable
+	// backing region in the (shared) cache's key space.
+	cache *blockcache.Cache
+	space uint64
+}
+
+// SetBlockCache attaches a shared block cache to the store. space must
+// identify the store's backing region uniquely and forever (the live
+// index uses the segment sequence number) — the cache trusts that a
+// (space, offset) pair never names two different byte contents. Only
+// paged stores consult the cache; on a file-backed build store the call
+// is a no-op. Attach before opening iterators; the store does not
+// synchronize the fields.
+func (s *Store) SetBlockCache(c *blockcache.Cache, space uint64) {
+	s.cache = c
+	s.space = space
 }
 
 // NewStore creates an empty list store writing into file.
@@ -186,26 +210,41 @@ func (s *Store) Put(ps []Posting) (ListMeta, error) {
 // blocks through the pool on the paged backing.
 func (s *Store) openSource(meta ListMeta) (BlockSource, error) {
 	if s.file != nil {
-		body := getBody(int(meta.Length))
+		bp := getBody(int(meta.Length))
+		body := *bp
 		n, err := s.file.ReadAt(body, meta.Offset)
 		if err != nil && err != io.EOF {
-			putBody(body)
+			putBody(bp)
 			return nil, err
 		}
 		if n != len(body) {
 			// A short read into a recycled buffer would leave another
 			// list's stale bytes in the tail; fail fast instead of
 			// decoding them.
-			putBody(body)
+			putBody(bp)
 			return nil, ErrCorrupt
 		}
-		return &MemorySource{body: body, pooled: true}, nil
+		m := memSourcePool.Get().(*MemorySource)
+		m.body, m.bodyp, m.recycle = body, bp, true
+		return m, nil
 	}
 	if meta.Offset < 0 || meta.Offset > s.size-int64(meta.Length) {
 		return nil, fmt.Errorf("%w: list body [%d,+%d) outside %d-byte postings region",
 			ErrCorrupt, meta.Offset, meta.Length, s.size)
 	}
-	return NewPagedSource(s.pool, s.base+meta.Offset, int(meta.Length))
+	if s.cache != nil {
+		cs := cachedSourcePool.Get().(*CachedSource)
+		cs.cache, cs.space = s.cache, s.space
+		cs.under.pool = s.pool
+		cs.under.base = s.base + meta.Offset
+		cs.under.length = int(meta.Length)
+		cs.under.faults = 0
+		return cs, nil
+	}
+	ps := pagedSourcePool.Get().(*PagedSource)
+	ps.pool, ps.base, ps.length = s.pool, s.base+meta.Offset, int(meta.Length)
+	ps.faults, ps.recycle = 0, true
+	return ps, nil
 }
 
 // ReadAll decodes an entire stored list.
@@ -288,16 +327,37 @@ func (s *Store) NewIterator(meta ListMeta) (*Iterator, error) {
 	return NewIteratorOver(src, meta, &s.Counters), nil
 }
 
+// iterPool recycles Iterator structs: the docs/tfs decode arrays make
+// an iterator ~1KB, and a search opens one per query term — recycling
+// them is most of what makes the steady-state hot path allocation-free.
+// The arrays are deliberately not zeroed on reuse; only the decoded
+// prefix [0, bn) is ever read.
+var iterPool = sync.Pool{New: func() any { return new(Iterator) }}
+
 // NewIteratorOver opens an iterator reading blocks from an arbitrary
 // BlockSource. The iterator takes ownership of src (Close closes it) and
 // batches its decode/skip/fault counts into counters, which must be
-// non-nil.
+// non-nil. The returned iterator may be recycled from an internal pool;
+// it is invalid after Close.
 func NewIteratorOver(src BlockSource, meta ListMeta, counters *Counters) *Iterator {
-	return &Iterator{counters: counters, src: src, meta: meta, block: -1}
+	it := iterPool.Get().(*Iterator)
+	it.counters, it.src, it.meta = counters, src, meta
+	it.blk = nil
+	it.block = -1
+	it.bi, it.bn, it.bcnt = 0, 0, 0
+	it.bstart, it.bpos, it.bend = 0, 0, 0
+	it.bmax = 0
+	it.localDecoded, it.localSkips, it.flushedFault = 0, 0, 0
+	it.alive = nil
+	it.valid, it.done, it.closed = false, false, false
+	it.err = nil
+	return it
 }
 
-// Close flushes the iterator's batched counters and releases the block
-// source. Closing twice is a no-op.
+// Close flushes the iterator's batched counters, releases the block
+// source, and recycles the iterator. Closing twice is a no-op, but any
+// other use after Close is invalid — the struct may already be serving
+// another list.
 func (it *Iterator) Close() {
 	if it.closed {
 		return
@@ -309,6 +369,11 @@ func (it *Iterator) Close() {
 		it.src = nil
 	}
 	it.blk = nil
+	it.counters = nil
+	it.meta = ListMeta{}
+	it.alive = nil
+	it.err = nil
+	iterPool.Put(it)
 }
 
 // flush drains the locally accumulated counts into the store's shared

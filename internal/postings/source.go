@@ -2,7 +2,9 @@ package postings
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/blockcache"
 	"repro/internal/storage"
 )
 
@@ -33,12 +35,25 @@ type BlockSource interface {
 	Close()
 }
 
+// Source structs opened on the iterator hot path are pooled: a search
+// opens one source per query term, and without recycling those structs
+// are the last allocations left on an otherwise alloc-free path. Only
+// sources created internally by Store.openSource recycle themselves
+// (recycle flag); sources built through the exported constructors stay
+// caller-owned.
+var (
+	memSourcePool    = sync.Pool{New: func() any { return new(MemorySource) }}
+	pagedSourcePool  = sync.Pool{New: func() any { return new(PagedSource) }}
+	cachedSourcePool = sync.Pool{New: func() any { return new(CachedSource) }}
+)
+
 // MemorySource is a BlockSource over a fully resident body. The buffer
 // may come from the package's internal pool (iterator open path), in
 // which case Close recycles it.
 type MemorySource struct {
-	body   []byte
-	pooled bool
+	body    []byte
+	bodyp   *[]byte // pool pointer when body came from getBody; nil otherwise
+	recycle bool
 }
 
 // NewMemorySource wraps a caller-owned body slice. The source never
@@ -60,10 +75,15 @@ func (m *MemorySource) Faults() int64 { return 0 }
 
 // Close recycles the buffer when it came from the internal pool.
 func (m *MemorySource) Close() {
-	if m.pooled && m.body != nil {
-		putBody(m.body)
+	if m.bodyp != nil {
+		putBody(m.bodyp)
+		m.bodyp = nil
 	}
 	m.body = nil
+	if m.recycle {
+		m.recycle = false
+		memSourcePool.Put(m)
+	}
 }
 
 // PagedSource is a BlockSource over a body resident in a page device
@@ -81,8 +101,9 @@ type PagedSource struct {
 	pool    *storage.Pool
 	base    int64 // absolute byte offset of the body on the device
 	length  int   // body length in bytes
-	scratch []byte
+	scratch *[]byte
 	faults  int64
+	recycle bool
 }
 
 // NewPagedSource opens a source over the body at absolute device byte
@@ -103,13 +124,13 @@ func (p *PagedSource) Range(off, n int) ([]byte, error) {
 	if off < 0 || n < 0 || off > p.length-n {
 		return nil, fmt.Errorf("%w: range [%d,%d) outside %d-byte body", ErrCorrupt, off, off+n, p.length)
 	}
-	if cap(p.scratch) < n {
+	if p.scratch == nil || cap(*p.scratch) < n {
 		if p.scratch != nil {
 			putBody(p.scratch)
 		}
 		p.scratch = getBody(n)
 	}
-	buf := p.scratch[:n]
+	buf := (*p.scratch)[:n]
 	abs := p.base + int64(off)
 	for filled := 0; filled < n; {
 		pid := storage.PageID(abs/storage.PageSize) + 1
@@ -132,10 +153,66 @@ func (p *PagedSource) Range(off, n int) ([]byte, error) {
 // Faults reports how many block ranges were faulted in so far.
 func (p *PagedSource) Faults() int64 { return p.faults }
 
-// Close recycles the scratch buffer.
+// Close recycles the scratch buffer — or, for sources opened by the
+// store itself, the whole struct (scratch attached, so the next open
+// skips the buffer-pool round trip too).
 func (p *PagedSource) Close() {
+	if p.recycle {
+		p.pool = nil
+		p.faults = 0
+		p.recycle = false
+		pagedSourcePool.Put(p)
+		return
+	}
 	if p.scratch != nil {
 		putBody(p.scratch)
 		p.scratch = nil
 	}
+}
+
+// CachedSource layers a shared block cache over a paged body: Range
+// serves a resident range from the cache without touching the buffer
+// pool (and without counting a fault — the block was not assembled from
+// paged storage), and on a miss it faults the range in through the
+// inner PagedSource, then offers the bytes to the cache's admission
+// policy. The cached bytes are immutable and shared across sources, in
+// line with the BlockSource contract (valid only until the next Range —
+// callers never write to the returned slice).
+//
+// CachedSource instances are created only by Store.openSource, which
+// keys the cache by the store's immutable space id and the range's
+// absolute device offset — two stores over the same space share hits.
+type CachedSource struct {
+	under PagedSource
+	cache *blockcache.Cache
+	space uint64
+}
+
+// Range returns body bytes [off, off+n), from cache when resident.
+func (c *CachedSource) Range(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off > c.under.length-n {
+		return nil, fmt.Errorf("%w: range [%d,%d) outside %d-byte body", ErrCorrupt, off, off+n, c.under.length)
+	}
+	abs := c.under.base + int64(off)
+	if b, ok := c.cache.Get(c.space, abs, n); ok {
+		return b, nil
+	}
+	b, err := c.under.Range(off, n)
+	if err != nil {
+		return nil, err
+	}
+	c.cache.Admit(c.space, abs, b)
+	return b, nil
+}
+
+// Faults reports how many ranges had to be assembled from paged storage
+// (cache hits do not count).
+func (c *CachedSource) Faults() int64 { return c.under.faults }
+
+// Close recycles the source struct (keeping its scratch buffer).
+func (c *CachedSource) Close() {
+	c.cache = nil
+	c.under.pool = nil
+	c.under.faults = 0
+	cachedSourcePool.Put(c)
 }

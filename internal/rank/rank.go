@@ -254,6 +254,21 @@ func (a *Accumulator) Results() []DocScore {
 	return out
 }
 
+// Each calls f for every touched document with its accumulated score,
+// in touch order. It is the allocation-free alternative to Results for
+// callers (bounded heaps) that do their own selection.
+func (a *Accumulator) Each(f func(doc uint32, score float64)) {
+	for _, doc := range a.touched {
+		f(doc, a.scores[doc])
+	}
+}
+
+// AppendTouched appends the touched document ids to dst in touch order
+// and returns the extended slice.
+func (a *Accumulator) AppendTouched(dst []uint32) []uint32 {
+	return append(dst, a.touched...)
+}
+
 // Reset clears the accumulator for reuse without reallocating.
 func (a *Accumulator) Reset() {
 	for _, doc := range a.touched {

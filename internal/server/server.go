@@ -45,6 +45,9 @@ type Backend interface {
 	// FaultStats reports the fault account of the live index: quarantined
 	// segments, retry/fault totals, degraded-query count.
 	FaultStats() live.FaultStats
+	// CacheStats reports the query-path cache layers' counters: result
+	// cache, hot-block cache, and per-generation bound memos.
+	CacheStats() live.CacheStats
 	// Close releases the backend. The server calls it at the end of
 	// Shutdown, after in-flight queries drain.
 	Close() error
@@ -77,6 +80,8 @@ func (b *liveBackend) Counters() (decoded, skips, faulted int64) {
 }
 
 func (b *liveBackend) FaultStats() live.FaultStats { return b.w.FaultStats() }
+
+func (b *liveBackend) CacheStats() live.CacheStats { return b.w.CacheStats() }
 
 func (b *liveBackend) Close() error { return b.w.Close() }
 
@@ -462,12 +467,27 @@ type fullMetrics struct {
 	DegradedQueries     int64 `json:"degraded_queries_total"`
 	ReadRetries         int64 `json:"read_retries_total"`
 	ReadFaults          int64 `json:"read_faults_total"`
+	// Cache account: the three query-path cache layers. All zero when
+	// the caches are disabled.
+	CacheHits          int64 `json:"cache_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	CacheBytes         int64 `json:"cache_bytes"`
+	CacheEntries       int64 `json:"cache_entries"`
+	SingleflightShared int64 `json:"singleflight_shared"`
+	BlockCacheHits     int64 `json:"block_cache_hits"`
+	BlockCacheMisses   int64 `json:"block_cache_misses"`
+	BlockCacheAdmits   int64 `json:"block_cache_admits"`
+	BlockCacheEvicts   int64 `json:"block_cache_evicts"`
+	BlockCacheBytes    int64 `json:"block_cache_bytes"`
+	BoundCacheHits     int64 `json:"bound_cache_hits"`
+	BoundCacheMisses   int64 `json:"bound_cache_misses"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	stats := s.backend.Stats()
 	decoded, skips, faulted := s.backend.Counters()
 	fs := s.backend.FaultStats()
+	cs := s.backend.CacheStats()
 	writeJSON(w, http.StatusOK, fullMetrics{
 		MetricsSnapshot:     s.metrics.Snapshot(),
 		Generation:          stats.Generation,
@@ -485,5 +505,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		DegradedQueries:     fs.DegradedQueries,
 		ReadRetries:         fs.ReadRetries,
 		ReadFaults:          fs.ReadFaults,
+		CacheHits:           cs.ResultHits,
+		CacheMisses:         cs.ResultMisses,
+		CacheBytes:          cs.ResultBytes,
+		CacheEntries:        cs.ResultEntries,
+		SingleflightShared:  cs.SingleflightShared,
+		BlockCacheHits:      cs.BlockHits,
+		BlockCacheMisses:    cs.BlockMisses,
+		BlockCacheAdmits:    cs.BlockAdmits,
+		BlockCacheEvicts:    cs.BlockEvicts,
+		BlockCacheBytes:     cs.BlockBytes,
+		BoundCacheHits:      cs.BoundHits,
+		BoundCacheMisses:    cs.BoundMisses,
 	})
 }

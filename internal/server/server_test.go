@@ -22,6 +22,7 @@ import (
 type stubBackend struct {
 	search func(ctx context.Context, terms []string, n int) (live.Result, error)
 	faults live.FaultStats
+	caches live.CacheStats
 }
 
 func (b *stubBackend) SearchContext(ctx context.Context, terms []string, n int) (live.Result, error) {
@@ -37,6 +38,7 @@ func (b *stubBackend) SearchContext(ctx context.Context, terms []string, n int) 
 func (b *stubBackend) Stats() live.WriterStats                   { return live.WriterStats{} }
 func (b *stubBackend) Counters() (decoded, skips, faulted int64) { return 0, 0, 0 }
 func (b *stubBackend) FaultStats() live.FaultStats               { return b.faults }
+func (b *stubBackend) CacheStats() live.CacheStats               { return b.caches }
 func (b *stubBackend) Close() error                              { return nil }
 
 func newTestServer(t *testing.T, backend Backend, cfg Config) *Server {
@@ -345,6 +347,36 @@ func TestMetricsFaultFields(t *testing.T) {
 	}
 	if deg, ok := m["degraded"].(bool); !ok || !deg {
 		t.Errorf("metrics[degraded] = %v, want true", m["degraded"])
+	}
+}
+
+// TestMetricsCacheFields: /metrics surfaces the backend's cache
+// account — result cache, singleflight, block cache, bound memo.
+func TestMetricsCacheFields(t *testing.T) {
+	backend := &stubBackend{caches: live.CacheStats{
+		ResultHits: 10, ResultMisses: 4, ResultBytes: 2048, ResultEntries: 3,
+		SingleflightShared: 2,
+		BlockHits:          20, BlockMisses: 6, BlockAdmits: 5, BlockEvicts: 1, BlockBytes: 4096,
+		BoundHits: 30, BoundMisses: 9,
+	}}
+	s := newTestServer(t, backend, Config{})
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	var m map[string]interface{}
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"cache_hits": 10, "cache_misses": 4, "cache_bytes": 2048, "cache_entries": 3,
+		"singleflight_shared": 2,
+		"block_cache_hits":    20, "block_cache_misses": 6, "block_cache_admits": 5,
+		"block_cache_evicts": 1, "block_cache_bytes": 4096,
+		"bound_cache_hits": 30, "bound_cache_misses": 9,
+	}
+	for key, v := range want {
+		if got, ok := m[key].(float64); !ok || got != v {
+			t.Errorf("metrics[%q] = %v, want %v", key, m[key], v)
+		}
 	}
 }
 

@@ -11,7 +11,6 @@
 package topk
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/rank"
@@ -21,23 +20,16 @@ import (
 // the root is the weakest of the current top N, so a new candidate only
 // enters if it beats the root. Ordering (including the deterministic
 // doc-id tie-break) follows rank.Less.
+//
+// The sift loops are hand-rolled rather than container/heap: the
+// standard interface moves every element through interface{} boxing,
+// which costs one allocation per Offer on the hottest loop in the
+// engine. A Heap is reusable across searches via Reset, and drains into
+// a caller-provided buffer via AppendResults — together these keep the
+// steady-state search path allocation-free.
 type Heap struct {
 	n     int
-	items docScoreHeap
-}
-
-type docScoreHeap []rank.DocScore
-
-func (h docScoreHeap) Len() int            { return len(h) }
-func (h docScoreHeap) Less(i, j int) bool  { return rank.Less(h[i], h[j]) }
-func (h docScoreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *docScoreHeap) Push(x interface{}) { *h = append(*h, x.(rank.DocScore)) }
-func (h *docScoreHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	items []rank.DocScore
 }
 
 // NewHeap returns a heap retaining the n best offers. A non-positive n
@@ -48,22 +40,68 @@ func NewHeap(n int) (*Heap, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("topk: heap size %d must be positive", n)
 	}
-	return &Heap{n: n, items: make(docScoreHeap, 0, n)}, nil
+	return &Heap{n: n, items: make([]rank.DocScore, 0, n)}, nil
+}
+
+// Reset empties the heap and re-bounds it to the n best offers, growing
+// the backing array only when n exceeds every earlier bound — the
+// pooled-engine reuse path.
+func (h *Heap) Reset(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("topk: heap size %d must be positive", n)
+	}
+	h.n = n
+	if cap(h.items) < n {
+		h.items = make([]rank.DocScore, 0, n)
+	} else {
+		h.items = h.items[:0]
+	}
+	return nil
 }
 
 // Offer considers ds for the top N. It returns true when ds entered the
 // heap (displacing the weakest member if the heap was full).
 func (h *Heap) Offer(ds rank.DocScore) bool {
 	if len(h.items) < h.n {
-		heap.Push(&h.items, ds)
+		h.items = append(h.items, ds)
+		h.siftUp(len(h.items) - 1)
 		return true
 	}
 	if !rank.Less(h.items[0], ds) {
 		return false
 	}
 	h.items[0] = ds
-	heap.Fix(&h.items, 0)
+	h.siftDown(0, len(h.items))
 	return true
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !rank.Less(h.items[i], h.items[p]) {
+			break
+		}
+		h.items[i], h.items[p] = h.items[p], h.items[i]
+		i = p
+	}
+}
+
+func (h *Heap) siftDown(i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && rank.Less(h.items[r], h.items[l]) {
+			m = r
+		}
+		if !rank.Less(h.items[m], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[m] = h.items[m], h.items[i]
+		i = m
+	}
 }
 
 // Min returns the weakest member of the current top N, with ok=false while
@@ -73,6 +111,21 @@ func (h *Heap) Min() (rank.DocScore, bool) {
 		return rank.DocScore{}, false
 	}
 	return h.items[0], true
+}
+
+// SecondMin returns the second-weakest member, with ok=false while the
+// heap holds fewer than two items. With a heap bounded at n+1, Min and
+// SecondMin are the (n+1)-th and n-th best scores seen — the pair the
+// progressive engine's safe-stop test needs, without draining anything.
+func (h *Heap) SecondMin() (rank.DocScore, bool) {
+	if len(h.items) < 2 {
+		return rank.DocScore{}, false
+	}
+	s := h.items[1]
+	if len(h.items) > 2 && rank.Less(h.items[2], s) {
+		s = h.items[2]
+	}
+	return s, true
 }
 
 // Full reports whether the heap holds n items; only then is Min a
@@ -85,11 +138,36 @@ func (h *Heap) Len() int { return len(h.items) }
 // Results drains the heap, returning the retained items in ranking order
 // (best first). The heap is empty afterwards.
 func (h *Heap) Results() []rank.DocScore {
-	out := make([]rank.DocScore, len(h.items))
-	for i := len(h.items) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&h.items).(rank.DocScore)
+	return h.AppendResults(nil)
+}
+
+// AppendResults drains the heap, appending the retained items to dst in
+// ranking order (best first) and returning the extended slice. With a
+// dst of sufficient capacity it performs no allocation. The heap is
+// empty afterwards (its bound n is unchanged).
+func (h *Heap) AppendResults(dst []rank.DocScore) []rank.DocScore {
+	k := len(h.items)
+	start := len(dst)
+	if need := start + k; cap(dst) >= need {
+		dst = dst[:need]
+	} else {
+		grown := make([]rank.DocScore, need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return out
+	// Repeatedly pop the weakest remaining item into its final slot,
+	// back to front.
+	for i := k - 1; i >= 0; i-- {
+		min := h.items[0]
+		last := len(h.items) - 1
+		h.items[0] = h.items[last]
+		h.items = h.items[:last]
+		if last > 0 {
+			h.siftDown(0, last)
+		}
+		dst[start+i] = min
+	}
+	return dst
 }
 
 // SelectTop returns the k best entries of ds in ranking order without
