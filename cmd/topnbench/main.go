@@ -96,7 +96,7 @@ import (
 	"repro/internal/storage"
 )
 
-var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE", "LOAD", "CHAOS", "HOT"}
+var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE", "LOAD", "CHAOS", "HOT", "REPL"}
 
 var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
 	"F1":  bench.RunF1,
@@ -195,6 +195,7 @@ func main() {
 	}
 	runners["CHAOS"] = bench.RunChaos
 	runners["HOT"] = bench.RunHot
+	runners["REPL"] = bench.RunRepl
 
 	var scale bench.Scale
 	switch *scaleFlag {

@@ -6,6 +6,8 @@
 //
 //	topnserve [-addr :8080] [-dir DIR]
 //	          [-seed-docs N] [-seed-vocab V] [-seed-mean-len L] [-seed N]
+//	          [-follow URL] [-sync-every D]
+//	          [-replicas host1:port,host2:port,...]
 //	          [-max-inflight K] [-queue-depth Q]
 //	          [-rate R] [-burst B]
 //	          [-timeout D] [-max-timeout D] [-max-n N]
@@ -20,9 +22,26 @@
 //
 // Endpoints:
 //
-//	POST /search   {"terms": ["t12", "t34"], "n": 10, "timeout_ms": 500}
-//	GET  /healthz  liveness (503 while draining)
-//	GET  /metrics  serving + index counters, JSON
+//	POST /search          {"terms": ["t12", "t34"], "n": 10, "timeout_ms": 500}
+//	GET  /healthz         liveness (503 while draining)
+//	GET  /metrics         serving + index + replication counters, JSON
+//	GET  /repl/manifest   replication wire manifest (any node with an index)
+//	GET  /repl/segment/…  immutable segment files, Range-resumable
+//
+// Replication roles:
+//
+//   - Default: the node is a leader. Its committed segments are served
+//     under /repl/ for followers to pull.
+//   - -follow URL: the node is a follower. Its index opens read-only,
+//     a background loop polls the leader's manifest ordinal every
+//     -sync-every and pulls+installs what changed; searches serve the
+//     locally installed generation. Seeding flags are rejected. The
+//     /repl/ subtree is still served, so followers can be chained.
+//   - -replicas a,b,c: the node is a coordinator. It owns no index;
+//     each search scatters to every replica's /search and gathers
+//     through a certificate-preserving merge — a lagging or
+//     unreachable replica yields "degraded": true with the replica
+//     named in the certificate, never a silently stale exact answer.
 //
 // Overload is shed, not queued: beyond -max-inflight executing and
 // -queue-depth waiting requests, /search answers 429 with Retry-After.
@@ -59,11 +78,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/collection"
 	"repro/internal/live"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -73,6 +94,9 @@ type options struct {
 	seedDocs, seedVocab, seedMean     int
 	seed                              uint64
 	sealDocs                          int
+	follow                            string
+	syncEvery                         time.Duration
+	replicas                          string
 	maxInFlight, queueDepth           int
 	rate, burst                       float64
 	timeout, maxTimeout               time.Duration
@@ -91,6 +115,9 @@ func main() {
 	flag.IntVar(&o.seedMean, "seed-mean-len", 80, "mean document length of the seeded collection")
 	flag.Uint64Var(&o.seed, "seed", 42, "seed of the synthetic collection")
 	flag.IntVar(&o.sealDocs, "seal-docs", 0, "live index seal threshold in documents (0 = default)")
+	flag.StringVar(&o.follow, "follow", "", "run as a follower of the leader at this base URL (e.g. http://leader:8080)")
+	flag.DurationVar(&o.syncEvery, "sync-every", time.Second, "follower manifest poll interval")
+	flag.StringVar(&o.replicas, "replicas", "", "run as a coordinator over these comma-separated replica base URLs (no local index)")
 	flag.IntVar(&o.maxInFlight, "max-inflight", 16, "maximum concurrently executing searches")
 	flag.IntVar(&o.queueDepth, "queue-depth", 64, "maximum searches queued for a slot before shedding")
 	flag.Float64Var(&o.rate, "rate", 0, "per-client sustained requests/second (0 = unlimited)")
@@ -111,33 +138,62 @@ func main() {
 }
 
 func run(o options) error {
-	if o.dir == "" {
-		tmp, err := os.MkdirTemp("", "topnserve-*")
+	if o.replicas != "" && o.follow != "" {
+		return fmt.Errorf("-replicas and -follow are mutually exclusive: a node coordinates or follows, not both")
+	}
+
+	// Build the backend for the chosen role. In the two local-index
+	// roles w is the index writer; a coordinator owns no index and w
+	// stays nil.
+	var (
+		backend  server.Backend
+		w        *live.Writer
+		follower *replica.Follower
+	)
+	switch {
+	case o.replicas != "":
+		if o.seedDocs > 0 {
+			return fmt.Errorf("-seed-docs needs a local index; a coordinator owns none")
+		}
+		coord, err := replica.NewCoordinator(strings.Split(o.replicas, ","), nil)
 		if err != nil {
 			return err
 		}
-		defer os.RemoveAll(tmp)
-		o.dir = tmp
-	}
-	w, err := live.Open(live.Config{
-		Dir: o.dir, SealDocs: o.sealDocs, ReverifyEvery: o.reverify,
-		ResultCacheBytes: o.resultCacheBytes,
-		BlockCacheBytes:  o.blockCacheBytes,
-	})
-	if err != nil {
-		return err
-	}
-	// From here on the writer's lifecycle belongs to the server:
-	// Shutdown closes it after the drain.
-
-	if o.seedDocs > 0 {
-		if err := ingest(w, o.seedDocs, o.seedVocab, o.seedMean, o.seed); err != nil {
-			w.Close()
+		backend = coord
+	default:
+		if o.follow != "" && o.seedDocs > 0 {
+			return fmt.Errorf("-seed-docs writes, and a follower's index is read-only; seed the leader instead")
+		}
+		if o.dir == "" {
+			tmp, err := os.MkdirTemp("", "topnserve-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			o.dir = tmp
+		}
+		var err error
+		w, err = live.Open(live.Config{
+			Dir: o.dir, SealDocs: o.sealDocs, ReverifyEvery: o.reverify,
+			ResultCacheBytes: o.resultCacheBytes,
+			BlockCacheBytes:  o.blockCacheBytes,
+			Follower:         o.follow != "",
+		})
+		if err != nil {
 			return err
 		}
+		if o.seedDocs > 0 {
+			if err := ingest(w, o.seedDocs, o.seedVocab, o.seedMean, o.seed); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		backend = server.NewLiveBackend(w)
 	}
+	// From here on the backend's lifecycle belongs to the server:
+	// Shutdown closes it after the drain.
 
-	srv, err := server.New(server.NewLiveBackend(w), server.Config{
+	srv, err := server.New(backend, server.Config{
 		MaxInFlight:    o.maxInFlight,
 		QueueDepth:     o.queueDepth,
 		DefaultTimeout: o.timeout,
@@ -147,14 +203,65 @@ func run(o options) error {
 		Burst:          o.burst,
 	})
 	if err != nil {
-		w.Close()
+		backend.Close()
 		return err
+	}
+
+	// Replication wiring. Every node with an index — leader or follower
+	// — serves the /repl/ pull subtree, which is what makes chained
+	// replication possible; a follower additionally runs the background
+	// sync loop. /metrics reports the role's replication account.
+	var syncCancel context.CancelFunc
+	syncDone := make(chan struct{})
+	switch {
+	case o.replicas != "":
+		coord := backend.(*replica.Coordinator)
+		srv.SetReplStats(coord.ReplStats)
+		close(syncDone)
+	case o.follow != "":
+		leader := replica.NewLeader(w, replica.LeaderConfig{})
+		srv.Mount(replica.Prefix+"/", leader)
+		follower, err = replica.NewFollower(w, o.follow, replica.FollowerConfig{})
+		if err != nil {
+			backend.Close()
+			return err
+		}
+		srv.SetReplStats(func() server.ReplicationStats {
+			// A follower is also a (chain) leader: merge the pull and
+			// serve sides of its account.
+			st := follower.Stats()
+			ls := leader.Stats()
+			st.ManifestsServed = ls.ManifestsServed
+			st.FilesServed = ls.FilesServed
+			st.BytesServed = ls.BytesServed
+			return st
+		})
+		var syncCtx context.Context
+		syncCtx, syncCancel = context.WithCancel(context.Background())
+		go func() {
+			defer close(syncDone)
+			follower.Run(syncCtx, o.syncEvery)
+		}()
+	default:
+		leader := replica.NewLeader(w, replica.LeaderConfig{})
+		srv.Mount(replica.Prefix+"/", leader)
+		srv.SetReplStats(leader.Stats)
+		close(syncDone)
+	}
+	// stopSync halts the follower loop (and waits it out) before the
+	// index starts closing, so no install races the drain.
+	stopSync := func() {
+		if syncCancel != nil {
+			syncCancel()
+		}
+		<-syncDone
 	}
 
 	if o.pprofAddr != "" {
 		pl, err := net.Listen("tcp", o.pprofAddr)
 		if err != nil {
-			w.Close()
+			stopSync()
+			backend.Close()
 			return fmt.Errorf("pprof listener: %w", err)
 		}
 		// A dedicated mux with explicit registrations: importing
@@ -175,12 +282,23 @@ func run(o options) error {
 
 	l, err := net.Listen("tcp", o.addr)
 	if err != nil {
-		w.Close()
+		stopSync()
+		backend.Close()
 		return err
 	}
-	stats := w.Stats()
-	fmt.Printf("topnserve: listening on %s (%d docs alive, generation %d, %d segments)\n",
-		l.Addr(), stats.DocsAlive, stats.Generation, stats.Segments)
+	switch {
+	case o.replicas != "":
+		fmt.Printf("topnserve: coordinator listening on %s (%d replicas)\n",
+			l.Addr(), len(strings.Split(o.replicas, ",")))
+	case o.follow != "":
+		stats := w.Stats()
+		fmt.Printf("topnserve: follower of %s listening on %s (%d docs alive, generation %d, %d segments)\n",
+			o.follow, l.Addr(), stats.DocsAlive, stats.Generation, stats.Segments)
+	default:
+		stats := w.Stats()
+		fmt.Printf("topnserve: listening on %s (%d docs alive, generation %d, %d segments)\n",
+			l.Addr(), stats.DocsAlive, stats.Generation, stats.Segments)
+	}
 
 	// Serve until a signal arrives, then drain.
 	errc := make(chan error, 1)
@@ -190,6 +308,7 @@ func run(o options) error {
 	select {
 	case sig := <-sigc:
 		fmt.Printf("topnserve: %v, draining (bound %v)\n", sig, o.drainTimeout)
+		stopSync()
 		ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -201,7 +320,8 @@ func run(o options) error {
 		fmt.Println("topnserve: drained, index closed")
 		return nil
 	case err := <-errc:
-		w.Close()
+		stopSync()
+		backend.Close()
 		return err
 	}
 }

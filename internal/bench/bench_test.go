@@ -27,7 +27,8 @@ var runners = map[string]func(Scale, uint64) (*Table, error){
 	"DISK": func(s Scale, seed uint64) (*Table, error) {
 		return RunDisk(s, seed, 0, "")
 	},
-	"HOT": RunHot,
+	"HOT":  RunHot,
+	"REPL": RunRepl,
 }
 
 func TestAllExperimentsRunAtSmallScale(t *testing.T) {

@@ -32,14 +32,15 @@ type CompareOptions struct {
 // scheduling-dependent counters (served/shed/timeout splits) with
 // "load_", the CHAOS experiment prefixes its cache-scheduling-
 // dependent fault counters (retries, degraded splits) with "chaos_",
-// and the HOT experiment prefixes its singleflight-burst counters
+// the HOT experiment prefixes its singleflight-burst counters
 // (whose hit/shared/miss split depends on goroutine scheduling) with
-// "hot_"; everything else must be deterministic.
+// "hot_", and the REPL experiment prefixes its transfer-timing numbers
+// with "repl_"; everything else must be deterministic.
 func timingMetric(key string) bool {
 	return strings.Contains(key, "_ms") || strings.Contains(key, "per_sec") ||
 		strings.Contains(key, "wall") || strings.Contains(key, "latency") ||
 		strings.HasPrefix(key, "load_") || strings.HasPrefix(key, "chaos_") ||
-		strings.HasPrefix(key, "hot_")
+		strings.HasPrefix(key, "hot_") || strings.HasPrefix(key, "repl_")
 }
 
 // CompareReports returns the list of regressions of fresh against

@@ -41,6 +41,9 @@ var ErrNotFound = errors.New("live: no such live document")
 // in bulk amortize only the seal today. Group-committed tombstone
 // batches are the known follow-up if churn-bound ingest ever dominates.
 func (w *Writer) Delete(id uint32) error {
+	if w.cfg.Follower {
+		return ErrReadOnly
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.deleteLocked(id)
@@ -221,6 +224,9 @@ func (w *Writer) segOfLocked(id uint32) *segment {
 // with the old version intact, and if id does not name a live
 // document, Update fails with ErrNotFound and adds nothing.
 func (w *Writer) Update(id uint32, terms []TermCount) (uint32, error) {
+	if w.cfg.Follower {
+		return 0, ErrReadOnly
+	}
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()

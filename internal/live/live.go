@@ -172,6 +172,15 @@ type Config struct {
 	// the block without touching the segment's buffer pool (and without
 	// counting a fault). 0 (default) disables the cache.
 	BlockCacheBytes int64
+	// Follower opens the directory in replica mode: the writer is
+	// read-only (Add/Flush/Delete/Update/MergeAll fail with ErrReadOnly,
+	// and BackgroundMerge/FlushEvery must be unset) and new state arrives
+	// only through ApplyManifest, after a replication puller has
+	// committed the referenced segment files under Dir. Open's stale-
+	// artifact GC also reclaims pull staging directories ("pull-*") and
+	// stray temp files a mid-pull crash left behind. Searches, snapshots,
+	// caches, and Reverify work exactly as on a leader.
+	Follower bool
 }
 
 func (c *Config) fillDefaults() {

@@ -78,22 +78,34 @@ func readManifest(dir string) (*manifest, error) {
 		return nil, fmt.Errorf("live: manifest %s is not valid JSON (corrupt?): %w",
 			filepath.Join(dir, ManifestFile), err)
 	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// validate checks (and normalizes) the manifest's internal consistency:
+// version 1, sequence numbers below NextSeq, and a segment chain that
+// partitions [0, totalDocs) in base order. It is shared by readManifest
+// and the follower-side ApplyManifest, so a manifest received over the
+// wire meets exactly the bar a local one does.
+func (m *manifest) validate() error {
 	if m.Version != 1 {
-		return nil, fmt.Errorf("live: manifest version %d, this build reads version 1", m.Version)
+		return fmt.Errorf("live: manifest version %d, this build reads version 1", m.Version)
 	}
 	// The chain must partition [0, totalDocs) in base order.
 	sort.Slice(m.Segments, func(a, b int) bool { return m.Segments[a].Base < m.Segments[b].Base })
 	var next uint32
 	for i, s := range m.Segments {
 		if s.Base != next {
-			return nil, fmt.Errorf("live: manifest segment %d (%s) starts at doc %d, expected %d: corrupt manifest",
+			return fmt.Errorf("live: manifest segment %d (%s) starts at doc %d, expected %d: corrupt manifest",
 				i, s.Name, s.Base, next)
 		}
 		if s.Docs <= 0 {
-			return nil, fmt.Errorf("live: manifest segment %s holds %d documents: corrupt manifest", s.Name, s.Docs)
+			return fmt.Errorf("live: manifest segment %s holds %d documents: corrupt manifest", s.Name, s.Docs)
 		}
 		if s.Seq >= m.NextSeq {
-			return nil, fmt.Errorf("live: manifest segment %s has seq %d >= next_seq %d: corrupt manifest",
+			return fmt.Errorf("live: manifest segment %s has seq %d >= next_seq %d: corrupt manifest",
 				s.Name, s.Seq, m.NextSeq)
 		}
 		if s.Tomb == 0 {
@@ -101,17 +113,20 @@ func readManifest(dir string) (*manifest, error) {
 			// before the delete path record no Alive field; normalize.
 			m.Segments[i].Alive = s.Docs
 		} else if s.Alive < 0 || s.Alive > s.Docs {
-			return nil, fmt.Errorf("live: manifest segment %s claims %d alive of %d documents: corrupt manifest",
+			return fmt.Errorf("live: manifest segment %s claims %d alive of %d documents: corrupt manifest",
 				s.Name, s.Alive, s.Docs)
 		}
 		next += uint32(s.Docs)
 	}
-	return &m, nil
+	return nil
 }
 
 // gcStale removes every seg-* directory under dir that the manifest
 // does not list — leftovers of a crash between a commit and the
-// deferred deletion of merged-away inputs — and, inside listed segment
+// deferred deletion of merged-away inputs, or (in follower mode)
+// pulled segments whose manifest never committed — plus pull-* staging
+// directories and stray top-level temp files (*.tmp / *.partial) a
+// mid-pull or mid-write crash abandoned, and, inside listed segment
 // directories, every alive-bitmap version file the manifest does not
 // reference (a tombstone written but never committed, or superseded and
 // not yet deleted). It returns the removed names.
@@ -126,6 +141,22 @@ func gcStale(dir string, m *manifest) ([]string, error) {
 	}
 	var removed []string
 	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "pull-") {
+			// Replication staging: contents become real only by rename to
+			// a seg-* name, so anything still here is an abandoned pull.
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return removed, fmt.Errorf("live: gc stale pull staging %s: %w", e.Name(), err)
+			}
+			removed = append(removed, e.Name())
+			continue
+		}
+		if !e.IsDir() && (strings.HasSuffix(e.Name(), ".tmp") || strings.HasSuffix(e.Name(), ".partial")) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return removed, fmt.Errorf("live: gc stale temp file %s: %w", e.Name(), err)
+			}
+			removed = append(removed, e.Name())
+			continue
+		}
 		if !e.IsDir() || !strings.HasPrefix(e.Name(), "seg-") {
 			continue
 		}

@@ -60,6 +60,9 @@ func (w *Writer) mergerLoop() {
 // benchmark harness (where segment layout must be reproducible) and by
 // tests.
 func (w *Writer) MergeAll() error {
+	if w.cfg.Follower {
+		return ErrReadOnly
+	}
 	for {
 		did, err := w.mergeOnce()
 		if err != nil || !did {

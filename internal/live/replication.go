@@ -1,0 +1,336 @@
+package live
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/index"
+	"repro/internal/lexicon"
+	"repro/internal/postings"
+)
+
+// This file is the replication seam of the live index: the exported
+// manifest view a leader publishes, and the follower-side install path
+// that turns a directory of pulled segments into a searchable
+// generation through the exact commit protocol the writer itself uses
+// (validate → atomic manifest swap → generation install → deferred
+// release of dropped segments).
+//
+// A follower (Config.Follower) is a read-only writer: Add, Flush,
+// Delete, Update, and MergeAll fail with ErrReadOnly, no background
+// seal or merge runs, and the only state transition is ApplyManifest —
+// which adopts the leader's generation ordinals wholesale, so "is the
+// follower caught up" is a single integer comparison between two
+// /metrics scrapes.
+
+// ErrReadOnly is returned by mutating operations on a follower-mode
+// writer. Followers change state only through ApplyManifest.
+var ErrReadOnly = fmt.Errorf("live: writer is in follower mode (read-only)")
+
+// SegmentDirName formats the directory name of segment sequence seq —
+// the name replication peers address segments by.
+func SegmentDirName(seq uint64) string { return segmentName(seq) }
+
+// AliveFileName formats the alive-bitmap sidecar file name for bitmap
+// version ver (ver > 0; version 0 means no bitmap exists).
+func AliveFileName(ver uint64) string { return aliveName(ver) }
+
+// SegmentInfo describes one active segment of a Manifest. It mirrors
+// the on-disk manifest entry: Base/Docs pin the segment's global-id
+// span, Snap is its persisted lexicon-snapshot ordinal, and Tomb/Alive
+// name and checksum the alive-bitmap version in force.
+type SegmentInfo struct {
+	Name  string `json:"name"`
+	Seq   uint64 `json:"seq"`
+	Snap  uint64 `json:"snap"`
+	Base  uint32 `json:"base"`
+	Docs  int    `json:"docs"`
+	Alive int    `json:"alive"`
+	Tomb  uint64 `json:"tomb,omitempty"`
+}
+
+// Manifest is the exported view of a live index's committed state: the
+// replication ordinal (Generation — every commit increments it) and the
+// active segment chain. Equal generations imply byte-identical chains,
+// which is what lets a follower decide staleness by comparing one
+// number.
+type Manifest struct {
+	Generation uint64        `json:"generation"`
+	NextSeq    uint64        `json:"next_seq"`
+	Segments   []SegmentInfo `json:"segments"`
+}
+
+// Manifest returns the currently committed manifest.
+func (w *Writer) Manifest() Manifest {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.manifestLocked()
+}
+
+func (w *Writer) manifestLocked() Manifest {
+	m := Manifest{Generation: w.genID, NextSeq: w.seq}
+	for _, s := range w.segs {
+		m.Segments = append(m.Segments, SegmentInfo{
+			Name: s.name, Seq: s.seq, Snap: s.snap, Base: s.base, Docs: s.docs,
+			Alive: s.aliveDocs, Tomb: s.aliveVer,
+		})
+	}
+	return m
+}
+
+// AcquireManifest returns the committed manifest together with a
+// snapshot pinning exactly that state, taken in one critical section.
+// A leader serving segment files to followers must hold such a snapshot
+// while reading: it keeps every listed segment's files on disk even if
+// a merge retires them mid-transfer. Close the snapshot when done.
+func (w *Writer) AcquireManifest() (Manifest, *Snapshot, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.cur == nil {
+		return Manifest{}, nil, ErrClosed
+	}
+	w.cur.refs.Add(1)
+	snap := &Snapshot{g: w.cur, workers: w.cfg.Workers, fc: &w.fc}
+	return w.manifestLocked(), snap, nil
+}
+
+// ReadOnly reports whether the writer is in follower mode.
+func (w *Writer) ReadOnly() bool { return w.cfg.Follower }
+
+// Dir returns the index directory the writer serves.
+func (w *Writer) Dir() string { return w.cfg.Dir }
+
+// ApplyManifest installs manifest m on a follower-mode writer. The
+// caller (the replication puller) must already have committed every
+// segment directory and alive-bitmap version m references under Dir —
+// fully written, fsync'd, and renamed into place. ApplyManifest then
+// re-runs the writer's own open protocol over the new chain: it opens
+// the segments it does not yet serve (page checksums primed, section
+// CRCs verified), validates the chain partitions the document space,
+// rebuilds the tombstone ledger, restores the lexicon from the
+// max-snapshot segment, writes the local manifest atomically, and swaps
+// in a new generation. Segments no longer referenced are released and
+// their directories deleted once the last in-flight search drains —
+// the same deferred retirement merges use.
+//
+// Manifests must arrive in increasing Generation order; applying a
+// stale or repeated one fails without side effects. On any validation
+// or open failure the current generation keeps serving untouched.
+func (w *Writer) ApplyManifest(m Manifest) error {
+	if !w.cfg.Follower {
+		return fmt.Errorf("live: ApplyManifest on a leader-mode writer (set Config.Follower)")
+	}
+	// Appliers serialize: the heavy validation work happens outside the
+	// writer mutex, against a chain only ApplyManifest itself mutates.
+	w.applyMu.Lock()
+	defer w.applyMu.Unlock()
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if m.Generation <= w.genID {
+		cur := w.genID
+		w.mu.Unlock()
+		return fmt.Errorf("live: manifest generation %d is not newer than installed generation %d", m.Generation, cur)
+	}
+	have := make(map[string]*segment, len(w.segs))
+	for _, s := range w.segs {
+		have[s.name] = s
+	}
+	w.mu.Unlock()
+
+	im := toInternalManifest(m)
+	if err := im.validate(); err != nil {
+		return err
+	}
+
+	// Stage 1 (no writer lock, no visible effects): open new segments,
+	// load new bitmap versions, rebuild the ledger and lexicon.
+	type bitmapSwap struct {
+		seg  *segment
+		bm   *postings.AliveBitmap
+		tomb uint64
+	}
+	var (
+		opened []*segment
+		swaps  []bitmapSwap
+	)
+	fail := func(err error) error {
+		for _, s := range opened {
+			s.release()
+		}
+		return err
+	}
+	dead := make(map[lexicon.TermID]lexicon.Stats)
+	var deadDocs int64
+	chain := make([]*segment, 0, len(m.Segments))
+	var newest *segment
+	var total uint32
+	for _, info := range m.Segments {
+		s := have[info.Name]
+		alive := (*postings.AliveBitmap)(nil)
+		if s != nil {
+			// Reused segment: sequence numbers are unique forever, so the
+			// immutable fields must agree — disagreement means the leader
+			// and follower hold different files under one name.
+			if s.seq != info.Seq || s.snap != info.Snap || s.base != info.Base || s.docs != info.Docs {
+				return fail(fmt.Errorf("live: segment %s diverges from the installed copy (seq/snap/base/docs mismatch)", info.Name))
+			}
+			alive = s.alive
+			if s.aliveVer != info.Tomb {
+				if info.Tomb == 0 {
+					return fail(fmt.Errorf("live: segment %s: manifest drops bitmap version %d (tombstones cannot be undone)", info.Name, s.aliveVer))
+				}
+				bm, err := index.ReadAlive(filepath.Join(w.cfg.Dir, info.Name, aliveName(info.Tomb)), s.docs)
+				if err != nil {
+					return fail(fmt.Errorf("live: segment %s: %w", info.Name, err))
+				}
+				swaps = append(swaps, bitmapSwap{seg: s, bm: bm, tomb: info.Tomb})
+				alive = bm
+			}
+		} else {
+			seg, err := openSegment(w.cfg, info.Name, info.Seq, info.Snap, info.Base, info.Tomb, w.blockCache)
+			if err != nil {
+				return fail(err)
+			}
+			opened = append(opened, seg)
+			if seg.docs != info.Docs {
+				return fail(fmt.Errorf("live: segment %s holds %d documents, manifest says %d (corrupt?)", info.Name, seg.docs, info.Docs))
+			}
+			s, alive = seg, seg.alive
+		}
+		if got := aliveCount(alive, s.docs); got != info.Alive {
+			return fail(fmt.Errorf("live: segment %s bitmap leaves %d documents alive, manifest says %d (corrupt?)", info.Name, got, info.Alive))
+		}
+		n, err := foldDeadStats(s, alive, dead)
+		if err != nil {
+			return fail(fmt.Errorf("live: segment %s: %w", info.Name, err))
+		}
+		deadDocs += n
+		chain = append(chain, s)
+		total += uint32(s.docs)
+		if newest == nil || s.snap > newest.snap {
+			newest = s
+		}
+	}
+	var lex *lexicon.Lexicon
+	var snapOrd uint64
+	if newest != nil {
+		lex = newest.idx.Lex.Clone()
+		snapOrd = newest.snap
+	} else {
+		lex = lexicon.New()
+	}
+	tight, err := tightenLexicon(lex, dead)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Stage 2 (writer lock): commit. The local manifest swap is the
+	// durability point; the generation install publishes it to searches.
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fail(ErrClosed)
+	}
+	for _, sw := range swaps {
+		sw.seg.alive = sw.bm
+		sw.seg.aliveVer = sw.tomb
+		sw.seg.recountAlive()
+	}
+	inChain := make(map[string]bool, len(chain))
+	for _, s := range chain {
+		inChain[s.name] = true
+	}
+	var dropped []*segment
+	for _, s := range w.segs {
+		if !inChain[s.name] {
+			s.dead.Store(true)
+			dropped = append(dropped, s)
+		}
+	}
+	w.segs = chain
+	// Follower-mode lexicon invariants: with no buffer and no write
+	// path, the master, the sealed snapshot, and the persisted newest
+	// snapshot coincide — one clone serves all three roles (they are
+	// immutable from here on).
+	w.lex = lex
+	w.sealedSnap = lex
+	w.sealedSnapID = snapOrd
+	w.snapID = snapOrd
+	w.deadStats = dead
+	w.docsDeleted = deadDocs
+	w.tight = tight
+	w.base = total
+	w.seq = m.NextSeq
+	w.genID = m.Generation
+	if err := writeManifest(w.cfg.Dir, im); err != nil {
+		// The chain swap above is in-memory only and the new segments are
+		// all valid; serving them unpersisted would still be correct, but
+		// failing loudly keeps "installed implies durable" true. Poison:
+		// the in-memory and on-disk states have diverged.
+		w.failed = err
+		w.mu.Unlock()
+		return err
+	}
+	if err := w.installLocked(); err != nil {
+		w.failed = err
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+	for _, s := range dropped {
+		s.release() // the old chain's reference; the directory goes with the last search
+	}
+	return nil
+}
+
+// toInternalManifest converts the exported manifest to the on-disk
+// form.
+func toInternalManifest(m Manifest) manifest {
+	im := manifest{Version: 1, Generation: m.Generation, NextSeq: m.NextSeq}
+	for _, s := range m.Segments {
+		im.Segments = append(im.Segments, manifestSegment{
+			Name: s.Name, Seq: s.Seq, Snap: s.Snap, Base: s.Base, Docs: s.Docs,
+			Alive: s.Alive, Tomb: s.Tomb,
+		})
+	}
+	return im
+}
+
+// aliveCount counts survivors under bm over a docs-wide id space (nil
+// bitmap: everyone).
+func aliveCount(bm *postings.AliveBitmap, docs int) int {
+	if bm == nil {
+		return docs
+	}
+	return bm.AliveCount()
+}
+
+// foldDeadStats folds segment s's dead documents' term statistics —
+// under the given bitmap, which may be a newer version than the one the
+// segment currently serves — into the ledger, returning how many dead
+// documents it saw. Documents deleted while buffered sealed as empty
+// forward entries and contribute nothing.
+func foldDeadStats(s *segment, alive *postings.AliveBitmap, dead map[lexicon.TermID]lexicon.Stats) (int64, error) {
+	if alive == nil {
+		return 0, nil
+	}
+	var n int64
+	for id := 0; id < s.docs; id++ {
+		if alive.Alive(uint32(id)) {
+			continue
+		}
+		terms, err := s.fwd.terms(uint32(id))
+		if err != nil {
+			return n, err
+		}
+		for _, tf := range terms {
+			dead[tf.Term] = addStat(dead[tf.Term], 1, int64(tf.TF))
+		}
+		n++
+	}
+	return n, nil
+}

@@ -34,6 +34,11 @@ type Writer struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
+	// applyMu serializes ApplyManifest calls on a follower-mode writer
+	// (see replication.go); held across the heavy open/validate work so
+	// only the final commit needs mu.
+	applyMu sync.Mutex
+
 	lex *lexicon.Lexicon // master lexicon; guarded by mu
 	// sealedSnap is the immutable snapshot of the most recent committed
 	// seal (or of reopen): it covers *exactly* the sealed documents,
@@ -123,6 +128,9 @@ func Open(cfg Config) (*Writer, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("live: Config.Dir is required")
 	}
+	if cfg.Follower && (cfg.BackgroundMerge || cfg.FlushEvery > 0) {
+		return nil, fmt.Errorf("live: follower mode is read-only: BackgroundMerge and FlushEvery do not apply")
+	}
 	cfg.fillDefaults()
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("live: %w", err)
@@ -200,21 +208,11 @@ func Open(cfg Config) (*Writer, error) {
 		// while buffered sealed as empty entries and never entered a
 		// snapshot; purged documents keep their entries exactly so this
 		// reconstruction stays possible after compaction.
-		if seg.alive != nil {
-			for id := 0; id < seg.docs; id++ {
-				if seg.alive.Alive(uint32(id)) {
-					continue
-				}
-				terms, err := seg.fwd.terms(uint32(id))
-				if err != nil {
-					return nil, fmt.Errorf("live: segment %s: %w", ms.Name, err)
-				}
-				for _, tf := range terms {
-					w.deadStats[tf.Term] = addStat(w.deadStats[tf.Term], 1, int64(tf.TF))
-				}
-				w.docsDeleted++
-			}
+		n, err := foldDeadStats(seg, seg.alive, w.deadStats)
+		if err != nil {
+			return nil, fmt.Errorf("live: segment %s: %w", ms.Name, err)
 		}
+		w.docsDeleted += n
 		w.base += uint32(seg.docs)
 		if newest == nil || seg.snap > newest.snap {
 			newest = seg
@@ -268,6 +266,9 @@ func Open(cfg Config) (*Writer, error) {
 // synchronously before returning — the caller pays the seal, keeping
 // ingestion self-throttling.
 func (w *Writer) Add(terms []TermCount) (uint32, error) {
+	if w.cfg.Follower {
+		return 0, ErrReadOnly
+	}
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -358,6 +359,9 @@ func (w *Writer) recordLocked(doc collection.Document) (global uint32, need bool
 // Concurrent flushes serialize; writes proceed while the segment is
 // being built (only the buffer capture holds the lock).
 func (w *Writer) Flush() error {
+	if w.cfg.Follower {
+		return ErrReadOnly
+	}
 	w.mu.Lock()
 	for w.sealing && !w.closed && w.failed == nil {
 		w.cond.Wait()

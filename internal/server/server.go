@@ -29,6 +29,11 @@ import (
 	"repro/internal/rank"
 )
 
+// ErrUnavailable marks a backend that currently has nothing to serve
+// from — e.g. a coordinator whose every replica is unreachable. The
+// search handler maps it to 503 (retryable) instead of 500.
+var ErrUnavailable = errors.New("server: backend unavailable")
+
 // Backend is the slice of the live layer the server drives. It is an
 // interface so handler tests can stand in a stub that blocks, fails, or
 // panics on command.
@@ -154,6 +159,10 @@ type Server struct {
 	mux     *http.ServeMux
 	http    *http.Server
 
+	// replStats, when set, adds the replication role's account to
+	// /metrics. See SetReplStats.
+	replStats func() ReplicationStats
+
 	draining atomic.Bool
 }
 
@@ -180,6 +189,47 @@ func New(backend Backend, cfg Config) (*Server, error) {
 
 // Handler exposes the routing for in-process tests (httptest.Server).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Mount registers an additional handler subtree (e.g. the replication
+// pull endpoints under "/repl/") behind the server's panic guard. Call
+// it after New and before Serve — the mux is not safe to mutate while
+// serving.
+func (s *Server) Mount(pattern string, h http.Handler) {
+	s.mux.HandleFunc(pattern, s.recovered(h.ServeHTTP))
+}
+
+// ReplicationStats is the replication role's account on /metrics. Role
+// says which shape this process serves ("leader", "follower", or
+// "coordinator"); Ordinal is the manifest generation it is at (for a
+// coordinator: the newest generation observed across the fleet). The
+// remaining counters are role-specific and omitted when zero.
+type ReplicationStats struct {
+	Role    string `json:"repl_role"`
+	Ordinal uint64 `json:"repl_ordinal"`
+	// Leader side: pull traffic served to followers.
+	ManifestsServed int64 `json:"repl_manifests_served,omitempty"`
+	FilesServed     int64 `json:"repl_files_served,omitempty"`
+	BytesServed     int64 `json:"repl_bytes_served,omitempty"`
+	// Follower side: sync progress against the leader. LagGenerations is
+	// leader ordinal minus local ordinal as of the last manifest fetch —
+	// 0 means caught up.
+	Syncs          int64  `json:"repl_syncs,omitempty"`
+	SyncFailures   int64  `json:"repl_sync_failures,omitempty"`
+	SegmentsPulled int64  `json:"repl_segments_pulled,omitempty"`
+	FilesPulled    int64  `json:"repl_files_pulled,omitempty"`
+	BytesPulled    int64  `json:"repl_bytes_pulled,omitempty"`
+	CRCRetries     int64  `json:"repl_crc_retries,omitempty"`
+	LagGenerations uint64 `json:"repl_lag_generations,omitempty"`
+	// Coordinator side: scatter/gather accounting.
+	Replicas       int   `json:"repl_replicas,omitempty"`
+	Fanouts        int64 `json:"repl_fanouts,omitempty"`
+	DegradedMerges int64 `json:"repl_degraded_merges,omitempty"`
+}
+
+// SetReplStats installs the replication reporter sampled by /metrics.
+// Call it after New and before Serve; nil leaves replication fields off
+// the payload (the default for a standalone node).
+func (s *Server) SetReplStats(fn func() ReplicationStats) { s.replStats = fn }
 
 // Metrics exposes the server's counters (the LOAD benchmark reads them
 // directly instead of scraping its own endpoint).
@@ -371,6 +421,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusServiceUnavailable, "query cancelled")
 		case errors.Is(err, live.ErrClosed):
 			writeError(w, http.StatusServiceUnavailable, "index closed")
+		case errors.Is(err, ErrUnavailable):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
 		default:
 			writeError(w, http.StatusInternalServerError, err.Error())
 		}
@@ -481,6 +533,9 @@ type fullMetrics struct {
 	BlockCacheBytes    int64 `json:"block_cache_bytes"`
 	BoundCacheHits     int64 `json:"bound_cache_hits"`
 	BoundCacheMisses   int64 `json:"bound_cache_misses"`
+	// Replication account (leader/follower/coordinator roles); absent on
+	// a standalone node.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -488,7 +543,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	decoded, skips, faulted := s.backend.Counters()
 	fs := s.backend.FaultStats()
 	cs := s.backend.CacheStats()
+	var repl *ReplicationStats
+	if s.replStats != nil {
+		r := s.replStats()
+		repl = &r
+	}
 	writeJSON(w, http.StatusOK, fullMetrics{
+		Replication:         repl,
 		MetricsSnapshot:     s.metrics.Snapshot(),
 		Generation:          stats.Generation,
 		Segments:            stats.Segments,

@@ -1,0 +1,103 @@
+package topk
+
+import (
+	"sort"
+
+	"repro/internal/rank"
+)
+
+// ReplicaAnswer is one replica's response to a scattered query. Unlike
+// a shard, a replica holds a *full copy* of the index, so replica
+// answers overlap: the merge deduplicates by document id instead of
+// assuming disjoint id ranges. Generation is the replica's manifest
+// ordinal — the replication clock that decides which answers describe
+// the same index state.
+type ReplicaAnswer struct {
+	// Name identifies the replica in the merged certificate's Skipped
+	// list (e.g. its URL).
+	Name string
+	// Generation is the manifest ordinal the replica served from.
+	Generation uint64
+	// Top is the replica's answer (globally meaningful ids and scores).
+	Top []rank.DocScore
+	// Cert is the replica's own single-node certificate.
+	Cert Certificate
+	// Err, when non-nil, marks the replica unreachable or failed; the
+	// other fields are ignored.
+	Err error
+}
+
+// MergeReplicas combines K replica answers into one answer with a
+// certificate that never overstates what the fleet proved.
+//
+// The freshness rule: the fleet's answer is defined over the *newest*
+// generation any replica served (maxGen). Replicas at maxGen agree
+// byte-for-byte on every document's score — same immutable segments,
+// same statistics — so their answers merge by simple deduplication.
+// A replica behind maxGen is *stale*: its documents may be deleted,
+// rescored, or missing relative to the fleet state, so its answer is
+// excluded entirely and the replica is named in Skipped — a lagging
+// follower can degrade a merged answer but can never silently age it.
+//
+// The exactness rule mirrors MergeShardsPartial: the merged answer is
+// Exact only when every replica answered, at the same generation, with
+// its own Exact certificate. Anything less — an unreachable replica, a
+// stale one, or one that itself served degraded — yields Degraded with
+// ShardsServed counting only the exact full-coverage answers (a
+// replica's internally-degraded documents still merge in: they carry
+// true scores and can only improve coverage, but they prove nothing
+// about what its quarantined segments hide).
+//
+// Replicas are full copies, so unlike the shard merge a single exact
+// answer at maxGen already proves the true top N: exactness here is a
+// statement about fleet coverage, feeding the same Certificate shape
+// single-node answers carry.
+func MergeReplicas(answers []ReplicaAnswer, n int) ([]rank.DocScore, Certificate, uint64) {
+	if n <= 0 {
+		return nil, Certificate{Degraded: true, ShardsTotal: len(answers)}, 0
+	}
+	var maxGen uint64
+	anyOK := false
+	for _, a := range answers {
+		if a.Err == nil && (!anyOK || a.Generation > maxGen) {
+			maxGen = a.Generation
+			anyOK = true
+		}
+	}
+	cert := Certificate{ShardsTotal: len(answers)}
+	if !anyOK {
+		for _, a := range answers {
+			cert.Skipped = append(cert.Skipped, a.Name)
+		}
+		cert.Degraded = true
+		return nil, cert, 0
+	}
+
+	h, _ := NewHeap(n) // n > 0 was just checked
+	seen := make(map[uint32]bool)
+	for _, a := range answers {
+		switch {
+		case a.Err != nil, a.Generation != maxGen:
+			cert.Skipped = append(cert.Skipped, a.Name)
+			continue
+		case a.Cert.Exact && !a.Cert.Degraded:
+			cert.ShardsServed++
+		default:
+			// Served, current, but internally degraded: its documents are
+			// true-score survivors and merge in, but the replica cannot
+			// vouch for full coverage.
+			cert.Skipped = append(cert.Skipped, a.Name)
+		}
+		for _, ds := range a.Top {
+			if seen[ds.DocID] {
+				continue // same generation ⇒ identical score; drop the duplicate
+			}
+			seen[ds.DocID] = true
+			h.Offer(ds)
+		}
+	}
+	sort.Strings(cert.Skipped)
+	cert.Exact = cert.ShardsServed == len(answers)
+	cert.Degraded = !cert.Exact
+	return h.Results(), cert, maxGen
+}

@@ -1,0 +1,129 @@
+package topk
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rank"
+)
+
+func exactAnswer(name string, gen uint64, top ...rank.DocScore) ReplicaAnswer {
+	return ReplicaAnswer{
+		Name: name, Generation: gen, Top: top,
+		Cert: Certificate{Exact: true, ShardsServed: 3, ShardsTotal: 3},
+	}
+}
+
+func assertTop(t *testing.T, got, want []rank.DocScore) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("merged %d results, want %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Two full replicas at one generation answer with the same documents;
+// the merge must deduplicate, not double-count.
+func TestMergeReplicasDeduplicates(t *testing.T) {
+	top := []rank.DocScore{ds(7, 9.5), ds(3, 8.0), ds(11, 7.25)}
+	merged, cert, gen := MergeReplicas([]ReplicaAnswer{
+		exactAnswer("a", 5, top...),
+		exactAnswer("b", 5, top...),
+	}, 3)
+	assertTop(t, merged, top)
+	if !cert.Exact || cert.Degraded {
+		t.Fatalf("two caught-up exact replicas must merge exact: %+v", cert)
+	}
+	if cert.ShardsServed != 2 || cert.ShardsTotal != 2 || len(cert.Skipped) != 0 {
+		t.Fatalf("coverage: %+v", cert)
+	}
+	if gen != 5 {
+		t.Fatalf("generation %d, want 5", gen)
+	}
+}
+
+// A replica behind the newest generation is excluded entirely and
+// named: its documents may be deleted or rescored in fleet state.
+func TestMergeReplicasExcludesStale(t *testing.T) {
+	fresh := []rank.DocScore{ds(1, 5.0), ds(2, 4.0)}
+	merged, cert, gen := MergeReplicas([]ReplicaAnswer{
+		exactAnswer("fresh", 9, fresh...),
+		exactAnswer("stale", 8, ds(99, 100.0)), // a score only the old generation believes
+	}, 2)
+	assertTop(t, merged, fresh)
+	if cert.Exact || !cert.Degraded {
+		t.Fatalf("a stale replica must degrade the merge: %+v", cert)
+	}
+	if cert.ShardsServed != 1 || cert.ShardsTotal != 2 {
+		t.Fatalf("coverage: %+v", cert)
+	}
+	if len(cert.Skipped) != 1 || cert.Skipped[0] != "stale" {
+		t.Fatalf("skipped: %v", cert.Skipped)
+	}
+	if gen != 9 {
+		t.Fatalf("generation %d, want 9", gen)
+	}
+}
+
+// An unreachable replica degrades coverage; the others still answer.
+func TestMergeReplicasToleratesErrors(t *testing.T) {
+	fresh := []rank.DocScore{ds(1, 5.0)}
+	merged, cert, _ := MergeReplicas([]ReplicaAnswer{
+		{Name: "down", Err: errors.New("connection refused")},
+		exactAnswer("up", 4, fresh...),
+	}, 1)
+	assertTop(t, merged, fresh)
+	if cert.Exact || cert.ShardsServed != 1 || len(cert.Skipped) != 1 || cert.Skipped[0] != "down" {
+		t.Fatalf("certificate: %+v", cert)
+	}
+}
+
+// A replica that answered degraded at the newest generation cannot
+// vouch for coverage (Skipped, not Served) but its documents carry true
+// scores, so they still merge in.
+func TestMergeReplicasInternallyDegraded(t *testing.T) {
+	merged, cert, _ := MergeReplicas([]ReplicaAnswer{
+		exactAnswer("whole", 6, ds(1, 5.0), ds(2, 4.0)),
+		{
+			Name: "hurt", Generation: 6,
+			Top:  []rank.DocScore{ds(9, 6.0)}, // surfaced by the surviving segments
+			Cert: Certificate{Degraded: true, ShardsServed: 2, ShardsTotal: 3, Skipped: []string{"seg-000004"}},
+		},
+	}, 3)
+	assertTop(t, merged, []rank.DocScore{ds(9, 6.0), ds(1, 5.0), ds(2, 4.0)})
+	if cert.Exact || !cert.Degraded || cert.ShardsServed != 1 {
+		t.Fatalf("an internally degraded replica must not count as served: %+v", cert)
+	}
+	if len(cert.Skipped) != 1 || cert.Skipped[0] != "hurt" {
+		t.Fatalf("skipped: %v", cert.Skipped)
+	}
+}
+
+// With no replica answering there is nothing to serve — and nothing to
+// pretend: empty answer, fully degraded certificate.
+func TestMergeReplicasAllDown(t *testing.T) {
+	merged, cert, gen := MergeReplicas([]ReplicaAnswer{
+		{Name: "a", Err: errors.New("refused")},
+		{Name: "b", Err: errors.New("reset")},
+	}, 5)
+	if len(merged) != 0 {
+		t.Fatalf("merged %v from zero answers", merged)
+	}
+	if cert.Exact || !cert.Degraded || cert.ShardsServed != 0 || cert.ShardsTotal != 2 || len(cert.Skipped) != 2 {
+		t.Fatalf("certificate: %+v", cert)
+	}
+	if gen != 0 {
+		t.Fatalf("generation %d from zero answers", gen)
+	}
+}
+
+func TestMergeReplicasZeroN(t *testing.T) {
+	merged, cert, _ := MergeReplicas([]ReplicaAnswer{exactAnswer("a", 1, ds(1, 1))}, 0)
+	if len(merged) != 0 || !cert.Degraded {
+		t.Fatalf("n=0: merged=%v cert=%+v", merged, cert)
+	}
+}
