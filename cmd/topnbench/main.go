@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	topnbench [-exp all|F1|E1..E12|PAR|DISK|LIVE|LOAD|CHAOS|HOT] [-scale small|full] [-seed N]
+//	topnbench [-exp all|F1|E1..E12|PAR|DISK|LIVE|LOAD|CHAOS|HOT|REPL|TUNE] [-scale small|full] [-seed N]
 //	          [-shards K] [-workers W]
 //	          [-persist DIR] [-from DIR] [-pool-pages K]
 //	          [-live-seal-docs N] [-live-fanin K] [-live-churn X]
@@ -54,6 +54,16 @@
 // wholesale; it also enforces the zero-allocation steady-state budget
 // of the MaxScore and Progressive hot loops via testing.AllocsPerRun.
 //
+// The TUNE experiment closes the loop on the paper's cost model: three
+// workload shapes (read-heavy, churn-heavy, bursty) each run under the
+// adaptive self-tuning policy (internal/tune, calibrated from live
+// counters via a deterministic span model) and three static settings.
+// Every policy must answer the final probe byte-identically; the gated
+// <shape>_adaptive_best metrics assert the adaptive policy's total cost
+// (decodes + re-encodes + 1000× pages touched) never exceeds the best
+// static's, and decision_digest hashes the tuner's decision log so two
+// same-seed runs must match exactly.
+//
 // -persist DIR builds the workload index at the chosen scale/seed,
 // writes it under DIR, and exits; a later `-exp DISK -from DIR` serves
 // queries from that segment. -json writes the machine-readable report
@@ -96,7 +106,7 @@ import (
 	"repro/internal/storage"
 )
 
-var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE", "LOAD", "CHAOS", "HOT", "REPL"}
+var order = []string{"F1", "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "PAR", "DISK", "LIVE", "LOAD", "CHAOS", "HOT", "REPL", "TUNE"}
 
 var runners = map[string]func(bench.Scale, uint64) (*bench.Table, error){
 	"F1":  bench.RunF1,
@@ -163,7 +173,7 @@ func persistIndex(scale bench.Scale, seed uint64, dir string) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK, LIVE, LOAD, CHAOS, HOT) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (F1, E1..E12, PAR, DISK, LIVE, LOAD, CHAOS, HOT, REPL, TUNE) or 'all'")
 	scaleFlag := flag.String("scale", "small", "workload scale: small or full")
 	seed := flag.Uint64("seed", 42, "deterministic workload seed")
 	shards := flag.Int("shards", 4, "PAR: number of document-range shards")
@@ -196,6 +206,7 @@ func main() {
 	runners["CHAOS"] = bench.RunChaos
 	runners["HOT"] = bench.RunHot
 	runners["REPL"] = bench.RunRepl
+	runners["TUNE"] = bench.RunTune
 
 	var scale bench.Scale
 	switch *scaleFlag {

@@ -13,7 +13,7 @@
 //	          [-timeout D] [-max-timeout D] [-max-n N]
 //	          [-drain-timeout D] [-reverify D]
 //	          [-result-cache-bytes B] [-block-cache-bytes B]
-//	          [-pprof-addr ADDR]
+//	          [-tune] [-pprof-addr ADDR]
 //
 // -dir is the live index directory; a temporary directory is used (and
 // removed on exit) when omitted. -seed-docs > 0 ingests a synthetic
@@ -24,7 +24,8 @@
 //
 //	POST /search          {"terms": ["t12", "t34"], "n": 10, "timeout_ms": 500}
 //	GET  /healthz         liveness (503 while draining)
-//	GET  /metrics         serving + index + replication counters, JSON
+//	GET  /metrics         serving + index + replication + tuner counters, JSON
+//	GET  /tune            self-tuner state: calibrated coefficients, knobs, decision log
 //	GET  /repl/manifest   replication wire manifest (any node with an index)
 //	GET  /repl/segment/…  immutable segment files, Range-resumable
 //
@@ -64,6 +65,14 @@
 // segment. Either set to 0 disables that layer; /metrics carries the
 // hit/miss/byte account of both.
 //
+// -tune closes the loop of the paper's cost model on the live server:
+// a self-tuner (internal/tune) calibrates the page-weight and
+// terms-per-query coefficients from the server's own counters and
+// adapts the seal threshold, merge fan-in, and buffer-pool size within
+// fixed bounds. Maintenance timing changes; answers never do. GET
+// /tune reports the calibrated coefficients, current knob
+// recommendations, and the recent decision log.
+//
 // -pprof-addr exposes net/http/pprof on its own listener and mux —
 // never on the serving address, so profiling endpoints are not
 // reachable from the query port.
@@ -86,6 +95,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/replica"
 	"repro/internal/server"
+	"repro/internal/tune"
 )
 
 // options carries every parsed flag into run.
@@ -104,6 +114,7 @@ type options struct {
 	drainTimeout, reverify            time.Duration
 	resultCacheBytes, blockCacheBytes int64
 	pprofAddr                         string
+	tuneOn                            bool
 }
 
 func main() {
@@ -130,6 +141,7 @@ func main() {
 	flag.Int64Var(&o.resultCacheBytes, "result-cache-bytes", 64<<20, "query result cache capacity (0 disables)")
 	flag.Int64Var(&o.blockCacheBytes, "block-cache-bytes", 32<<20, "hot postings-block cache capacity (0 disables)")
 	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+	flag.BoolVar(&o.tuneOn, "tune", false, "self-tune maintenance (seal size, merge fan-in, pool size) from live counters; state on /tune")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "topnserve:", err)
@@ -155,6 +167,9 @@ func run(o options) error {
 		if o.seedDocs > 0 {
 			return fmt.Errorf("-seed-docs needs a local index; a coordinator owns none")
 		}
+		if o.tuneOn {
+			return fmt.Errorf("-tune adapts local index maintenance; a coordinator owns no index")
+		}
 		coord, err := replica.NewCoordinator(strings.Split(o.replicas, ","), nil)
 		if err != nil {
 			return err
@@ -172,12 +187,25 @@ func run(o options) error {
 			defer os.RemoveAll(tmp)
 			o.dir = tmp
 		}
+		// -tune attaches the self-tuner: calibration runs on wall-clock
+		// spans (no SpanModel), and the knobs move inside fixed bounds so
+		// a miscalibrated coefficient can never push the index somewhere
+		// unreasonable.
+		var tn *tune.Tuner
+		if o.tuneOn {
+			tn = tune.New(tune.Config{
+				SealDocs:   tune.Bounds{Min: 256, Max: 2048},
+				MergeFanIn: tune.Bounds{Min: 2, Max: 6},
+				PoolPages:  tune.Bounds{Min: 64, Max: 256},
+			})
+		}
 		var err error
 		w, err = live.Open(live.Config{
 			Dir: o.dir, SealDocs: o.sealDocs, ReverifyEvery: o.reverify,
 			ResultCacheBytes: o.resultCacheBytes,
 			BlockCacheBytes:  o.blockCacheBytes,
 			Follower:         o.follow != "",
+			Tune:             tn,
 		})
 		if err != nil {
 			return err
@@ -205,6 +233,9 @@ func run(o options) error {
 	if err != nil {
 		backend.Close()
 		return err
+	}
+	if w != nil && o.tuneOn {
+		srv.SetTuneStats(w.TuneStats)
 	}
 
 	// Replication wiring. Every node with an index — leader or follower

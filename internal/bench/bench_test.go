@@ -29,6 +29,7 @@ var runners = map[string]func(Scale, uint64) (*Table, error){
 	},
 	"HOT":  RunHot,
 	"REPL": RunRepl,
+	"TUNE": RunTune,
 }
 
 func TestAllExperimentsRunAtSmallScale(t *testing.T) {

@@ -34,13 +34,18 @@ type CompareOptions struct {
 // dependent fault counters (retries, degraded splits) with "chaos_",
 // the HOT experiment prefixes its singleflight-burst counters
 // (whose hit/shared/miss split depends on goroutine scheduling) with
-// "hot_", and the REPL experiment prefixes its transfer-timing numbers
-// with "repl_"; everything else must be deterministic.
+// "hot_", the REPL experiment prefixes its transfer-timing numbers
+// with "repl_", and the TUNE experiment prefixes its calibrated
+// coefficient floats (page weight, terms-per-query EWMAs) with "tune_"
+// — its verdict metrics (per-policy costs, adaptive_best,
+// decision_digest, equiv) deliberately do NOT carry the prefix and are
+// gated exactly; everything else must be deterministic.
 func timingMetric(key string) bool {
 	return strings.Contains(key, "_ms") || strings.Contains(key, "per_sec") ||
 		strings.Contains(key, "wall") || strings.Contains(key, "latency") ||
 		strings.HasPrefix(key, "load_") || strings.HasPrefix(key, "chaos_") ||
-		strings.HasPrefix(key, "hot_") || strings.HasPrefix(key, "repl_")
+		strings.HasPrefix(key, "hot_") || strings.HasPrefix(key, "repl_") ||
+		strings.HasPrefix(key, "tune_")
 }
 
 // CompareReports returns the list of regressions of fresh against

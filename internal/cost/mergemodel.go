@@ -17,8 +17,27 @@ import (
 // aggregates the manifest layer has on hand without opening postings.
 type SegmentStats struct {
 	Docs     int   // documents in the segment
-	Postings int64 // stored postings across all lists
+	Postings int64 // stored postings across all lists, dead ones included
 	Bytes    int64 // compressed postings bytes
+
+	// Alive/Stored carry the tombstone picture for purge-aware pricing:
+	// Alive live documents out of Stored total. A merge rewrites only the
+	// live fraction, so the output-write and re-encode terms scale with
+	// Alive/Stored, and every query decodes (then discards) the dead
+	// share until a purge retires it. Stored == 0 means "no tombstone
+	// information": the segment is priced fully live. Otherwise
+	// 0 <= Alive <= Stored must hold.
+	Alive  int
+	Stored int
+}
+
+// liveFrac is the fraction of the segment's stored postings that will
+// survive a merge (1 when no tombstone information is attached).
+func (s SegmentStats) liveFrac() float64 {
+	if s.Stored <= 0 {
+		return 1
+	}
+	return float64(s.Alive) / float64(s.Stored)
 }
 
 // MergeEstimate is the model's verdict on one candidate merge.
@@ -26,11 +45,12 @@ type MergeEstimate struct {
 	// QueryGain is the predicted weighted cost saved per query by serving
 	// one merged segment instead of the run: each query term pays the
 	// one-page list floor and a list open in every fragment segment that
-	// holds it, and pays them once after the merge.
+	// holds it, and pays them once after the merge; on top of that the
+	// dead fraction of every input stops taxing each term's decode work.
 	QueryGain float64
 	// MergeCost is the one-time weighted cost of performing the merge:
-	// every input page is read, every output page written, every posting
-	// re-encoded.
+	// every input page is read, the surviving volume written back, every
+	// surviving posting re-encoded.
 	MergeCost float64
 }
 
@@ -47,11 +67,17 @@ func (e MergeEstimate) Worthwhile(horizon int) bool {
 // EstimateMerge prices merging a run of adjacent segments, using the
 // weighted page/decode currency of IRPlanCost. termsPerQuery is the
 // expected number of query terms (the fan-out multiplier on the per-
-// segment page floor); pageWeight converts page touches into decode
-// units (DefaultPageWeight when unsure).
-func EstimateMerge(run []SegmentStats, termsPerQuery int, pageWeight float64) (MergeEstimate, error) {
-	if len(run) < 2 {
-		return MergeEstimate{}, fmt.Errorf("cost: a merge needs at least two segments, got %d", len(run))
+// segment page floor) — fractional values are fine, it is typically a
+// measured EWMA; pageWeight converts page touches into decode units
+// (DefaultPageWeight when unsure).
+//
+// A single-segment run is a purge rewrite: there is no fan-out saving
+// (K−1 = 0), but the dead fraction still prices a per-query gain and a
+// discounted rewrite, so heavily tombstoned segments become worthwhile
+// on their own.
+func EstimateMerge(run []SegmentStats, termsPerQuery float64, pageWeight float64) (MergeEstimate, error) {
+	if len(run) < 1 {
+		return MergeEstimate{}, fmt.Errorf("cost: a merge needs at least one segment, got %d", len(run))
 	}
 	if termsPerQuery < 1 {
 		termsPerQuery = 1
@@ -59,24 +85,37 @@ func EstimateMerge(run []SegmentStats, termsPerQuery int, pageWeight float64) (M
 	if pageWeight <= 0 {
 		pageWeight = DefaultPageWeight
 	}
-	var pages, decodes float64
+	var pagesIn, pagesOut, reencode, deadGain float64
 	for _, s := range run {
 		if s.Docs < 0 || s.Postings < 0 || s.Bytes < 0 {
 			return MergeEstimate{}, fmt.Errorf("cost: negative segment stats %+v", s)
 		}
-		pages += float64((s.Bytes + storage.PageSize - 1) / storage.PageSize)
-		decodes += float64(s.Postings)
+		if s.Alive < 0 || s.Stored < 0 || s.Alive > s.Stored {
+			return MergeEstimate{}, fmt.Errorf("cost: inconsistent alive/stored counts %+v", s)
+		}
+		lf := s.liveFrac()
+		pages := float64((s.Bytes + storage.PageSize - 1) / storage.PageSize)
+		pagesIn += pages
+		pagesOut += lf * pages
+		reencode += lf * float64(s.Postings)
+		deadGain += 1 - lf
 	}
-	// Per-query gain: (K-1) spared page floors and list opens per term.
-	// A list open is priced as one decode batch (BlockSize-ish) — small
-	// against the page weight, kept for the decode currency's honesty.
+	// Per-query gain: (K-1) spared page floors and list opens per term,
+	// plus the dead share of every input's per-term page floor and decode
+	// work — dead postings are decoded and then discarded on every query
+	// until a merge purges them. A list open is priced as one decode
+	// batch (BlockSize-ish) — small against the page weight, kept for the
+	// decode currency's honesty.
+	perTerm := float64(len(run)-1) + deadGain
 	gain := IRPlanCost{
-		Pages:   float64(termsPerQuery) * float64(len(run)-1),
-		Decodes: float64(termsPerQuery) * float64(len(run)-1),
+		Pages:   termsPerQuery * perTerm,
+		Decodes: termsPerQuery * perTerm,
 	}
-	// One-time cost: read every input page, write the merged output
-	// (approximately the same volume), re-encode every posting.
-	cost := IRPlanCost{Pages: 2 * pages, Decodes: decodes}
+	// One-time cost: read every input page, write back only the surviving
+	// volume, re-encode only the surviving postings. Pricing the full
+	// volume here would systematically overprice exactly the purge
+	// rewrites that reclaim the most space.
+	cost := IRPlanCost{Pages: pagesIn + pagesOut, Decodes: reencode}
 	return MergeEstimate{
 		QueryGain: gain.Weighted(pageWeight),
 		MergeCost: cost.Weighted(pageWeight),

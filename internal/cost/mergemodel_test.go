@@ -31,11 +31,17 @@ func TestEstimateMerge(t *testing.T) {
 		t.Fatal("zero horizon accepted")
 	}
 
-	if _, err := EstimateMerge(small[:1], 4, DefaultPageWeight); err == nil {
-		t.Fatal("single-segment run accepted")
+	if _, err := EstimateMerge(nil, 4, DefaultPageWeight); err == nil {
+		t.Fatal("empty run accepted")
 	}
 	if _, err := EstimateMerge([]SegmentStats{{Docs: -1}, {}}, 4, DefaultPageWeight); err == nil {
 		t.Fatal("negative stats accepted")
+	}
+	if _, err := EstimateMerge([]SegmentStats{{Docs: 10, Alive: 5, Stored: 4}}, 4, DefaultPageWeight); err == nil {
+		t.Fatal("alive > stored accepted")
+	}
+	if _, err := EstimateMerge([]SegmentStats{{Docs: 10, Alive: -1, Stored: 4}}, 4, DefaultPageWeight); err == nil {
+		t.Fatal("negative alive accepted")
 	}
 }
 
@@ -56,5 +62,73 @@ func TestEstimateMergeMonotone(t *testing.T) {
 	}
 	if four.MergeCost <= two.MergeCost {
 		t.Fatalf("cost not monotone in run length: %+v vs %+v", two, four)
+	}
+}
+
+// TestEstimateMergePurgeAware is the regression test for the merge
+// pricing bug: the old model charged `2 × pages` (read everything, write
+// the same volume back) and `Postings` re-encodes even when most of the
+// run was tombstoned, so exactly the purge rewrites that reclaim the
+// most space were starved by Worthwhile. The fixed model scales the
+// output-write and re-encode terms by the live fraction and credits the
+// per-query dead-decode tax as gain.
+func TestEstimateMergePurgeAware(t *testing.T) {
+	// A single segment that is half dead must be worthwhile to rewrite at
+	// the default horizon. The pre-fix model rejected single-segment runs
+	// outright, so a purge rewrite could never even be priced.
+	half := []SegmentStats{
+		{Docs: 500, Postings: 100000, Bytes: 200 * 4096, Alive: 500, Stored: 1000},
+	}
+	est, err := EstimateMerge(half, 4, DefaultPageWeight)
+	if err != nil {
+		t.Fatalf("single-segment purge run rejected: %v", err)
+	}
+	if !est.Worthwhile(1000) {
+		t.Fatalf("50%%-dead segment not worthwhile at the default horizon: %+v", est)
+	}
+
+	// Two heavily tombstoned segments, sized so the pre-fix pricing said
+	// no (gain 4×1×1001×1000 ≈ 4.0M < cost 2×3000×1000 + 1e6 = 7.0M)
+	// and the purge-aware pricing says yes (gain ≈ 11.2M ≥ cost ≈ 3.4M).
+	dead := []SegmentStats{
+		{Docs: 100, Postings: 500000, Bytes: 1500 * 4096, Alive: 100, Stored: 1000},
+		{Docs: 100, Postings: 500000, Bytes: 1500 * 4096, Alive: 100, Stored: 1000},
+	}
+	est, err = EstimateMerge(dead, 4, DefaultPageWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Worthwhile(1000) {
+		t.Fatalf("90%%-dead run not worthwhile at horizon 1000: %+v", est)
+	}
+
+	// The live fraction must discount the one-time cost: the same run
+	// priced fully live costs strictly more and gains strictly less.
+	live := []SegmentStats{
+		{Docs: 1000, Postings: 500000, Bytes: 1500 * 4096},
+		{Docs: 1000, Postings: 500000, Bytes: 1500 * 4096},
+	}
+	full, err := EstimateMerge(live, 4, DefaultPageWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MergeCost >= full.MergeCost {
+		t.Fatalf("tombstoned run not cheaper to rewrite: dead %+v vs live %+v", est, full)
+	}
+	if est.QueryGain <= full.QueryGain {
+		t.Fatalf("tombstoned run not pricing the dead-decode tax as gain: dead %+v vs live %+v", est, full)
+	}
+
+	// A fully live single segment has nothing to gain: rewriting it buys
+	// no fan-out reduction and frees nothing.
+	solo, err := EstimateMerge(live[:1], 4, DefaultPageWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.QueryGain != 0 {
+		t.Fatalf("fully live single segment priced a gain: %+v", solo)
+	}
+	if solo.Worthwhile(1 << 30) {
+		t.Fatalf("pointless rewrite accepted: %+v", solo)
 	}
 }

@@ -66,10 +66,16 @@ func (w *Writer) deleteLocked(id uint32) error {
 		}
 		break
 	}
+	var err error
 	if id >= w.base {
-		return w.deleteBufferedLocked(id)
+		err = w.deleteBufferedLocked(id)
+	} else {
+		err = w.deleteSealedLocked(id)
 	}
-	return w.deleteSealedLocked(id)
+	if err == nil {
+		w.cfg.Tune.ObserveDelete() // nil-safe
+	}
+	return err
 }
 
 // deleteBufferedLocked removes a never-sealed document: its statistics

@@ -79,6 +79,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/rank"
 	"repro/internal/storage"
+	"repro/internal/tune"
 )
 
 // ErrClosed is returned by operations on a closed Writer.
@@ -120,7 +121,10 @@ type Config struct {
 	MaxMergeDocs int
 	// MergeHorizon is the amortization horizon, in queries, the cost
 	// model uses to decide whether a merge pays for itself
-	// (cost.MergeEstimate.Worthwhile). Default 1000.
+	// (cost.MergeEstimate.Worthwhile). Valid range: >= 0. Default (0)
+	// is 1000; negative values are rejected by Open — they would make
+	// every merge non-worthwhile and silently disable background
+	// compaction forever.
 	MergeHorizon int
 	// PageWeight converts page touches into decode units for the merge
 	// cost model. Default cost.DefaultPageWeight.
@@ -132,9 +136,11 @@ type Config struct {
 	// PurgeDeadFrac triggers a single-segment purge rewrite when at
 	// least this fraction of a segment's stored documents are tombstoned
 	// (dead but still occupying postings). The rewrite drops their
-	// postings and re-tightens the block bounds. Default 0.5; values
-	// above 1 disable purge rewrites (tombstones are then only reclaimed
-	// when a tiered merge happens to cover the segment).
+	// postings and re-tightens the block bounds. Valid range: >= 0.
+	// Default (0) is 0.5; values above 1 disable purge rewrites
+	// (tombstones are then only reclaimed when a tiered merge happens to
+	// cover the segment); negative values are rejected by Open — every
+	// segment would qualify for an endless rewrite loop.
 	PurgeDeadFrac float64
 	// Clock supplies the flush timer, injectable so seal-timer behavior
 	// is deterministically testable. Default: the wall clock
@@ -172,6 +178,17 @@ type Config struct {
 	// the block without touching the segment's buffer pool (and without
 	// counting a fault). 0 (default) disables the cache.
 	BlockCacheBytes int64
+	// Tune, if set, closes the loop between the cost model and the live
+	// counters: the writer feeds it per-query decode/fault observations,
+	// per-merge realized costs, and pool fault latencies; in return the
+	// merge/purge planner prices candidates with its calibrated page
+	// weight and fan-out (ranking all candidates by predicted net
+	// benefit instead of taking the first qualifying run), and SealDocs,
+	// MergeFanIn, and PoolPages adapt within the tuner's configured
+	// bounds. nil (default) keeps every knob static and the planner
+	// byte-identical to the untuned policy. A Tuner must not be shared
+	// between writers.
+	Tune *tune.Tuner
 	// Follower opens the directory in replica mode: the writer is
 	// read-only (Add/Flush/Delete/Update/MergeAll fail with ErrReadOnly,
 	// and BackgroundMerge/FlushEvery must be unset) and new state arrives

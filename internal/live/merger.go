@@ -13,11 +13,37 @@ import (
 	"repro/internal/lexicon"
 	"repro/internal/postings"
 	"repro/internal/storage"
+	"repro/internal/tune"
 )
 
 // defaultTermsPerQuery is the expected query fan-out the merge cost
-// model prices the per-segment page floor against.
+// model prices the per-segment page floor against — the static fallback
+// when no tuner has measured the real fan-out yet.
 const defaultTermsPerQuery = 4
+
+// mergePlan is one priced maintenance action the planner selected: the
+// run to compact, whether it is a tiered merge or a purge rewrite, and
+// the prediction the tuner will be held to after commit.
+type mergePlan struct {
+	run      []*segment
+	kind     string  // "merge" or "purge"
+	predGain float64 // weighted per-query gain (tuned plans only)
+	predCost float64 // predicted one-time weighted cost (tuned plans only)
+	horizon  int     // amortization horizon the verdict used
+}
+
+// segStats summarizes a segment for the cost model, tombstone picture
+// included: the purge-aware pricing scales the rewrite cost by the live
+// fraction and credits the dead share as per-query gain.
+func segStats(s *segment) cost.SegmentStats {
+	return cost.SegmentStats{
+		Docs:     s.docs,
+		Postings: s.postings,
+		Bytes:    s.bytes,
+		Alive:    s.aliveDocs,
+		Stored:   s.aliveDocs + s.purgeable,
+	}
+}
 
 // kickMerger nudges the background merger; a kick already pending is
 // enough (the merger drains to a fixpoint per kick).
@@ -100,11 +126,12 @@ func (w *Writer) mergeOnce() (bool, error) {
 		}
 		return false, err
 	}
-	run := w.planLocked()
-	if run == nil {
+	plan := w.planLocked()
+	if plan == nil {
 		w.mu.Unlock()
 		return false, nil
 	}
+	run := plan.run
 	w.mergeBusy = true
 	// The merged segment persists the latest *committed seal* snapshot,
 	// not the master: the master's statistics already include buffered
@@ -193,6 +220,31 @@ func (w *Writer) mergeOnce() (bool, error) {
 				// directories stay for reopen's GC.
 				err = cerr
 			} else {
+				// Account the committed merge's physical work and hold the
+				// tuner's prediction to it: pages read from the inputs,
+				// pages written to the output, postings re-encoded.
+				var pagesRead, pagesWritten, reencoded int64
+				for _, s := range run {
+					pagesRead += (s.bytes + storage.PageSize - 1) / storage.PageSize
+				}
+				pagesWritten = (seg.bytes + storage.PageSize - 1) / storage.PageSize
+				reencoded = seg.postings
+				w.mergePagesRead += pagesRead
+				w.mergePagesWritten += pagesWritten
+				w.mergeReencoded += reencoded
+				if w.cfg.Tune != nil {
+					w.cfg.Tune.ObserveMerge(tune.MergeObs{
+						Kind:         plan.kind,
+						Inputs:       len(run),
+						FirstSeq:     run[0].seq,
+						PagesRead:    pagesRead,
+						PagesWritten: pagesWritten,
+						Reencoded:    reencoded,
+						PredGain:     plan.predGain,
+						PredCost:     plan.predCost,
+						Horizon:      plan.horizon,
+					})
+				}
 				for _, s := range run {
 					s.dead.Store(true)
 					// Retired segments never serve again; drop their
@@ -265,21 +317,142 @@ func (w *Writer) adoptMergedBitmapLocked(merged *segment, run []*segment) error 
 	return nil
 }
 
-// planLocked picks the next run to merge. Tiered compaction first: the
-// smallest window of MergeFanIn adjacent segments whose sizes sit
+// planLocked picks the next maintenance action.
+//
+// Untuned (Config.Tune nil), the static policy: tiered compaction first
+// — the smallest window of MergeFanIn adjacent segments whose sizes sit
 // within one tier (max ≤ TierFactor × min), capped by MaxMergeDocs, and
 // worth its one-time cost per the internal/cost model. When no tiered
 // run qualifies, the purge rule applies: the segment with the highest
 // fraction of tombstoned-but-still-stored documents, once that fraction
 // reaches PurgeDeadFrac, is rewritten alone to reclaim the dead
 // postings and re-tighten its block bounds (no cost-model gate — the
-// rewrite is how deleted space is ever returned). Returns nil when
-// nothing qualifies.
-func (w *Writer) planLocked() []*segment {
-	if run := w.planTieredLocked(); run != nil {
-		return run
+// rewrite is how deleted space is ever returned).
+//
+// Tuned, every candidate — tiered windows at the recommended fan-in and
+// single-segment purge rewrites — is priced with the calibrated
+// coefficients and the action with the highest predicted net benefit
+// wins (see planTunedLocked). Returns nil when nothing qualifies.
+func (w *Writer) planLocked() *mergePlan {
+	if w.cfg.Tune != nil {
+		return w.planTunedLocked()
 	}
-	return w.planPurgeLocked()
+	if run := w.planTieredLocked(); run != nil {
+		return &mergePlan{run: run, kind: "merge", horizon: w.cfg.MergeHorizon}
+	}
+	if run := w.planPurgeLocked(); run != nil {
+		return &mergePlan{run: run, kind: "purge", horizon: w.cfg.MergeHorizon}
+	}
+	return nil
+}
+
+// planTunedLocked ranks ALL candidate actions by calibrated predicted
+// net benefit — gain × horizon − cost, the portfolio view of
+// maintenance debt: retire the highest-benefit item first instead of
+// the first qualifying one. Candidates are tiered windows of the
+// tuner's recommended fan-in (same tier/size constraints as the static
+// policy) and single-segment purge rewrites of any tombstoned segment.
+// A candidate with negative net benefit is skipped — except the static
+// guarantee stays: a segment at or past PurgeDeadFrac is always
+// eligible, because purge rewrites are also how dead space is returned,
+// not just a latency trade. Ties break toward the earlier run so plans
+// are deterministic.
+func (w *Writer) planTunedLocked() *mergePlan {
+	tn := w.cfg.Tune
+	terms := tn.TermsPerQuery()
+	if terms <= 0 {
+		terms = defaultTermsPerQuery
+	}
+	weight := tn.PageWeight()
+	if weight <= 0 {
+		weight = w.cfg.PageWeight
+	}
+	horizon := tn.Horizon(w.cfg.MergeHorizon)
+	ratio := tn.CostRatio()
+
+	var best *mergePlan
+	var bestNet float64
+	consider := func(run []*segment, kind string, forced bool) {
+		stats := make([]cost.SegmentStats, len(run))
+		for j, s := range run {
+			stats[j] = segStats(s)
+		}
+		est, err := cost.EstimateMerge(stats, terms, weight)
+		if err != nil {
+			return
+		}
+		predCost := est.MergeCost * ratio // realized/predicted feedback
+		net := est.QueryGain*float64(horizon) - predCost
+		if net < 0 && !forced {
+			return
+		}
+		if best != nil && net <= bestNet {
+			return
+		}
+		best = &mergePlan{
+			run:      append([]*segment(nil), run...),
+			kind:     kind,
+			predGain: est.QueryGain,
+			predCost: predCost,
+			horizon:  horizon,
+		}
+		bestNet = net
+	}
+
+	// Price tiered windows at every run length the tuner's fan-in bounds
+	// allow — the benefit ranking, not a fixed fan-in, picks the size: a
+	// read-heavy phase approves one wide consolidation over a cascade of
+	// pair merges that would re-encode the same postings repeatedly.
+	// (MergeFanIn is still asked so the headline recommendation shows up
+	// in the decision log and on /tune.)
+	tn.MergeFanIn(w.cfg.MergeFanIn)
+	kLo, kHi := tn.FanInRange(w.cfg.MergeFanIn)
+	if kLo < 2 {
+		kLo = 2
+	}
+	for k := kLo; k <= kHi && k <= len(w.segs); k++ {
+		for i := 0; i+k <= len(w.segs); i++ {
+			run := w.segs[i : i+k]
+			if !w.tieredWindowOKLocked(run) {
+				continue
+			}
+			consider(run, "merge", false)
+		}
+	}
+	for _, s := range w.segs {
+		if s.purgeable == 0 || s.quarantined.Load() {
+			continue
+		}
+		frac := float64(s.purgeable) / float64(s.aliveDocs+s.purgeable)
+		consider([]*segment{s}, "purge", frac >= w.cfg.PurgeDeadFrac)
+	}
+	return best
+}
+
+// tieredWindowOKLocked checks the structural constraints a tiered merge
+// window must satisfy regardless of pricing: healthy inputs, one size
+// tier, and the MaxMergeDocs cap.
+func (w *Writer) tieredWindowOKLocked(run []*segment) bool {
+	minDocs, maxDocs, total := run[0].docs, run[0].docs, int64(0)
+	for _, s := range run {
+		if s.quarantined.Load() {
+			return false
+		}
+		if s.docs < minDocs {
+			minDocs = s.docs
+		}
+		if s.docs > maxDocs {
+			maxDocs = s.docs
+		}
+		total += int64(s.docs)
+	}
+	if float64(maxDocs) > w.cfg.MergeTierFactor*float64(minDocs) {
+		return false
+	}
+	if w.cfg.MaxMergeDocs > 0 && total > int64(w.cfg.MaxMergeDocs) {
+		return false
+	}
+	return true
 }
 
 func (w *Writer) planTieredLocked() []*segment {
@@ -291,39 +464,23 @@ func (w *Writer) planTieredLocked() []*segment {
 	bestDocs := int64(math.MaxInt64)
 	for i := 0; i+k <= len(w.segs); i++ {
 		run := w.segs[i : i+k]
-		minDocs, maxDocs, total := run[0].docs, run[0].docs, int64(0)
-		healthy := true
+		// A quarantined segment cannot be read reliably; merging it would
+		// either fail or launder damaged data into a fresh segment.
+		// Reverify must clear it first. (tieredWindowOKLocked also
+		// enforces the tier spread and the MaxMergeDocs cap.)
+		if !w.tieredWindowOKLocked(run) {
+			continue
+		}
+		var total int64
 		for _, s := range run {
-			if s.quarantined.Load() {
-				// A quarantined segment cannot be read reliably; merging
-				// it would either fail or launder damaged data into a
-				// fresh segment. Reverify must clear it first.
-				healthy = false
-				break
-			}
-			if s.docs < minDocs {
-				minDocs = s.docs
-			}
-			if s.docs > maxDocs {
-				maxDocs = s.docs
-			}
 			total += int64(s.docs)
-		}
-		if !healthy {
-			continue
-		}
-		if float64(maxDocs) > w.cfg.MergeTierFactor*float64(minDocs) {
-			continue // size spread too wide: not one tier
-		}
-		if w.cfg.MaxMergeDocs > 0 && total > int64(w.cfg.MaxMergeDocs) {
-			continue
 		}
 		if total >= bestDocs {
 			continue
 		}
 		stats := make([]cost.SegmentStats, len(run))
 		for j, s := range run {
-			stats[j] = cost.SegmentStats{Docs: s.docs, Postings: s.postings, Bytes: s.bytes}
+			stats[j] = segStats(s)
 		}
 		est, err := cost.EstimateMerge(stats, defaultTermsPerQuery, w.cfg.PageWeight)
 		if err != nil || !est.Worthwhile(w.cfg.MergeHorizon) {
@@ -382,6 +539,14 @@ func (w *Writer) spliceLocked(run []*segment, merged *segment) {
 // reconstructible after their postings are gone — persist, and reopen
 // through a fresh pool.
 func mergeSegments(cfg Config, run []*segment, alives []*postings.AliveBitmap, seq, snap uint64, frozen *lexicon.Lexicon, bc *blockcache.Cache) (*segment, error) {
+	// The merged segment reopens through a pool sized by the tuner when
+	// one is attached: a fault-heavy workload earns more frames, within
+	// the configured bounds.
+	if cfg.Tune != nil {
+		if v := cfg.Tune.PoolPages(cfg.PoolPages); v >= 8 {
+			cfg.PoolPages = v
+		}
+	}
 	inputs := make([]*index.Index, len(run))
 	total := 0
 	for i, s := range run {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/lexicon"
 	"repro/internal/rank"
 	"repro/internal/topk"
+	"repro/internal/tune"
 )
 
 // Result is the merged outcome of one live search.
@@ -52,6 +53,7 @@ type Snapshot struct {
 	g       *generation
 	workers int
 	fc      *faultCounters // the writer's fault account; nil in tests that build snapshots by hand
+	tn      *tune.Tuner    // the writer's tuner; nil when untuned
 
 	mu       sync.RWMutex // searches hold it shared; Close exclusively
 	released bool
@@ -65,7 +67,7 @@ func (w *Writer) Acquire() (*Snapshot, error) {
 		return nil, ErrClosed
 	}
 	w.cur.refs.Add(1)
-	return &Snapshot{g: w.cur, workers: w.cfg.Workers, fc: &w.fc}, nil
+	return &Snapshot{g: w.cur, workers: w.cfg.Workers, fc: &w.fc, tn: w.cfg.Tune}, nil
 }
 
 // Close releases the snapshot's generation reference, waiting out any
@@ -177,6 +179,17 @@ func (s *Snapshot) searchIDs(ctx context.Context, ids []lexicon.TermID, n int) (
 	if len(ids) == 0 || len(g.segs) == 0 {
 		return res, nil
 	}
+	// Calibration taps: bracket the evaluation with the snapshot's decode
+	// and fault counters, and a span token. With concurrent searches the
+	// deltas interleave (the counters are snapshot-wide), which is fine —
+	// the calibrator's regression averages over many observations — and
+	// in the deterministic bench (one worker) the deltas are exact.
+	var tuneD0, tuneF0 int64
+	var tuneTok tune.SpanToken
+	if s.tn != nil {
+		tuneD0, _, tuneF0 = s.Counters()
+		tuneTok = s.tn.StartSpan()
+	}
 	q := collection.Query{Terms: ids}
 
 	// One segment's failure cancels the siblings through this derived
@@ -273,6 +286,12 @@ func (s *Snapshot) searchIDs(ctx context.Context, ids []lexicon.TermID, n int) (
 	res.Degraded = res.Cert.Degraded
 	if res.Degraded && s.fc != nil {
 		s.fc.degraded.Add(1)
+	}
+	if s.tn != nil {
+		d1, _, f1 := s.Counters()
+		if d1 >= tuneD0 && f1 >= tuneF0 {
+			s.tn.ObserveQuery(len(ids), d1-tuneD0, f1-tuneF0, tuneTok)
+		}
 	}
 	return res, nil
 }

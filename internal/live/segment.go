@@ -52,6 +52,12 @@ type segment struct {
 	postings int64
 	bytes    int64
 
+	// lastPoolReads/lastPoolNanos are the high-water marks of the
+	// segment pool's physical-read latency counters already fed to the
+	// tuner (guarded by the writer mutex; see samplePoolLatencyLocked).
+	lastPoolReads int64
+	lastPoolNanos int64
+
 	// Deletion state, guarded by the writer mutex. alive is nil when
 	// every stored document is alive; aliveVer is the persisted bitmap
 	// version the manifest references (0 = none). aliveDocs/aliveTokens

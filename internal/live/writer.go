@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/blockcache"
 	"repro/internal/collection"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/postings"
 	"repro/internal/rank"
 	"repro/internal/storage"
+	"repro/internal/tune"
 )
 
 // Writer is the mutable front of a live index: it buffers incoming
@@ -91,6 +93,15 @@ type Writer struct {
 	seals       int64
 	merges      int64
 
+	// Physical maintenance work, accumulated at commit time: pages
+	// written by seals, pages read/written and postings re-encoded by
+	// merges and purges. The TUNE bench charges this account against the
+	// query-side savings, so a policy cannot win by merging for free.
+	sealPagesWritten  int64
+	mergePagesRead    int64
+	mergePagesWritten int64
+	mergeReencoded    int64
+
 	// fc is the fault-handling account, shared with snapshots (searches
 	// quarantine segments and mark queries degraded without the writer
 	// lock). See FaultStats.
@@ -130,6 +141,17 @@ func Open(cfg Config) (*Writer, error) {
 	}
 	if cfg.Follower && (cfg.BackgroundMerge || cfg.FlushEvery > 0) {
 		return nil, fmt.Errorf("live: follower mode is read-only: BackgroundMerge and FlushEvery do not apply")
+	}
+	// Negative knobs are rejected, not defaulted: fillDefaults only
+	// replaces exact zeros, so a negative MergeHorizon would otherwise
+	// pass through and make Worthwhile false forever — silently disabling
+	// all background merging — and a negative PurgeDeadFrac would mark
+	// every segment purge-eligible.
+	if cfg.MergeHorizon < 0 {
+		return nil, fmt.Errorf("live: Config.MergeHorizon must be >= 0, got %d", cfg.MergeHorizon)
+	}
+	if cfg.PurgeDeadFrac < 0 {
+		return nil, fmt.Errorf("live: Config.PurgeDeadFrac must be >= 0, got %g", cfg.PurgeDeadFrac)
 	}
 	cfg.fillDefaults()
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
@@ -350,7 +372,15 @@ func (w *Writer) recordLocked(doc collection.Document) (global uint32, need bool
 	w.buf = append(w.buf, doc)
 	w.bufTokens += int64(doc.Len)
 	w.docsAdded++
-	need = len(w.buf) >= w.cfg.SealDocs || w.bufTokens >= w.cfg.SealTokens
+	// The seal threshold is the tuner's when one is attached (write-heavy
+	// phases seal bigger segments, within the configured bounds); the
+	// tuner takes only its own lock, so calling it under w.mu is safe.
+	sealDocs := w.cfg.SealDocs
+	if w.cfg.Tune != nil {
+		w.cfg.Tune.ObserveWrite()
+		sealDocs = w.cfg.Tune.SealDocs(sealDocs)
+	}
+	need = len(w.buf) >= sealDocs || w.bufTokens >= w.cfg.SealTokens
 	return global, need, nil
 }
 
@@ -422,6 +452,7 @@ func (w *Writer) Flush() error {
 	if err == nil {
 		w.segs = append(w.segs, seg)
 		w.seals++
+		w.sealPagesWritten += (seg.bytes + storage.PageSize - 1) / storage.PageSize
 		w.sealedSnap = frozen // newest exactly-sealed-docs snapshot
 		w.sealedSnapID = snap
 		// A new snapshot means a fresh tightened clone: the one full
@@ -456,6 +487,13 @@ func (w *Writer) Flush() error {
 // the seal is a Document with no terms: it keeps its id slot (a hole)
 // but contributes no postings, no length, and no statistics anywhere.
 func buildSegment(cfg Config, docs []collection.Document, tokens int64, seq, snap uint64, base uint32, frozen *lexicon.Lexicon, bc *blockcache.Cache) (*segment, error) {
+	// The sealed segment reopens through a pool sized by the tuner when
+	// one is attached (fault pressure earns more frames, within bounds).
+	if cfg.Tune != nil {
+		if v := cfg.Tune.PoolPages(cfg.PoolPages); v >= 8 {
+			cfg.PoolPages = v
+		}
+	}
 	sub := &collection.Collection{Docs: docs, Lex: frozen, TotalTokens: tokens}
 	if len(docs) > 0 {
 		sub.AvgDocLen = float64(tokens) / float64(len(docs))
@@ -521,6 +559,7 @@ func buildSegment(cfg Config, docs []collection.Document, tokens int64, seq, sna
 // the generation's statistics cover exactly the sealed, searchable,
 // non-deleted documents.
 func (w *Writer) commitLocked() error {
+	w.samplePoolLatencyLocked()
 	w.genID++
 	m := manifest{Version: 1, Generation: w.genID, NextSeq: w.seq}
 	for _, s := range w.segs {
@@ -533,6 +572,27 @@ func (w *Writer) commitLocked() error {
 		return err
 	}
 	return w.installLocked()
+}
+
+// samplePoolLatencyLocked feeds each segment pool's physical-read
+// latency accumulated since the last sample into the tuner's direct
+// fault-latency channel. Sampled at every commit — the natural points
+// where the writer already holds the mutex that guards the segments'
+// high-water marks. A no-op without a tuner.
+func (w *Writer) samplePoolLatencyLocked() {
+	tn := w.cfg.Tune
+	if tn == nil {
+		return
+	}
+	for _, s := range w.segs {
+		reads, total := s.pool.ReadLatency()
+		dn := reads - s.lastPoolReads
+		dt := int64(total) - s.lastPoolNanos
+		if dn > 0 && dt >= 0 {
+			tn.ObservePoolReads(dn, time.Duration(dt))
+		}
+		s.lastPoolReads, s.lastPoolNanos = reads, int64(total)
+	}
 }
 
 // installLocked swaps in a new generation over the current chain,
@@ -640,6 +700,35 @@ func (w *Writer) Stats() WriterStats {
 		Segments:     len(w.segs),
 		Generation:   w.genID,
 	}
+}
+
+// MaintStats is the writer's physical maintenance-work account: pages
+// written by seals, pages read and written and postings re-encoded by
+// merges and purge rewrites. The TUNE bench charges this account
+// against query-side savings when comparing maintenance policies.
+type MaintStats struct {
+	SealPagesWritten  int64
+	MergePagesRead    int64
+	MergePagesWritten int64
+	MergeReencoded    int64
+}
+
+// MaintStats samples the maintenance-work counters.
+func (w *Writer) MaintStats() MaintStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return MaintStats{
+		SealPagesWritten:  w.sealPagesWritten,
+		MergePagesRead:    w.mergePagesRead,
+		MergePagesWritten: w.mergePagesWritten,
+		MergeReencoded:    w.mergeReencoded,
+	}
+}
+
+// TuneStats snapshots the attached tuner's observable state; the zero
+// Stats (Enabled false) when the writer runs the static policy.
+func (w *Writer) TuneStats() tune.Stats {
+	return w.cfg.Tune.Stats() // nil-safe
 }
 
 // Err reports the sticky background failure, if any.

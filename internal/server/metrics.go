@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sync"
 	"time"
 )
@@ -48,9 +49,12 @@ func (h *histogram) observe(d time.Duration) {
 	h.mu.Unlock()
 }
 
-// quantile returns an upper bound for the q-th latency quantile: the
-// top edge of the bucket holding the q-th observation. Zero when the
-// histogram is empty.
+// quantile estimates the q-th latency quantile as the midpoint —
+// geometric mean of the edges, the natural center of a log-spaced
+// bucket — of the bucket holding the q-th observation. Returning the
+// top edge instead would overstate the quantile by up to 2× (a p50
+// above every observation); the midpoint bounds the error to a factor
+// of √2 either way. Zero when the histogram is empty.
 func (h *histogram) quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -65,7 +69,9 @@ func (h *histogram) quantile(q float64) time.Duration {
 	for i, c := range h.buckets {
 		seen += c
 		if seen > target {
-			return time.Duration(int64(1)<<uint(i+1)) * time.Microsecond
+			// Bucket i spans [2^i, 2^(i+1)) µs; its geometric center is
+			// 2^i·√2 µs. Computed in nanoseconds to keep sub-µs precision.
+			return time.Duration(float64(int64(1)<<uint(i)) * math.Sqrt2 * float64(time.Microsecond))
 		}
 	}
 	return h.sum // unreachable; the last bucket catches everything

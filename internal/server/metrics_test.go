@@ -1,0 +1,74 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileMidpoint is the regression test for the quantile
+// bug: the old code returned the *top* edge of the holding bucket, so a
+// reported p50 could exceed every observation by up to 2×. The midpoint
+// (geometric mean of the edges) bounds the error to √2 either way; this
+// table pins that bound across the bucket range.
+func TestHistogramQuantileMidpoint(t *testing.T) {
+	cases := []time.Duration{
+		1 * time.Microsecond,
+		3 * time.Microsecond,
+		100 * time.Microsecond,
+		1 * time.Millisecond,
+		20 * time.Millisecond,
+		3 * time.Second,
+	}
+	const sqrt2 = math.Sqrt2 * (1 + 1e-9) // closed bound, float-tolerant
+	for _, d := range cases {
+		var h histogram
+		h.observe(d)
+		got := h.quantile(0.50)
+		if ratio := float64(got) / float64(d); ratio > sqrt2 {
+			t.Errorf("p50 of a single %v observation is %v (%.3f×): exceeds the √2 bound", d, got, ratio)
+		}
+		if ratio := float64(d) / float64(got); ratio > sqrt2 {
+			t.Errorf("p50 of a single %v observation is %v: understates beyond the √2 bound", d, got)
+		}
+	}
+}
+
+// TestHistogramQuantileInsideBucket: with every observation equal, both
+// p50 and p99 must land strictly inside the holding bucket
+// [64µs, 128µs) — the pre-fix top-edge answer (128µs) sits outside it,
+// above all one thousand observations.
+func TestHistogramQuantileInsideBucket(t *testing.T) {
+	var h histogram
+	for i := 0; i < 1000; i++ {
+		h.observe(100 * time.Microsecond)
+	}
+	for _, q := range []float64{0.50, 0.99} {
+		got := h.quantile(q)
+		if got < 64*time.Microsecond || got >= 128*time.Microsecond {
+			t.Errorf("q%.0f = %v outside the holding bucket [64µs, 128µs)", q*100, got)
+		}
+	}
+}
+
+// TestHistogramQuantileEmptyAndOrder: zero when empty, and quantiles are
+// monotone across a spread of observations.
+func TestHistogramQuantileEmptyAndOrder(t *testing.T) {
+	var h histogram
+	if got := h.quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %v", got)
+	}
+	for i := 0; i < 90; i++ {
+		h.observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(50 * time.Millisecond)
+	}
+	p50, p99 := h.quantile(0.50), h.quantile(0.99)
+	if p50 >= p99 {
+		t.Fatalf("p50 %v not below p99 %v", p50, p99)
+	}
+	if p99 < 32*time.Millisecond || p99 >= 64*time.Millisecond {
+		t.Fatalf("p99 %v missed the tail bucket", p99)
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/live"
 	"repro/internal/rank"
+	"repro/internal/tune"
 )
 
 // ErrUnavailable marks a backend that currently has nothing to serve
@@ -162,6 +163,9 @@ type Server struct {
 	// replStats, when set, adds the replication role's account to
 	// /metrics. See SetReplStats.
 	replStats func() ReplicationStats
+	// tuneStats, when set, adds the self-tuning account to /metrics and
+	// serves it on /tune. See SetTuneStats.
+	tuneStats func() tune.Stats
 
 	draining atomic.Bool
 }
@@ -183,6 +187,7 @@ func New(backend Backend, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/search", s.recovered(s.handleSearch))
 	s.mux.HandleFunc("/healthz", s.recovered(s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.recovered(s.handleMetrics))
+	s.mux.HandleFunc("/tune", s.recovered(s.handleTune))
 	s.http = &http.Server{Handler: s.mux}
 	return s, nil
 }
@@ -230,6 +235,25 @@ type ReplicationStats struct {
 // Call it after New and before Serve; nil leaves replication fields off
 // the payload (the default for a standalone node).
 func (s *Server) SetReplStats(fn func() ReplicationStats) { s.replStats = fn }
+
+// SetTuneStats installs the self-tuning reporter sampled by /metrics
+// and served in full (decision log included) on /tune. Call it after
+// New and before Serve; nil (the default) answers /tune with a disabled
+// tuner and leaves the tune block off /metrics. live.Writer.TuneStats
+// is the intended reporter — it is nil-safe, so a statically configured
+// node can install it unconditionally.
+func (s *Server) SetTuneStats(fn func() tune.Stats) { s.tuneStats = fn }
+
+// handleTune serves the tuner's full observable state: calibrated
+// coefficients, knob recommendations, and the recent decision log with
+// its running digest — the audit trail behind every adaptive choice.
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var st tune.Stats
+	if s.tuneStats != nil {
+		st = s.tuneStats()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
 
 // Metrics exposes the server's counters (the LOAD benchmark reads them
 // directly instead of scraping its own endpoint).
@@ -536,6 +560,10 @@ type fullMetrics struct {
 	// Replication account (leader/follower/coordinator roles); absent on
 	// a standalone node.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Self-tuning account (calibrated coefficients and knob state);
+	// absent when no tuner reporter is installed or the node runs the
+	// static policy. /tune serves the same state with the decision log.
+	Tune *tune.Stats `json:"tune,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -548,8 +576,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		r := s.replStats()
 		repl = &r
 	}
+	var ts *tune.Stats
+	if s.tuneStats != nil {
+		if t := s.tuneStats(); t.Enabled {
+			t.Recent = nil // the decision log lives on /tune, not /metrics
+			ts = &t
+		}
+	}
 	writeJSON(w, http.StatusOK, fullMetrics{
 		Replication:         repl,
+		Tune:                ts,
 		MetricsSnapshot:     s.metrics.Snapshot(),
 		Generation:          stats.Generation,
 		Segments:            stats.Segments,

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/live"
 	"repro/internal/rank"
 	"repro/internal/topk"
+	"repro/internal/tune"
 )
 
 // stubBackend is a scriptable Backend: handler tests make it answer,
@@ -450,4 +452,67 @@ func FuzzSearchHandler(f *testing.F) {
 			t.Fatalf("unexpected status %d on body %q", w.Code, body)
 		}
 	})
+}
+
+// TestTuneEndpoint: /tune serves the installed reporter's full state
+// (decision log included); without a reporter it answers a disabled
+// tuner. /metrics carries the same account minus the log, and omits it
+// entirely when the tuner is disabled.
+func TestTuneEndpoint(t *testing.T) {
+	get := func(s *Server, path string) map[string]interface{} {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, w.Code)
+		}
+		var m map[string]interface{}
+		if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return m
+	}
+
+	bare := newTestServer(t, &stubBackend{}, Config{})
+	if m := get(bare, "/tune"); m["enabled"] != false {
+		t.Fatalf("no reporter: /tune enabled = %v, want false", m["enabled"])
+	}
+	if m := get(bare, "/metrics"); m["tune"] != nil {
+		t.Fatalf("no reporter: /metrics carries tune block %v", m["tune"])
+	}
+
+	tn := tune.New(tune.Config{
+		SpanModel: &tune.SpanModel{DecodeCost: 100 * time.Nanosecond, FaultCost: 100 * time.Microsecond},
+		SealDocs:  tune.Bounds{Min: 50, Max: 400},
+	})
+	for i := 0; i < 20; i++ {
+		// Vary both counters so the regression identifies both axes.
+		tn.ObserveQuery(3, int64(500+137*i), int64(i%7), tn.StartSpan())
+		tn.ObserveWrite()
+		tn.SealDocs(100)
+	}
+	s := newTestServer(t, &stubBackend{}, Config{})
+	s.SetTuneStats(tn.Stats)
+
+	tm := get(s, "/tune")
+	if tm["enabled"] != true {
+		t.Fatalf("/tune enabled = %v, want true", tm["enabled"])
+	}
+	if pw := tm["page_weight"].(float64); math.Abs(pw-1000) > 1e-6 {
+		t.Fatalf("/tune page_weight = %v, want the planted 1000", pw)
+	}
+	if _, ok := tm["recent_decisions"]; !ok {
+		t.Fatalf("/tune payload has no decision log: %v", tm)
+	}
+
+	mm := get(s, "/metrics")
+	tb, ok := mm["tune"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("/metrics has no tune block: %v", mm["tune"])
+	}
+	if tb["queries_observed"].(float64) != 20 || tb["writes_observed"].(float64) != 20 {
+		t.Fatalf("tune block counters wrong: %v", tb)
+	}
+	if _, ok := tb["recent_decisions"]; ok {
+		t.Fatal("/metrics tune block must not carry the decision log")
+	}
 }

@@ -35,6 +35,16 @@ type Pool struct {
 	// invariant — a failed fetch is still exactly one miss.
 	retries atomic.Int64
 	faults  atomic.Int64
+
+	// Physical-read latency accounting, the self-tuning calibrator's
+	// direct measurement of what one page fault costs: reads counts
+	// completed readWithRetry calls, readNanos their summed duration —
+	// retry backoff included, because that is the latency the faulting
+	// query actually paid. readClock is injectable for deterministic
+	// tests (SetReadClock).
+	reads     atomic.Int64
+	readNanos atomic.Int64
+	readClock func() time.Time
 }
 
 // RetryPolicy bounds the transient-read retry loop in Fetch. A read
@@ -97,12 +107,23 @@ func NewPool(dev Device, capacity int) (*Pool, error) {
 		return nil, fmt.Errorf("storage: nil device")
 	}
 	return &Pool{
-		dev:      dev,
-		capacity: capacity,
-		frames:   make(map[PageID]*frame),
-		lru:      list.New(),
-		retry:    RetryPolicy{}.withDefaults(),
+		dev:       dev,
+		capacity:  capacity,
+		frames:    make(map[PageID]*frame),
+		lru:       list.New(),
+		retry:     RetryPolicy{}.withDefaults(),
+		readClock: time.Now,
 	}, nil
+}
+
+// SetReadClock replaces the clock behind the physical-read latency
+// counters (ReadLatency). Call before the pool is shared across
+// goroutines.
+func (p *Pool) SetReadClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	p.readClock = now
 }
 
 // SetRetryPolicy replaces the transient-read retry policy. Call before
@@ -184,6 +205,11 @@ func (p *Pool) Fetch(id PageID) (*Page, error) {
 // It runs outside the pool lock, so a retrying fetch delays only its
 // own page. A read that still fails counts one fault.
 func (p *Pool) readWithRetry(id PageID, buf *[PageSize]byte) error {
+	start := p.readClock()
+	defer func() {
+		p.reads.Add(1)
+		p.readNanos.Add(int64(p.readClock().Sub(start)))
+	}()
 	err := p.dev.readPage(id, buf)
 	delay := p.retry.BaseDelay
 	for attempt := 0; err != nil && IsTransient(err) && attempt < p.retry.MaxRetries; attempt++ {
@@ -338,13 +364,24 @@ func (p *Pool) FaultCounts() (retries, faults int64) {
 	return p.retries.Load(), p.faults.Load()
 }
 
-// ResetCounters zeroes the hit/miss and retry/fault counters.
+// ReadLatency returns the number of physical page reads issued and
+// their total duration, retry backoff included — the measured cost of
+// page faults, feeding the self-tuning calibrator. Monotone between
+// ResetCounters calls.
+func (p *Pool) ReadLatency() (reads int64, total time.Duration) {
+	return p.reads.Load(), time.Duration(p.readNanos.Load())
+}
+
+// ResetCounters zeroes the hit/miss, retry/fault, and read-latency
+// counters.
 func (p *Pool) ResetCounters() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.hits, p.misses = 0, 0
 	p.retries.Store(0)
 	p.faults.Store(0)
+	p.reads.Store(0)
+	p.readNanos.Store(0)
 }
 
 // Capacity returns the maximum number of cached pages.

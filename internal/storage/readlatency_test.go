@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPoolReadLatency: every physical (miss) read is counted and timed
+// on the injectable clock; hits are free; ResetCounters zeroes both.
+func TestPoolReadLatency(t *testing.T) {
+	d, p := newPool(t, 4)
+	// Fake clock: every call advances 1ms, so each timed read spans
+	// exactly 1ms (one call at start, one at end → 2ms-1ms... the delta
+	// between the two calls is 1ms).
+	var ticks int64
+	p.SetReadClock(func() time.Time {
+		ticks++
+		return time.Unix(0, ticks*int64(time.Millisecond))
+	})
+
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		pg, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, pg.ID())
+		if err := p.Unpin(pg, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n, total := p.ReadLatency(); n != 0 || total != 0 {
+		t.Fatalf("fresh pool reports %d reads / %v", n, total)
+	}
+
+	for _, id := range ids {
+		pg, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unpin(pg, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, total := p.ReadLatency()
+	if n != 3 {
+		t.Fatalf("3 miss reads, counted %d", n)
+	}
+	if total != 3*time.Millisecond {
+		t.Fatalf("total read latency %v, want 3ms on the fake clock", total)
+	}
+
+	// Hits do not touch the device and must not move the counters.
+	pg, err := p.Fetch(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unpin(pg, false); err != nil {
+		t.Fatal(err)
+	}
+	if n2, total2 := p.ReadLatency(); n2 != n || total2 != total {
+		t.Fatalf("hit moved read latency: %d/%v -> %d/%v", n, total, n2, total2)
+	}
+
+	p.ResetCounters()
+	if n, total := p.ReadLatency(); n != 0 || total != 0 {
+		t.Fatalf("ResetCounters left %d reads / %v", n, total)
+	}
+	_ = d
+}
